@@ -1,0 +1,386 @@
+//! Dynamic-graph PageRank — the §VII experiment.
+//!
+//! The graph evolves in epochs: each epoch perturbs 10% of the rows
+//! (paper protocol), then PageRank re-converges *warm-started* from the
+//! previous epoch's ranks ("the previous page rank vector can be used as
+//! the initial guess..., reducing the number of iterative steps").
+//!
+//! Three strategies are compared, mirroring Figure 7:
+//! * **ACSR incremental** — only the change lists cross the PCIe bus;
+//!   the device update kernel applies them in place and a re-binning
+//!   scan is the entire preprocessing.
+//! * **CSR re-upload** — the host applies the update and ships the whole
+//!   matrix again.
+//! * **HYB re-upload** — as CSR, plus the HYB re-transformation cost.
+//!
+//! Because updated operators are no longer exactly stochastic, the solver
+//! here is the *normalized* power formulation (per-iteration L1
+//! renormalization), which converges for any non-negative operator and
+//! reduces to ordinary PageRank on a stochastic one.
+
+use crate::ops::{l1_norm, l2_distance_sq, scale_add, scale_inplace};
+use crate::{IterParams, SolveResult};
+use acsr::{AcsrConfig, AcsrEngine};
+use gpu_sim::{Device, RunReport};
+use graphgen::{generate_update_batch, UpdateConfig};
+use serde::{Deserialize, Serialize};
+use sparse_formats::{CsrMatrix, HostModel, HybMatrix, Scalar, UpdateBatch};
+use spmv_kernels::hyb_kernel::HybKernel;
+use spmv_kernels::csr_vector::CsrVector;
+use spmv_kernels::{DevCsr, DevHyb, GpuSpmv};
+
+/// Update-handling strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// ACSR with device-side incremental updates (deltas only).
+    AcsrIncremental,
+    /// CSR (vector kernel) with full re-upload per epoch.
+    CsrReupload,
+    /// HYB with full re-upload and re-transformation per epoch.
+    HybReupload,
+}
+
+impl Strategy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::AcsrIncremental => "ACSR",
+            Strategy::CsrReupload => "CSR",
+            Strategy::HybReupload => "HYB",
+        }
+    }
+}
+
+/// Configuration of the dynamic experiment.
+#[derive(Clone, Debug)]
+pub struct DynamicConfig {
+    /// Number of update epochs after the cold start (paper: 10).
+    pub epochs: usize,
+    /// Update-stream parameters (paper: 10% of rows).
+    pub update: UpdateConfig,
+    /// PageRank damping (paper: 0.85).
+    pub damping: f64,
+    /// Convergence parameters (paper: ε = 1e-6).
+    pub params: IterParams,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            epochs: 10,
+            update: UpdateConfig::default(),
+            damping: 0.85,
+            params: IterParams::default(),
+        }
+    }
+}
+
+/// Per-epoch accounting (epoch 0 is the cold start).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index.
+    pub epoch: usize,
+    /// PageRank iterations this epoch.
+    pub iterations: usize,
+    /// Modeled device seconds of the solve (SpMV + vector ops).
+    pub device_seconds: f64,
+    /// Modeled device seconds of the incremental update kernel
+    /// (ACSR only; zero for the rebuild strategies).
+    pub update_seconds: f64,
+    /// Modeled PCIe seconds (full matrix or deltas).
+    pub copy_seconds: f64,
+    /// Modeled host preprocessing seconds (update application, HYB
+    /// transformation; zero for ACSR).
+    pub host_seconds: f64,
+}
+
+impl EpochStats {
+    /// Total modeled wall time of the epoch.
+    pub fn total_seconds(&self) -> f64 {
+        self.device_seconds + self.update_seconds + self.copy_seconds + self.host_seconds
+    }
+
+    /// Everything except the solve itself — the per-epoch price of
+    /// keeping the device matrix current (Figure 7's lever).
+    pub fn overhead_seconds(&self) -> f64 {
+        self.update_seconds + self.copy_seconds + self.host_seconds
+    }
+}
+
+/// Normalized-power PageRank with an explicit starting vector.
+pub fn power_pagerank_gpu<T: Scalar>(
+    dev: &Device,
+    engine: &dyn GpuSpmv<T>,
+    damping: f64,
+    params: &IterParams,
+    init: &[T],
+) -> SolveResult<T> {
+    let n = engine.rows();
+    assert_eq!(init.len(), n, "init vector length mismatch");
+    let teleport = T::from_f64((1.0 - damping) / n as f64);
+    let d = T::from_f64(damping);
+    let mut pr = dev.alloc(init.to_vec());
+    let mut tmp = dev.alloc_zeroed::<T>(n);
+    let mut next = dev.alloc_zeroed::<T>(n);
+    let mut report = RunReport::default();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        report = report.then(&engine.spmv(dev, &pr, &mut tmp));
+        report = report.then(&scale_add(dev, &tmp, d, teleport, &mut next));
+        let (norm, rn) = l1_norm(dev, &next);
+        report = report.then(&rn);
+        report = report.then(&scale_inplace(
+            dev,
+            &mut next,
+            T::from_f64(1.0 / norm.max(1e-300)),
+        ));
+        let (dist2, rd) = l2_distance_sq(dev, &next, &pr);
+        report = report.then(&rd);
+        std::mem::swap(&mut pr, &mut next);
+        if dist2.sqrt() < params.epsilon || iterations >= params.max_iters {
+            break;
+        }
+    }
+    SolveResult {
+        scores: pr.into_vec(),
+        iterations,
+        report,
+    }
+}
+
+/// Run the full dynamic experiment under `strategy`. Returns one
+/// [`EpochStats`] per epoch (index 0 = cold start, no update).
+///
+/// The update stream is derived deterministically from
+/// `cfg.update.seed + epoch`, so every strategy sees the identical
+/// sequence of matrices.
+pub fn dynamic_pagerank<T: Scalar>(
+    dev: &Device,
+    operator0: &CsrMatrix<T>,
+    strategy: Strategy,
+    cfg: &DynamicConfig,
+    host: &HostModel,
+) -> Vec<EpochStats> {
+    let n = operator0.rows();
+    let uniform = vec![T::from_f64(1.0 / n as f64); n];
+    let mut stats = Vec::with_capacity(cfg.epochs + 1);
+    let mut host_matrix = operator0.clone();
+    let mut warm: Vec<T>;
+
+    // --- cold start: upload + solve from the uniform vector -------------
+    match strategy {
+        Strategy::AcsrIncremental => {
+            let mut engine =
+                AcsrEngine::from_csr(dev, &host_matrix, AcsrConfig::for_device(dev.config()));
+            let copy0 = dev.htod_seconds(engine.device_bytes());
+            let solve = power_pagerank_gpu(dev, &engine, cfg.damping, &cfg.params, &uniform);
+            stats.push(EpochStats {
+                epoch: 0,
+                iterations: solve.iterations,
+                device_seconds: solve.report.time_s,
+                update_seconds: 0.0,
+                copy_seconds: copy0,
+                host_seconds: 0.0,
+            });
+            warm = solve.scores;
+            for epoch in 1..=cfg.epochs {
+                let batch = epoch_batch(&host_matrix, cfg, epoch);
+                host_matrix = batch.apply_to_csr(&host_matrix);
+                let up = engine.apply_update(dev, &batch);
+                let solve = power_pagerank_gpu(dev, &engine, cfg.damping, &cfg.params, &warm);
+                debug_assert_eq!(engine.matrix().to_csr(), host_matrix);
+                stats.push(EpochStats {
+                    epoch,
+                    iterations: solve.iterations,
+                    device_seconds: solve.report.time_s,
+                    update_seconds: up.kernel.time_s,
+                    copy_seconds: up.copy_seconds,
+                    host_seconds: 0.0,
+                });
+                warm = solve.scores;
+            }
+        }
+        Strategy::CsrReupload | Strategy::HybReupload => {
+            let epoch_run = |m: &CsrMatrix<T>, init: &[T], epoch: usize| -> (Vec<T>, EpochStats) {
+                let (engine, copy, host_s): (Box<dyn GpuSpmv<T>>, f64, f64) = match strategy {
+                    Strategy::CsrReupload => {
+                        let e = CsrVector::new(DevCsr::upload(dev, m));
+                        let copy = dev.htod_seconds(e.device_bytes());
+                        (Box::new(e), copy, 0.0)
+                    }
+                    Strategy::HybReupload => {
+                        let (hyb, cost) = HybMatrix::from_csr(m, dev.config().memory_bytes())
+                            .expect("HYB conversion within device memory");
+                        let e = HybKernel::new(DevHyb::upload(dev, &hyb));
+                        let copy = dev.htod_seconds(e.device_bytes());
+                        (Box::new(e), copy, cost.modeled_host_seconds(host))
+                    }
+                    Strategy::AcsrIncremental => unreachable!(),
+                };
+                let solve = power_pagerank_gpu(dev, engine.as_ref(), cfg.damping, &cfg.params, init);
+                let st = EpochStats {
+                    epoch,
+                    iterations: solve.iterations,
+                    device_seconds: solve.report.time_s,
+                    update_seconds: 0.0,
+                    copy_seconds: copy,
+                    host_seconds: host_s,
+                };
+                (solve.scores, st)
+            };
+            let (scores, st) = epoch_run(&host_matrix, &uniform, 0);
+            stats.push(st);
+            warm = scores;
+            for epoch in 1..=cfg.epochs {
+                let batch = epoch_batch(&host_matrix, cfg, epoch);
+                // host applies the update (streamed cost) before re-upload
+                let apply_host =
+                    (host_matrix.nnz() as u64 * 2 * (4 + T::BYTES as u64)) as f64
+                        / host.mem_bandwidth_bytes_s;
+                host_matrix = batch.apply_to_csr(&host_matrix);
+                let (scores, mut st) = epoch_run(&host_matrix, &warm, epoch);
+                st.host_seconds += apply_host;
+                stats.push(st);
+                warm = scores;
+            }
+        }
+    }
+    stats
+}
+
+fn epoch_batch<T: Scalar>(m: &CsrMatrix<T>, cfg: &DynamicConfig, epoch: usize) -> UpdateBatch<T> {
+    generate_update_batch(
+        m,
+        &UpdateConfig {
+            seed: cfg.update.seed.wrapping_add(epoch as u64),
+            ..cfg.update
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::presets;
+    use graphgen::{generate_power_law, PowerLawConfig};
+
+    fn operator(rows: usize) -> CsrMatrix<f64> {
+        let g = generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 6.0,
+            max_degree: 200,
+            pinned_max_rows: 1,
+            col_skew: 0.4,
+            seed: 161,
+            ..Default::default()
+        });
+        crate::pagerank::pagerank_operator(&g)
+    }
+
+    fn small_cfg(epochs: usize) -> DynamicConfig {
+        DynamicConfig {
+            epochs,
+            params: IterParams {
+                epsilon: 1e-6,
+                max_iters: 300,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_strategies_see_identical_iteration_counts() {
+        let m = operator(800);
+        let dev = Device::new(presets::gtx_titan());
+        let host = HostModel::default();
+        let cfg = small_cfg(3);
+        let a = dynamic_pagerank(&dev, &m, Strategy::AcsrIncremental, &cfg, &host);
+        let c = dynamic_pagerank(&dev, &m, Strategy::CsrReupload, &cfg, &host);
+        let h = dynamic_pagerank(&dev, &m, Strategy::HybReupload, &cfg, &host);
+        let iters = |v: &[EpochStats]| v.iter().map(|e| e.iterations).collect::<Vec<_>>();
+        assert_eq!(iters(&a), iters(&c));
+        assert_eq!(iters(&a), iters(&h));
+    }
+
+    #[test]
+    fn warm_start_converges_faster_than_cold() {
+        let m = operator(1000);
+        let dev = Device::new(presets::gtx_titan());
+        let host = HostModel::default();
+        let cfg = small_cfg(4);
+        let s = dynamic_pagerank(&dev, &m, Strategy::AcsrIncremental, &cfg, &host);
+        let cold = s[0].iterations;
+        for e in &s[1..] {
+            assert!(
+                e.iterations < cold,
+                "epoch {} took {} iters vs cold {}",
+                e.epoch,
+                e.iterations,
+                cold
+            );
+        }
+    }
+
+    #[test]
+    fn acsr_ships_fewer_bytes_after_cold_start() {
+        let m = operator(1200);
+        let dev = Device::new(presets::gtx_titan());
+        let host = HostModel::default();
+        let cfg = small_cfg(3);
+        let a = dynamic_pagerank(&dev, &m, Strategy::AcsrIncremental, &cfg, &host);
+        let c = dynamic_pagerank(&dev, &m, Strategy::CsrReupload, &cfg, &host);
+        for (ea, ec) in a[1..].iter().zip(c[1..].iter()) {
+            assert!(
+                ea.copy_seconds < ec.copy_seconds,
+                "epoch {}: acsr copy {} vs csr copy {}",
+                ea.epoch,
+                ea.copy_seconds,
+                ec.copy_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn hyb_pays_host_transformation_every_epoch() {
+        let m = operator(900);
+        let dev = Device::new(presets::gtx_titan());
+        let host = HostModel::default();
+        let cfg = small_cfg(2);
+        let h = dynamic_pagerank(&dev, &m, Strategy::HybReupload, &cfg, &host);
+        let a = dynamic_pagerank(&dev, &m, Strategy::AcsrIncremental, &cfg, &host);
+        for (eh, ea) in h.iter().zip(a.iter()) {
+            assert!(eh.host_seconds > 0.0, "epoch {}", eh.epoch);
+            assert_eq!(ea.host_seconds, 0.0);
+        }
+    }
+
+    #[test]
+    fn acsr_update_overheads_beat_rebuild_overheads() {
+        // Figure 7's lever: per-epoch matrix-maintenance cost. (The full
+        // end-to-end comparison needs paper-scale matrices where launch
+        // overheads amortize; the `repro fig7` harness runs that.)
+        let m = operator(3000);
+        let dev = Device::new(presets::gtx_titan());
+        let host = HostModel::default();
+        let cfg = small_cfg(3);
+        let a = dynamic_pagerank(&dev, &m, Strategy::AcsrIncremental, &cfg, &host);
+        let h = dynamic_pagerank(&dev, &m, Strategy::HybReupload, &cfg, &host);
+        let c = dynamic_pagerank(&dev, &m, Strategy::CsrReupload, &cfg, &host);
+        for epoch in 1..=cfg.epochs {
+            assert!(
+                a[epoch].overhead_seconds() < h[epoch].overhead_seconds(),
+                "epoch {epoch}: acsr {} vs hyb {}",
+                a[epoch].overhead_seconds(),
+                h[epoch].overhead_seconds()
+            );
+            assert!(
+                a[epoch].overhead_seconds() < c[epoch].overhead_seconds(),
+                "epoch {epoch}: acsr {} vs csr {}",
+                a[epoch].overhead_seconds(),
+                c[epoch].overhead_seconds()
+            );
+        }
+    }
+}

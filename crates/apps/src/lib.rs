@@ -1,0 +1,61 @@
+//! # graph-apps — the paper's §VI/§VII graph-mining applications
+//!
+//! Three link-analysis algorithms whose run time is dominated by
+//! repeated SpMV, evaluated over any [`spmv_kernels::GpuSpmv`] engine
+//! (CSR, HYB, ACSR, ...):
+//!
+//! * [`pagerank`] — Algorithm 5 (damping d = 0.85, Euclidean ε = 1e-6);
+//! * [`hits`] — the combined 2n x 2n coupling formulation of Eq. 7;
+//! * [`rwr`] — Random Walk with Restart, Eq. 8;
+//! * [`dynamic`] — the §VII dynamic-graph epoch driver comparing ACSR's
+//!   incremental device-side updates against full re-upload (CSR) and
+//!   re-upload + re-transformation (HYB);
+//! * [`ops`] — the small elementwise device kernels (scale-add, L1/L2
+//!   norms) the iterations need, so every byte the applications move is
+//!   accounted by the simulator.
+
+pub mod dynamic;
+pub mod hits;
+pub mod ops;
+pub mod pagerank;
+pub mod rwr;
+
+use gpu_sim::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one iterative solve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolveResult<T> {
+    /// Converged score vector.
+    pub scores: Vec<T>,
+    /// Iterations (== SpMV invocations) to convergence.
+    pub iterations: usize,
+    /// Merged device report across all iterations (SpMV + elementwise).
+    pub report: RunReport,
+}
+
+impl<T> SolveResult<T> {
+    /// Modeled device seconds for the whole solve.
+    pub fn seconds(&self) -> f64 {
+        self.report.time_s
+    }
+}
+
+/// Shared iteration limits.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IterParams {
+    /// Convergence threshold on the Euclidean distance of successive
+    /// iterates (paper: 1e-6).
+    pub epsilon: f64,
+    /// Hard iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for IterParams {
+    fn default() -> Self {
+        IterParams {
+            epsilon: 1e-6,
+            max_iters: 1000,
+        }
+    }
+}

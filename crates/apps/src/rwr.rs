@@ -1,0 +1,193 @@
+//! Random Walk with Restart (Eq. 8).
+//!
+//! `r^(k+1) = c·(W × r^(k)) + (1-c)·e_i` with `W` the column-normalized
+//! adjacency, restart probability `c`, and `e_i` the seed indicator.
+//! Converges to the relevance of every node to seed `i`.
+
+use crate::ops::l2_distance_sq;
+use crate::{IterParams, SolveResult};
+use gpu_sim::{lane_mask, Device, DeviceBuffer, RunReport, WARP};
+use sparse_formats::{CsrMatrix, Scalar};
+use spmv_kernels::GpuSpmv;
+
+/// Build the RWR operator `W` (column-normalized adjacency).
+pub fn rwr_operator<T: Scalar>(adjacency: &CsrMatrix<T>) -> CsrMatrix<T> {
+    assert_eq!(
+        adjacency.rows(),
+        adjacency.cols(),
+        "adjacency must be square"
+    );
+    adjacency.column_normalize()
+}
+
+/// `out[j] = c * x[j] + (1-c) * [j == seed]` — the RWR update kernel.
+fn rwr_update<T: Scalar>(
+    dev: &Device,
+    x: &DeviceBuffer<T>,
+    c: T,
+    restart: T,
+    seed: usize,
+    out: &mut DeviceBuffer<T>,
+) -> RunReport {
+    let n = x.len();
+    let block = 256;
+    let grid = n.div_ceil(block).max(1);
+    dev.launch("rwr_update", grid, block, &mut |blk| {
+        blk.for_each_warp(&mut |warp| {
+            let base = warp.first_thread();
+            if base >= n {
+                return;
+            }
+            let mask = lane_mask(n - base);
+            let xs = warp.read_coalesced(x, base, mask);
+            let mut vals = [T::ZERO; WARP];
+            for lane in 0..WARP {
+                if mask >> lane & 1 == 1 {
+                    vals[lane] = c * xs[lane];
+                    if base + lane == seed {
+                        vals[lane] += restart;
+                    }
+                }
+            }
+            warp.charge_alu(2);
+            warp.write_coalesced(out, base, &vals, mask);
+        });
+    })
+}
+
+/// Run RWR from `seed` on a device engine holding `W`.
+pub fn rwr_gpu<T: Scalar>(
+    dev: &Device,
+    engine: &dyn GpuSpmv<T>,
+    seed: usize,
+    restart_c: f64,
+    params: &IterParams,
+) -> SolveResult<T> {
+    let n = engine.rows();
+    assert_eq!(engine.cols(), n, "RWR operator must be square");
+    assert!(seed < n, "seed out of range");
+    let c = T::from_f64(restart_c);
+    let restart = T::from_f64(1.0 - restart_c);
+
+    // r⁰ = e_seed
+    let mut r0 = vec![T::ZERO; n];
+    r0[seed] = T::ONE;
+    let mut r = dev.alloc(r0);
+    let mut tmp = dev.alloc_zeroed::<T>(n);
+    let mut next = dev.alloc_zeroed::<T>(n);
+    let mut report = RunReport::default();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        report = report.then(&engine.spmv(dev, &r, &mut tmp));
+        report = report.then(&rwr_update(dev, &tmp, c, restart, seed, &mut next));
+        let (dist2, dr) = l2_distance_sq(dev, &next, &r);
+        report = report.then(&dr);
+        std::mem::swap(&mut r, &mut next);
+        if dist2.sqrt() < params.epsilon || iterations >= params.max_iters {
+            break;
+        }
+    }
+    SolveResult {
+        scores: r.into_vec(),
+        iterations,
+        report,
+    }
+}
+
+/// CPU reference RWR.
+pub fn rwr_cpu<T: Scalar>(
+    w: &CsrMatrix<T>,
+    seed: usize,
+    restart_c: f64,
+    params: &IterParams,
+) -> (Vec<T>, usize) {
+    let n = w.rows();
+    let c = T::from_f64(restart_c);
+    let restart = T::from_f64(1.0 - restart_c);
+    let mut r = vec![T::ZERO; n];
+    r[seed] = T::ONE;
+    let mut tmp = vec![T::ZERO; n];
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        w.spmv_into(&r, &mut tmp);
+        let mut dist2 = 0.0f64;
+        for j in 0..n {
+            let mut next = c * tmp[j];
+            if j == seed {
+                next += restart;
+            }
+            let d = next.to_f64() - r[j].to_f64();
+            dist2 += d * d;
+            r[j] = next;
+        }
+        if dist2.sqrt() < params.epsilon || iterations >= params.max_iters {
+            return (r, iterations);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acsr::{AcsrConfig, AcsrEngine};
+    use gpu_sim::presets;
+    use graphgen::{generate_power_law, PowerLawConfig};
+
+    fn graph(rows: usize, seed: u64) -> CsrMatrix<f64> {
+        generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 6.0,
+            max_degree: 250,
+            pinned_max_rows: 1,
+            col_skew: 0.4,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn gpu_rwr_matches_cpu_reference() {
+        let g = graph(500, 151);
+        let w = rwr_operator(&g);
+        let dev = Device::new(presets::gtx_titan());
+        let engine = AcsrEngine::from_csr(&dev, &w, AcsrConfig::for_device(dev.config()));
+        let params = IterParams::default();
+        let gpu = rwr_gpu(&dev, &engine, 3, 0.85, &params);
+        let (cpu, cpu_iters) = rwr_cpu(&w, 3, 0.85, &params);
+        assert_eq!(gpu.iterations, cpu_iters);
+        let d = sparse_formats::scalar::rel_l2_distance(&gpu.scores, &cpu);
+        assert!(d < 1e-10, "rel distance {d}");
+    }
+
+    #[test]
+    fn seed_has_highest_relevance() {
+        let g = graph(300, 152);
+        let w = rwr_operator(&g);
+        let (r, _) = rwr_cpu(&w, 42, 0.85, &IterParams::default());
+        let max = r.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(r[42], max);
+        assert!(r[42] > 0.0);
+    }
+
+    #[test]
+    fn relevance_mass_is_bounded() {
+        let g = graph(300, 153);
+        let w = rwr_operator(&g);
+        let (r, _) = rwr_cpu(&w, 0, 0.85, &IterParams::default());
+        let total: f64 = r.iter().sum();
+        assert!(total <= 1.0 + 1e-9 && total > 0.1, "total {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed out of range")]
+    fn seed_bounds_are_checked() {
+        let g = graph(100, 154);
+        let w = rwr_operator(&g);
+        let dev = Device::new(presets::gtx_titan());
+        let engine = AcsrEngine::from_csr(&dev, &w, AcsrConfig::for_device(dev.config()));
+        let _ = rwr_gpu(&dev, &engine, 100, 0.85, &IterParams::default());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the applications: PageRank/HITS/RWR invariants
+//! must hold on arbitrary graphs, and the solution must not depend on
+//! which SpMV engine computed it.
+
+use acsr::{AcsrConfig, AcsrEngine};
+use gpu_sim::{presets, Device};
+use graph_apps::pagerank::{pagerank_cpu, pagerank_gpu, pagerank_operator};
+use graph_apps::rwr::{rwr_cpu, rwr_operator};
+use graph_apps::IterParams;
+use proptest::prelude::*;
+use sparse_formats::{CsrMatrix, TripletMatrix};
+use spmv_kernels::csr_vector::CsrVector;
+use spmv_kernels::DevCsr;
+
+/// Arbitrary directed graph (square adjacency, unit-ish weights).
+fn arb_graph() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (4usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 1..300).prop_map(move |edges| {
+            let mut t = TripletMatrix::new(n, n);
+            for (r, c) in edges {
+                t.push(r, c, 1.0).unwrap();
+            }
+            t.to_csr()
+        })
+    })
+}
+
+fn params() -> IterParams {
+    IterParams {
+        epsilon: 1e-8,
+        max_iters: 500,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pagerank_mass_is_bounded_and_nonnegative(g in arb_graph()) {
+        let op = pagerank_operator(&g);
+        let (pr, iters) = pagerank_cpu(op.rows(), 0.85, &params(), |x, y| op.spmv_into(x, y));
+        prop_assert!(iters >= 1);
+        prop_assert!(pr.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        let total: f64 = pr.iter().sum();
+        // teleport mass is conserved; link mass can leak through dangling
+        // rows, so total ∈ (0, 1]
+        prop_assert!(total > 0.0 && total <= 1.0 + 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn pagerank_is_engine_independent(g in arb_graph()) {
+        let op = pagerank_operator(&g);
+        let dev = Device::new(presets::gtx_titan());
+        let p = params();
+        let acsr = AcsrEngine::from_csr(&dev, &op, AcsrConfig::for_device(dev.config()));
+        let csr = CsrVector::new(DevCsr::upload(&dev, &op));
+        let a = pagerank_gpu(&dev, &acsr, 0.85, &p);
+        let b = pagerank_gpu(&dev, &csr, 0.85, &p);
+        prop_assert_eq!(a.iterations, b.iterations);
+        let d = sparse_formats::scalar::rel_l2_distance(&a.scores, &b.scores);
+        prop_assert!(d < 1e-9, "engines diverge: {d}");
+    }
+
+    #[test]
+    fn pagerank_respects_damping_teleport_floor(g in arb_graph()) {
+        let op = pagerank_operator(&g);
+        let n = op.rows();
+        let (pr, _) = pagerank_cpu(n, 0.85, &params(), |x, y| op.spmv_into(x, y));
+        // every page keeps at least (1-d)/n of teleport mass
+        let floor = 0.15 / n as f64 - 1e-12;
+        prop_assert!(pr.iter().all(|&v| v >= floor));
+    }
+
+    #[test]
+    fn rwr_seed_keeps_restart_mass((g, seed) in arb_graph().prop_flat_map(|g| {
+        let n = g.rows();
+        (Just(g), 0..n)
+    })) {
+        let w = rwr_operator(&g);
+        let (r, _) = rwr_cpu(&w, seed, 0.85, &params());
+        prop_assert!(r.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        // the fixed point satisfies r[seed] = (1-c) + c·(W r)[seed], so the
+        // seed always retains at least the restart mass. (It need NOT be
+        // the global maximum: a hub every walk funnels into can exceed it.)
+        prop_assert!(r[seed] >= 0.15 - 1e-9, "seed mass {}", r[seed]);
+        let total: f64 = r.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! Wall-clock ablation: does binning help a *CPU* SpMV too?
+//!
+//! The DESIGN.md §4 ablations of the GPU knobs run in the simulator
+//! (`repro ablations`); this bench isolates the one claim measurable on
+//! real hardware — that grouping similar-length rows improves dynamic
+//! load balance on a skewed matrix versus naive row chunking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphgen::{generate_power_law, PowerLawConfig};
+use sparse_formats::CsrMatrix;
+use spmv_kernels::cpu;
+
+fn skewed(rows: usize, max: usize) -> CsrMatrix<f64> {
+    generate_power_law(&PowerLawConfig {
+        rows,
+        cols: rows,
+        mean_degree: 8.0,
+        max_degree: max,
+        pinned_max_rows: 4,
+        col_skew: 0.5,
+        seed: 13,
+        ..Default::default()
+    })
+}
+
+fn bench_binning_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_binning_ablation");
+    g.sample_size(20);
+    for (name, max) in [("mild_skew", 256usize), ("heavy_skew", 65_536)] {
+        let m = skewed(200_000, max);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+        let mut y = vec![0.0f64; m.rows()];
+        g.throughput(Throughput::Elements(m.nnz() as u64));
+        g.bench_with_input(BenchmarkId::new("naive_chunked", name), &m, |b, m| {
+            b.iter(|| cpu::spmv_csr(m, &x, &mut y));
+        });
+        let binned = acsr::cpu::CpuAcsr::new(m.clone());
+        g.bench_with_input(BenchmarkId::new("binned", name), &binned, |b, eng| {
+            b.iter(|| eng.spmv(&x, &mut y));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_binning_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! ACSR binning micro-benchmarks: the scan must stay linear and cheap
+//! across matrix sizes (its cost IS the paper's headline claim).
+
+use acsr::{AcsrConfig, Binning};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphgen::{generate_power_law, PowerLawConfig};
+use sparse_formats::CsrMatrix;
+
+fn matrix(rows: usize) -> CsrMatrix<f64> {
+    generate_power_law(&PowerLawConfig {
+        rows,
+        cols: rows,
+        mean_degree: 10.0,
+        max_degree: (rows / 8).max(64),
+        pinned_max_rows: 2,
+        col_skew: 0.4,
+        seed: 7,
+        ..Default::default()
+    })
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acsr_binning");
+    for rows in [10_000usize, 100_000, 1_000_000] {
+        let m = matrix(rows);
+        let cfg = AcsrConfig::static_long_tail();
+        g.throughput(Throughput::Elements(rows as u64));
+        g.bench_with_input(BenchmarkId::new("scan", rows), &m, |b, m| {
+            b.iter(|| Binning::build((0..m.rows()).map(|r| m.row_nnz(r)), &cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rebin_after_update(c: &mut Criterion) {
+    use graphgen::{generate_update_batch, UpdateConfig};
+    let m = matrix(100_000);
+    let batch = generate_update_batch(&m, &UpdateConfig::default());
+    let mut g = c.benchmark_group("acsr_update_host");
+    g.sample_size(10);
+    g.bench_function("apply_batch_host_reference", |b| {
+        b.iter(|| batch.apply_to_csr(&m));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_binning, bench_rebin_after_update);
+criterion_main!(benches);

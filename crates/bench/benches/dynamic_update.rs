@@ -1,0 +1,43 @@
+//! Dynamic-update path costs: generating a §VII batch, applying it on
+//! the host, and the rebuild alternative — the measured counterpart of
+//! Figure 7's maintenance overheads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::{generate_update_batch, MatrixSpec, UpdateConfig};
+use sparse_formats::TripletMatrix;
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic_update");
+    g.sample_size(10);
+    for abbrev in ["FLI", "YOT"] {
+        let m = MatrixSpec::by_abbrev(abbrev)
+            .unwrap()
+            .generate::<f64>(128, 1)
+            .csr;
+        g.bench_with_input(BenchmarkId::new("generate_batch", abbrev), &m, |b, m| {
+            b.iter(|| generate_update_batch(m, &UpdateConfig::default()));
+        });
+        let batch = generate_update_batch(&m, &UpdateConfig::default());
+        g.bench_with_input(
+            BenchmarkId::new("apply_incremental", abbrev),
+            &(&m, &batch),
+            |b, (m, batch)| {
+                b.iter(|| batch.apply_to_csr(m));
+            },
+        );
+        // the naive alternative: rebuild the matrix from scratch
+        g.bench_with_input(BenchmarkId::new("rebuild_from_triplets", abbrev), &m, |b, m| {
+            b.iter(|| {
+                let mut t = TripletMatrix::with_capacity(m.rows(), m.cols(), m.nnz());
+                for (r, c2, v) in m.iter() {
+                    t.push_unchecked(r as u32, c2 as u32, v);
+                }
+                t.to_csr()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

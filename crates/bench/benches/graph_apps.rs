@@ -1,0 +1,56 @@
+//! Wall-clock graph applications on the CPU backend — the measured
+//! counterpart of Figure 6's iterative-solver workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_apps::pagerank::{pagerank_cpu, pagerank_operator};
+use graph_apps::IterParams;
+use graphgen::MatrixSpec;
+use spmv_kernels::cpu;
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pagerank_cpu");
+    g.sample_size(10);
+    let params = IterParams {
+        epsilon: 1e-6,
+        max_iters: 200,
+    };
+    for abbrev in ["ENR", "INT"] {
+        let m = MatrixSpec::by_abbrev(abbrev)
+            .unwrap()
+            .generate::<f64>(64, 1)
+            .csr;
+        let op = pagerank_operator(&m);
+        g.bench_with_input(BenchmarkId::new("csr_parallel", abbrev), &op, |b, op| {
+            b.iter(|| pagerank_cpu(op.rows(), 0.85, &params, |x, y| cpu::spmv_csr(op, x, y)));
+        });
+        let binned = acsr::cpu::CpuAcsr::new(op.clone());
+        g.bench_with_input(BenchmarkId::new("acsr_binned", abbrev), &binned, |b, eng| {
+            b.iter(|| {
+                pagerank_cpu(eng.matrix().rows(), 0.85, &params, |x, y| eng.spmv(x, y))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_hits(c: &mut Criterion) {
+    use graph_apps::hits::{hits_cpu, hits_operator};
+    let mut g = c.benchmark_group("hits_cpu");
+    g.sample_size(10);
+    let params = IterParams {
+        epsilon: 1e-6,
+        max_iters: 100,
+    };
+    let m = MatrixSpec::by_abbrev("INT")
+        .unwrap()
+        .generate::<f64>(64, 1)
+        .csr;
+    let coupling = hits_operator(&m);
+    g.bench_function("coupling_power_iteration", |b| {
+        b.iter(|| hits_cpu(&coupling, &params));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pagerank, bench_hits);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Wall-clock preprocessing cost per format — the hardware-measured
+//! counterpart of Figure 4. ACSR's binning must be orders of magnitude
+//! cheaper than any transformation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphgen::MatrixSpec;
+use sparse_formats::{BccooConfig, BccooMatrix, BrcMatrix, CooMatrix, CsrMatrix, HybMatrix, TcooMatrix};
+
+fn suite(abbrev: &str) -> CsrMatrix<f64> {
+    MatrixSpec::by_abbrev(abbrev)
+        .unwrap()
+        .generate::<f64>(64, 1)
+        .csr
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preprocessing");
+    g.sample_size(10);
+    for abbrev in ["ENR", "EU2"] {
+        let m = suite(abbrev);
+
+        g.bench_with_input(BenchmarkId::new("acsr_binning", abbrev), &m, |b, m| {
+            b.iter(|| {
+                let cfg = acsr::AcsrConfig::static_long_tail();
+                acsr::Binning::build((0..m.rows()).map(|r| m.row_nnz(r)), &cfg)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("to_coo", abbrev), &m, |b, m| {
+            b.iter(|| CooMatrix::from_csr(m));
+        });
+        g.bench_with_input(BenchmarkId::new("to_hyb", abbrev), &m, |b, m| {
+            b.iter(|| HybMatrix::from_csr(m, usize::MAX).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("to_brc", abbrev), &m, |b, m| {
+            b.iter(|| BrcMatrix::from_csr(m, usize::MAX).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("to_tcoo_16tiles", abbrev), &m, |b, m| {
+            b.iter(|| TcooMatrix::from_csr(m, 16, usize::MAX).unwrap());
+        });
+        g.bench_with_input(
+            BenchmarkId::new("to_bccoo_one_config", abbrev),
+            &m,
+            |b, m| {
+                b.iter(|| BccooMatrix::from_csr(m, BccooConfig::default(), usize::MAX).unwrap());
+            },
+        );
+        // NOTE: the full BCCOO auto-tune multiplies the one-config cost by
+        // its >300-configuration search; benched once per run here.
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

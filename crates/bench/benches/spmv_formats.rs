@@ -1,0 +1,51 @@
+//! Wall-clock SpMV throughput of the CPU backend per format — the
+//! hardware-measured counterpart of Figure 5's shape claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphgen::MatrixSpec;
+use sparse_formats::{CooMatrix, CsrMatrix, HybMatrix};
+use spmv_kernels::cpu;
+
+fn suite(abbrev: &str) -> CsrMatrix<f64> {
+    MatrixSpec::by_abbrev(abbrev)
+        .unwrap()
+        .generate::<f64>(64, 1)
+        .csr
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv_formats");
+    g.sample_size(20);
+    for abbrev in ["ENR", "EU2", "AMZ"] {
+        let m = suite(abbrev);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+        let mut y = vec![0.0f64; m.rows()];
+        g.throughput(Throughput::Elements(m.nnz() as u64));
+
+        g.bench_with_input(BenchmarkId::new("csr", abbrev), &m, |b, m| {
+            b.iter(|| cpu::spmv_csr(m, &x, &mut y));
+        });
+
+        let (hyb, _) = HybMatrix::from_csr(&m, usize::MAX).unwrap();
+        g.bench_with_input(BenchmarkId::new("hyb", abbrev), &hyb, |b, hyb| {
+            b.iter(|| cpu::spmv_hyb(hyb, &x, &mut y));
+        });
+
+        let (coo, _) = CooMatrix::from_csr(&m);
+        g.bench_with_input(BenchmarkId::new("coo", abbrev), &coo, |b, coo| {
+            b.iter(|| {
+                y.fill(0.0);
+                cpu::spmv_coo_accumulate(coo, &x, &mut y);
+            });
+        });
+
+        let acsr = acsr::cpu::CpuAcsr::new(m.clone());
+        g.bench_with_input(BenchmarkId::new("acsr", abbrev), &acsr, |b, acsr| {
+            b.iter(|| acsr.spmv(&x, &mut y));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Figure 3 — the power-law row-length histogram.
+//!
+//! Prints the ACSR-binned frequency distribution of one matrix (the
+//! paper's figure shows the generic shape: heavy mass at tiny rows, a
+//! long tail on the right).
+
+use crate::common::{Options, Table};
+use graphgen::MatrixSpec;
+use serde::Serialize;
+use sparse_formats::stats::bin_range;
+use sparse_formats::DegreeHistogram;
+
+/// Histogram of one matrix.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig3Result {
+    pub abbrev: String,
+    pub histogram: DegreeHistogram,
+}
+
+/// Histogram the first selected matrix (default FLI, the paper's §VII
+/// representative).
+pub fn run(opts: &Options) -> Fig3Result {
+    let abbrev = opts
+        .matrices
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "FLI".to_string());
+    let spec = MatrixSpec::by_abbrev(&abbrev).expect("known abbreviation");
+    let m = spec.generate::<f64>(opts.scale, opts.seed);
+    let hist = DegreeHistogram::from_lengths((0..m.csr.rows()).map(|r| m.csr.row_nnz(r)));
+    Fig3Result {
+        abbrev: spec.abbrev.into(),
+        histogram: hist,
+    }
+}
+
+/// Render as text with an ASCII bar per bin.
+pub fn render(res: &Fig3Result) -> String {
+    let freqs = res.histogram.frequencies();
+    let mut t = Table::new(&["Bin", "nnz range", "rows", "freq", "bar"]);
+    for (i, (&count, &freq)) in res
+        .histogram
+        .counts
+        .iter()
+        .zip(freqs.iter())
+        .enumerate()
+    {
+        let (lo, hi) = bin_range(i);
+        let bar = "#".repeat((freq * 60.0).round() as usize);
+        t.row(vec![
+            format!("{i}"),
+            format!("{lo}..{hi}"),
+            format!("{count}"),
+            format!("{:.4}", freq),
+            bar,
+        ]);
+    }
+    format!(
+        "Figure 3: row-length distribution of {} ({} rows):\n{}",
+        res.abbrev, res.histogram.total_rows, t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fli_histogram_has_long_tail_shape() {
+        let res = run(&Options {
+            scale: 256,
+            ..Default::default()
+        });
+        let freqs = res.histogram.frequencies();
+        // heavy concentration in the small bins...
+        let small: f64 = freqs.iter().take(4).sum();
+        assert!(small > 0.5, "small-bin mass {small}");
+        // ...and a non-empty long tail several bins out
+        assert!(res.histogram.max_bin() >= 8, "max bin {}", res.histogram.max_bin());
+        // monotone-ish decay: the last bin is rare
+        assert!(*freqs.last().unwrap() < 0.01);
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let res = run(&Options {
+            scale: 512,
+            matrices: vec!["ENR".into()],
+            ..Default::default()
+        });
+        let s = render(&res);
+        assert!(s.contains("Figure 3") && s.contains("ENR"));
+        assert!(s.contains('#'));
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 4 — preprocessing overhead expressed in SpMVs.
+//!
+//! The paper's averages: 161k (BCCOO), 87 (BRC), 3k (TCOO), 21 (HYB),
+//! 3 (ACSR). The reproduction's shape target: ACSR ≈ a few SpMVs; HYB
+//! tens; BRC tens-to-hundreds; TCOO thousands; BCCOO orders of magnitude
+//! above everything.
+
+use crate::common::{Options, Table};
+use crate::experiments::formats::{self, FormatComparison};
+use serde::Serialize;
+
+/// Geometric-mean summary of the preprocess/SpMV ratios.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4Summary {
+    pub format: String,
+    pub geomean_ratio: f64,
+}
+
+/// Compute Figure 4 (reuses the shared comparison).
+pub fn run(opts: &Options) -> Vec<FormatComparison> {
+    formats::run(opts)
+}
+
+/// Per-format geometric means over feasible matrices.
+pub fn summarize(rows: &[FormatComparison]) -> Vec<Fig4Summary> {
+    let mut out = Vec::new();
+    let formats: Vec<String> = rows
+        .first()
+        .map(|c| c.others.iter().map(|o| o.format.clone()).collect())
+        .unwrap_or_default();
+    for (i, f) in formats.iter().enumerate() {
+        let mut log_sum = 0.0;
+        let mut n = 0usize;
+        for c in rows {
+            let o = &c.others[i];
+            if o.feasible {
+                log_sum += o.preprocess_over_spmv().max(1e-9).ln();
+                n += 1;
+            }
+        }
+        out.push(Fig4Summary {
+            format: f.clone(),
+            geomean_ratio: if n > 0 { (log_sum / n as f64).exp() } else { f64::NAN },
+        });
+    }
+    let mut log_sum = 0.0;
+    for c in rows {
+        log_sum += c.acsr.preprocess_over_spmv().max(1e-9).ln();
+    }
+    out.push(Fig4Summary {
+        format: "ACSR".into(),
+        geomean_ratio: (log_sum / rows.len().max(1) as f64).exp(),
+    });
+    out
+}
+
+/// Render as text.
+pub fn render(rows: &[FormatComparison]) -> String {
+    let mut t = Table::new(&["Matrix", "BCCOO", "BRC", "TCOO", "HYB", "ACSR"]);
+    for c in rows {
+        let mut cells = vec![c.abbrev.clone()];
+        for o in &c.others {
+            cells.push(if o.feasible {
+                format!("{:.0}", o.preprocess_over_spmv())
+            } else {
+                "∅".into()
+            });
+        }
+        cells.push(format!("{:.1}", c.acsr.preprocess_over_spmv()));
+        t.row(cells);
+    }
+    let mut s = format!(
+        "Figure 4: preprocessing time / one-SpMV time, f32, GTX Titan:\n{}",
+        t.render()
+    );
+    s.push_str("\nGeometric means: ");
+    for sum in summarize(rows) {
+        s.push_str(&format!("{}={:.0}  ", sum.format, sum.geomean_ratio));
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_ordering_matches_paper() {
+        let opts = Options {
+            scale: 512,
+            matrices: vec!["ENR".into(), "INT".into()],
+            ..Default::default()
+        };
+        let rows = run(&opts);
+        let sums = summarize(&rows);
+        let get = |name: &str| {
+            sums.iter()
+                .find(|s| s.format == name)
+                .unwrap()
+                .geomean_ratio
+        };
+        // paper ordering: BCCOO >> TCOO > BRC > HYB > ACSR
+        assert!(get("BCCOO") > get("TCOO"), "bccoo {} tcoo {}", get("BCCOO"), get("TCOO"));
+        assert!(get("TCOO") > get("HYB"));
+        assert!(get("BRC") > get("HYB"));
+        assert!(get("HYB") > get("ACSR"));
+        // ACSR costs only a handful of SpMVs
+        assert!(get("ACSR") < 20.0, "acsr ratio {}", get("ACSR"));
+    }
+}

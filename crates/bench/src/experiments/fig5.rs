@@ -1,0 +1,198 @@
+//! Figure 5 — SpMV throughput (GFLOP/s) of CSR, HYB and ACSR on the
+//! three Table II devices, single and double precision.
+//!
+//! Shape targets from the paper: on the Titan, ACSR beats HYB by ~1.2x
+//! on average (up to ~1.7x) and CSR by ~2x+ on power-law matrices; on the
+//! GTX 580 (binning only) the ACSR margin shrinks; AMZ/DBL are the
+//! counter-examples where HYB stays ahead.
+
+use crate::common::{selected_specs, Options, Table};
+use acsr::{AcsrConfig, AcsrEngine};
+use gpu_sim::{presets, Device, DeviceConfig};
+use serde::Serialize;
+use sparse_formats::{CsrMatrix, HybMatrix, Scalar};
+use spmv_kernels::csr_vector::CsrVector;
+use spmv_kernels::hyb_kernel::HybKernel;
+use spmv_kernels::{DevCsr, DevHyb, GpuSpmv};
+
+/// GFLOP/s of the three engines on one matrix/device/precision.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5Row {
+    pub device: String,
+    pub precision: &'static str,
+    pub abbrev: String,
+    /// `None` = the format does not fit device memory at full scale (∅).
+    pub csr_gflops: Option<f64>,
+    pub hyb_gflops: Option<f64>,
+    pub acsr_gflops: Option<f64>,
+}
+
+fn measure<T: Scalar>(
+    device_cfg: &DeviceConfig,
+    abbrev: &str,
+    m: &CsrMatrix<T>,
+    scale: usize,
+    reps: usize,
+) -> Fig5Row {
+    let dev = Device::new(device_cfg.clone());
+    let flops = 2 * m.nnz() as u64;
+    let mem = dev.config().memory_bytes() as u64;
+    let x: Vec<T> = (0..m.cols()).map(|i| T::from_f64(1.0 + (i % 7) as f64 * 0.1)).collect();
+    let xd = dev.alloc(x);
+    let fits = |bytes: u64| bytes.saturating_mul(scale as u64) <= mem;
+    let avg = |engine: &dyn GpuSpmv<T>| -> f64 {
+        // "each SpMV experiment was repeated 50 times and the average is
+        // reported" — the simulator is deterministic, so one rep IS the
+        // 50-rep average; `reps` exists for cache-warmup studies.
+        let mut total = 0.0;
+        let mut y = dev.alloc_zeroed::<T>(engine.rows());
+        for _ in 0..reps {
+            total += engine.spmv(&dev, &xd, &mut y).time_s;
+        }
+        flops as f64 / (total / reps as f64) / 1e9
+    };
+
+    let csr_eng = CsrVector::new(DevCsr::upload(&dev, m));
+    let csr_gflops = fits(csr_eng.device_bytes()).then(|| avg(&csr_eng));
+
+    let hyb_gflops = HybMatrix::from_csr(m, mem as usize)
+        .ok()
+        .map(|(hyb, _)| HybKernel::new(DevHyb::upload(&dev, &hyb)))
+        .filter(|e| fits(e.device_bytes()))
+        .map(|e| avg(&e));
+
+    let acsr_eng = AcsrEngine::from_csr(&dev, m, AcsrConfig::for_device(dev.config()));
+    let acsr_gflops = fits(acsr_eng.device_bytes()).then(|| avg(&acsr_eng));
+
+    Fig5Row {
+        device: dev.config().name.clone(),
+        precision: T::NAME,
+        abbrev: abbrev.to_string(),
+        csr_gflops,
+        hyb_gflops,
+        acsr_gflops,
+    }
+}
+
+/// Run Figure 5 over devices × precisions × matrices.
+pub fn run(opts: &Options) -> Vec<Fig5Row> {
+    let reps = 1;
+    let mut rows = Vec::new();
+    for device_cfg in [
+        presets::gtx_titan(),
+        presets::gtx_580(),
+        presets::tesla_k10_single(),
+    ] {
+        for spec in selected_specs(opts) {
+            let m32 = spec.generate::<f32>(opts.scale, opts.seed);
+            rows.push(measure(&device_cfg, spec.abbrev, &m32.csr, opts.scale, reps));
+            let m64 = spec.generate::<f64>(opts.scale, opts.seed);
+            rows.push(measure(&device_cfg, spec.abbrev, &m64.csr, opts.scale, reps));
+        }
+    }
+    rows
+}
+
+fn fmt_opt(g: Option<f64>) -> String {
+    match g {
+        Some(v) => format!("{:.1}", v),
+        None => "∅".into(),
+    }
+}
+
+/// Render as text, one block per device/precision.
+pub fn render(rows: &[Fig5Row]) -> String {
+    let mut out = String::from("Figure 5: SpMV GFLOP/s (CSR=cuSPARSE-style vector kernel):\n");
+    let mut keys: Vec<(String, &'static str)> = Vec::new();
+    for r in rows {
+        let k = (r.device.clone(), r.precision);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    for (device, precision) in keys {
+        let mut t = Table::new(&["Matrix", "CSR", "HYB", "ACSR", "ACSR/HYB", "ACSR/CSR"]);
+        let mut rel_hyb = Vec::new();
+        let mut rel_csr = Vec::new();
+        for r in rows
+            .iter()
+            .filter(|r| r.device == device && r.precision == precision)
+        {
+            let ratio = |a: Option<f64>, b: Option<f64>| -> String {
+                match (a, b) {
+                    (Some(x), Some(y)) if y > 0.0 => format!("{:.2}", x / y),
+                    _ => "-".into(),
+                }
+            };
+            if let (Some(a), Some(h)) = (r.acsr_gflops, r.hyb_gflops) {
+                rel_hyb.push(a / h);
+            }
+            if let (Some(a), Some(c)) = (r.acsr_gflops, r.csr_gflops) {
+                rel_csr.push(a / c);
+            }
+            t.row(vec![
+                r.abbrev.clone(),
+                fmt_opt(r.csr_gflops),
+                fmt_opt(r.hyb_gflops),
+                fmt_opt(r.acsr_gflops),
+                ratio(r.acsr_gflops, r.hyb_gflops),
+                ratio(r.acsr_gflops, r.csr_gflops),
+            ]);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        out.push_str(&format!(
+            "\n== {device} / {precision} (avg ACSR/HYB {:.2}, avg ACSR/CSR {:.2}) ==\n{}",
+            mean(&rel_hyb),
+            mean(&rel_csr),
+            t.render()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acsr_wins_on_power_law_loses_nothing_on_low_skew() {
+        // YOT: small mu (narrow CSR-vector groups) + heavy tail — the
+        // regime where the paper's CSR baseline loses hardest.
+        let opts = Options {
+            scale: 64,
+            matrices: vec!["YOT".into(), "AMZ".into()],
+            ..Default::default()
+        };
+        let rows = run(&opts);
+        // Titan / f32 block
+        let titan_f32: Vec<&Fig5Row> = rows
+            .iter()
+            .filter(|r| r.device == "GTX Titan" && r.precision == "f32")
+            .collect();
+        let yot = titan_f32.iter().find(|r| r.abbrev == "YOT").unwrap();
+        let amz = titan_f32.iter().find(|r| r.abbrev == "AMZ").unwrap();
+        // power-law: ACSR > CSR
+        assert!(
+            yot.acsr_gflops.unwrap() > yot.csr_gflops.unwrap(),
+            "YOT acsr {:?} csr {:?}",
+            yot.acsr_gflops,
+            yot.csr_gflops
+        );
+        // paper: AMZ is the case where HYB can stay ahead — we only
+        // require ACSR not to collapse there
+        assert!(amz.acsr_gflops.unwrap() > 0.3 * amz.hyb_gflops.unwrap());
+    }
+
+    #[test]
+    fn every_device_precision_block_is_produced() {
+        let opts = Options {
+            scale: 512,
+            matrices: vec!["INT".into()],
+            ..Default::default()
+        };
+        let rows = run(&opts);
+        assert_eq!(rows.len(), 3 * 2); // 3 devices x 2 precisions
+        let s = render(&rows);
+        assert!(s.contains("GTX Titan / f32") && s.contains("GTX 580 / f64"));
+    }
+}

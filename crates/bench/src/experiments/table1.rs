@@ -1,0 +1,111 @@
+//! Table I — the matrix suite and its statistics.
+//!
+//! Generates each synthetic analog and reports both the paper's published
+//! statistics and the generated matrix's realized statistics, so the
+//! fidelity of the substitution is visible in every run.
+
+use crate::common::{selected_specs, Options, Table};
+use serde::Serialize;
+use sparse_formats::RowLengthStats;
+
+/// One suite row: published vs realized statistics.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1Row {
+    pub abbrev: String,
+    pub name: String,
+    pub scale: usize,
+    pub paper_rows: usize,
+    pub paper_mu: f64,
+    pub paper_sigma: f64,
+    pub paper_max: usize,
+    pub realized: RowLengthStats,
+    pub power_law: bool,
+}
+
+/// Generate the suite and collect statistics.
+pub fn run(opts: &Options) -> Vec<Table1Row> {
+    selected_specs(opts)
+        .into_iter()
+        .map(|spec| {
+            let m = spec.generate::<f64>(opts.scale, opts.seed);
+            Table1Row {
+                abbrev: spec.abbrev.into(),
+                name: spec.name.into(),
+                scale: opts.scale,
+                paper_rows: spec.rows,
+                paper_mu: spec.mu,
+                paper_sigma: spec.sigma,
+                paper_max: spec.max,
+                realized: m.csr.row_stats(),
+                power_law: spec.power_law,
+            }
+        })
+        .collect()
+}
+
+/// Render as text.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut t = Table::new(&[
+        "Matrix", "Abbrev", "NNZ", "Rows", "Cols", "mu", "sigma", "Max", "PowerLaw",
+        "paper mu", "paper max",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            r.abbrev.clone(),
+            format!("{}", r.realized.nnz),
+            format!("{}", r.realized.rows),
+            format!("{}", r.realized.cols),
+            format!("{:.1}", r.realized.mean),
+            format!("{:.1}", r.realized.std_dev),
+            format!("{}", r.realized.max_row),
+            format!("{}", r.realized.looks_power_law()),
+            format!("{:.1}", r.paper_mu),
+            format!("{}", r.paper_max),
+        ]);
+    }
+    format!(
+        "Table I analog suite (scale 1/{}):\n{}",
+        rows.first().map(|r| r.scale).unwrap_or(0),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_statistics_track_paper_shape() {
+        let opts = Options {
+            scale: 256,
+            ..Default::default()
+        };
+        let rows = run(&opts);
+        assert_eq!(rows.len(), 17);
+        for r in &rows {
+            // μ within 30% of the paper's value
+            let err = (r.realized.mean - r.paper_mu).abs() / r.paper_mu;
+            assert!(err < 0.3, "{}: mu {} vs paper {}", r.abbrev, r.realized.mean, r.paper_mu);
+            // power-law flags match the paper's classification
+            assert_eq!(
+                r.realized.looks_power_law(),
+                r.power_law,
+                "{} power-law mismatch",
+                r.abbrev
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_abbrevs() {
+        let opts = Options {
+            scale: 512,
+            matrices: vec!["ENR".into(), "INT".into()],
+            ..Default::default()
+        };
+        let rows = run(&opts);
+        let s = render(&rows);
+        assert!(s.contains("ENR") && s.contains("INT"));
+    }
+}

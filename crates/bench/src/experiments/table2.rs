@@ -1,0 +1,42 @@
+//! Table II — the simulated device testbed.
+
+use crate::common::Table;
+use gpu_sim::presets;
+use gpu_sim::DeviceConfig;
+
+/// The three Table II devices.
+pub fn run() -> Vec<DeviceConfig> {
+    presets::table2()
+}
+
+/// Render as text.
+pub fn render(devices: &[DeviceConfig]) -> String {
+    let mut t = Table::new(&[
+        "Device", "SMs", "CC", "Clock(GHz)", "BW(GB/s)", "Mem(GiB)", "DynPar",
+    ]);
+    for d in devices {
+        t.row(vec![
+            d.name.clone(),
+            format!("{}", d.sm_count),
+            format!("{}.{}", d.compute_capability.0, d.compute_capability.1),
+            format!("{:.3}", d.clock_ghz),
+            format!("{:.1}", d.mem_bandwidth_gbs),
+            format!("{:.1}", d.memory_gib),
+            format!("{}", d.has_dynamic_parallelism()),
+        ]);
+    }
+    format!("Table II simulated devices:\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_devices_reported() {
+        let d = run();
+        assert_eq!(d.len(), 3);
+        let s = render(&d);
+        assert!(s.contains("GTX Titan") && s.contains("GTX 580") && s.contains("K10"));
+    }
+}

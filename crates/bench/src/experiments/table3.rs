@@ -1,0 +1,62 @@
+//! Table III — ACSR speedup over BCCOO / BRC / TCOO / HYB for one cold
+//! SpMV (preprocessing + a single multiplication), single precision,
+//! GTX Titan.
+
+use crate::common::{fmt_x, Options, Table};
+use crate::experiments::formats::{self, FormatComparison};
+
+/// Compute Table III.
+pub fn run(opts: &Options) -> Vec<FormatComparison> {
+    formats::run(opts)
+}
+
+/// Render as text.
+pub fn render(rows: &[FormatComparison]) -> String {
+    let mut t = Table::new(&["Matrix", "vs BCCOO", "vs BRC", "vs TCOO", "vs HYB"]);
+    let mut sums = vec![0.0f64; 4];
+    let mut counts = vec![0usize; 4];
+    for c in rows {
+        let mut cells = vec![c.abbrev.clone()];
+        for (i, other) in c.others.iter().enumerate() {
+            if !other.feasible {
+                cells.push("∅".into());
+            } else {
+                let s = c.single_spmv_speedup(other);
+                sums[i] += s;
+                counts[i] += 1;
+                cells.push(fmt_x(s));
+            }
+        }
+        t.row(cells);
+    }
+    let mut avg = vec!["AVG".to_string()];
+    for i in 0..4 {
+        avg.push(if counts[i] > 0 {
+            fmt_x(sums[i] / counts[i] as f64)
+        } else {
+            "-".into()
+        });
+    }
+    t.row(avg);
+    format!(
+        "Table III: ACSR speedup for ONE SpMV (preprocessing + 1 multiply), f32, GTX Titan:\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_render_with_averages() {
+        let opts = Options {
+            scale: 512,
+            matrices: vec!["INT".into()],
+            ..Default::default()
+        };
+        let rows = run(&opts);
+        let s = render(&rows);
+        assert!(s.contains("Table III") && s.contains("AVG") && s.contains("INT"));
+    }
+}

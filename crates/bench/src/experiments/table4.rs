@@ -1,0 +1,103 @@
+//! Table IV — per-format SpMV times plus the break-even iteration count
+//! `n` of Eq. 4 (how many SpMVs an iterative solver must run before an
+//! expensive-to-build format overtakes ACSR). ∞ = ACSR wins at any n;
+//! ∅ = format infeasible at full scale.
+
+use crate::common::{fmt_secs, Options, Table};
+use crate::experiments::formats::{self, FormatComparison};
+
+/// Compute Table IV (reuses the shared comparison).
+pub fn run(opts: &Options) -> Vec<FormatComparison> {
+    formats::run(opts)
+}
+
+fn n_cell(c: &FormatComparison, idx: usize) -> String {
+    let o = &c.others[idx];
+    if !o.feasible {
+        "∅".into()
+    } else {
+        match c.break_even_n(o) {
+            Some(n) => format!("{n}"),
+            None => "∞".into(),
+        }
+    }
+}
+
+/// Render as text.
+pub fn render(rows: &[FormatComparison]) -> String {
+    let mut t = Table::new(&[
+        "Matrix", "ACSR st", "BCCOO st", "BRC st", "TCOO st", "HYB st", "n BCCOO", "n BRC",
+        "n TCOO", "n HYB",
+    ]);
+    for c in rows {
+        let st = |o: &formats::FormatCost| {
+            if o.feasible {
+                fmt_secs(o.spmv_seconds)
+            } else {
+                "∅".into()
+            }
+        };
+        t.row(vec![
+            c.abbrev.clone(),
+            fmt_secs(c.acsr.spmv_seconds),
+            st(&c.others[0]),
+            st(&c.others[1]),
+            st(&c.others[2]),
+            st(&c.others[3]),
+            n_cell(c, 0),
+            n_cell(c, 1),
+            n_cell(c, 2),
+            n_cell(c, 3),
+        ]);
+    }
+    format!(
+        "Table IV: SpMV time (st) and break-even iterations n (Eq. 4), f32, GTX Titan:\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Options;
+
+    #[test]
+    fn break_even_cells_render() {
+        let opts = Options {
+            scale: 512,
+            matrices: vec!["ENR".into()],
+            ..Default::default()
+        };
+        let rows = run(&opts);
+        let s = render(&rows);
+        assert!(s.contains("Table IV") && s.contains("ENR"));
+        // every n-cell is a number, ∞ or ∅
+        assert!(s.contains('∞') || s.chars().any(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn break_even_formula_matches_eq4() {
+        // hand-check Eq. 4 with synthetic costs
+        use crate::experiments::formats::{FormatComparison, FormatCost};
+        let acsr = FormatCost {
+            format: "ACSR".into(),
+            preprocess_seconds: 1.0,
+            spmv_seconds: 10.0,
+            feasible: true,
+        };
+        let fast_but_costly = FormatCost {
+            format: "X".into(),
+            preprocess_seconds: 101.0,
+            spmv_seconds: 5.0,
+            feasible: true,
+        };
+        let c = FormatComparison {
+            abbrev: "T".into(),
+            nnz: 0,
+            acsr,
+            others: vec![fast_but_costly],
+        };
+        // n >= (101 - 1) / (10 - 5) = 20
+        assert_eq!(c.break_even_n(&c.others[0]), Some(20));
+    }
+}

@@ -1,0 +1,13 @@
+//! # repro-bench — regenerates every table and figure of the paper
+//!
+//! Each module under [`experiments`] reproduces one table or figure of
+//! Ashari et al., SC'14, on the simulated devices; the `repro` binary
+//! exposes them as subcommands (`repro fig5 --scale 64`). Absolute
+//! numbers come from the simulator's timing model — the *shapes* (who
+//! wins, by what factor, where crossovers sit) are the reproduction
+//! targets recorded in EXPERIMENTS.md.
+
+pub mod common;
+pub mod experiments;
+
+pub use common::{selected_specs, Options, Table};

@@ -1,0 +1,140 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json]
+//!
+//! experiments:
+//!   table1 table2 table3 table4 table5
+//!   fig3 fig4 fig5 fig6 fig7 fig8
+//!   ablations
+//!   formats    Table III + Figure 4 + Table IV from one computation
+//!   all        every experiment at its default scope
+//! ```
+//!
+//! `--scale` divides the Table I matrix sizes (default 64); smaller
+//! values approach the paper's full-size matrices at the cost of
+//! simulation time.
+
+use repro_bench::experiments::*;
+use repro_bench::Options;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return;
+    }
+    let experiment = args[0].clone();
+    let mut opts = Options::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive integer"));
+                i += 2;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+                i += 2;
+            }
+            "--matrices" => {
+                opts.matrices = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| die("--matrices needs a comma list"))
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                i += 2;
+            }
+            "--json" => {
+                opts.json = true;
+                i += 1;
+            }
+            other => die(&format!("unknown option '{other}'")),
+        }
+    }
+    run_experiment(&experiment, &opts);
+}
+
+fn run_experiment(name: &str, opts: &Options) {
+    match name {
+        "table1" => emit(opts, table1::run(opts), table1::render),
+        "table2" => {
+            let d = table2::run();
+            if opts.json {
+                println!("{}", serde_json::to_string_pretty(&d).unwrap());
+            } else {
+                println!("{}", table2::render(&d));
+            }
+        }
+        "table3" => emit(opts, table3::run(opts), table3::render),
+        "table4" => emit(opts, table4::run(opts), table4::render),
+        "table5" => emit(opts, table5::run(opts), table5::render),
+        "fig3" => {
+            let r = fig3::run(opts);
+            if opts.json {
+                println!("{}", serde_json::to_string_pretty(&r).unwrap());
+            } else {
+                println!("{}", fig3::render(&r));
+            }
+        }
+        "fig4" => emit(opts, fig4::run(opts), fig4::render),
+        "fig5" => emit(opts, fig5::run(opts), fig5::render),
+        "fig6" => emit(opts, fig6::run(opts), fig6::render),
+        "fig7" => emit(opts, fig7::run(opts), fig7::render),
+        "fig8" => emit(opts, fig8::run(opts), fig8::render),
+        "ablations" => emit(opts, ablations::run(opts), ablations::render),
+        // Table III, Figure 4 and Table IV share one (expensive) format
+        // comparison; this runs it once and prints all three.
+        "formats" => {
+            let rows = formats::run(opts);
+            if opts.json {
+                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            } else {
+                println!("{}", table3::render(&rows));
+                println!("{}", fig4::render(&rows));
+                println!("{}", table4::render(&rows));
+            }
+        }
+        "all" => {
+            for exp in [
+                "table1", "table2", "fig3", "table3", "fig4", "table4", "table5", "fig5",
+                "fig6", "fig7", "fig8", "ablations",
+            ] {
+                eprintln!(">>> {exp}");
+                run_experiment(exp, opts);
+            }
+        }
+        other => die(&format!("unknown experiment '{other}'")),
+    }
+}
+
+fn emit<R: serde::Serialize>(opts: &Options, rows: Vec<R>, render: impl Fn(&[R]) -> String) {
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+    } else {
+        println!("{}", render(&rows));
+    }
+}
+
+fn print_usage() {
+    println!(
+        "repro — regenerate the paper's tables and figures on the simulated testbed\n\n\
+         usage: repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json]\n\n\
+         experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 ablations formats all\n\n\
+         defaults: --scale 64 --seed 1 (whole Table I suite)\n\
+         tip: fig6/fig7 are iterative solvers — use --scale 256 for quick runs"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,259 @@
+//! Row binning — Algorithm 1's preprocessing step.
+//!
+//! One scan over the row lengths places each row in bin
+//! `i ⇔ nnz ∈ [2^(i-1)+1 .. 2^i]` (bin 1 holds 1–2, bin 0 empty rows).
+//! The scan is the *entire* preprocessing of ACSR — "very inexpensive and
+//! does not require any movement and restructuring of the matrix data" —
+//! and its cost is what Figure 4 compares against the other formats'
+//! transformations.
+
+use crate::config::AcsrConfig;
+use sparse_formats::stats::{bin_index, bin_range};
+use sparse_formats::PreprocessCost;
+
+/// The result of binning: per-bin row lists plus the G1/G2 split.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Binning {
+    /// `bins[i]` = rows whose length falls in bin `i`. (Bin 0 — empty
+    /// rows — is tracked but never launched; CSR semantics still zero
+    /// those outputs via the dedicated fill pass when needed.)
+    bins: Vec<Vec<u32>>,
+    /// Rows handed to row-specific grids (group G1), in row order.
+    g1_rows: Vec<u32>,
+    /// Bin indices served by bin-specific kernels (group G2, non-empty
+    /// bins only, ascending).
+    g2_bins: Vec<usize>,
+    /// Rows that belong to G1 bins but overflowed `RowMax` and fall back
+    /// to the widest bin kernel.
+    overflow_rows: Vec<u32>,
+    /// Number of rows with at least one non-zero.
+    nonempty_rows: usize,
+}
+
+/// Counters for the paper's Table V (BS = bin-specific grids, RS =
+/// row-specific grids).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BinStats {
+    /// Bin-specific grids launched per SpMV (Table V's "BS").
+    pub bin_grids: usize,
+    /// Row-specific grids launched per SpMV (Table V's "RS").
+    pub row_grids: usize,
+    /// Largest non-empty bin index (`n` in Algorithm 1).
+    pub max_bin: usize,
+    /// Rows that overflowed `RowMax`.
+    pub overflow_rows: usize,
+}
+
+impl Binning {
+    /// Bin the rows described by `row_len` under `cfg`. Returns the
+    /// binning plus its (tiny) preprocessing cost.
+    pub fn build(row_len: impl ExactSizeIterator<Item = usize>, cfg: &AcsrConfig) -> (Binning, PreprocessCost) {
+        let n_rows = row_len.len();
+        let (binning, mut cost) = sparse_formats::cost::timed(|cost| {
+            let mut bins: Vec<Vec<u32>> = Vec::new();
+            let mut nonempty_rows = 0usize;
+            for (r, len) in row_len.enumerate() {
+                let b = bin_index(len);
+                if b >= bins.len() {
+                    bins.resize_with(b + 1, Vec::new);
+                }
+                bins[b].push(r as u32);
+                if len > 0 {
+                    nonempty_rows += 1;
+                }
+            }
+            let bin_max = cfg.effective_bin_max();
+            let mut g1_rows: Vec<u32> = Vec::new();
+            let mut overflow_rows: Vec<u32> = Vec::new();
+            let mut g2_bins: Vec<usize> = Vec::new();
+            for (i, rows) in bins.iter().enumerate() {
+                if rows.is_empty() || i == 0 {
+                    continue;
+                }
+                if i > bin_max {
+                    for &r in rows {
+                        // RowMax bounds the number of dynamically launched
+                        // grids (the pending-launch limit, §III-B)
+                        if g1_rows.len() < cfg.row_max {
+                            g1_rows.push(r);
+                        } else {
+                            overflow_rows.push(r);
+                        }
+                    }
+                } else {
+                    g2_bins.push(i);
+                }
+            }
+            // scan reads the offsets array; writes one u32 per row
+            cost.bytes_read = (n_rows as u64 + 1) * 4;
+            cost.bytes_written = n_rows as u64 * 4;
+            Binning {
+                bins,
+                g1_rows,
+                g2_bins,
+                overflow_rows,
+                nonempty_rows,
+            }
+        });
+        cost.bytes_read += 0; // (kept explicit: binning moves no matrix data)
+        (binning, cost)
+    }
+
+    /// Rows of bin `i`.
+    pub fn bin_rows(&self, i: usize) -> &[u32] {
+        &self.bins[i]
+    }
+
+    /// Number of bins (including empty ones up to the max index).
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Bin indices served by bin-specific kernels (G2).
+    pub fn g2_bins(&self) -> &[usize] {
+        &self.g2_bins
+    }
+
+    /// Rows served by row-specific dynamic grids (G1), `RowMax`-capped.
+    pub fn g1_rows(&self) -> &[u32] {
+        &self.g1_rows
+    }
+
+    /// G1-bin rows that overflowed `RowMax` (fall back to the widest bin
+    /// kernel).
+    pub fn overflow_rows(&self) -> &[u32] {
+        &self.overflow_rows
+    }
+
+    /// Rows with at least one stored entry.
+    pub fn nonempty_rows(&self) -> usize {
+        self.nonempty_rows
+    }
+
+    /// Table V statistics.
+    pub fn stats(&self) -> BinStats {
+        BinStats {
+            bin_grids: self.g2_bins.len() + usize::from(!self.overflow_rows.is_empty()),
+            row_grids: self.g1_rows.len(),
+            max_bin: self.bins.iter().rposition(|b| !b.is_empty()).unwrap_or(0),
+            overflow_rows: self.overflow_rows.len(),
+        }
+    }
+
+    /// The thread-group width for bin `i`'s kernel: `2^(i-1)` capped at a
+    /// warp (Algorithm 2: "2^{N-1} threads work on each row ... if a bin
+    /// contains rows in [33..64], then 32 cooperating threads").
+    pub fn group_for_bin(i: usize) -> usize {
+        debug_assert!(i >= 1);
+        1usize << (i - 1).min(5)
+    }
+
+    /// Inclusive row-length range of bin `i` (re-exported helper).
+    pub fn range_of_bin(i: usize) -> (usize, usize) {
+        bin_range(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcsrMode;
+    use gpu_sim::presets;
+
+    fn titan_cfg() -> AcsrConfig {
+        AcsrConfig::for_device(&presets::gtx_titan())
+    }
+
+    #[test]
+    fn rows_land_in_correct_bins() {
+        let lens = [0usize, 1, 2, 3, 4, 5, 8, 9, 1024, 1025, 5000];
+        let (b, _) = Binning::build(lens.iter().copied(), &titan_cfg());
+        assert_eq!(b.bin_rows(0), &[0]);
+        assert_eq!(b.bin_rows(1), &[1, 2]);
+        assert_eq!(b.bin_rows(2), &[3, 4]);
+        assert_eq!(b.bin_rows(3), &[5, 6]);
+        assert_eq!(b.bin_rows(4), &[7]);
+        assert_eq!(b.bin_rows(10), &[8]);
+        assert_eq!(b.bin_rows(11), &[9]);
+        assert_eq!(b.bin_rows(13), &[10]);
+    }
+
+    #[test]
+    fn g1_g2_split_respects_bin_max() {
+        let lens = [2usize, 100, 2000, 4000, 3];
+        let cfg = titan_cfg(); // bin_max = 10 → rows > 1024 nnz go to G1
+        let (b, _) = Binning::build(lens.iter().copied(), &cfg);
+        assert_eq!(b.g1_rows(), &[2, 3]);
+        assert!(b.g2_bins().contains(&1)); // lens 2 and 3
+        assert!(b.g2_bins().contains(&7)); // len 100
+        assert!(b.overflow_rows().is_empty());
+    }
+
+    #[test]
+    fn binning_only_mode_has_empty_g1() {
+        let lens = [2usize, 100, 2000, 50_000];
+        let cfg = AcsrConfig::for_device(&presets::gtx_580());
+        assert_eq!(cfg.mode, AcsrMode::BinningOnly);
+        let (b, _) = Binning::build(lens.iter().copied(), &cfg);
+        assert!(b.g1_rows().is_empty());
+        assert_eq!(b.g2_bins().len(), 4);
+    }
+
+    #[test]
+    fn row_max_caps_dynamic_grids() {
+        let lens: Vec<usize> = (0..100).map(|_| 5000usize).collect();
+        let mut cfg = titan_cfg();
+        cfg.row_max = 10;
+        let (b, _) = Binning::build(lens.iter().copied(), &cfg);
+        assert_eq!(b.g1_rows().len(), 10);
+        assert_eq!(b.overflow_rows().len(), 90);
+        let stats = b.stats();
+        assert_eq!(stats.row_grids, 10);
+        assert_eq!(stats.overflow_rows, 90);
+        // overflow rows imply one extra (fallback) bin grid
+        assert_eq!(stats.bin_grids, 1);
+    }
+
+    #[test]
+    fn stats_count_grids_like_table_v() {
+        let lens = [1usize, 3, 9, 40, 2000, 2, 3000];
+        let (b, _) = Binning::build(lens.iter().copied(), &titan_cfg());
+        let s = b.stats();
+        assert_eq!(s.bin_grids, 4); // bins 1, 2, 4, 6
+        assert_eq!(s.row_grids, 2); // the two >1024 rows
+        assert_eq!(s.max_bin, 12);
+    }
+
+    #[test]
+    fn group_widths_match_paper_examples() {
+        assert_eq!(Binning::group_for_bin(1), 1); // rows of 1-2 nnz
+        assert_eq!(Binning::group_for_bin(2), 2); // 3-4
+        assert_eq!(Binning::group_for_bin(3), 4); // 5-8
+        assert_eq!(Binning::group_for_bin(6), 32); // 33-64
+        assert_eq!(Binning::group_for_bin(12), 32); // capped at a warp
+    }
+
+    #[test]
+    fn preprocessing_cost_is_one_scan() {
+        let lens: Vec<usize> = (0..10_000).map(|i| i % 50).collect();
+        let (_, cost) = Binning::build(lens.iter().copied(), &titan_cfg());
+        // strictly linear in rows, no sort, no data movement
+        assert_eq!(cost.sorted_elements, 0);
+        assert!(cost.bytes_read <= 10_001 * 4);
+        assert!(cost.bytes_written <= 10_000 * 4);
+    }
+
+    #[test]
+    fn every_row_is_binned_exactly_once() {
+        let lens: Vec<usize> = (0..5000).map(|i| (i * 7919) % 3000).collect();
+        let (b, _) = Binning::build(lens.iter().copied(), &titan_cfg());
+        let mut seen = vec![false; lens.len()];
+        for i in 0..b.n_bins() {
+            for &r in b.bin_rows(i) {
+                assert!(!seen[r as usize]);
+                seen[r as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,162 @@
+//! Multicore binned SpMV — the CPU counterpart of ACSR used by the
+//! wall-clock Criterion benches.
+//!
+//! Binning serves the same purpose on a CPU as on a GPU: rows of similar
+//! length are processed together, so the dynamic work-stealing grains of
+//! `par-runtime` carry near-uniform cost and the scheduler never strands
+//! a thread behind one power-law monster row (long rows are additionally
+//! split across threads).
+
+use crate::binning::Binning;
+use crate::config::AcsrConfig;
+use par_runtime::parallel_for;
+use parking_lot::Mutex;
+use sparse_formats::{CsrMatrix, Scalar};
+
+/// Row-length threshold above which a row is processed split across
+/// threads rather than by one.
+const LONG_ROW: usize = 1 << 14;
+
+/// CPU ACSR engine: a CSR matrix plus its binning.
+pub struct CpuAcsr<T> {
+    m: CsrMatrix<T>,
+    binning: Binning,
+}
+
+impl<T: Scalar> CpuAcsr<T> {
+    /// Bin `m`'s rows (the only preprocessing).
+    pub fn new(m: CsrMatrix<T>) -> Self {
+        let cfg = AcsrConfig {
+            bin_max: usize::MAX,
+            row_max: 0,
+            thread_load: 1,
+            mode: crate::config::AcsrMode::BinningOnly,
+            texture_x: false,
+            slack_fraction: 0.0,
+        };
+        let (binning, _) = Binning::build((0..m.rows()).map(|r| m.row_nnz(r)), &cfg);
+        CpuAcsr { m, binning }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &CsrMatrix<T> {
+        &self.m
+    }
+
+    /// `y = A * x`, bin-ordered and work-balanced.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.m.cols(), "x length mismatch");
+        assert_eq!(y.len(), self.m.rows(), "y length mismatch");
+        // Empty rows: zero their outputs.
+        for &r in self.binning.bin_rows(0) {
+            y[r as usize] = T::ZERO;
+        }
+        let y_cell = SliceCell(y.as_mut_ptr());
+        for bin in 1..self.binning.n_bins() {
+            let rows = self.binning.bin_rows(bin);
+            if rows.is_empty() {
+                continue;
+            }
+            let (_, hi) = Binning::range_of_bin(bin);
+            if hi >= LONG_ROW {
+                // long rows: parallelize within each row
+                for &r in rows {
+                    let r = r as usize;
+                    let (cols, vals) = self.m.row(r);
+                    let total = Mutex::new(T::ZERO);
+                    parallel_for(cols.len(), 1 << 13, |range| {
+                        let mut sum = T::ZERO;
+                        for k in range {
+                            sum = vals[k].mul_add(x[cols[k] as usize], sum);
+                        }
+                        *total.lock() += sum;
+                    });
+                    // SAFETY: each row index is written once per spmv.
+                    unsafe { y_cell.write(r, total.into_inner()) };
+                }
+            } else {
+                // grain sized so every grain carries similar nnz
+                let grain = (LONG_ROW / hi.max(1)).clamp(16, 4096);
+                parallel_for(rows.len(), grain, |range| {
+                    for i in range {
+                        let r = rows[i] as usize;
+                        let (cols, vals) = self.m.row(r);
+                        let mut sum = T::ZERO;
+                        for (c, v) in cols.iter().zip(vals.iter()) {
+                            sum = v.mul_add(x[*c as usize], sum);
+                        }
+                        // SAFETY: bins partition rows; each y[r] has one
+                        // writer.
+                        unsafe { y_cell.write(r, sum) };
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Raw-pointer wrapper allowing disjoint-row writes from worker threads.
+struct SliceCell<T>(*mut T);
+unsafe impl<T> Sync for SliceCell<T> {}
+impl<T> SliceCell<T> {
+    /// # Safety
+    /// Caller guarantees index `i` has exactly one writer and is in
+    /// bounds of the wrapped slice.
+    #[inline]
+    unsafe fn write(&self, i: usize, v: T) {
+        *self.0.add(i) = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::{generate_power_law, PowerLawConfig};
+
+    fn matrix(rows: usize, max: usize) -> CsrMatrix<f64> {
+        generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 10.0,
+            max_degree: max,
+            pinned_max_rows: 2,
+            col_skew: 0.4,
+            seed: 120,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn matches_reference() {
+        let m = matrix(8000, 2000);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 + (i % 11) as f64 * 0.1).collect();
+        let eng = CpuAcsr::new(m.clone());
+        let mut y = vec![-1.0; m.rows()];
+        eng.spmv(&x, &mut y);
+        let d = sparse_formats::scalar::rel_l2_distance(&y, &m.spmv(&x));
+        assert!(d < 1e-12, "rel distance {d}");
+    }
+
+    #[test]
+    fn long_rows_take_the_split_path() {
+        let m = matrix(40_000, 1 << 15);
+        assert!(m.row_stats().max_row >= LONG_ROW);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let eng = CpuAcsr::new(m.clone());
+        let mut y = vec![0.0; m.rows()];
+        eng.spmv(&x, &mut y);
+        let d = sparse_formats::scalar::rel_l2_distance(&y, &m.spmv(&x));
+        assert!(d < 1e-10, "rel distance {d}");
+    }
+
+    #[test]
+    fn empty_rows_are_zeroed() {
+        let mut t = sparse_formats::TripletMatrix::<f64>::new(4, 4);
+        t.push(1, 2, 3.0).unwrap();
+        let m = t.to_csr();
+        let eng = CpuAcsr::new(m);
+        let mut y = vec![9.0; 4];
+        eng.spmv(&[1.0, 1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![0.0, 3.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,378 @@
+//! The ACSR driver (Algorithm 1).
+//!
+//! On construction (the "first iteration" of Algorithm 1) the engine bins
+//! the rows, uploads per-bin row lists, and splits bins into G2
+//! (bin-specific kernels) and G1 (row-specific dynamic grids, `RowMax`-
+//! capped). Every `spmv` then launches:
+//!
+//! 1. a zero-scatter over empty rows and atomically-accumulated rows,
+//! 2. one bin-specific kernel per non-empty G2 bin,
+//! 3. the fallback wide-bin kernel for `RowMax` overflow rows,
+//! 4. the long-tail pass — DP parent (Alg. 3) or §VIII static kernel.
+//!
+//! After a dynamic update ([`crate::update`]) only the cheap re-binning
+//! scan repeats — the matrix data never moves, which is the paper's whole
+//! argument for dynamic graphs.
+
+use crate::binning::{BinStats, Binning};
+use crate::config::{AcsrConfig, AcsrMode};
+use crate::dynpar::dp_parent_kernel;
+use crate::kernels::{bin_kernel, static_long_tail_kernel, zero_rows_kernel};
+use crate::matrix::AcsrMatrix;
+use gpu_sim::{Device, DeviceBuffer, RunReport};
+use sparse_formats::{CsrMatrix, PreprocessCost, Scalar};
+use spmv_kernels::GpuSpmv;
+
+/// ACSR SpMV engine.
+pub struct AcsrEngine<T> {
+    mat: AcsrMatrix<T>,
+    cfg: AcsrConfig,
+    binning: Binning,
+    /// Device row list per G2 bin, indexed by bin id.
+    bin_lists: Vec<Option<DeviceBuffer<u32>>>,
+    /// Device G1 row list.
+    g1_list: DeviceBuffer<u32>,
+    /// Device `RowMax`-overflow row list.
+    overflow_list: Option<DeviceBuffer<u32>>,
+    /// Rows needing a zero-scatter before kernels run (empty rows plus
+    /// atomically-accumulated G1 rows).
+    zero_list: Option<DeviceBuffer<u32>>,
+    /// Accumulated preprocessing (initial binning + re-binnings).
+    preprocess: PreprocessCost,
+}
+
+impl<T: Scalar> AcsrEngine<T> {
+    /// Build from a host CSR matrix (uploads with slack per `cfg`).
+    pub fn from_csr(dev: &Device, m: &CsrMatrix<T>, cfg: AcsrConfig) -> Self {
+        let mat = AcsrMatrix::from_csr(dev, m, &cfg);
+        Self::new(dev, mat, cfg)
+    }
+
+    /// Build from an already-uploaded ACSR matrix.
+    pub fn new(dev: &Device, mat: AcsrMatrix<T>, cfg: AcsrConfig) -> Self {
+        if cfg.mode == AcsrMode::DynamicParallelism {
+            assert!(
+                dev.config().has_dynamic_parallelism(),
+                "device '{}' cannot run ACSR in DynamicParallelism mode",
+                dev.config().name
+            );
+        }
+        let mut engine = AcsrEngine {
+            mat,
+            cfg,
+            binning: Binning::build(std::iter::empty(), &cfg).0,
+            bin_lists: Vec::new(),
+            g1_list: dev.alloc(Vec::new()),
+            overflow_list: None,
+            zero_list: None,
+            preprocess: PreprocessCost::default(),
+        };
+        engine.rebin(dev);
+        engine
+    }
+
+    /// Re-scan row lengths and rebuild bin lists (Algorithm 1's
+    /// preprocessing; called automatically after updates).
+    pub fn rebin(&mut self, dev: &Device) {
+        let (binning, cost) = Binning::build(self.mat.row_lengths(), &self.cfg);
+        self.preprocess.merge(&cost);
+        self.bin_lists = (0..binning.n_bins())
+            .map(|i| {
+                if i >= 1 && binning.g2_bins().contains(&i) {
+                    Some(dev.alloc(binning.bin_rows(i).to_vec()))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        self.g1_list = dev.alloc(binning.g1_rows().to_vec());
+        self.overflow_list = if binning.overflow_rows().is_empty() {
+            None
+        } else {
+            Some(dev.alloc(binning.overflow_rows().to_vec()))
+        };
+        // zero-scatter list: empty rows + G1 rows (atomic accumulation)
+        let mut zero_rows: Vec<u32> = binning.bin_rows(0).to_vec();
+        if self.cfg.mode != AcsrMode::BinningOnly {
+            zero_rows.extend_from_slice(binning.g1_rows());
+        }
+        self.zero_list = if zero_rows.is_empty() {
+            None
+        } else {
+            Some(dev.alloc(zero_rows))
+        };
+        self.binning = binning;
+    }
+
+    /// The current binning (Table V statistics etc.).
+    pub fn binning(&self) -> &Binning {
+        &self.binning
+    }
+
+    /// Table V counters for this matrix/configuration.
+    pub fn bin_stats(&self) -> BinStats {
+        self.binning.stats()
+    }
+
+    /// Accumulated preprocessing cost (binning scans only).
+    pub fn preprocess_cost(&self) -> &PreprocessCost {
+        &self.preprocess
+    }
+
+    /// The device matrix.
+    pub fn matrix(&self) -> &AcsrMatrix<T> {
+        &self.mat
+    }
+
+    /// Mutable device matrix access (update kernel).
+    pub(crate) fn matrix_mut(&mut self) -> &mut AcsrMatrix<T> {
+        &mut self.mat
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcsrConfig {
+        &self.cfg
+    }
+}
+
+impl<T: Scalar> GpuSpmv<T> for AcsrEngine<T> {
+    fn name(&self) -> &'static str {
+        match self.cfg.mode {
+            AcsrMode::DynamicParallelism => "ACSR",
+            AcsrMode::BinningOnly => "ACSR-bin",
+            AcsrMode::StaticLongTail => "ACSR-static",
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.mat.rows()
+    }
+    fn cols(&self) -> usize {
+        self.mat.cols()
+    }
+    fn nnz(&self) -> usize {
+        self.mat.nnz()
+    }
+    fn device_bytes(&self) -> u64 {
+        let lists: u64 = self
+            .bin_lists
+            .iter()
+            .flatten()
+            .map(|b| b.bytes())
+            .sum::<u64>()
+            + self.g1_list.bytes();
+        self.mat.device_bytes() + lists
+    }
+
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+        assert_eq!(x.len(), self.mat.cols(), "x length mismatch");
+        assert_eq!(y.len(), self.mat.rows(), "y length mismatch");
+        // All of ACSR's per-SpMV kernels are independent (each writes a
+        // disjoint row set; the zero-scatter precedes the atomic
+        // accumulators via a stream event), so the driver launches them
+        // on separate streams — concurrent under Kepler's HyperQ,
+        // serialized on Fermi. `ConcurrentGroup` models exactly that.
+        let mut group = dev.launch_group("acsr_spmv");
+        if let Some(zl) = &self.zero_list {
+            zero_rows_kernel(&mut group, zl, y, "acsr_zero");
+        }
+        // Bin-specific kernels (ascending bin id, as the driver launches
+        // them)
+        for &bin in self.binning.g2_bins() {
+            let list = self.bin_lists[bin]
+                .as_ref()
+                .expect("g2 bin must have an uploaded row list");
+            bin_kernel(
+                &mut group,
+                &self.mat,
+                list,
+                Binning::group_for_bin(bin),
+                self.cfg.texture_x,
+                x,
+                y,
+                &format!("acsr_bin{bin}"),
+            );
+        }
+        // RowMax-overflow rows: widest bin kernel (one warp per row).
+        if let Some(ol) = &self.overflow_list {
+            bin_kernel(
+                &mut group,
+                &self.mat,
+                ol,
+                32,
+                self.cfg.texture_x,
+                x,
+                y,
+                "acsr_overflow",
+            );
+        }
+        // Long tail.
+        if !self.g1_list.is_empty() {
+            match self.cfg.mode {
+                AcsrMode::DynamicParallelism => dp_parent_kernel(
+                    &mut group,
+                    &self.mat,
+                    &self.g1_list,
+                    self.cfg.thread_load,
+                    self.cfg.texture_x,
+                    x,
+                    y,
+                ),
+                AcsrMode::StaticLongTail => static_long_tail_kernel(
+                    &mut group,
+                    &self.mat,
+                    &self.g1_list,
+                    self.cfg.texture_x,
+                    x,
+                    y,
+                ),
+                AcsrMode::BinningOnly => unreachable!("binning-only has empty G1"),
+            };
+        }
+        group.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::presets;
+    use graphgen::{generate_power_law, PowerLawConfig};
+
+    fn matrix(rows: usize, max: usize, seed: u64) -> CsrMatrix<f64> {
+        generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 8.0,
+            max_degree: max,
+            pinned_max_rows: 2,
+            col_skew: 0.5,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    fn check(dev: &Device, m: &CsrMatrix<f64>, cfg: AcsrConfig) -> RunReport {
+        let engine = AcsrEngine::from_csr(dev, m, cfg);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 + (i % 9) as f64 * 0.25).collect();
+        let xd = dev.alloc(x.clone());
+        let mut yd = dev.alloc(vec![-3.0f64; m.rows()]);
+        let r = engine.spmv(dev, &xd, &mut yd);
+        let want = m.spmv(&x);
+        let d = sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &want);
+        assert!(d < 1e-12, "rel distance {d} in mode {:?}", engine.cfg.mode);
+        r
+    }
+
+    #[test]
+    fn dynamic_parallelism_mode_is_correct() {
+        let dev = Device::new(presets::gtx_titan());
+        let m = matrix(4000, 1600, 101);
+        let r = check(&dev, &m, AcsrConfig::for_device(dev.config()));
+        assert!(r.counters.child_launches > 0, "must use DP for the tail");
+    }
+
+    #[test]
+    fn binning_only_mode_is_correct_on_fermi() {
+        let dev = Device::new(presets::gtx_580());
+        let m = matrix(4000, 1600, 102);
+        let r = check(&dev, &m, AcsrConfig::for_device(dev.config()));
+        assert_eq!(r.counters.child_launches, 0);
+    }
+
+    #[test]
+    fn static_long_tail_mode_is_correct() {
+        let dev = Device::new(presets::tesla_k10_single());
+        let m = matrix(4000, 1600, 103);
+        let r = check(&dev, &m, AcsrConfig::static_long_tail());
+        assert_eq!(r.counters.child_launches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "DynamicParallelism")]
+    fn dp_mode_rejected_on_fermi() {
+        let dev = Device::new(presets::gtx_580());
+        let m = matrix(500, 100, 104);
+        let mut cfg = AcsrConfig::for_device(&presets::gtx_titan());
+        cfg.mode = AcsrMode::DynamicParallelism;
+        let _ = AcsrEngine::from_csr(&dev, &m, cfg);
+    }
+
+    #[test]
+    fn empty_rows_get_zeroed() {
+        let dev = Device::new(presets::gtx_titan());
+        let mut t = sparse_formats::TripletMatrix::<f64>::new(6, 6);
+        t.push(0, 1, 2.0).unwrap();
+        t.push(3, 3, 4.0).unwrap();
+        let m = t.to_csr();
+        let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
+        let xd = dev.alloc(vec![1.0f64; 6]);
+        let mut yd = dev.alloc(vec![7.0f64; 6]);
+        engine.spmv(&dev, &xd, &mut yd);
+        assert_eq!(yd.as_slice(), &[2.0, 0.0, 0.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn table_v_style_stats_are_exposed() {
+        let dev = Device::new(presets::gtx_titan());
+        let m = matrix(6000, 2000, 105);
+        let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
+        let s = engine.bin_stats();
+        let big_rows = (0..m.rows()).filter(|&r| m.row_nnz(r) > 1024).count();
+        assert!(s.bin_grids > 2);
+        assert_eq!(s.row_grids, big_rows);
+        assert!(s.row_grids >= 2); // at least the two pinned max rows
+    }
+
+    #[test]
+    fn row_max_overflow_falls_back_correctly() {
+        let dev = Device::new(presets::gtx_titan());
+        let m = matrix(3000, 1500, 106);
+        let mut cfg = AcsrConfig::for_device(dev.config());
+        cfg.row_max = 1; // only one dynamic grid allowed
+        let engine = AcsrEngine::from_csr(&dev, &m, cfg);
+        let big_rows = (0..m.rows()).filter(|&r| m.row_nnz(r) > 1024).count();
+        assert_eq!(engine.binning().overflow_rows().len(), big_rows - 1);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 3) as f64).collect();
+        let xd = dev.alloc(x.clone());
+        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
+        let r = engine.spmv(&dev, &xd, &mut yd);
+        assert_eq!(r.counters.child_launches, 1);
+        let d = sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &m.spmv(&x));
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn preprocessing_is_scan_only() {
+        let dev = Device::new(presets::gtx_titan());
+        let m = matrix(8000, 1024, 107);
+        let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
+        let c = engine.preprocess_cost();
+        assert_eq!(c.sorted_elements, 0);
+        assert_eq!(c.autotune_trials, 0);
+        // orders of magnitude below one pass over the matrix data
+        assert!(c.bytes_read + c.bytes_written < (m.nnz() * 12) as u64);
+    }
+
+    #[test]
+    fn acsr_beats_csr_vector_on_power_law_modeled_time() {
+        use spmv_kernels::csr_vector::CsrVector;
+        use spmv_kernels::DevCsr;
+        let dev = Device::new(presets::gtx_titan());
+        let m = matrix(30_000, 8000, 108);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 5) as f64 * 0.2).collect();
+        let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
+        let xd = dev.alloc(x.clone());
+        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
+        let r_acsr = engine.spmv(&dev, &xd, &mut yd);
+        let vec_eng = CsrVector::new(DevCsr::upload(&dev, &m));
+        let mut yd2 = dev.alloc_zeroed::<f64>(m.rows());
+        let r_vec = vec_eng.spmv(&dev, &xd, &mut yd2);
+        assert!(
+            r_acsr.time_s < r_vec.time_s,
+            "ACSR {:.1}us vs CSR-vector {:.1}us",
+            r_acsr.time_s * 1e6,
+            r_vec.time_s * 1e6
+        );
+    }
+}

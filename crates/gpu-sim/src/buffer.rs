@@ -1,0 +1,153 @@
+//! Device buffers.
+//!
+//! A [`DeviceBuffer`] is host-resident data stamped with a unique device
+//! *base address*, so the coalescing and cache models operate on a single
+//! unified address space regardless of which buffer an access touches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Element types storable in device buffers.
+pub trait DevCopy: Copy + Default + Send + Sync + 'static {
+    /// Element size in device memory.
+    const SIZE: usize = std::mem::size_of::<Self>();
+}
+impl<T: Copy + Default + Send + Sync + 'static> DevCopy for T {}
+
+/// Global allocator for simulated device addresses. Buffers are spaced a
+/// page apart so distinct buffers never share a DRAM transaction segment.
+static NEXT_BASE: AtomicU64 = AtomicU64::new(1 << 20);
+
+fn alloc_base(bytes: u64) -> u64 {
+    let aligned = (bytes + 4095) & !4095;
+    NEXT_BASE.fetch_add(aligned + 4096, Ordering::Relaxed)
+}
+
+/// A typed simulated-device allocation.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    base: u64,
+    data: Vec<T>,
+}
+
+impl<T: DevCopy> DeviceBuffer<T> {
+    /// Wrap host data as a device allocation (no transfer time charged —
+    /// transfers are modeled explicitly by [`crate::DeviceConfig::copy_seconds`]).
+    pub fn new(data: Vec<T>) -> Self {
+        let base = alloc_base((data.len() * T::SIZE) as u64);
+        DeviceBuffer { base, data }
+    }
+
+    /// Zero-filled buffer of `len` elements.
+    pub fn zeroed(len: usize) -> Self {
+        Self::new(vec![T::default(); len])
+    }
+
+    /// Simulated device base address.
+    pub fn base_addr(&self) -> u64 {
+        self.base
+    }
+
+    /// Byte address of element `idx`.
+    #[inline]
+    pub fn addr_of(&self, idx: usize) -> u64 {
+        debug_assert!(idx < self.data.len(), "address of {idx} >= {}", self.data.len());
+        self.base + (idx * T::SIZE) as u64
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the allocation in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * T::SIZE) as u64
+    }
+
+    /// Read-only host view.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable host view (host-side initialization; kernels go through
+    /// [`crate::WarpCtx`] so their traffic is accounted).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the buffer, returning the host data.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, idx: usize) -> T {
+        self.data[idx]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, idx: usize, v: T) {
+        self.data[idx] = v;
+    }
+}
+
+impl<T: DevCopy> Clone for DeviceBuffer<T> {
+    /// Cloning allocates a fresh device address (it is a new allocation).
+    fn clone(&self) -> Self {
+        Self::new(self.data.clone())
+    }
+}
+
+impl<T: DevCopy> From<Vec<T>> for DeviceBuffer<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_get_disjoint_address_ranges() {
+        let a = DeviceBuffer::new(vec![0u64; 100]);
+        let b = DeviceBuffer::new(vec![0u64; 100]);
+        let a_range = a.base_addr()..a.base_addr() + a.bytes();
+        assert!(!a_range.contains(&b.base_addr()));
+        assert!(!a_range.contains(&(b.base_addr() + b.bytes() - 1)));
+    }
+
+    #[test]
+    fn addr_of_scales_with_element_size() {
+        let b = DeviceBuffer::new(vec![0f64; 10]);
+        assert_eq!(b.addr_of(3) - b.base_addr(), 24);
+        let c = DeviceBuffer::new(vec![0u32; 10]);
+        assert_eq!(c.addr_of(3) - c.base_addr(), 12);
+    }
+
+    #[test]
+    fn zeroed_is_all_default() {
+        let b: DeviceBuffer<f32> = DeviceBuffer::zeroed(17);
+        assert_eq!(b.len(), 17);
+        assert!(b.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clone_gets_new_address() {
+        let a = DeviceBuffer::new(vec![1u32, 2, 3]);
+        let b = a.clone();
+        assert_ne!(a.base_addr(), b.base_addr());
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn into_vec_round_trips() {
+        let b = DeviceBuffer::new(vec![5i32, 6]);
+        assert_eq!(b.into_vec(), vec![5, 6]);
+    }
+}

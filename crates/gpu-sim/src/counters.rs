@@ -1,0 +1,201 @@
+//! Execution counters and launch reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw event counts accumulated while a kernel (and its dynamic children)
+/// execute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Warp instructions issued (ALU, control, shuffles, and one per
+    /// memory access) — SIMT issue slots, *independent of active lanes*.
+    pub warp_instructions: u64,
+    /// DRAM bytes read (after coalescing into transactions and after the
+    /// texture cache filtered hits).
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written.
+    pub dram_write_bytes: u64,
+    /// Global-memory transactions issued (reads + writes).
+    pub transactions: u64,
+    /// Texture-path reads that hit in the per-SM cache.
+    pub tex_hits: u64,
+    /// Texture-path reads that missed to DRAM.
+    pub tex_misses: u64,
+    /// Atomic operations executed.
+    pub atomic_ops: u64,
+    /// Extra serialization passes due to intra-warp address conflicts.
+    pub atomic_conflicts: u64,
+    /// Dynamically launched child grids.
+    pub child_launches: u64,
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Warps executed.
+    pub warps: u64,
+}
+
+impl Counters {
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Texture hit rate in [0, 1]; 1.0 when no texture reads occurred.
+    pub fn tex_hit_rate(&self) -> f64 {
+        let total = self.tex_hits + self.tex_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.tex_hits as f64 / total as f64
+        }
+    }
+
+    /// Elementwise accumulate.
+    pub fn merge(&mut self, o: &Counters) {
+        self.warp_instructions += o.warp_instructions;
+        self.dram_read_bytes += o.dram_read_bytes;
+        self.dram_write_bytes += o.dram_write_bytes;
+        self.transactions += o.transactions;
+        self.tex_hits += o.tex_hits;
+        self.tex_misses += o.tex_misses;
+        self.atomic_ops += o.atomic_ops;
+        self.atomic_conflicts += o.atomic_conflicts;
+        self.child_launches += o.child_launches;
+        self.blocks += o.blocks;
+        self.warps += o.warps;
+    }
+}
+
+/// Where a launch's modeled time went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Host-side launch overhead.
+    pub launch_s: f64,
+    /// Throughput-bound compute time (max over SMs of issue time).
+    pub compute_s: f64,
+    /// Bandwidth-bound memory time.
+    pub memory_s: f64,
+    /// Latency-bound critical-path time (longest warp).
+    pub latency_s: f64,
+    /// Dynamic-parallelism launch overhead (incl. pending-limit stalls).
+    pub dynamic_launch_s: f64,
+}
+
+/// Result of one simulated kernel launch (or a merged sequence).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Kernel name(s).
+    pub name: String,
+    /// Modeled execution time, seconds.
+    pub time_s: f64,
+    /// Raw event counts.
+    pub counters: Counters,
+    /// Component times (the max of compute/memory/latency plus overheads
+    /// forms `time_s`).
+    pub breakdown: TimeBreakdown,
+    /// Number of kernel launches merged into this report.
+    pub launches: u32,
+}
+
+impl RunReport {
+    /// GFLOP/s given `flops` useful floating-point operations
+    /// (SpMV: `2 * nnz`).
+    pub fn gflops(&self, flops: u64) -> f64 {
+        if self.time_s <= 0.0 {
+            return 0.0;
+        }
+        flops as f64 / self.time_s / 1e9
+    }
+
+    /// Combine with another launch executed *sequentially after* this one.
+    pub fn then(mut self, other: &RunReport) -> RunReport {
+        if self.name.is_empty() {
+            self.name = other.name.clone();
+        } else if !other.name.is_empty() && self.launches < 8 {
+            self.name.push('+');
+            self.name.push_str(&other.name);
+        }
+        self.time_s += other.time_s;
+        self.counters.merge(&other.counters);
+        self.breakdown.launch_s += other.breakdown.launch_s;
+        self.breakdown.compute_s += other.breakdown.compute_s;
+        self.breakdown.memory_s += other.breakdown.memory_s;
+        self.breakdown.latency_s += other.breakdown.latency_s;
+        self.breakdown.dynamic_launch_s += other.breakdown.dynamic_launch_s;
+        self.launches += other.launches;
+        self
+    }
+
+    /// Merge a sequence of reports (empty sequence ⇒ zero report).
+    pub fn sequence<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> RunReport {
+        reports
+            .into_iter()
+            .fold(RunReport::default(), |acc, r| acc.then(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counters {
+            warp_instructions: 10,
+            dram_read_bytes: 100,
+            ..Default::default()
+        };
+        let b = Counters {
+            warp_instructions: 5,
+            dram_write_bytes: 50,
+            tex_hits: 3,
+            tex_misses: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.warp_instructions, 15);
+        assert_eq!(a.dram_bytes(), 150);
+        assert_eq!(a.tex_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn hit_rate_defaults_to_one() {
+        assert_eq!(Counters::default().tex_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn gflops_computes_rate() {
+        let r = RunReport {
+            time_s: 1e-3,
+            ..Default::default()
+        };
+        assert!((r.gflops(2_000_000) - 2.0).abs() < 1e-9);
+        let zero = RunReport::default();
+        assert_eq!(zero.gflops(100), 0.0);
+    }
+
+    #[test]
+    fn then_sums_times_and_launches() {
+        let a = RunReport {
+            name: "k1".into(),
+            time_s: 1.0,
+            launches: 1,
+            ..Default::default()
+        };
+        let b = RunReport {
+            name: "k2".into(),
+            time_s: 2.0,
+            launches: 1,
+            ..Default::default()
+        };
+        let c = a.then(&b);
+        assert_eq!(c.time_s, 3.0);
+        assert_eq!(c.launches, 2);
+        assert_eq!(c.name, "k1+k2");
+    }
+
+    #[test]
+    fn sequence_of_none_is_zero() {
+        let r = RunReport::sequence([]);
+        assert_eq!(r.time_s, 0.0);
+        assert_eq!(r.launches, 0);
+    }
+}

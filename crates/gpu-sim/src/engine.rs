@@ -1,0 +1,561 @@
+//! Launch engine and timing model.
+//!
+//! A launch executes every block of the grid (functionally, on the host),
+//! attributing each block to an SM round-robin. Afterwards the model
+//! combines three bounds into a kernel time:
+//!
+//! ```text
+//! t_comp    = max over SMs of  max(issue_slots / IPC, longest_warp_critical_path) / clock
+//! t_mem     = DRAM bytes / bandwidth
+//! t         = t_launch + max(t_comp, t_mem) + t_dynamic_launch
+//! ```
+//!
+//! * `issue_slots / IPC` is the throughput bound — SIMT issue pressure,
+//!   including every wasted lane.
+//! * the *critical path* term is the latency bound — a single warp
+//!   grinding through a 20 000-non-zero row cannot hide its memory
+//!   latency once its SM has nothing else left, which is exactly the
+//!   long-tail pathology of Figure 3 that dynamic parallelism removes.
+//! * dynamic child launches pay device-side overhead, amortized over the
+//!   hardware launch units, plus a stall penalty beyond the pending-launch
+//!   limit (`cudaLimitDevRuntimePendingLaunchCount`, §III-B).
+
+use crate::buffer::{DevCopy, DeviceBuffer};
+use crate::cache::SetAssocCache;
+use crate::config::DeviceConfig;
+use crate::counters::{Counters, RunReport, TimeBreakdown};
+use crate::warp::{WarpCtx, WARP};
+
+/// Kernel body: called once per thread block.
+pub type KernelFn<'a> = &'a mut dyn FnMut(&mut BlockCtx);
+
+/// Mutable state of one in-flight launch (shared with child grids).
+pub struct RunState<'d> {
+    pub(crate) cfg: &'d DeviceConfig,
+    pub(crate) counters: Counters,
+    pub(crate) sm_instr: Vec<u64>,
+    pub(crate) sm_crit: Vec<u64>,
+    pub(crate) tex_caches: Vec<SetAssocCache>,
+    /// Monotone child-launch sequence, used to spread child blocks across
+    /// SMs starting at different offsets.
+    pub(crate) child_seq: usize,
+}
+
+/// Per-block kernel context.
+pub struct BlockCtx<'r, 'd> {
+    run: &'r mut RunState<'d>,
+    block_idx: usize,
+    block_dim: usize,
+    sm: usize,
+}
+
+impl<'r, 'd> BlockCtx<'r, 'd> {
+    /// Block index within the grid.
+    pub fn block_idx(&self) -> usize {
+        self.block_idx
+    }
+
+    /// Threads per block of this launch.
+    pub fn block_dim(&self) -> usize {
+        self.block_dim
+    }
+
+    /// Global thread id of this block's thread 0.
+    pub fn thread_offset(&self) -> usize {
+        self.block_idx * self.block_dim
+    }
+
+    /// Number of warps in this block.
+    pub fn warp_count(&self) -> usize {
+        self.block_dim.div_ceil(WARP)
+    }
+
+    /// SM this block was scheduled on.
+    pub fn sm(&self) -> usize {
+        self.sm
+    }
+
+    /// Run `f` once for every warp of this block.
+    pub fn for_each_warp(&mut self, f: &mut dyn FnMut(&mut WarpCtx)) {
+        for w in 0..self.warp_count() {
+            let mut warp = WarpCtx {
+                block_idx: self.block_idx,
+                warp_in_block: w,
+                block_dim: self.block_dim,
+                sm: self.sm,
+                instr: 0,
+                crit: 0,
+                run: self.run,
+            };
+            f(&mut warp);
+        }
+    }
+}
+
+/// Execute a grid into `run`. `sm_offset` rotates the block→SM mapping
+/// (children start where the global child sequence points, spreading
+/// concurrent children over the machine).
+pub(crate) fn execute_grid(
+    run: &mut RunState,
+    grid_blocks: usize,
+    block_dim: usize,
+    sm_offset: usize,
+    kernel: KernelFn,
+) {
+    assert!(block_dim > 0 && block_dim <= 1024, "block_dim {block_dim} out of range");
+    let sms = run.cfg.sm_count;
+    for b in 0..grid_blocks {
+        run.counters.blocks += 1;
+        let mut blk = BlockCtx {
+            block_idx: b,
+            block_dim,
+            sm: (b + sm_offset) % sms,
+            run,
+        };
+        kernel(&mut blk);
+    }
+}
+
+/// A simulated GPU.
+pub struct Device {
+    cfg: DeviceConfig,
+}
+
+impl Device {
+    /// Create a device from a configuration (see [`crate::presets`]).
+    pub fn new(cfg: DeviceConfig) -> Device {
+        Device { cfg }
+    }
+
+    /// The device's configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Allocate a device buffer from host data.
+    pub fn alloc<T: DevCopy>(&self, data: Vec<T>) -> DeviceBuffer<T> {
+        DeviceBuffer::new(data)
+    }
+
+    /// Allocate a zeroed device buffer.
+    pub fn alloc_zeroed<T: DevCopy>(&self, len: usize) -> DeviceBuffer<T> {
+        DeviceBuffer::zeroed(len)
+    }
+
+    /// Modeled host→device copy time for `bytes`.
+    pub fn htod_seconds(&self, bytes: u64) -> f64 {
+        self.cfg.copy_seconds(bytes)
+    }
+
+    /// Launch `kernel` over `grid_blocks x block_dim` threads and return
+    /// the modeled report. Execution is functional (all writes through
+    /// [`WarpCtx`] happen for real); time is assembled from the counters.
+    pub fn launch(
+        &self,
+        name: &str,
+        grid_blocks: usize,
+        block_dim: usize,
+        kernel: KernelFn,
+    ) -> RunReport {
+        let mut run = self.fresh_run();
+        execute_grid(&mut run, grid_blocks, block_dim, 0, kernel);
+        self.assemble_report(name, run, self.cfg.kernel_launch_s, 1)
+    }
+
+    /// Begin a group of *independent* kernels launched on separate
+    /// streams. On devices with HyperQ (`concurrent_kernels > 1`) the
+    /// group's kernels execute concurrently and are modeled as one pooled
+    /// roofline; on single-queue devices (Fermi) they serialize exactly
+    /// like individual [`Device::launch`] calls.
+    pub fn launch_group<'d>(&'d self, name: &str) -> ConcurrentGroup<'d> {
+        let concurrent = self.cfg.concurrent_kernels > 1;
+        ConcurrentGroup {
+            dev: self,
+            name: name.to_string(),
+            pooled: if concurrent { Some(self.fresh_run()) } else { None },
+            serial: RunReport::default(),
+            launches: 0,
+            grid_offset: 0,
+        }
+    }
+
+    fn fresh_run(&self) -> RunState<'_> {
+        RunState {
+            cfg: &self.cfg,
+            counters: Counters::default(),
+            sm_instr: vec![0; self.cfg.sm_count],
+            sm_crit: vec![0; self.cfg.sm_count],
+            tex_caches: (0..self.cfg.sm_count)
+                .map(|_| {
+                    SetAssocCache::new(
+                        self.cfg.tex_cache_bytes,
+                        self.cfg.tex_line_bytes,
+                        self.cfg.tex_ways,
+                    )
+                })
+                .collect(),
+            child_seq: 0,
+        }
+    }
+
+    fn assemble_report(
+        &self,
+        name: &str,
+        run: RunState,
+        launch_s: f64,
+        launches: u32,
+    ) -> RunReport {
+        let cfg = &self.cfg;
+        let clock_hz = cfg.clock_ghz * 1e9;
+        let mut comp_cycles = 0u64;
+        let mut lat_cycles = 0u64;
+        for sm in 0..cfg.sm_count {
+            let throughput = (run.sm_instr[sm] as f64 / cfg.ipc_per_sm).ceil() as u64;
+            comp_cycles = comp_cycles.max(throughput);
+            lat_cycles = lat_cycles.max(run.sm_crit[sm]);
+        }
+        let compute_s = comp_cycles as f64 / clock_hz;
+        let latency_s = lat_cycles as f64 / clock_hz;
+        let memory_s = run.counters.dram_bytes() as f64 / cfg.bandwidth_bytes_s();
+        let n_children = run.counters.child_launches;
+        let dynamic_launch_s = if n_children > 0 {
+            let batches = (n_children as usize).div_ceil(cfg.child_launch_parallelism.max(1));
+            let overflow = n_children.saturating_sub(cfg.pending_launch_limit as u64);
+            batches as f64 * cfg.child_launch_s + overflow as f64 * cfg.pending_overflow_penalty_s
+        } else {
+            0.0
+        };
+        let time_s = launch_s + compute_s.max(memory_s).max(latency_s) + dynamic_launch_s;
+        RunReport {
+            name: name.to_string(),
+            time_s,
+            counters: run.counters,
+            breakdown: TimeBreakdown {
+                launch_s,
+                compute_s,
+                memory_s,
+                latency_s,
+                dynamic_launch_s,
+            },
+            launches,
+        }
+    }
+}
+
+/// A set of independent kernels launched on separate streams
+/// (see [`Device::launch_group`]).
+pub struct ConcurrentGroup<'d> {
+    dev: &'d Device,
+    name: String,
+    /// Shared state when the device supports concurrent kernels.
+    pooled: Option<RunState<'d>>,
+    /// Accumulated sequential reports otherwise.
+    serial: RunReport,
+    launches: u32,
+    /// Rotates block→SM placement so concurrent small grids spread out.
+    grid_offset: usize,
+}
+
+impl ConcurrentGroup<'_> {
+    /// Add one kernel to the group (executed immediately; timing is
+    /// pooled or accumulated per the device's concurrency).
+    pub fn add(&mut self, name: &str, grid_blocks: usize, block_dim: usize, kernel: KernelFn) {
+        self.launches += 1;
+        match &mut self.pooled {
+            Some(run) => {
+                execute_grid(run, grid_blocks, block_dim, self.grid_offset, kernel);
+                self.grid_offset += grid_blocks.max(1);
+            }
+            None => {
+                let r = self.dev.launch(name, grid_blocks, block_dim, kernel);
+                self.serial = std::mem::take(&mut self.serial).then(&r);
+            }
+        }
+    }
+
+    /// Number of kernels added so far.
+    pub fn launches(&self) -> u32 {
+        self.launches
+    }
+
+    /// Close the group and return the combined report. Concurrent groups
+    /// pay one full launch gap plus a small per-stream enqueue cost; the
+    /// pooled roofline takes one `max` over the group's aggregate work.
+    pub fn finish(self) -> RunReport {
+        match self.pooled {
+            Some(run) => {
+                let cfg = self.dev.config();
+                let extra = (self.launches.saturating_sub(1)) as f64 * 0.25 * cfg.kernel_launch_s;
+                self.dev.assemble_report(
+                    &self.name,
+                    run,
+                    cfg.kernel_launch_s + extra,
+                    self.launches.max(1),
+                )
+            }
+            None => {
+                let mut r = self.serial;
+                if r.name.is_empty() {
+                    r.name = self.name;
+                }
+                r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::presets;
+    use crate::warp::{lane_mask, FULL_MASK};
+
+    fn titan() -> Device {
+        Device::new(presets::gtx_titan())
+    }
+
+    #[test]
+    fn empty_kernel_costs_one_launch() {
+        let dev = titan();
+        let r = dev.launch("empty", 0, 32, &mut |_b| {});
+        assert!((r.time_s - dev.config().kernel_launch_s).abs() < 1e-12);
+        assert_eq!(r.counters.blocks, 0);
+    }
+
+    #[test]
+    fn functional_copy_kernel_is_correct() {
+        let dev = titan();
+        let n = 1000usize;
+        let src = dev.alloc((0..n as u32).collect::<Vec<_>>());
+        let mut dst = dev.alloc_zeroed::<u32>(n);
+        let blocks = n.div_ceil(128);
+        let r = dev.launch("copy", blocks, 128, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                let base = warp.first_thread();
+                if base >= n {
+                    return;
+                }
+                let live = (n - base).min(WARP);
+                let mask = lane_mask(live);
+                let vals = warp.read_coalesced(&src, base, mask);
+                warp.write_coalesced(&mut dst, base, &vals, mask);
+            });
+        });
+        assert_eq!(dst.as_slice(), src.as_slice());
+        assert!(r.counters.dram_read_bytes >= (n * 4) as u64);
+        assert!(r.counters.dram_write_bytes >= (n * 4) as u64);
+    }
+
+    #[test]
+    fn coalesced_access_uses_fewer_transactions_than_scattered() {
+        let dev = titan();
+        let buf = dev.alloc(vec![1.0f64; 32 * 64]);
+        let r_coal = dev.launch("coalesced", 1, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                warp.read_coalesced(&buf, 0, FULL_MASK);
+            });
+        });
+        let r_scat = dev.launch("scattered", 1, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                let mut idx = [0usize; WARP];
+                for (lane, slot) in idx.iter_mut().enumerate() {
+                    *slot = lane * 64; // one 128B segment each
+                }
+                warp.gather(&buf, &idx, FULL_MASK);
+            });
+        });
+        // Kepler 32B segments: a coalesced f64 warp read is 8 transactions,
+        // a fully scattered one is 32 — a 4x penalty (16x on Fermi's 128B).
+        assert!(r_scat.counters.transactions >= 4 * r_coal.counters.transactions);
+        assert!(r_scat.counters.dram_read_bytes > r_coal.counters.dram_read_bytes);
+    }
+
+    #[test]
+    fn texture_reuse_hits_cache() {
+        let dev = titan();
+        let x = dev.alloc(vec![2.0f32; 1024]);
+        let r = dev.launch("tex", 4, 256, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                // every warp reads the same 32 elements: first warp per SM
+                // misses, the rest hit
+                let idx = std::array::from_fn(|i| i);
+                warp.gather_tex(&x, &idx, FULL_MASK);
+            });
+        });
+        assert!(r.counters.tex_hits > r.counters.tex_misses);
+    }
+
+    #[test]
+    fn atomic_conflicts_serialize() {
+        let dev = titan();
+        let mut acc = dev.alloc(vec![0.0f64; 4]);
+        let r_conflict = dev.launch("atomic-same", 1, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                let idx = [0usize; WARP];
+                let vals = [1.0f64; WARP];
+                warp.atomic_rmw(&mut acc, &idx, &vals, FULL_MASK, |a, b| a + b);
+            });
+        });
+        assert_eq!(acc.as_slice()[0], 32.0);
+        assert!(r_conflict.counters.atomic_conflicts > 0);
+
+        let mut acc2 = dev.alloc(vec![0.0f64; 32]);
+        let r_free = dev.launch("atomic-distinct", 1, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                let idx = std::array::from_fn(|i| i);
+                let vals = [1.0f64; WARP];
+                warp.atomic_rmw(&mut acc2, &idx, &vals, FULL_MASK, |a, b| a + b);
+            });
+        });
+        assert_eq!(r_free.counters.atomic_conflicts, 0);
+        assert!(r_conflict.time_s >= r_free.time_s);
+    }
+
+    #[test]
+    fn segmented_reduce_sums_segments() {
+        let dev = titan();
+        dev.launch("reduce", 1, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                let vals: [f64; WARP] = std::array::from_fn(|i| i as f64);
+                let red = warp.segmented_reduce_sum(&vals, 8);
+                // segment 0 = 0+1+..+7 = 28, segment 1 = 8+..+15 = 92
+                assert_eq!(red[0], 28.0);
+                assert_eq!(red[8], 92.0);
+                assert_eq!(red[24], 0.0 + (24..32).map(|i| i as f64).sum::<f64>() - 24.0 + 24.0);
+                let full = warp.segmented_reduce_sum(&vals, 32);
+                assert_eq!(full[0], (0..32).map(|i| i as f64).sum::<f64>());
+            });
+        });
+    }
+
+    #[test]
+    fn shfl_down_shifts_lanes() {
+        let dev = titan();
+        dev.launch("shfl", 1, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                let vals: [u32; WARP] = std::array::from_fn(|i| i as u32);
+                let s = warp.shfl_down(&vals, 4);
+                assert_eq!(s[0], 4);
+                assert_eq!(s[27], 31);
+                assert_eq!(s[28], 28); // out of range: keeps own value
+            });
+        });
+    }
+
+    #[test]
+    fn ballot_collects_predicates() {
+        let dev = titan();
+        dev.launch("ballot", 1, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                let preds: [bool; WARP] = std::array::from_fn(|i| i % 2 == 0);
+                let m = warp.ballot(&preds, FULL_MASK);
+                assert_eq!(m, 0x5555_5555);
+                let m2 = warp.ballot(&preds, 0b1111);
+                assert_eq!(m2, 0b0101);
+            });
+        });
+    }
+
+    #[test]
+    fn dynamic_child_launches_run_and_charge_overhead() {
+        let dev = titan();
+        let mut out = dev.alloc_zeroed::<u32>(64);
+        let r = dev.launch("parent", 1, 32, &mut |blk| {
+            // split borrow: child kernels capture `out` mutably one at a time
+            let out_ref = &mut out;
+            blk.for_each_warp(&mut |warp| {
+                warp.launch_child(2, 32, &mut |child_blk| {
+                    let off = child_blk.thread_offset();
+                    child_blk.for_each_warp(&mut |cw| {
+                        let vals = [7u32; WARP];
+                        cw.write_coalesced(out_ref, off, &vals, FULL_MASK);
+                    });
+                });
+            });
+        });
+        assert!(out.as_slice().iter().all(|&v| v == 7));
+        assert_eq!(r.counters.child_launches, 1);
+        assert!(r.breakdown.dynamic_launch_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic parallelism")]
+    fn child_launch_panics_on_fermi() {
+        let dev = Device::new(presets::gtx_580());
+        dev.launch("parent", 1, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                warp.launch_child(1, 32, &mut |_b| {});
+            });
+        });
+    }
+
+    #[test]
+    fn pending_limit_overflow_charges_penalty() {
+        let mut cfg = presets::gtx_titan();
+        cfg.pending_launch_limit = 4;
+        let dev = Device::new(cfg);
+        let r = dev.launch("parent", 1, 32 * 8, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                warp.launch_child(1, 32, &mut |_b| {});
+            });
+        });
+        assert_eq!(r.counters.child_launches, 8);
+        let penalty = 4.0 * dev.config().pending_overflow_penalty_s;
+        assert!(r.breakdown.dynamic_launch_s > penalty * 0.99);
+    }
+
+    #[test]
+    fn divergent_long_row_inflates_latency_bound() {
+        let dev = titan();
+        let buf = dev.alloc(vec![1.0f64; 1 << 20]);
+        // One warp walks 4096 strided reads (a long-row critical path);
+        // the balanced version spreads the same reads over 128 warps.
+        let r_tail = dev.launch("tail", 1, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                for it in 0..4096usize {
+                    let idx = std::array::from_fn(|i| (it * WARP + i) % (1 << 20));
+                    warp.gather(&buf, &idx, FULL_MASK);
+                }
+            });
+        });
+        let r_flat = dev.launch("flat", 128, 32, &mut |blk| {
+            blk.for_each_warp(&mut |warp| {
+                let wid = warp.global_warp_id();
+                for it in 0..32usize {
+                    let idx =
+                        std::array::from_fn(|i| (wid * 32 * WARP + it * WARP + i) % (1 << 20));
+                    warp.gather(&buf, &idx, FULL_MASK);
+                }
+            });
+        });
+        // identical traffic, very different modeled time
+        assert_eq!(
+            r_tail.counters.dram_read_bytes,
+            r_flat.counters.dram_read_bytes
+        );
+        assert!(
+            r_tail.time_s > 5.0 * r_flat.time_s,
+            "tail {} flat {}",
+            r_tail.time_s,
+            r_flat.time_s
+        );
+    }
+
+    #[test]
+    fn report_merging_accumulates_time() {
+        let dev = titan();
+        let buf = dev.alloc(vec![0u32; 1024]);
+        let mk = || {
+            dev.launch("k", 4, 256, &mut |blk| {
+                blk.for_each_warp(&mut |warp| {
+                    warp.read_coalesced(&buf, 0, FULL_MASK);
+                });
+            })
+        };
+        let a = mk();
+        let b = mk();
+        let seq = RunReport::sequence([&a, &b]);
+        assert!((seq.time_s - (a.time_s + b.time_s)).abs() < 1e-15);
+        assert_eq!(seq.launches, 2);
+    }
+}

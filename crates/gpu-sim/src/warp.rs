@@ -1,0 +1,405 @@
+//! Warp execution context — the API simulated kernels are written against.
+//!
+//! A kernel observes the machine the way CUDA device code does, one warp
+//! at a time: 32 lanes executing in lockstep under an active mask. Every
+//! method both *performs* the operation on host data (functional
+//! correctness) and *charges* the timing model (issue slots, DRAM
+//! transactions after coalescing, texture probes, critical-path latency).
+//!
+//! The key SIMT property the model preserves: **cost is per warp
+//! instruction, not per active lane**. A warp with one active lane pays
+//! the same issue slot as a full warp — that waste is precisely the
+//! divergence ACSR's binning removes.
+
+use crate::buffer::{DevCopy, DeviceBuffer};
+use crate::engine::RunState;
+
+/// Lanes per warp (fixed at 32 on every NVIDIA GPU the paper uses).
+pub const WARP: usize = 32;
+
+/// All 32 lanes active.
+pub const FULL_MASK: u32 = u32::MAX;
+
+/// Mask with the first `n` lanes active (`n ≥ 32` ⇒ full mask).
+#[inline]
+pub fn lane_mask(n: usize) -> u32 {
+    if n >= WARP {
+        FULL_MASK
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// Execution context of one warp inside one block.
+pub struct WarpCtx<'r, 'd> {
+    pub(crate) run: &'r mut RunState<'d>,
+    pub(crate) block_idx: usize,
+    pub(crate) warp_in_block: usize,
+    pub(crate) block_dim: usize,
+    pub(crate) sm: usize,
+    /// Local issue-slot count, flushed to the SM on drop.
+    pub(crate) instr: u64,
+    /// Local critical-path cycles, flushed (max) to the SM on drop.
+    pub(crate) crit: u64,
+}
+
+impl<'r, 'd> WarpCtx<'r, 'd> {
+    /// Index of this warp within its block.
+    pub fn warp_in_block(&self) -> usize {
+        self.warp_in_block
+    }
+
+    /// Block index in the grid.
+    pub fn block_idx(&self) -> usize {
+        self.block_idx
+    }
+
+    /// Global warp id (`block_idx * warps_per_block + warp_in_block`).
+    pub fn global_warp_id(&self) -> usize {
+        self.block_idx * self.block_dim.div_ceil(WARP) + self.warp_in_block
+    }
+
+    /// Global thread id of lane 0.
+    pub fn first_thread(&self) -> usize {
+        self.block_idx * self.block_dim + self.warp_in_block * WARP
+    }
+
+    /// Number of threads of this warp that exist in the block (the last
+    /// warp of a non-multiple-of-32 block is partial).
+    pub fn live_lanes(&self) -> usize {
+        (self.block_dim - (self.warp_in_block * WARP).min(self.block_dim)).min(WARP)
+    }
+
+    /// Charge `n` ALU/control warp instructions.
+    #[inline]
+    pub fn charge_alu(&mut self, n: u64) {
+        self.instr += n;
+        self.crit += n;
+    }
+
+    /// Gather `buf[idx[i]]` for every active lane. One warp instruction;
+    /// DRAM transactions per distinct segment touched. Inactive lanes
+    /// return `T::default()` and their `idx` entries are ignored.
+    pub fn gather<T: DevCopy>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &[usize; WARP],
+        mask: u32,
+    ) -> [T; WARP] {
+        let mut out = [T::default(); WARP];
+        let mut addrs = [u64::MAX; WARP];
+        let mut n_active = 0;
+        for lane in 0..WARP {
+            if mask >> lane & 1 == 1 {
+                out[lane] = buf.get(idx[lane]);
+                addrs[n_active] = buf.addr_of(idx[lane]);
+                n_active += 1;
+            }
+        }
+        let txn = self.run.cfg.dram_transaction_bytes as u64;
+        let segs = distinct_segments(&mut addrs[..n_active], txn);
+        self.charge_mem_read(segs, txn);
+        out
+    }
+
+    /// Gather through the texture / read-only cache path (the paper binds
+    /// `x` to texture memory). Hits stay on chip; misses pay DRAM at
+    /// cache-line granularity.
+    pub fn gather_tex<T: DevCopy>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: &[usize; WARP],
+        mask: u32,
+    ) -> [T; WARP] {
+        let mut out = [T::default(); WARP];
+        let mut addrs = [u64::MAX; WARP];
+        let mut n_active = 0;
+        for lane in 0..WARP {
+            if mask >> lane & 1 == 1 {
+                out[lane] = buf.get(idx[lane]);
+                addrs[n_active] = buf.addr_of(idx[lane]);
+                n_active += 1;
+            }
+        }
+        let line = self.run.cfg.tex_line_bytes as u64;
+        let lines = distinct_segments(&mut addrs[..n_active], line);
+        self.instr += 1;
+        let mut missed = false;
+        let active = &addrs[..lines]; // distinct_segments compacts in place
+        for &line_addr in active {
+            if self.run.tex_caches[self.sm].access(line_addr * line) {
+                self.run.counters.tex_hits += 1;
+            } else {
+                self.run.counters.tex_misses += 1;
+                self.run.counters.dram_read_bytes += line;
+                self.run.counters.transactions += 1;
+                missed = true;
+            }
+        }
+        let lat = if missed {
+            self.run.cfg.mem_latency_cycles
+        } else {
+            self.run.cfg.tex_hit_latency_cycles
+        };
+        self.crit += (lat as f64 / self.run.cfg.mlp).ceil() as u64;
+        out
+    }
+
+    /// Lane `i` reads `buf[base + i]` (the canonical coalesced pattern).
+    pub fn read_coalesced<T: DevCopy>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        base: usize,
+        mask: u32,
+    ) -> [T; WARP] {
+        let mut idx = [0usize; WARP];
+        for (lane, slot) in idx.iter_mut().enumerate() {
+            if mask >> lane & 1 == 1 {
+                *slot = base + lane;
+            }
+        }
+        self.gather(buf, &idx, mask)
+    }
+
+    /// Lane `i` writes `vals[i]` to `buf[base + i]`.
+    pub fn write_coalesced<T: DevCopy>(
+        &mut self,
+        buf: &mut DeviceBuffer<T>,
+        base: usize,
+        vals: &[T; WARP],
+        mask: u32,
+    ) {
+        let mut idx = [0usize; WARP];
+        for (lane, slot) in idx.iter_mut().enumerate() {
+            if mask >> lane & 1 == 1 {
+                *slot = base + lane;
+            }
+        }
+        self.scatter(buf, &idx, vals, mask);
+    }
+
+    /// Scatter `vals[i]` to `buf[idx[i]]` for active lanes. Conflicting
+    /// lanes (same index) resolve to the highest active lane, matching
+    /// CUDA's undefined-but-last-writer-wins behaviour in practice.
+    pub fn scatter<T: DevCopy>(
+        &mut self,
+        buf: &mut DeviceBuffer<T>,
+        idx: &[usize; WARP],
+        vals: &[T; WARP],
+        mask: u32,
+    ) {
+        let mut addrs = [u64::MAX; WARP];
+        let mut n_active = 0;
+        for lane in 0..WARP {
+            if mask >> lane & 1 == 1 {
+                buf.set(idx[lane], vals[lane]);
+                addrs[n_active] = buf.addr_of(idx[lane]);
+                n_active += 1;
+            }
+        }
+        let txn = self.run.cfg.dram_transaction_bytes as u64;
+        let segs = distinct_segments(&mut addrs[..n_active], txn);
+        self.charge_mem_write(segs, txn);
+    }
+
+    /// Atomic read-modify-write: `buf[idx[i]] = op(buf[idx[i]], vals[i])`.
+    /// Lanes hitting the same address serialize (charged as extra passes),
+    /// and the result is the correct full combination.
+    pub fn atomic_rmw<T: DevCopy>(
+        &mut self,
+        buf: &mut DeviceBuffer<T>,
+        idx: &[usize; WARP],
+        vals: &[T; WARP],
+        mask: u32,
+        op: impl Fn(T, T) -> T,
+    ) {
+        let mut seen: [(usize, u32); WARP] = [(usize::MAX, 0); WARP];
+        let mut n_distinct = 0usize;
+        let mut n_active = 0u64;
+        for lane in 0..WARP {
+            if mask >> lane & 1 == 1 {
+                n_active += 1;
+                let cur = buf.get(idx[lane]);
+                buf.set(idx[lane], op(cur, vals[lane]));
+                match seen[..n_distinct].iter_mut().find(|(a, _)| *a == idx[lane]) {
+                    Some((_, c)) => *c += 1,
+                    None => {
+                        seen[n_distinct] = (idx[lane], 1);
+                        n_distinct += 1;
+                    }
+                }
+            }
+        }
+        if n_active == 0 {
+            return;
+        }
+        let max_mult = seen[..n_distinct].iter().map(|&(_, c)| c).max().unwrap_or(1) as u64;
+        self.instr += max_mult;
+        self.run.counters.atomic_ops += n_active;
+        self.run.counters.atomic_conflicts += (max_mult - 1) * n_distinct as u64;
+        // atomics resolve in L2 at 32B granularity
+        self.run.counters.transactions += n_distinct as u64;
+        self.run.counters.dram_read_bytes += n_distinct as u64 * 32;
+        self.run.counters.dram_write_bytes += n_distinct as u64 * 32;
+        self.crit += max_mult * self.run.cfg.atomic_serialize_cycles
+            + (self.run.cfg.mem_latency_cycles as f64 / self.run.cfg.mlp).ceil() as u64;
+    }
+
+    /// `__shfl_down_sync`: lane `i` receives lane `i + delta`'s value
+    /// (its own when the source lane is out of range), one instruction.
+    pub fn shfl_down<T: DevCopy>(&mut self, vals: &[T; WARP], delta: usize) -> [T; WARP] {
+        self.charge_alu(1);
+        let mut out = *vals;
+        for lane in 0..WARP {
+            if lane + delta < WARP {
+                out[lane] = vals[lane + delta];
+            }
+        }
+        out
+    }
+
+    /// Tree-reduce (+) within independent segments of `width` lanes
+    /// (`width` must be a power of two ≤ 32). After the call, the first
+    /// lane of each segment holds that segment's sum. Charges
+    /// `log2(width)` shuffle instructions plus the adds — the intra-warp
+    /// reduction of the paper's Algorithm 2.
+    pub fn segmented_reduce_sum<T: DevCopy + std::ops::Add<Output = T>>(
+        &mut self,
+        vals: &[T; WARP],
+        width: usize,
+    ) -> [T; WARP] {
+        assert!(
+            width.is_power_of_two() && width <= WARP,
+            "segment width must be a power of two ≤ 32"
+        );
+        let mut cur = *vals;
+        let mut delta = width / 2;
+        while delta > 0 {
+            let shifted = self.shfl_down(&cur, delta);
+            for lane in 0..WARP {
+                // only combine within the same segment
+                if (lane % width) + delta < width {
+                    cur[lane] = cur[lane] + shifted[lane];
+                }
+            }
+            self.charge_alu(1); // the adds issue as one warp instruction
+            delta /= 2;
+        }
+        cur
+    }
+
+    /// `__ballot_sync`: mask of lanes whose predicate is true.
+    pub fn ballot(&mut self, preds: &[bool; WARP], mask: u32) -> u32 {
+        self.charge_alu(1);
+        let mut out = 0u32;
+        for lane in 0..WARP {
+            if mask >> lane & 1 == 1 && preds[lane] {
+                out |= 1 << lane;
+            }
+        }
+        out
+    }
+
+    /// Launch a child grid from this warp (dynamic parallelism,
+    /// Algorithm 3). Panics on devices below compute capability 3.5,
+    /// matching the hardware constraint the paper works around on the
+    /// GTX 580 and K10.
+    pub fn launch_child(
+        &mut self,
+        grid_blocks: usize,
+        block_dim: usize,
+        kernel: &mut dyn FnMut(&mut crate::engine::BlockCtx),
+    ) {
+        assert!(
+            self.run.cfg.has_dynamic_parallelism(),
+            "device '{}' (cc {}.{}) does not support dynamic parallelism",
+            self.run.cfg.name,
+            self.run.cfg.compute_capability.0,
+            self.run.cfg.compute_capability.1
+        );
+        self.charge_alu(2); // launch setup on the parent thread
+        self.run.counters.child_launches += 1;
+        self.run.child_seq += 1;
+        let seq = self.run.child_seq;
+        crate::engine::execute_grid(self.run, grid_blocks, block_dim, seq, kernel);
+    }
+
+    fn charge_mem_read(&mut self, segments: usize, txn_bytes: u64) {
+        self.instr += 1;
+        self.run.counters.transactions += segments as u64;
+        self.run.counters.dram_read_bytes += segments as u64 * txn_bytes;
+        self.crit += (self.run.cfg.mem_latency_cycles as f64 / self.run.cfg.mlp).ceil() as u64;
+    }
+
+    fn charge_mem_write(&mut self, segments: usize, txn_bytes: u64) {
+        self.instr += 1;
+        self.run.counters.transactions += segments as u64;
+        self.run.counters.dram_write_bytes += segments as u64 * txn_bytes;
+        // writes retire through the store queue; they cost issue + a small
+        // fraction of latency on the critical path
+        self.crit += 4;
+    }
+}
+
+impl Drop for WarpCtx<'_, '_> {
+    fn drop(&mut self) {
+        self.run.sm_instr[self.sm] += self.instr;
+        if self.crit > self.run.sm_crit[self.sm] {
+            self.run.sm_crit[self.sm] = self.crit;
+        }
+        self.run.counters.warp_instructions += self.instr;
+        self.run.counters.warps += 1;
+    }
+}
+
+/// Compact `addrs` to the distinct `granularity`-sized segment ids it
+/// touches; returns the count. `granularity` must be a power of two.
+fn distinct_segments(addrs: &mut [u64], granularity: u64) -> usize {
+    debug_assert!(granularity.is_power_of_two());
+    if addrs.is_empty() {
+        return 0;
+    }
+    let shift = granularity.trailing_zeros();
+    for a in addrs.iter_mut() {
+        *a >>= shift;
+    }
+    addrs.sort_unstable();
+    let mut n = 1;
+    for i in 1..addrs.len() {
+        if addrs[i] != addrs[i - 1] {
+            addrs[n] = addrs[i];
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_mask_edges() {
+        assert_eq!(lane_mask(0), 0);
+        assert_eq!(lane_mask(1), 1);
+        assert_eq!(lane_mask(5), 0b11111);
+        assert_eq!(lane_mask(32), FULL_MASK);
+        assert_eq!(lane_mask(100), FULL_MASK);
+    }
+
+    #[test]
+    fn distinct_segments_counts_unique_blocks() {
+        let mut a = [0u64, 64, 127, 128, 129, 4096];
+        assert_eq!(distinct_segments(&mut a, 128), 3); // {0,1,32}
+        let mut b: [u64; 0] = [];
+        assert_eq!(distinct_segments(&mut b, 128), 0);
+        let mut c = [5u64, 5, 5];
+        assert_eq!(distinct_segments(&mut c, 32), 1);
+    }
+
+    #[test]
+    fn distinct_segments_fully_scattered() {
+        let mut a: Vec<u64> = (0..32).map(|i| i * 1024).collect();
+        assert_eq!(distinct_segments(&mut a, 128), 32);
+    }
+}

@@ -1,0 +1,36 @@
+//! # graphgen — synthetic sparse matrices with paper-matched shape
+//!
+//! The paper evaluates on 17 matrices from the University of Florida
+//! Sparse Matrix Collection (Table I). This environment has no access to
+//! the collection, so this crate generates **seeded synthetic analogs**
+//! whose *row-length distributions* match each matrix's published
+//! statistics (rows, μ, max, power-law tail). ACSR's binning, dynamic
+//! parallelism, and every comparison in the paper depend only on that
+//! distribution plus the column access pattern, which the generators also
+//! skew realistically (Zipf-distributed column popularity).
+//!
+//! Contents:
+//! * [`sampling`] — alias-method discrete sampling, truncated power-law
+//!   fitting;
+//! * [`powerlaw`] — the main generator (degree sequence → distinct-column
+//!   rows);
+//! * [`rmat`] — recursive-matrix (R-MAT) Kronecker-style generator;
+//! * [`uniform`] — Erdős–Rényi-style uniform matrices (the AMZ/DBL
+//!   contrast cases are *low-skew*, not uniform, but uniform is the
+//!   limiting case used in ablations);
+//! * [`suite`] — the Table I analog suite;
+//! * [`updates`] — the §VII dynamic-graph update-stream generator.
+
+pub mod powerlaw;
+pub mod rmat;
+pub mod sampling;
+pub mod suite;
+pub mod uniform;
+pub mod updates;
+
+pub use powerlaw::{generate_power_law, PowerLawConfig};
+pub use rmat::{generate_rmat, RmatConfig};
+pub use sampling::{fit_alpha_for_mean, truncated_power_law_pmf, DiscreteAlias};
+pub use suite::{generate_suite, MatrixSpec, SuiteMatrix, TABLE1_SUITE};
+pub use uniform::generate_uniform;
+pub use updates::{generate_update_batch, UpdateConfig};

@@ -1,0 +1,270 @@
+//! Discrete sampling utilities: Walker alias tables and truncated
+//! power-law fitting.
+
+use rand::Rng;
+
+/// Walker alias-method sampler over a finite discrete distribution:
+/// O(n) construction, O(1) sampling — essential when drawing hundreds of
+/// millions of Zipf-distributed column indices.
+#[derive(Clone, Debug)]
+pub struct DiscreteAlias {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl DiscreteAlias {
+    /// Build from (unnormalized, non-negative) weights. At least one
+    /// weight must be positive.
+    pub fn new(weights: &[f64]) -> DiscreteAlias {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one outcome");
+        assert!(n <= u32::MAX as usize, "alias table too large");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "alias table weights must sum to a positive finite value"
+        );
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            assert!(p >= 0.0, "negative weight at {i}");
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual numerical slack: everything left is probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        DiscreteAlias { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` when the table has no outcomes (never — construction
+    /// requires one), kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// Unnormalized PMF of a truncated discrete power law:
+/// `P(k) ∝ k^(-alpha)` for `k ∈ [1, k_max]`; index 0 of the returned
+/// vector corresponds to outcome `k = 1`.
+pub fn truncated_power_law_pmf(alpha: f64, k_max: usize) -> Vec<f64> {
+    assert!(k_max >= 1);
+    (1..=k_max).map(|k| (k as f64).powf(-alpha)).collect()
+}
+
+fn power_law_mean(alpha: f64, k_max: usize) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for k in 1..=k_max {
+        let w = (k as f64).powf(-alpha);
+        num += k as f64 * w;
+        den += w;
+    }
+    num / den
+}
+
+/// Unnormalized PMF of a truncated geometric distribution:
+/// `P(k) ∝ q^(k-1)` for `k ∈ [1, k_max]`.
+pub fn truncated_geometric_pmf(q: f64, k_max: usize) -> Vec<f64> {
+    assert!(k_max >= 1 && (0.0..1.0).contains(&q.min(0.9999999)));
+    let mut w = Vec::with_capacity(k_max);
+    let mut cur = 1.0f64;
+    for _ in 0..k_max {
+        w.push(cur);
+        cur *= q;
+        if cur < 1e-300 {
+            cur = 1e-300;
+        }
+    }
+    w
+}
+
+fn geometric_mean_deg(q: f64, k_max: usize) -> f64 {
+    let w = truncated_geometric_pmf(q, k_max);
+    let num: f64 = w.iter().enumerate().map(|(i, p)| (i + 1) as f64 * p).sum();
+    let den: f64 = w.iter().sum();
+    num / den
+}
+
+/// Unnormalized PMF of a Poisson(λ) truncated to `[1, k_max]` (log-space
+/// construction, stable for large λ).
+pub fn truncated_poisson_pmf(lambda: f64, k_max: usize) -> Vec<f64> {
+    assert!(k_max >= 1 && lambda > 0.0);
+    let ln_lambda = lambda.ln();
+    let mut ln_fact = 0.0f64; // ln(k!)
+    let mut lw = Vec::with_capacity(k_max);
+    for k in 1..=k_max {
+        ln_fact += (k as f64).ln();
+        lw.push(k as f64 * ln_lambda - ln_fact);
+    }
+    let max = lw.iter().cloned().fold(f64::MIN, f64::max);
+    lw.into_iter().map(|v| (v - max).exp()).collect()
+}
+
+/// PMF for the *thin-tailed* (non-power-law) matrices of Table I
+/// (AMZ, DBL, RAL): a truncated geometric fitted to the target mean, or
+/// a truncated Poisson when the geometric cannot reach the mean (which
+/// happens when `target_mean` approaches `(k_max+1)/2`, e.g. AMZ's mean
+/// 7.7 with max 10).
+pub fn thin_tail_pmf(target_mean: f64, k_max: usize) -> Vec<f64> {
+    let geometric_limit = geometric_mean_deg(1.0 - 1e-9, k_max);
+    if target_mean < 0.95 * geometric_limit {
+        // bisect q: mean is monotone increasing in q
+        let (mut lo, mut hi) = (0.0f64, 1.0 - 1e-9);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if geometric_mean_deg(mid, k_max) < target_mean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        truncated_geometric_pmf(0.5 * (lo + hi), k_max)
+    } else {
+        truncated_poisson_pmf(target_mean, k_max)
+    }
+}
+
+/// Find the exponent α such that a power law truncated at `k_max` has the
+/// requested mean degree. Bisection over α ∈ [0.01, 8]; the mean is
+/// monotonically decreasing in α. Returns the clamped endpoint when the
+/// target is outside the achievable range.
+pub fn fit_alpha_for_mean(target_mean: f64, k_max: usize) -> f64 {
+    assert!(k_max >= 1);
+    let (mut lo, mut hi) = (0.01f64, 8.0f64);
+    // mean(lo) is the largest achievable, mean(hi) the smallest.
+    if target_mean >= power_law_mean(lo, k_max) {
+        return lo;
+    }
+    if target_mean <= power_law_mean(hi, k_max) {
+        return hi;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if power_law_mean(mid, k_max) > target_mean {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alias_reproduces_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = DiscreteAlias::new(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        let n = 400_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = weights[i] / 10.0;
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "outcome {i}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_single_outcome_always_samples_it() {
+        let table = DiscreteAlias::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_handles_zero_weights() {
+        let table = DiscreteAlias::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn alias_rejects_all_zero() {
+        DiscreteAlias::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn power_law_mean_decreases_with_alpha() {
+        let m1 = power_law_mean(1.0, 1000);
+        let m2 = power_law_mean(2.0, 1000);
+        let m3 = power_law_mean(3.0, 1000);
+        assert!(m1 > m2 && m2 > m3);
+    }
+
+    #[test]
+    fn fitted_alpha_hits_target_mean() {
+        for (target, kmax) in [(5.0, 1000usize), (30.0, 10_000), (2.0, 100)] {
+            let alpha = fit_alpha_for_mean(target, kmax);
+            let achieved = power_law_mean(alpha, kmax);
+            assert!(
+                (achieved - target).abs() / target < 0.02,
+                "target {target}: alpha {alpha} gives mean {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_clamps_out_of_range_targets() {
+        // mean larger than any power law can give at this k_max
+        let alpha = fit_alpha_for_mean(1e6, 100);
+        assert!(alpha <= 0.02);
+        // mean of ~1 needs a huge alpha
+        let alpha = fit_alpha_for_mean(1.0, 100);
+        assert!(alpha >= 7.9);
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let pmf = truncated_power_law_pmf(1.5, 50);
+        assert_eq!(pmf.len(), 50);
+        assert!(pmf.windows(2).all(|w| w[0] > w[1]));
+    }
+}

@@ -1,0 +1,221 @@
+//! The Table I analog suite.
+//!
+//! One [`MatrixSpec`] per matrix in the paper's Table I, carrying the
+//! published statistics (rows, μ, σ, max, NNZ). [`MatrixSpec::generate`]
+//! produces a seeded synthetic analog at a chosen `scale` divisor: rows
+//! shrink by `scale`, the mean degree μ is preserved (it determines the
+//! binning histogram's body), and the maximum degree is clamped to half
+//! the scaled row count (it determines the tail).
+//!
+//! `AMZ` and `DBL` are deliberately *low-skew* (the paper keeps them as
+//! contrast cases where HYB beats ACSR); `RAL` is the rectangular
+//! non-power-law outlier.
+
+use crate::powerlaw::{generate_power_law, DegreeModel, PowerLawConfig};
+use serde::{Deserialize, Serialize};
+use sparse_formats::{CsrMatrix, Scalar};
+
+/// Published statistics of one Table I matrix plus generation knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MatrixSpec {
+    /// Full collection name (e.g. "hollywood-2009").
+    pub name: &'static str,
+    /// Paper abbreviation (e.g. "HOL").
+    pub abbrev: &'static str,
+    /// Rows at full (paper) size.
+    pub rows: usize,
+    /// Columns at full size (== rows except RAL).
+    pub cols: usize,
+    /// Published mean non-zeros per row (μ).
+    pub mu: f64,
+    /// Published standard deviation (σ) — recorded for the Table I
+    /// printout; the generator does not target it directly.
+    pub sigma: f64,
+    /// Published maximum non-zeros per row.
+    pub max: usize,
+    /// Whether the paper treats the matrix as power-law.
+    pub power_law: bool,
+}
+
+/// The 17-matrix suite of Table I. Statistics transcribed from the paper.
+pub const TABLE1_SUITE: &[MatrixSpec] = &[
+    MatrixSpec { name: "amazon-2008", abbrev: "AMZ", rows: 735_000, cols: 735_000, mu: 7.7, sigma: 4.7, max: 10, power_law: false },
+    MatrixSpec { name: "cnr-2000", abbrev: "CNR", rows: 845_000, cols: 845_000, mu: 10.2, sigma: 7.8, max: 2216, power_law: true },
+    MatrixSpec { name: "dblp-2010", abbrev: "DBL", rows: 320_000, cols: 320_000, mu: 5.8, sigma: 5.3, max: 238, power_law: false },
+    MatrixSpec { name: "enron", abbrev: "ENR", rows: 69_000, cols: 69_000, mu: 4.7, sigma: 28.0, max: 1392, power_law: true },
+    MatrixSpec { name: "eu-2005", abbrev: "EU2", rows: 862_000, cols: 862_000, mu: 22.7, sigma: 29.0, max: 6985, power_law: true },
+    MatrixSpec { name: "flickr", abbrev: "FLI", rows: 1_800_000, cols: 1_800_000, mu: 12.0, sigma: 101.0, max: 2615, power_law: true },
+    MatrixSpec { name: "hollywood-2009", abbrev: "HOL", rows: 1_100_000, cols: 1_100_000, mu: 100.0, sigma: 272.0, max: 11_468, power_law: true },
+    MatrixSpec { name: "in-2004", abbrev: "IN2", rows: 1_380_000, cols: 1_380_000, mu: 12.0, sigma: 37.0, max: 7753, power_law: true },
+    MatrixSpec { name: "indochina-2004", abbrev: "IND", rows: 7_400_000, cols: 7_400_000, mu: 26.0, sigma: 216.0, max: 6985, power_law: true },
+    MatrixSpec { name: "internet", abbrev: "INT", rows: 65_000, cols: 65_000, mu: 2.7, sigma: 24.0, max: 693, power_law: true },
+    MatrixSpec { name: "livejournal", abbrev: "LIV", rows: 5_200_000, cols: 5_200_000, mu: 13.0, sigma: 22.0, max: 9186, power_law: true },
+    MatrixSpec { name: "ljournal-2008", abbrev: "LJ2", rows: 5_360_000, cols: 5_360_000, mu: 15.0, sigma: 37.0, max: 2469, power_law: true },
+    MatrixSpec { name: "uk-2002", abbrev: "UK2", rows: 18_500_000, cols: 18_500_000, mu: 16.0, sigma: 27.0, max: 2450, power_law: true },
+    MatrixSpec { name: "wikipedia", abbrev: "WIK", rows: 1_300_000, cols: 1_300_000, mu: 31.0, sigma: 42.0, max: 20_975, power_law: true },
+    MatrixSpec { name: "youtube", abbrev: "YOT", rows: 1_160_000, cols: 1_160_000, mu: 4.7, sigma: 48.0, max: 2894, power_law: true },
+    MatrixSpec { name: "webbase-1M", abbrev: "WEB", rows: 1_000_000, cols: 1_000_000, mu: 3.1, sigma: 25.0, max: 4700, power_law: true },
+    MatrixSpec { name: "rail4284", abbrev: "RAL", rows: 4284, cols: 1_096_894, mu: 2633.0, sigma: 2409.0, max: 56_181, power_law: false },
+];
+
+/// A generated suite matrix: the spec it came from, the scale used, and
+/// the CSR analog.
+#[derive(Clone, Debug)]
+pub struct SuiteMatrix<T> {
+    /// Source specification.
+    pub spec: MatrixSpec,
+    /// Scale divisor the analog was generated at.
+    pub scale: usize,
+    /// The synthetic matrix.
+    pub csr: CsrMatrix<T>,
+}
+
+impl MatrixSpec {
+    /// Look up a spec by paper abbreviation (case-insensitive).
+    pub fn by_abbrev(abbrev: &str) -> Option<&'static MatrixSpec> {
+        TABLE1_SUITE
+            .iter()
+            .find(|s| s.abbrev.eq_ignore_ascii_case(abbrev))
+    }
+
+    /// Scaled row count at divisor `scale` (minimum 2048 so binning and
+    /// HYB heuristics stay in their intended regimes).
+    pub fn scaled_rows(&self, scale: usize) -> usize {
+        (self.rows / scale.max(1)).max(2048)
+    }
+
+    /// Scaled column count.
+    pub fn scaled_cols(&self, scale: usize) -> usize {
+        if self.rows == self.cols {
+            self.scaled_rows(scale)
+        } else {
+            (self.cols / scale.max(1)).max(2048)
+        }
+    }
+
+    /// Scaled maximum degree: the published max, clamped so a single row
+    /// cannot exceed half the scaled column count.
+    pub fn scaled_max(&self, scale: usize) -> usize {
+        self.max.min(self.scaled_cols(scale) / 2).max(1)
+    }
+
+    /// Generate the synthetic analog at divisor `scale`.
+    ///
+    /// Power-law specs get a fitted heavy tail and two pinned max-degree
+    /// rows; low-skew specs (AMZ, DBL) get a mild tail with no pinning,
+    /// preserving the paper's contrast cases.
+    pub fn generate<T: Scalar>(&self, scale: usize, seed: u64) -> SuiteMatrix<T> {
+        let rows = self.scaled_rows(scale);
+        let cols = self.scaled_cols(scale);
+        let cfg = PowerLawConfig {
+            rows,
+            cols,
+            mean_degree: self.mu,
+            max_degree: self.scaled_max(scale),
+            pinned_max_rows: if self.power_law { 2 } else { 0 },
+            col_skew: if self.power_law { 0.75 } else { 0.1 },
+            seed: seed ^ fnv1a(self.abbrev.as_bytes()),
+            degree_model: if self.power_law {
+                DegreeModel::PowerLaw
+            } else {
+                DegreeModel::ThinTail
+            },
+        };
+        SuiteMatrix {
+            spec: *self,
+            scale,
+            csr: generate_power_law(&cfg),
+        }
+    }
+}
+
+/// Generate the full suite at `scale` (deterministic per seed).
+pub fn generate_suite<T: Scalar>(scale: usize, seed: u64) -> Vec<SuiteMatrix<T>> {
+    TABLE1_SUITE
+        .iter()
+        .map(|s| s.generate(scale, seed))
+        .collect()
+}
+
+/// FNV-1a, used to derive stable per-matrix seeds from abbreviations.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seventeen_matrices() {
+        assert_eq!(TABLE1_SUITE.len(), 17);
+        // abbreviations unique
+        let mut ab: Vec<_> = TABLE1_SUITE.iter().map(|s| s.abbrev).collect();
+        ab.sort_unstable();
+        ab.dedup();
+        assert_eq!(ab.len(), 17);
+    }
+
+    #[test]
+    fn by_abbrev_finds_case_insensitively() {
+        assert_eq!(MatrixSpec::by_abbrev("hol").unwrap().abbrev, "HOL");
+        assert_eq!(MatrixSpec::by_abbrev("RAL").unwrap().cols, 1_096_894);
+        assert!(MatrixSpec::by_abbrev("nope").is_none());
+    }
+
+    #[test]
+    fn scaled_analog_preserves_mu_and_tail() {
+        let spec = MatrixSpec::by_abbrev("ENR").unwrap();
+        let m = spec.generate::<f64>(8, 1);
+        let stats = m.csr.row_stats();
+        assert!(
+            (stats.mean - spec.mu).abs() / spec.mu < 0.25,
+            "mean {} vs μ {}",
+            stats.mean,
+            spec.mu
+        );
+        assert_eq!(stats.max_row, spec.scaled_max(8));
+        assert!(stats.looks_power_law());
+    }
+
+    #[test]
+    fn amz_analog_stays_low_skew() {
+        let spec = MatrixSpec::by_abbrev("AMZ").unwrap();
+        let m = spec.generate::<f64>(64, 1);
+        let stats = m.csr.row_stats();
+        assert!(stats.max_row <= 10);
+        assert!(!stats.looks_power_law());
+    }
+
+    #[test]
+    fn ral_is_rectangular() {
+        let spec = MatrixSpec::by_abbrev("RAL").unwrap();
+        let m = spec.generate::<f32>(4, 1);
+        let (r, c) = m.csr.shape();
+        assert!(c > 10 * r, "rows {r} cols {c}");
+    }
+
+    #[test]
+    fn scaling_reduces_size_monotonically() {
+        let spec = MatrixSpec::by_abbrev("EU2").unwrap();
+        let big = spec.generate::<f64>(64, 1);
+        let small = spec.generate::<f64>(256, 1);
+        assert!(big.csr.rows() > small.csr.rows());
+        assert!(big.csr.nnz() > small.csr.nnz());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = MatrixSpec::by_abbrev("INT").unwrap();
+        let a = spec.generate::<f64>(8, 5);
+        let b = spec.generate::<f64>(8, 5);
+        assert_eq!(a.csr, b.csr);
+        let c = spec.generate::<f64>(8, 6);
+        assert_ne!(a.csr, c.csr);
+    }
+}

@@ -1,0 +1,196 @@
+//! Dynamic-graph update streams (paper §VII).
+//!
+//! Reproduces the paper's protocol verbatim: "We randomly selected 10% of
+//! the rows to be updated. Scanning the columns of a row, we either
+//! remove a column or add another column to the row, each with equal
+//! probability. The total number of non-zeros in the matrix is thus kept
+//! nearly constant."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparse_formats::{CsrMatrix, Scalar, UpdateBatch};
+
+/// Parameters for [`generate_update_batch`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UpdateConfig {
+    /// Fraction of rows to touch (paper: 0.10).
+    pub row_fraction: f64,
+    /// Probability that a scanned column is deleted rather than paired
+    /// with an insertion (paper: 0.5).
+    pub delete_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        UpdateConfig {
+            row_fraction: 0.10,
+            delete_probability: 0.5,
+            seed: 0xD1FF_2014,
+        }
+    }
+}
+
+/// Generate one §VII update batch for `m`.
+pub fn generate_update_batch<T: Scalar>(m: &CsrMatrix<T>, cfg: &UpdateConfig) -> UpdateBatch<T> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let rows = m.rows();
+    let n_touch = ((rows as f64 * cfg.row_fraction).round() as usize).clamp(1, rows);
+
+    // Random sample of rows without replacement (partial Fisher-Yates),
+    // then sorted as the paper's kernel requires.
+    let mut ids: Vec<u32> = (0..rows as u32).collect();
+    for i in 0..n_touch {
+        let j = rng.random_range(i..rows);
+        ids.swap(i, j);
+    }
+    let mut touched: Vec<u32> = ids[..n_touch].to_vec();
+    touched.sort_unstable();
+
+    let mut delete_offsets = Vec::with_capacity(n_touch + 1);
+    let mut delete_cols = Vec::new();
+    let mut insert_offsets = Vec::with_capacity(n_touch + 1);
+    let mut insert_cols: Vec<u32> = Vec::new();
+    let mut insert_vals: Vec<T> = Vec::new();
+    delete_offsets.push(0u32);
+    insert_offsets.push(0u32);
+
+    let cols = m.cols();
+    let mut row_inserts: Vec<(u32, T)> = Vec::new();
+    for &r in &touched {
+        let (rcols, _) = m.row(r as usize);
+        row_inserts.clear();
+        let mut row_deletes: Vec<u32> = Vec::new();
+        for &c in rcols {
+            if rng.random::<f64>() < cfg.delete_probability {
+                row_deletes.push(c);
+            } else {
+                // "add another column": draw a column not already present
+                // (and not just queued for insertion).
+                for _ in 0..16 {
+                    let nc = rng.random_range(0..cols as u32);
+                    if rcols.binary_search(&nc).is_err()
+                        && !row_inserts.iter().any(|&(ic, _)| ic == nc)
+                    {
+                        row_inserts.push((nc, T::from_f64(0.5 + rng.random::<f64>())));
+                        break;
+                    }
+                }
+            }
+        }
+        row_inserts.sort_unstable_by_key(|&(c, _)| c);
+        delete_cols.extend_from_slice(&row_deletes);
+        delete_offsets.push(delete_cols.len() as u32);
+        for (c, v) in row_inserts.drain(..) {
+            insert_cols.push(c);
+            insert_vals.push(v);
+        }
+        insert_offsets.push(insert_cols.len() as u32);
+    }
+
+    let batch = UpdateBatch {
+        rows: touched,
+        delete_offsets,
+        delete_cols,
+        insert_offsets,
+        insert_cols,
+        insert_vals,
+    };
+    debug_assert!(batch.validate().is_ok());
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::{generate_power_law, PowerLawConfig};
+
+    fn matrix() -> CsrMatrix<f64> {
+        generate_power_law(&PowerLawConfig {
+            rows: 2000,
+            cols: 2000,
+            mean_degree: 10.0,
+            max_degree: 256,
+            pinned_max_rows: 2,
+            col_skew: 0.4,
+            seed: 11,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn batch_touches_requested_fraction() {
+        let m = matrix();
+        let b = generate_update_batch(&m, &UpdateConfig::default());
+        assert_eq!(b.touched_rows(), 200);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn nnz_stays_nearly_constant() {
+        let m = matrix();
+        let b = generate_update_batch(&m, &UpdateConfig::default());
+        let updated = b.apply_to_csr(&m);
+        let drift = (updated.nnz() as f64 - m.nnz() as f64).abs() / m.nnz() as f64;
+        assert!(drift < 0.05, "nnz drifted {:.1}%", drift * 100.0);
+    }
+
+    #[test]
+    fn deletes_reference_existing_columns() {
+        let m = matrix();
+        let b = generate_update_batch(&m, &UpdateConfig::default());
+        for (i, &r) in b.rows.iter().enumerate() {
+            let (del, _, _) = b.row_ops(i);
+            let (rcols, _) = m.row(r as usize);
+            for c in del {
+                assert!(rcols.binary_search(c).is_ok(), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_reference_new_columns() {
+        let m = matrix();
+        let b = generate_update_batch(&m, &UpdateConfig::default());
+        for (i, &r) in b.rows.iter().enumerate() {
+            let (_, ins, _) = b.row_ops(i);
+            let (rcols, _) = m.row(r as usize);
+            for c in ins {
+                assert!(rcols.binary_search(c).is_err(), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = matrix();
+        let a = generate_update_batch(&m, &UpdateConfig::default());
+        let b = generate_update_batch(&m, &UpdateConfig::default());
+        assert_eq!(a, b);
+        let c = generate_update_batch(
+            &m,
+            &UpdateConfig {
+                seed: 99,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn delete_probability_one_only_deletes() {
+        let m = matrix();
+        let b = generate_update_batch(
+            &m,
+            &UpdateConfig {
+                delete_probability: 1.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(b.total_inserts(), 0);
+        assert!(b.total_deletes() > 0);
+        let updated = b.apply_to_csr(&m);
+        assert!(updated.nnz() < m.nnz());
+    }
+}

@@ -1,0 +1,183 @@
+//! Real multicore SpMV implementations on `par-runtime`.
+//!
+//! The simulator gives *modeled* GPU times; these give *measured* CPU
+//! wall-clock for the Criterion benches, so every shape claim in
+//! EXPERIMENTS.md is cross-checked on real hardware. Row-chunked with
+//! dynamic grain claiming, so power-law skew still balances.
+
+use par_runtime::{for_each_chunk_mut, parallel_for};
+use sparse_formats::{CooMatrix, CsrMatrix, EllMatrix, HybMatrix, Scalar};
+
+/// Grain size (rows) for row-parallel kernels.
+const ROW_GRAIN: usize = 512;
+
+/// Parallel CSR SpMV: `y = A * x`.
+pub fn spmv_csr<T: Scalar>(m: &CsrMatrix<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), m.cols(), "x length mismatch");
+    assert_eq!(y.len(), m.rows(), "y length mismatch");
+    let row_offsets = m.row_offsets();
+    let col_indices = m.col_indices();
+    let values = m.values();
+    for_each_chunk_mut(y, ROW_GRAIN, |row0, chunk| {
+        for (i, out) in chunk.iter_mut().enumerate() {
+            let r = row0 + i;
+            let lo = row_offsets[r] as usize;
+            let hi = row_offsets[r + 1] as usize;
+            let mut sum = T::ZERO;
+            for k in lo..hi {
+                sum = values[k].mul_add(x[col_indices[k] as usize], sum);
+            }
+            *out = sum;
+        }
+    });
+}
+
+/// Parallel ELL SpMV accumulate: `y += E * x`.
+pub fn spmv_ell_accumulate<T: Scalar>(m: &EllMatrix<T>, x: &[T], y: &mut [T]) {
+    use sparse_formats::ell::ELL_PAD;
+    use sparse_formats::SpFormat;
+    let (rows, cols) = m.shape();
+    assert_eq!(x.len(), cols, "x length mismatch");
+    assert_eq!(y.len(), rows, "y length mismatch");
+    let width = m.width();
+    let cix = m.col_indices();
+    let vals = m.values();
+    for_each_chunk_mut(y, ROW_GRAIN, |row0, chunk| {
+        for (i, out) in chunk.iter_mut().enumerate() {
+            let r = row0 + i;
+            let mut sum = T::ZERO;
+            for slot in 0..width {
+                let c = cix[slot * rows + r];
+                if c != ELL_PAD {
+                    sum = vals[slot * rows + r].mul_add(x[c as usize], sum);
+                }
+            }
+            *out += sum;
+        }
+    });
+}
+
+/// Parallel COO SpMV accumulate (`y += C * x`). Entries are row-sorted,
+/// so chunks are snapped to row boundaries and no atomics are needed.
+pub fn spmv_coo_accumulate<T: Scalar>(m: &CooMatrix<T>, x: &[T], y: &mut [T]) {
+    let (rows, cols) = m.shape();
+    assert_eq!(x.len(), cols, "x length mismatch");
+    assert_eq!(y.len(), rows, "y length mismatch");
+    let ri = m.row_indices();
+    let ci = m.col_indices();
+    let vals = m.values();
+    let nnz = vals.len();
+    if nnz == 0 {
+        return;
+    }
+    // Partition entries into row-aligned chunks.
+    let threads = par_runtime::num_threads().max(1);
+    let target = nnz.div_ceil(threads * 4).max(1);
+    let mut bounds = vec![0usize];
+    let mut pos = target;
+    while pos < nnz {
+        // advance to the end of this row run
+        let row = ri[pos];
+        while pos < nnz && ri[pos] == row {
+            pos += 1;
+        }
+        bounds.push(pos);
+        pos += target;
+    }
+    if *bounds.last().unwrap() != nnz {
+        bounds.push(nnz);
+    }
+    let n_chunks = bounds.len() - 1;
+    // Each chunk owns a disjoint row range, so unsynchronized writes are
+    // safe; expose y through a raw pointer wrapper.
+    struct YPtr<T>(*mut T);
+    unsafe impl<T> Sync for YPtr<T> {}
+    impl<T: Scalar> YPtr<T> {
+        /// # Safety
+        /// Caller guarantees no concurrent access to index `r`.
+        #[inline]
+        unsafe fn fma(&self, r: usize, v: T, xv: T) {
+            let p = self.0.add(r);
+            *p = v.mul_add(xv, *p);
+        }
+    }
+    let y_ptr = YPtr(y.as_mut_ptr());
+    parallel_for(n_chunks, 1, |range| {
+        for ch in range {
+            let lo = bounds[ch];
+            let hi = bounds[ch + 1];
+            for k in lo..hi {
+                // SAFETY: chunk row ranges are disjoint (bounds snap to
+                // row-run ends), so each y[r] is written by one chunk.
+                unsafe {
+                    y_ptr.fma(ri[k] as usize, vals[k], x[ci[k] as usize]);
+                }
+            }
+        }
+    });
+}
+
+/// Parallel HYB SpMV: ELL part overwrites, COO tail accumulates.
+pub fn spmv_hyb<T: Scalar>(m: &HybMatrix<T>, x: &[T], y: &mut [T]) {
+    y.fill(T::ZERO);
+    spmv_ell_accumulate(m.ell(), x, y);
+    spmv_coo_accumulate(m.coo(), x, y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_close, test_matrix, test_x};
+
+    #[test]
+    fn parallel_csr_matches_reference() {
+        let m = test_matrix(5000, 61);
+        let x = test_x::<f64>(m.cols());
+        let mut y = vec![0.0; m.rows()];
+        spmv_csr(&m, &x, &mut y);
+        assert_close(&y, &m.spmv(&x), 1e-12, "cpu csr");
+    }
+
+    #[test]
+    fn parallel_hyb_matches_reference() {
+        let m = test_matrix(6000, 62);
+        let (hyb, _) = HybMatrix::from_csr(&m, usize::MAX).unwrap();
+        let x = test_x::<f64>(m.cols());
+        let mut y = vec![0.0; m.rows()];
+        spmv_hyb(&hyb, &x, &mut y);
+        assert_close(&y, &m.spmv(&x), 1e-12, "cpu hyb");
+    }
+
+    #[test]
+    fn parallel_coo_matches_reference() {
+        let m = test_matrix(3000, 63);
+        let (coo, _) = CooMatrix::from_csr(&m);
+        let x = test_x::<f64>(m.cols());
+        let mut y = vec![0.0; m.rows()];
+        spmv_coo_accumulate(&coo, &x, &mut y);
+        assert_close(&y, &m.spmv(&x), 1e-12, "cpu coo");
+    }
+
+    #[test]
+    fn coo_accumulate_preserves_prior_y() {
+        let m = test_matrix(500, 64);
+        let (coo, _) = CooMatrix::from_csr(&m);
+        let x = test_x::<f64>(m.cols());
+        let mut y = vec![1.5; m.rows()];
+        spmv_coo_accumulate(&coo, &x, &mut y);
+        let want: Vec<f64> = m.spmv(&x).iter().map(|v| v + 1.5).collect();
+        assert_close(&y, &want, 1e-12, "cpu coo accumulate");
+    }
+
+    #[test]
+    fn empty_matrix_handled() {
+        let m = sparse_formats::CsrMatrix::<f64>::zeros(100, 100);
+        let x = vec![1.0; 100];
+        let mut y = vec![9.0; 100];
+        spmv_csr(&m, &x, &mut y);
+        assert!(y.iter().all(|&v| v == 0.0));
+        let (coo, _) = CooMatrix::from_csr(&m);
+        spmv_coo_accumulate(&coo, &x, &mut y); // no-op on empty
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,281 @@
+//! Device-resident mirrors of the host sparse formats.
+//!
+//! Each `Dev*` struct owns [`gpu_sim::DeviceBuffer`]s for the arrays its
+//! kernel reads, knows its total device footprint (for the paper's ∅
+//! out-of-memory cells and for PCIe upload modeling), and carries the
+//! kernel-relevant parameters (ELL width, BRC blocks, BCCOO config, ...).
+
+use gpu_sim::{Device, DeviceBuffer};
+use sparse_formats::brc::BrcBlock;
+use sparse_formats::tcoo::TcooTile;
+use sparse_formats::{
+    BccooConfig, BccooMatrix, BrcMatrix, CooMatrix, CsrMatrix, EllMatrix, HybMatrix, Scalar,
+    TcooMatrix,
+};
+
+/// Device CSR: row offsets, column indices, values.
+pub struct DevCsr<T> {
+    pub rows: usize,
+    pub cols: usize,
+    pub row_offsets: DeviceBuffer<u32>,
+    pub col_indices: DeviceBuffer<u32>,
+    pub values: DeviceBuffer<T>,
+}
+
+impl<T: Scalar> DevCsr<T> {
+    /// Upload a host CSR matrix.
+    pub fn upload(dev: &Device, m: &CsrMatrix<T>) -> Self {
+        DevCsr {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_offsets: dev.alloc(m.row_offsets().to_vec()),
+            col_indices: dev.alloc(m.col_indices().to_vec()),
+            values: dev.alloc(m.values().to_vec()),
+        }
+    }
+
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total device bytes.
+    pub fn device_bytes(&self) -> u64 {
+        self.row_offsets.bytes() + self.col_indices.bytes() + self.values.bytes()
+    }
+}
+
+/// Device COO: explicit row/col indices plus values.
+pub struct DevCoo<T> {
+    pub rows: usize,
+    pub cols: usize,
+    pub row_indices: DeviceBuffer<u32>,
+    pub col_indices: DeviceBuffer<u32>,
+    pub values: DeviceBuffer<T>,
+}
+
+impl<T: Scalar> DevCoo<T> {
+    /// Upload a host COO matrix.
+    pub fn upload(dev: &Device, m: &CooMatrix<T>) -> Self {
+        let (rows, cols) = m.shape();
+        DevCoo {
+            rows,
+            cols,
+            row_indices: dev.alloc(m.row_indices().to_vec()),
+            col_indices: dev.alloc(m.col_indices().to_vec()),
+            values: dev.alloc(m.values().to_vec()),
+        }
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total device bytes.
+    pub fn device_bytes(&self) -> u64 {
+        self.row_indices.bytes() + self.col_indices.bytes() + self.values.bytes()
+    }
+}
+
+/// Device ELL: column-major padded arrays.
+pub struct DevEll<T> {
+    pub rows: usize,
+    pub cols: usize,
+    pub width: usize,
+    pub nnz: usize,
+    pub col_indices: DeviceBuffer<u32>,
+    pub values: DeviceBuffer<T>,
+}
+
+impl<T: Scalar> DevEll<T> {
+    /// Upload a host ELL matrix.
+    pub fn upload(dev: &Device, m: &EllMatrix<T>) -> Self {
+        use sparse_formats::SpFormat;
+        let (rows, cols) = m.shape();
+        DevEll {
+            rows,
+            cols,
+            width: m.width(),
+            nnz: m.nnz(),
+            col_indices: dev.alloc(m.col_indices().to_vec()),
+            values: dev.alloc(m.values().to_vec()),
+        }
+    }
+
+    /// Total device bytes (including padding — ELL's cost).
+    pub fn device_bytes(&self) -> u64 {
+        self.col_indices.bytes() + self.values.bytes()
+    }
+}
+
+/// Device HYB: an ELL head plus a COO tail.
+pub struct DevHyb<T> {
+    pub ell: DevEll<T>,
+    pub coo: DevCoo<T>,
+    pub k: usize,
+}
+
+impl<T: Scalar> DevHyb<T> {
+    /// Upload a host HYB matrix.
+    pub fn upload(dev: &Device, m: &HybMatrix<T>) -> Self {
+        DevHyb {
+            ell: DevEll::upload(dev, m.ell()),
+            coo: DevCoo::upload(dev, m.coo()),
+            k: m.k(),
+        }
+    }
+
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.ell.nnz + self.coo.nnz()
+    }
+
+    /// Total device bytes.
+    pub fn device_bytes(&self) -> u64 {
+        self.ell.device_bytes() + self.coo.device_bytes()
+    }
+}
+
+/// Device BRC: chunk-row map, block descriptors, padded block storage.
+pub struct DevBrc<T> {
+    pub rows: usize,
+    pub cols: usize,
+    pub nnz: usize,
+    pub chunk_rows: DeviceBuffer<u32>,
+    pub blocks: Vec<BrcBlock>,
+    pub col_indices: DeviceBuffer<u32>,
+    pub values: DeviceBuffer<T>,
+}
+
+impl<T: Scalar> DevBrc<T> {
+    /// Upload a host BRC matrix.
+    pub fn upload(dev: &Device, m: &BrcMatrix<T>) -> Self {
+        use sparse_formats::SpFormat;
+        let (rows, cols) = m.shape();
+        DevBrc {
+            rows,
+            cols,
+            nnz: m.nnz(),
+            chunk_rows: dev.alloc(m.chunk_rows().to_vec()),
+            blocks: m.blocks().to_vec(),
+            col_indices: dev.alloc(m.col_indices().to_vec()),
+            values: dev.alloc(m.values().to_vec()),
+        }
+    }
+
+    /// Total device bytes.
+    pub fn device_bytes(&self) -> u64 {
+        self.chunk_rows.bytes()
+            + (self.blocks.len() * std::mem::size_of::<BrcBlock>()) as u64
+            + self.col_indices.bytes()
+            + self.values.bytes()
+    }
+}
+
+/// Device BCCOO: tile coordinates, bit flags, dense tile payloads.
+pub struct DevBccoo<T> {
+    pub rows: usize,
+    pub cols: usize,
+    pub nnz: usize,
+    pub config: BccooConfig,
+    pub n_tiles: usize,
+    pub tile_rows: DeviceBuffer<u32>,
+    pub tile_cols: DeviceBuffer<u32>,
+    pub row_flags: DeviceBuffer<u64>,
+    pub tile_values: DeviceBuffer<T>,
+}
+
+impl<T: Scalar> DevBccoo<T> {
+    /// Upload a host BCCOO matrix.
+    pub fn upload(dev: &Device, m: &BccooMatrix<T>) -> Self {
+        use sparse_formats::SpFormat;
+        let (rows, cols) = m.shape();
+        DevBccoo {
+            rows,
+            cols,
+            nnz: m.nnz(),
+            config: m.config(),
+            n_tiles: m.n_tiles(),
+            tile_rows: dev.alloc(m.tile_rows().to_vec()),
+            tile_cols: dev.alloc(m.tile_cols().to_vec()),
+            row_flags: dev.alloc(m.row_flags().to_vec()),
+            tile_values: dev.alloc(m.tile_values().to_vec()),
+        }
+    }
+
+    /// Total device bytes.
+    pub fn device_bytes(&self) -> u64 {
+        self.tile_rows.bytes() + self.tile_cols.bytes() + self.row_flags.bytes()
+            + self.tile_values.bytes()
+    }
+}
+
+/// Device TCOO: column tiles plus tile-bucketed COO arrays.
+pub struct DevTcoo<T> {
+    pub rows: usize,
+    pub cols: usize,
+    pub tiles: Vec<TcooTile>,
+    pub row_indices: DeviceBuffer<u32>,
+    pub col_indices: DeviceBuffer<u32>,
+    pub values: DeviceBuffer<T>,
+}
+
+impl<T: Scalar> DevTcoo<T> {
+    /// Upload a host TCOO matrix.
+    pub fn upload(dev: &Device, m: &TcooMatrix<T>) -> Self {
+        use sparse_formats::SpFormat;
+        let (rows, cols) = m.shape();
+        DevTcoo {
+            rows,
+            cols,
+            tiles: m.tiles().to_vec(),
+            row_indices: dev.alloc(m.row_indices().to_vec()),
+            col_indices: dev.alloc(m.col_indices().to_vec()),
+            values: dev.alloc(m.values().to_vec()),
+        }
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total device bytes.
+    pub fn device_bytes(&self) -> u64 {
+        self.row_indices.bytes()
+            + self.col_indices.bytes()
+            + self.values.bytes()
+            + (self.tiles.len() * std::mem::size_of::<TcooTile>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_matrix;
+    use gpu_sim::presets;
+
+    #[test]
+    fn uploads_preserve_sizes() {
+        let m = test_matrix(500, 3);
+        let dev = Device::new(presets::gtx_titan());
+        let d = DevCsr::upload(&dev, &m);
+        assert_eq!(d.nnz(), m.nnz());
+        assert_eq!(d.rows, 500);
+        assert_eq!(
+            d.device_bytes(),
+            (m.row_offsets().len() * 4 + m.col_indices().len() * 4 + m.values().len() * 8) as u64
+        );
+    }
+
+    #[test]
+    fn hyb_upload_splits_parts() {
+        let m = test_matrix(5000, 4);
+        let dev = Device::new(presets::gtx_titan());
+        let (hyb, _) = HybMatrix::from_csr(&m, usize::MAX).unwrap();
+        let d = DevHyb::upload(&dev, &hyb);
+        assert_eq!(d.nnz(), m.nnz());
+        assert_eq!(d.k, hyb.k());
+    }
+}

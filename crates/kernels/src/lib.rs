@@ -1,0 +1,121 @@
+//! # spmv-kernels — SpMV kernels for every baseline format
+//!
+//! Implements, on the [`gpu_sim`] SIMT substrate, the complete set of
+//! SpMV algorithms the paper compares against (§II, §V):
+//!
+//! | Kernel | Module | Mirrors |
+//! |---|---|---|
+//! | CSR-scalar (thread/row) | [`csr_scalar`] | Bell & Garland scalar kernel |
+//! | CSR-vector (group/row, segmented) | [`csr_vector`] | cuSPARSE/CUSP `csrmv` |
+//! | COO segmented reduction | [`coo_kernel`] | CUSP `coomv` |
+//! | ELL (thread/row, column-major) | [`ell_kernel`] | CUSP `ellmv` |
+//! | HYB = ELL + COO | [`hyb_kernel`] | cuSPARSE/CUSP `hybmv` |
+//! | BRC (warp/row-block) | [`brc_kernel`] | Ashari et al. [1] |
+//! | BCCOO (tiles + bit flags) | [`bccoo_kernel`] | Yan et al. [27] |
+//! | TCOO (column tiles) | [`tcoo_kernel`] | Yang et al. [28] |
+//!
+//! plus:
+//! * [`device`] — device-resident mirrors of each host format with
+//!   upload-size accounting (PCIe modeling for the dynamic-graph study);
+//! * [`cpu`] — real multicore implementations on `par-runtime` used by
+//!   the wall-clock Criterion benches;
+//! * [`tuning`] — the BCCOO configuration auto-tuner (>300 settings) and
+//!   the TCOO exhaustive tile search, whose *cost is the point* of the
+//!   paper's Figure 4.
+//!
+//! The ACSR kernels themselves (the paper's contribution) live in the
+//! `acsr` crate; everything here is baseline machinery.
+
+pub mod bccoo_kernel;
+pub mod brc_kernel;
+pub mod coo_kernel;
+pub mod cpu;
+pub mod csr_scalar;
+pub mod csr_vector;
+pub mod device;
+pub mod ell_kernel;
+pub mod hyb_kernel;
+pub mod tcoo_kernel;
+pub mod tuning;
+
+pub use device::{DevBccoo, DevBrc, DevCoo, DevCsr, DevEll, DevHyb, DevTcoo};
+
+use gpu_sim::{Device, DeviceBuffer, RunReport};
+use sparse_formats::Scalar;
+
+/// A device-resident matrix that can run `y = A * x` on a simulated GPU.
+///
+/// Contract: `spmv` fully overwrites `y` (accumulation-based kernels zero
+/// it first, charged as a memset launch, exactly as cuSPARSE does).
+pub trait GpuSpmv<T: Scalar> {
+    /// Kernel family name for reports ("CSR-vector", "HYB", ...).
+    fn name(&self) -> &'static str;
+    /// Run one SpMV; returns the modeled launch report.
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport;
+    /// Rows of the operator.
+    fn rows(&self) -> usize;
+    /// Columns of the operator.
+    fn cols(&self) -> usize;
+    /// Stored non-zeros.
+    fn nnz(&self) -> usize;
+    /// Device bytes occupied (for memory-capacity ∅ checks and upload
+    /// modeling).
+    fn device_bytes(&self) -> u64;
+}
+
+/// Launch a memset-style kernel writing `value` over all of `y`.
+/// Bandwidth-bound, like `cudaMemset`.
+pub(crate) fn fill_kernel<T: Scalar>(
+    dev: &Device,
+    y: &mut DeviceBuffer<T>,
+    value: T,
+) -> RunReport {
+    use gpu_sim::{lane_mask, WARP};
+    let n = y.len();
+    let block = 256;
+    let grid = n.div_ceil(block).max(1);
+    dev.launch("fill", grid, block, &mut |blk| {
+        blk.for_each_warp(&mut |warp| {
+            let base = warp.first_thread();
+            if base >= n {
+                return;
+            }
+            let mask = lane_mask(n - base);
+            let vals = [value; WARP];
+            warp.write_coalesced(y, base, &vals, mask);
+        });
+    })
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use graphgen::{generate_power_law, PowerLawConfig};
+    use sparse_formats::{CsrMatrix, Scalar};
+
+    /// Small skewed matrix for kernel correctness tests.
+    pub fn test_matrix(rows: usize, seed: u64) -> CsrMatrix<f64> {
+        generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 9.0,
+            max_degree: (rows / 3).max(8),
+            pinned_max_rows: 2,
+            col_skew: 0.5,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    /// Dense-ish x vector with varied entries.
+    pub fn test_x<T: Scalar>(cols: usize) -> Vec<T> {
+        (0..cols)
+            .map(|i| T::from_f64(0.25 + (i % 29) as f64 * 0.125))
+            .collect()
+    }
+
+    /// Assert two vectors agree to a relative L2 tolerance.
+    pub fn assert_close<T: Scalar>(got: &[T], want: &[T], tol: f64, what: &str) {
+        let d = sparse_formats::scalar::rel_l2_distance(got, want);
+        assert!(d < tol, "{what}: rel L2 distance {d}");
+    }
+}

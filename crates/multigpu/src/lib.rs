@@ -1,0 +1,284 @@
+//! # multi-gpu — dividing ACSR work among multiple GPUs (paper §VIII)
+//!
+//! "The partitioning algorithm for ACSR is a simple division of each bin
+//! among GPUs. For two GPUs, we simply map half of the rows in each bin
+//! to each device... Such a partitioning approach can be used with any
+//! number of GPUs."
+//!
+//! Each device receives the row *slice* it owns (re-packed as a local CSR
+//! with a row map back to global indices) plus the full `x` vector; after
+//! both devices finish, their disjoint halves of `y` are concatenated.
+//! Total SpMV time is the slowest device plus a synchronization cost —
+//! which is why the paper's small matrices (ENR, INT, ...) fail to scale:
+//! their per-device work no longer covers launch/sync floors.
+//!
+//! The K10 lacks dynamic parallelism, so (as in the paper) the per-device
+//! engines run ACSR's §VIII static long-tail configuration.
+
+mod partition;
+
+pub use partition::{partition_rows_by_bins, BinPartition};
+
+use acsr::{AcsrConfig, AcsrEngine};
+use gpu_sim::{Device, DeviceConfig, RunReport};
+use sparse_formats::{CsrMatrix, Scalar};
+use spmv_kernels::GpuSpmv;
+
+/// A multi-device ACSR SpMV executor.
+pub struct MultiGpuAcsr<T> {
+    devices: Vec<Device>,
+    engines: Vec<AcsrEngine<T>>,
+    /// `row_maps[d][local_row] = global_row`.
+    row_maps: Vec<Vec<u32>>,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    /// Fixed synchronization cost charged once per SpMV (device barrier +
+    /// result hand-off), seconds.
+    pub sync_overhead_s: f64,
+}
+
+/// Per-device and combined timing of one multi-GPU SpMV.
+#[derive(Clone, Debug)]
+pub struct MultiReport {
+    /// One report per device (they run concurrently).
+    pub per_device: Vec<RunReport>,
+    /// Synchronization cost charged on top of the slowest device.
+    pub sync_seconds: f64,
+}
+
+impl MultiReport {
+    /// Modeled wall time: slowest device + sync.
+    pub fn seconds(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(|r| r.time_s)
+            .fold(0.0, f64::max)
+            + self.sync_seconds
+    }
+
+    /// GFLOP/s for `flops` useful operations.
+    pub fn gflops(&self, flops: u64) -> f64 {
+        flops as f64 / self.seconds() / 1e9
+    }
+}
+
+impl<T: Scalar> MultiGpuAcsr<T> {
+    /// Partition `m` across `n_devices` copies of `device_cfg`, using the
+    /// given per-device ACSR configuration (§VIII uses
+    /// [`AcsrConfig::static_long_tail`] on the K10).
+    pub fn new(
+        m: &CsrMatrix<T>,
+        device_cfg: &DeviceConfig,
+        n_devices: usize,
+        acsr_cfg: AcsrConfig,
+    ) -> Self {
+        assert!(n_devices >= 1, "need at least one device");
+        let parts = partition_rows_by_bins(m, n_devices);
+        let mut devices = Vec::with_capacity(n_devices);
+        let mut engines = Vec::with_capacity(n_devices);
+        let mut row_maps = Vec::with_capacity(n_devices);
+        for part in parts {
+            let dev = Device::new(device_cfg.clone());
+            let sub = extract_rows(m, &part.rows);
+            engines.push(AcsrEngine::from_csr(&dev, &sub, acsr_cfg));
+            devices.push(dev);
+            row_maps.push(part.rows);
+        }
+        MultiGpuAcsr {
+            devices,
+            engines,
+            row_maps,
+            rows: m.rows(),
+            cols: m.cols(),
+            nnz: m.nnz(),
+            sync_overhead_s: 20e-6,
+        }
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Global rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Global columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Per-device nnz share (load-balance diagnostics).
+    pub fn device_nnz(&self) -> Vec<usize> {
+        self.engines.iter().map(|e| e.nnz()).collect()
+    }
+
+    /// Run `y = A * x` across all devices; `y` must have `rows` slots.
+    pub fn spmv(&self, x: &[T], y: &mut [T]) -> MultiReport {
+        assert_eq!(x.len(), self.cols, "x length mismatch");
+        assert_eq!(y.len(), self.rows, "y length mismatch");
+        let mut per_device = Vec::with_capacity(self.devices.len());
+        for (d, engine) in self.engines.iter().enumerate() {
+            let dev = &self.devices[d];
+            // each device holds a full copy of x (as on the K10)
+            let xd = dev.alloc(x.to_vec());
+            let mut yd = dev.alloc_zeroed::<T>(engine.rows());
+            per_device.push(engine.spmv(dev, &xd, &mut yd));
+            for (local, &global) in self.row_maps[d].iter().enumerate() {
+                y[global as usize] = yd.as_slice()[local];
+            }
+        }
+        MultiReport {
+            per_device,
+            sync_seconds: if self.devices.len() > 1 {
+                self.sync_overhead_s
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Extract the listed rows of `m` into a compact sub-matrix (row order
+/// preserved; columns untouched).
+fn extract_rows<T: Scalar>(m: &CsrMatrix<T>, rows: &[u32]) -> CsrMatrix<T> {
+    let mut offsets = Vec::with_capacity(rows.len() + 1);
+    offsets.push(0u32);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for &r in rows {
+        let (rc, rv) = m.row(r as usize);
+        cols.extend_from_slice(rc);
+        vals.extend_from_slice(rv);
+        offsets.push(cols.len() as u32);
+    }
+    CsrMatrix::from_raw_parts(rows.len(), m.cols(), offsets, cols, vals)
+        .expect("extracted rows preserve CSR invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::presets;
+    use graphgen::{generate_power_law, PowerLawConfig};
+
+    fn matrix(rows: usize, seed: u64) -> CsrMatrix<f64> {
+        generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 10.0,
+            max_degree: 1500,
+            pinned_max_rows: 2,
+            col_skew: 0.4,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn dual_gpu_result_matches_reference() {
+        let m = matrix(4000, 171);
+        let mg = MultiGpuAcsr::new(
+            &m,
+            &presets::tesla_k10_single(),
+            2,
+            AcsrConfig::static_long_tail(),
+        );
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+        let mut y = vec![0.0; m.rows()];
+        let rep = mg.spmv(&x, &mut y);
+        let d = sparse_formats::scalar::rel_l2_distance(&y, &m.spmv(&x));
+        assert!(d < 1e-12, "rel distance {d}");
+        assert_eq!(rep.per_device.len(), 2);
+        assert!(rep.seconds() > 0.0);
+    }
+
+    #[test]
+    fn work_is_split_roughly_in_half() {
+        let m = matrix(6000, 172);
+        let mg = MultiGpuAcsr::new(
+            &m,
+            &presets::tesla_k10_single(),
+            2,
+            AcsrConfig::static_long_tail(),
+        );
+        let shares = mg.device_nnz();
+        let ratio = shares[0] as f64 / shares[1] as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "nnz split {shares:?} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn large_matrix_scales_small_matrix_does_not() {
+        let big = matrix(60_000, 173);
+        let small = matrix(2048, 174);
+        let speedup = |m: &CsrMatrix<f64>| {
+            let x: Vec<f64> = (0..m.cols()).map(|_| 1.0).collect();
+            let mut y = vec![0.0; m.rows()];
+            let one = MultiGpuAcsr::new(
+                m,
+                &presets::tesla_k10_single(),
+                1,
+                AcsrConfig::static_long_tail(),
+            );
+            let t1 = one.spmv(&x, &mut y).seconds();
+            let two = MultiGpuAcsr::new(
+                m,
+                &presets::tesla_k10_single(),
+                2,
+                AcsrConfig::static_long_tail(),
+            );
+            let t2 = two.spmv(&x, &mut y).seconds();
+            t1 / t2
+        };
+        let s_big = speedup(&big);
+        let s_small = speedup(&small);
+        assert!(s_big > 1.4, "big-matrix speedup {s_big}");
+        assert!(
+            s_small < s_big,
+            "small {s_small} should scale worse than big {s_big}"
+        );
+    }
+
+    #[test]
+    fn four_devices_partition_correctly() {
+        let m = matrix(3000, 175);
+        let mg = MultiGpuAcsr::new(
+            &m,
+            &presets::tesla_k10_single(),
+            4,
+            AcsrConfig::static_long_tail(),
+        );
+        assert_eq!(mg.n_devices(), 4);
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i % 3) as f64 + 0.5).collect();
+        let mut y = vec![0.0; m.rows()];
+        mg.spmv(&x, &mut y);
+        let d = sparse_formats::scalar::rel_l2_distance(&y, &m.spmv(&x));
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn single_device_has_no_sync_cost() {
+        let m = matrix(2048, 176);
+        let mg = MultiGpuAcsr::new(
+            &m,
+            &presets::tesla_k10_single(),
+            1,
+            AcsrConfig::static_long_tail(),
+        );
+        let x = vec![1.0f64; m.cols()];
+        let mut y = vec![0.0; m.rows()];
+        let rep = mg.spmv(&x, &mut y);
+        assert_eq!(rep.sync_seconds, 0.0);
+    }
+}

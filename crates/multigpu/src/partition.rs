@@ -1,0 +1,130 @@
+//! Per-bin row partitioning (§VIII).
+//!
+//! Rows are binned exactly as ACSR's Algorithm 1 does; each bin's rows
+//! are then dealt round-robin to the devices, so every device gets the
+//! same *shape* of work (the same mix of short and long rows), not just
+//! the same row count — the property that makes the paper's "half of
+//! each bin" split load-balanced.
+
+use sparse_formats::stats::bin_index;
+use sparse_formats::{CsrMatrix, Scalar};
+
+/// The rows assigned to one device, in ascending global order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BinPartition {
+    /// Device index.
+    pub device: usize,
+    /// Global row ids owned by this device.
+    pub rows: Vec<u32>,
+    /// Non-zeros owned by this device.
+    pub nnz: usize,
+}
+
+/// Split `m`'s rows across `n_devices` by dealing each bin round-robin.
+pub fn partition_rows_by_bins<T: Scalar>(
+    m: &CsrMatrix<T>,
+    n_devices: usize,
+) -> Vec<BinPartition> {
+    assert!(n_devices >= 1);
+    // bin -> rows (ascending because we scan rows in order)
+    let mut bins: Vec<Vec<u32>> = Vec::new();
+    for r in 0..m.rows() {
+        let b = bin_index(m.row_nnz(r));
+        if b >= bins.len() {
+            bins.resize_with(b + 1, Vec::new);
+        }
+        bins[b].push(r as u32);
+    }
+    let mut parts: Vec<BinPartition> = (0..n_devices)
+        .map(|device| BinPartition {
+            device,
+            rows: Vec::new(),
+            nnz: 0,
+        })
+        .collect();
+    for rows in &bins {
+        for (i, &r) in rows.iter().enumerate() {
+            let p = &mut parts[i % n_devices];
+            p.rows.push(r);
+            p.nnz += m.row_nnz(r as usize);
+        }
+    }
+    for p in &mut parts {
+        p.rows.sort_unstable();
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphgen::{generate_power_law, PowerLawConfig};
+
+    fn matrix(rows: usize) -> CsrMatrix<f64> {
+        generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 8.0,
+            max_degree: 600,
+            pinned_max_rows: 2,
+            col_skew: 0.3,
+            seed: 181,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn partitions_cover_all_rows_disjointly() {
+        let m = matrix(5000);
+        let parts = partition_rows_by_bins(&m, 3);
+        let mut seen = vec![false; m.rows()];
+        for p in &parts {
+            for &r in &p.rows {
+                assert!(!seen[r as usize], "row {r} assigned twice");
+                seen[r as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn nnz_shares_are_balanced() {
+        let m = matrix(8000);
+        let parts = partition_rows_by_bins(&m, 2);
+        let total: usize = parts.iter().map(|p| p.nnz).sum();
+        assert_eq!(total, m.nnz());
+        let ratio = parts[0].nnz as f64 / parts[1].nnz as f64;
+        assert!((0.85..1.18).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn each_device_gets_long_tail_rows() {
+        // both devices must receive some of the widest rows, otherwise
+        // one device serializes the whole tail
+        let m = matrix(4000);
+        let parts = partition_rows_by_bins(&m, 2);
+        let widest = m.row_stats().max_row;
+        for p in &parts {
+            let dev_max = p
+                .rows
+                .iter()
+                .map(|&r| m.row_nnz(r as usize))
+                .max()
+                .unwrap();
+            assert!(
+                dev_max as f64 >= widest as f64 / 4.0,
+                "device {} max row {dev_max} vs global {widest}",
+                p.device
+            );
+        }
+    }
+
+    #[test]
+    fn single_device_owns_everything() {
+        let m = matrix(1000);
+        let parts = partition_rows_by_bins(&m, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].rows.len(), m.rows());
+        assert_eq!(parts[0].nnz, m.nnz());
+    }
+}

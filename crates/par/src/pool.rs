@@ -1,0 +1,256 @@
+//! Persistent worker pool.
+//!
+//! Workers block on a crossbeam MPMC channel. Each parallel call publishes a
+//! single *task header* (an `Arc`) carrying an atomic grain cursor and a
+//! type-erased pointer to the caller's closure. Workers — and the calling
+//! thread itself — claim grain indices from the cursor until it is
+//! exhausted; the caller then waits for the claimed grains to complete.
+//!
+//! ## Why this is sound
+//!
+//! The closure pointer inside [`TaskHeader`] refers to a closure on the
+//! *caller's stack*, so it must never be dereferenced after the calling
+//! function returns. The invariant that guarantees this:
+//!
+//! * the pointer is dereferenced only after successfully claiming a grain
+//!   (`cursor.fetch_add(1) < n_grains`), and
+//! * the caller returns only once `completed == n_grains`, i.e. after every
+//!   claimed grain has finished running.
+//!
+//! A worker that dequeues a stale header (all grains long finished) observes
+//! an exhausted cursor and drops the `Arc` without touching the closure.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A type-erased, unsafely-`'static` pointer to a `Fn(Range<usize>) + Sync`
+/// closure living on the initiating caller's stack.
+struct ClosurePtr(*const (dyn Fn(Range<usize>) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (so `&closure` may be shared across
+// threads), and the pool's completion protocol (module docs) guarantees the
+// pointer is not dereferenced after the caller returns.
+unsafe impl Send for ClosurePtr {}
+unsafe impl Sync for ClosurePtr {}
+
+/// Shared state for one parallel call.
+struct TaskHeader {
+    /// Next grain index to hand out.
+    cursor: AtomicUsize,
+    /// Number of grains in this task.
+    n_grains: usize,
+    /// Grain size in items (last grain may be short).
+    grain: usize,
+    /// Total number of items.
+    total: usize,
+    /// Grains fully executed so far.
+    completed: AtomicUsize,
+    /// Caller parks here until `completed == n_grains`.
+    done_lock: Mutex<bool>,
+    done_cond: Condvar,
+    body: ClosurePtr,
+}
+
+impl TaskHeader {
+    /// Claim and run grains until the cursor is exhausted.
+    /// Returns the number of grains this thread executed.
+    fn drain(&self) -> usize {
+        let mut ran = 0;
+        loop {
+            let g = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if g >= self.n_grains {
+                return ran;
+            }
+            let lo = g * self.grain;
+            let hi = (lo + self.grain).min(self.total);
+            // SAFETY: a grain was claimed, so the caller has not yet
+            // returned and the closure is alive (see module docs).
+            let body = unsafe { &*self.body.0 };
+            body(lo..hi);
+            ran += 1;
+            let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+            if done == self.n_grains {
+                let mut flag = self.done_lock.lock();
+                *flag = true;
+                self.done_cond.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut flag = self.done_lock.lock();
+        while !*flag {
+            self.done_cond.wait(&mut flag);
+        }
+    }
+}
+
+/// A persistent pool of worker threads executing chunked parallel loops.
+///
+/// Most users never construct one: the free functions in this crate operate
+/// on a lazily-created global pool (see [`configure_threads`]). Dedicated
+/// pools are useful in tests that need a specific width.
+pub struct Pool {
+    sender: Sender<Arc<TaskHeader>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Create a pool with `threads` workers (the calling thread also
+    /// participates in every parallel call, so total parallelism is
+    /// `threads + 1` when the caller is otherwise idle).
+    pub fn new(threads: usize) -> Self {
+        let (sender, receiver): (Sender<Arc<TaskHeader>>, Receiver<Arc<TaskHeader>>) = unbounded();
+        for id in 0..threads {
+            let rx = receiver.clone();
+            std::thread::Builder::new()
+                .name(format!("par-runtime-{id}"))
+                .spawn(move || {
+                    while let Ok(task) = rx.recv() {
+                        task.drain();
+                    }
+                })
+                .expect("failed to spawn par-runtime worker");
+        }
+        Pool { sender, threads }
+    }
+
+    /// Number of worker threads (excluding callers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `body` over `0..total` split into grains of `grain` items.
+    ///
+    /// Blocks until every grain has executed. The calling thread itself
+    /// executes grains, so this is deadlock-free even when invoked from
+    /// inside another parallel call.
+    pub fn run(&self, total: usize, grain: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        let n_grains = total.div_ceil(grain);
+        if n_grains == 1 || self.threads == 0 {
+            body(0..total);
+            return;
+        }
+        // SAFETY: erase the closure's lifetime; the completion protocol
+        // (module docs) prevents use-after-return.
+        let body_static: *const (dyn Fn(Range<usize>) + Sync + 'static) =
+            unsafe { std::mem::transmute(body as *const (dyn Fn(Range<usize>) + Sync)) };
+        let header = Arc::new(TaskHeader {
+            cursor: AtomicUsize::new(0),
+            n_grains,
+            grain,
+            total,
+            completed: AtomicUsize::new(0),
+            done_lock: Mutex::new(false),
+            done_cond: Condvar::new(),
+            body: ClosurePtr(body_static),
+        });
+        // Wake at most as many workers as there are grains beyond the one
+        // the caller will take.
+        let helpers = self.threads.min(n_grains - 1);
+        for _ in 0..helpers {
+            // Send failure means workers are gone, which only happens at
+            // process teardown; fall back to inline execution below.
+            let _ = self.sender.send(Arc::clone(&header));
+        }
+        header.drain();
+        header.wait();
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Request a worker count for the global pool.
+///
+/// Takes effect only if called before the first parallel operation; returns
+/// `true` if the request was recorded in time. Intended for benchmarks and
+/// `PAR_RUNTIME_THREADS`-style CLI plumbing.
+pub fn configure_threads(threads: usize) -> bool {
+    if GLOBAL.get().is_some() {
+        return false;
+    }
+    REQUESTED_THREADS.store(threads.max(1), Ordering::SeqCst);
+    GLOBAL.get().is_none()
+}
+
+pub(crate) fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| {
+        let requested = REQUESTED_THREADS.load(Ordering::SeqCst);
+        let threads = if requested > 0 {
+            requested
+        } else if let Ok(env) = std::env::var("PAR_RUNTIME_THREADS") {
+            env.parse().unwrap_or_else(|_| default_threads())
+        } else {
+            default_threads()
+        };
+        // The caller participates too, so spawn one fewer worker.
+        Pool::new(threads.saturating_sub(1))
+    })
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Total threads participating in global-pool parallel calls
+/// (workers + the caller).
+pub fn num_threads() -> usize {
+    global().threads() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn dedicated_pool_runs_all_grains() {
+        let pool = Pool::new(3);
+        let sum = AtomicU64::new(0);
+        pool.run(1000, 7, &|r: Range<usize>| {
+            sum.fetch_add(r.map(|i| i as u64).sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn zero_width_pool_runs_inline() {
+        let pool = Pool::new(0);
+        let sum = AtomicU64::new(0);
+        pool.run(100, 10, &|r: Range<usize>| {
+            sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn single_grain_runs_on_caller() {
+        let pool = Pool::new(4);
+        let tid = std::thread::current().id();
+        pool.run(5, 100, &move |_r| {
+            assert_eq!(std::thread::current().id(), tid);
+        });
+    }
+
+    #[test]
+    fn many_small_tasks_reuse_workers() {
+        let pool = Pool::new(2);
+        for round in 0..200 {
+            let sum = AtomicU64::new(0);
+            pool.run(64, 4, &|r: Range<usize>| {
+                sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 64, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Compressed Sparse Row — the canonical format everything converts from.
+//!
+//! ACSR's whole premise (paper §I) is that CSR is what applications already
+//! hold: PETSc/Hypre use it, graphs arrive as CSR adjacency structures, and
+//! dynamic-graph pipelines cannot afford to re-encode it. This module is
+//! therefore the hub of the crate: the builder targets it and every other
+//! format converts *from* it, reporting its preprocessing cost.
+
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::stats::RowLengthStats;
+use crate::SpFormat;
+
+/// CSR sparse matrix: row offsets + column indices + values.
+///
+/// Invariants (checked by [`CsrMatrix::from_raw_parts`] and preserved by
+/// all methods):
+/// * `row_offsets.len() == rows + 1`, `row_offsets[0] == 0`,
+///   `row_offsets` non-decreasing, last entry `== nnz`;
+/// * `col_indices.len() == values.len() == nnz`;
+/// * every column index `< cols`;
+/// * column indices strictly increasing within each row (sorted, no dups).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix<T> {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Build from raw arrays, validating every invariant listed on the type.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_offsets: Vec<u32>,
+        col_indices: Vec<u32>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if row_offsets.len() != rows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "row_offsets has {} entries, expected rows+1 = {}",
+                row_offsets.len(),
+                rows + 1
+            )));
+        }
+        if row_offsets[0] != 0 {
+            return Err(SparseError::InvalidStructure(
+                "row_offsets[0] must be 0".into(),
+            ));
+        }
+        if col_indices.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "col_indices ({}) and values ({}) length mismatch",
+                col_indices.len(),
+                values.len()
+            )));
+        }
+        if *row_offsets.last().unwrap() as usize != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "last row offset {} != nnz {}",
+                row_offsets.last().unwrap(),
+                values.len()
+            )));
+        }
+        for r in 0..rows {
+            if row_offsets[r] > row_offsets[r + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "row_offsets decreasing at row {r}"
+                )));
+            }
+            let lo = row_offsets[r] as usize;
+            let hi = row_offsets[r + 1] as usize;
+            for k in lo..hi {
+                if col_indices[k] as usize >= cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r,
+                        col: col_indices[k] as usize,
+                        rows,
+                        cols,
+                    });
+                }
+                if k > lo && col_indices[k] <= col_indices[k - 1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {r} column indices not strictly increasing at position {k}"
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        })
+    }
+
+    /// Empty `rows x cols` matrix (all zeros).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_offsets: vec![0; rows + 1],
+            col_indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_offsets: (0..=n as u32).collect(),
+            col_indices: (0..n as u32).collect(),
+            values: vec![T::ONE; n],
+        }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row offset array (`rows + 1` entries).
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// Column index array (`nnz` entries, sorted within each row).
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// Value array (`nnz` entries).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of non-zeros in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.row_offsets[r + 1] - self.row_offsets[r]) as usize
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[T]) {
+        let lo = self.row_offsets[r] as usize;
+        let hi = self.row_offsets[r + 1] as usize;
+        (&self.col_indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(r, c)`, or zero if not stored. Binary search within row.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(k) => vals[k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Sequential reference SpMV: `y = A * x`.
+    ///
+    /// This is the correctness oracle for every kernel in the workspace.
+    pub fn spmv_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.cols, "spmv: x length != cols");
+        assert_eq!(y.len(), self.rows, "spmv: y length != rows");
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let mut sum = T::ZERO;
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                sum += *v * x[*c as usize];
+            }
+            y[r] = sum;
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Self::spmv_into`].
+    pub fn spmv(&self, x: &[T]) -> Vec<T> {
+        let mut y = vec![T::ZERO; self.rows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Transpose (`O(nnz)` counting transpose; result rows sorted).
+    pub fn transpose(&self) -> CsrMatrix<T> {
+        let mut counts = vec![0u32; self.cols + 1];
+        for &c in &self.col_indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let row_offsets = counts.clone();
+        let mut col_indices = vec![0u32; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                let dst = cursor[*c as usize] as usize;
+                col_indices[dst] = r as u32;
+                values[dst] = *v;
+                cursor[*c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Row-normalize in place: each non-empty row scaled to sum to 1
+    /// (PageRank's row-stochastic adjacency, paper Alg. 5).
+    pub fn row_normalize(&mut self) {
+        for r in 0..self.rows {
+            let lo = self.row_offsets[r] as usize;
+            let hi = self.row_offsets[r + 1] as usize;
+            let mut sum = T::ZERO;
+            for v in &self.values[lo..hi] {
+                sum += *v;
+            }
+            if sum != T::ZERO {
+                for v in &mut self.values[lo..hi] {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// Column-normalize: each non-empty column scaled to sum to 1
+    /// (RWR's column-stochastic `W`, paper Eq. 8). Returns a new matrix.
+    pub fn column_normalize(&self) -> CsrMatrix<T> {
+        let mut col_sums = vec![T::ZERO; self.cols];
+        for (k, &c) in self.col_indices.iter().enumerate() {
+            col_sums[c as usize] += self.values[k];
+        }
+        let mut out = self.clone();
+        for (k, &c) in self.col_indices.iter().enumerate() {
+            let s = col_sums[c as usize];
+            if s != T::ZERO {
+                out.values[k] /= s;
+            }
+        }
+        out
+    }
+
+    /// Per-row non-zero statistics (μ, σ, max — the Table I columns).
+    pub fn row_stats(&self) -> RowLengthStats {
+        RowLengthStats::from_lengths(self.rows, self.cols, (0..self.rows).map(|r| self.row_nnz(r)))
+    }
+
+    /// Iterate `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter()
+                .zip(vals.iter())
+                .map(move |(c, v)| (r, *c as usize, *v))
+        })
+    }
+
+    /// Build the 2n x 2n HITS coupling matrix `[[0, Aᵀ], [A, 0]]`
+    /// (paper Eq. 7) so authority and hub updates become one SpMV.
+    pub fn hits_coupling(&self) -> CsrMatrix<T> {
+        assert_eq!(
+            self.rows, self.cols,
+            "hits_coupling requires a square adjacency matrix"
+        );
+        let n = self.rows;
+        let at = self.transpose();
+        let nnz = self.nnz() + at.nnz();
+        let mut row_offsets = Vec::with_capacity(2 * n + 1);
+        let mut col_indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_offsets.push(0u32);
+        // Top block rows: [0 | Aᵀ] — Aᵀ columns shifted by n.
+        for r in 0..n {
+            let (cols, vals) = at.row(r);
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                col_indices.push(c + n as u32);
+                values.push(*v);
+            }
+            row_offsets.push(col_indices.len() as u32);
+        }
+        // Bottom block rows: [A | 0].
+        for r in 0..n {
+            let (cols, vals) = self.row(r);
+            col_indices.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_offsets.push(col_indices.len() as u32);
+        }
+        CsrMatrix {
+            rows: 2 * n,
+            cols: 2 * n,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Densify (tests and tiny examples only).
+    pub fn to_dense(&self) -> Vec<Vec<T>> {
+        let mut d = vec![vec![T::ZERO; self.cols]; self.rows];
+        for (r, c, v) in self.iter() {
+            d[r][c] = v;
+        }
+        d
+    }
+}
+
+impl<T: Scalar> SpFormat for CsrMatrix<T> {
+    fn format_name(&self) -> &'static str {
+        "CSR"
+    }
+    fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+    fn storage_bytes(&self) -> usize {
+        self.row_offsets.len() * 4 + self.col_indices.len() * 4 + self.values.len() * T::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    fn example() -> CsrMatrix<f64> {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(0, 2, 2.0).unwrap();
+        t.push(2, 0, 3.0).unwrap();
+        t.push(2, 1, 4.0).unwrap();
+        t.to_csr()
+    }
+
+    #[test]
+    fn from_raw_parts_validates_offsets() {
+        let bad = CsrMatrix::<f64>::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(bad.is_err());
+        let bad = CsrMatrix::<f64>::from_raw_parts(2, 2, vec![1, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_unsorted_rows() {
+        let bad = CsrMatrix::<f64>::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+        assert!(bad.is_err());
+        let dup = CsrMatrix::<f64>::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_col_out_of_range() {
+        let bad = CsrMatrix::<f64>::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(bad, Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn spmv_matches_dense_computation() {
+        let m = example();
+        let y = m.spmv(&[1.0, 10.0, 100.0]);
+        assert_eq!(y, vec![201.0, 0.0, 43.0]);
+    }
+
+    #[test]
+    fn get_returns_stored_and_zero() {
+        let m = example();
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = example();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let m = example();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.shape(), (3, 3));
+    }
+
+    #[test]
+    fn identity_spmv_is_identity() {
+        let i = CsrMatrix::<f32>::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.spmv(&x), x);
+    }
+
+    #[test]
+    fn row_normalize_makes_rows_stochastic() {
+        let mut m = example();
+        m.row_normalize();
+        let (_, vals0) = m.row(0);
+        let s: f64 = vals0.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(m.row_nnz(1), 0); // empty row untouched
+    }
+
+    #[test]
+    fn column_normalize_makes_cols_stochastic() {
+        let m = example().column_normalize();
+        // column 0 had entries 1.0 (row 0) and 3.0 (row 2)
+        assert!((m.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!((m.get(2, 0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits_coupling_has_block_structure() {
+        let m = example();
+        let h = m.hits_coupling();
+        assert_eq!(h.shape(), (6, 6));
+        assert_eq!(h.nnz(), 2 * m.nnz());
+        // top-left and bottom-right blocks empty
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(h.get(r, c), 0.0);
+                assert_eq!(h.get(r + 3, c + 3), 0.0);
+            }
+        }
+        // top-right is Aᵀ, bottom-left is A
+        assert_eq!(h.get(0, 3 + 2), 3.0); // Aᵀ[0][2] = A[2][0]
+        assert_eq!(h.get(3 + 2, 1), 4.0); // A[2][1]
+    }
+
+    #[test]
+    fn row_stats_match_structure() {
+        let m = example();
+        let s = m.row_stats();
+        assert_eq!(s.nnz, 4);
+        assert_eq!(s.max_row, 2);
+        assert!((s.mean - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_bytes_counts_all_arrays() {
+        let m = example();
+        assert_eq!(m.storage_bytes(), 4 * 4 + 4 * 4 + 4 * 8);
+    }
+
+    #[test]
+    fn zeros_and_empty_spmv() {
+        let m = CsrMatrix::<f64>::zeros(3, 2);
+        assert_eq!(m.spmv(&[1.0, 2.0]), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,70 @@
+//! # sparse-formats — sparse matrix representations and conversions
+//!
+//! Every sparse-matrix storage format discussed by the ACSR paper
+//! (Ashari et al., SC'14), built from scratch:
+//!
+//! | Format | Module | Role in the paper |
+//! |---|---|---|
+//! | Triplets (builder) | [`triplet`] | ingestion |
+//! | CSR | [`csr`] | the baseline format ACSR layers on |
+//! | COO | [`coo`] | segmented-reduction baseline; HYB tail |
+//! | ELL | [`ell`] | padded baseline; HYB head |
+//! | HYB (ELL+COO) | [`hyb`] | the strongest library baseline (§II) |
+//! | BRC | [`brc`] | blocked row-column comparator [1] |
+//! | BCCOO | [`bccoo`] | blocked compressed COO comparator [27], with autotuning |
+//! | TCOO | [`tcoo`] | tiled COO comparator [28], with tile-count search |
+//! | DIA | [`dia`] | structured-matrix format (related work §IX) |
+//!
+//! Each conversion out of CSR returns a [`cost::PreprocessCost`] describing
+//! the work it performed (bytes moved, elements sorted, tuning trials), so
+//! the reproduction harness can model preprocessing time consistently with
+//! the simulated SpMV time — the central quantity of the paper's Figure 4
+//! and Tables III/IV.
+//!
+//! Numeric types are abstracted by the [`scalar::Scalar`] trait (`f32` and
+//! `f64`, the two precisions evaluated in the paper).
+
+pub mod bccoo;
+pub mod brc;
+pub mod coo;
+pub mod cost;
+pub mod csr;
+pub mod dia;
+pub mod ell;
+pub mod error;
+pub mod hyb;
+pub mod mmio;
+pub mod scalar;
+pub mod stats;
+pub mod tcoo;
+pub mod triplet;
+pub mod update;
+
+pub use bccoo::{BccooConfig, BccooMatrix};
+pub use brc::BrcMatrix;
+pub use coo::CooMatrix;
+pub use cost::{HostModel, PreprocessCost};
+pub use csr::CsrMatrix;
+pub use dia::DiaMatrix;
+pub use ell::EllMatrix;
+pub use error::SparseError;
+pub use hyb::HybMatrix;
+pub use scalar::Scalar;
+pub use stats::{DegreeHistogram, RowLengthStats};
+pub use tcoo::TcooMatrix;
+pub use triplet::TripletMatrix;
+pub use update::UpdateBatch;
+
+/// Common introspection surface shared by all storage formats, used by the
+/// reproduction harness to build its per-format tables.
+pub trait SpFormat {
+    /// Short name used in tables ("CSR", "HYB", ...).
+    fn format_name(&self) -> &'static str;
+    /// `(rows, cols)` of the logical matrix.
+    fn shape(&self) -> (usize, usize);
+    /// Number of stored non-zero entries (excluding padding).
+    fn nnz(&self) -> usize;
+    /// Bytes of device memory the representation occupies, including any
+    /// padding — the space-overhead column of the paper's §V discussion.
+    fn storage_bytes(&self) -> usize;
+}

@@ -1,0 +1,271 @@
+//! Matrix Market I/O.
+//!
+//! The paper's suite comes from the University of Florida Sparse Matrix
+//! Collection [22], which distributes Matrix Market files. This reader
+//! accepts the `coordinate` variants the collection uses (`real`,
+//! `integer`, `pattern`; `general` or `symmetric`), so real UFL matrices
+//! can be dropped into any experiment where network access permits;
+//! otherwise the `graphgen` analogs stand in.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::triplet::TripletMatrix;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Read a Matrix Market `coordinate` file into CSR.
+pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut line_no = 0usize;
+
+    // Header line.
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                line_no += 1;
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: line_no,
+                    detail: "empty file".into(),
+                })
+            }
+        }
+    };
+    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            detail: format!("bad header: {header}"),
+        });
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: line_no,
+            detail: format!("unsupported storage '{}' (only coordinate)", tokens[2]),
+        });
+    }
+    let field = match tokens[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: line_no,
+                detail: format!("unsupported field '{other}'"),
+            })
+        }
+    };
+    let symmetry = match tokens[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: line_no,
+                detail: format!("unsupported symmetry '{other}'"),
+            })
+        }
+    };
+
+    // Size line (skipping comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(l) => {
+                line_no += 1;
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: line_no,
+                    detail: "missing size line".into(),
+                })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| SparseError::Parse {
+            line: line_no,
+            detail: format!("bad size line: {e}"),
+        })?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: line_no,
+            detail: "size line must have rows cols nnz".into(),
+        });
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let cap = if symmetry == Symmetry::Symmetric { 2 * nnz } else { nnz };
+    let mut t = TripletMatrix::with_capacity(rows, cols, cap);
+    let mut seen = 0usize;
+    for l in lines {
+        line_no += 1;
+        let l = l?;
+        let trimmed = l.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse_idx = |s: Option<&str>, what: &str| -> Result<usize, SparseError> {
+            s.ok_or_else(|| SparseError::Parse {
+                line: line_no,
+                detail: format!("missing {what}"),
+            })?
+            .parse::<usize>()
+            .map_err(|e| SparseError::Parse {
+                line: line_no,
+                detail: format!("bad {what}: {e}"),
+            })
+        };
+        let r = parse_idx(it.next(), "row index")?;
+        let c = parse_idx(it.next(), "col index")?;
+        if r == 0 || c == 0 {
+            return Err(SparseError::Parse {
+                line: line_no,
+                detail: "matrix market indices are 1-based".into(),
+            });
+        }
+        let v = match field {
+            Field::Pattern => T::ONE,
+            Field::Real | Field::Integer => {
+                let tok = it.next().ok_or_else(|| SparseError::Parse {
+                    line: line_no,
+                    detail: "missing value".into(),
+                })?;
+                T::from_f64(tok.parse::<f64>().map_err(|e| SparseError::Parse {
+                    line: line_no,
+                    detail: format!("bad value: {e}"),
+                })?)
+            }
+        };
+        t.push(r - 1, c - 1, v)?;
+        if symmetry == Symmetry::Symmetric && r != c {
+            t.push(c - 1, r - 1, v)?;
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: line_no,
+            detail: format!("expected {nnz} entries, found {seen}"),
+        });
+    }
+    Ok(t.to_csr())
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file<T: Scalar>(path: impl AsRef<Path>) -> Result<CsrMatrix<T>, SparseError> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Write `m` as `coordinate real general` Matrix Market.
+pub fn write_matrix_market<T: Scalar, W: Write>(
+    m: &CsrMatrix<T>,
+    writer: W,
+) -> Result<(), SparseError> {
+    let mut w = std::io::BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by sparse-formats (ACSR reproduction)")?;
+    writeln!(w, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v.to_f64())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_mm_text() {
+        let mut t = TripletMatrix::<f64>::new(3, 4);
+        t.push(0, 1, 1.5).unwrap();
+        t.push(2, 3, -2.0).unwrap();
+        t.push(1, 0, 0.25).unwrap();
+        let m = t.to_csr();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let m2: CsrMatrix<f64> = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let m: CsrMatrix<f32> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn symmetric_matrices_mirror_off_diagonals() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let m: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 3); // (1,0), (0,1), (2,2)
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% another\n1 2 3.5\n";
+        let m: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn wrong_entry_count_is_an_error() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let r: Result<CsrMatrix<f64>, _> = read_matrix_market(text.as_bytes());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_based_indices_are_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        let r: Result<CsrMatrix<f64>, _> = read_matrix_market(text.as_bytes());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unsupported_formats_are_rejected() {
+        for bad in [
+            "%%MatrixMarket matrix array real general\n",
+            "%%MatrixMarket matrix coordinate complex general\n",
+            "%%MatrixMarket matrix coordinate real hermitian\n",
+            "not a header\n",
+        ] {
+            let r: Result<CsrMatrix<f64>, _> = read_matrix_market(bad.as_bytes());
+            assert!(r.is_err(), "{bad}");
+        }
+    }
+}

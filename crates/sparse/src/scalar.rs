@@ -1,0 +1,173 @@
+//! Numeric element abstraction.
+//!
+//! The paper evaluates both single- and double-precision SpMV (Fig. 5, 8);
+//! everything downstream is generic over [`Scalar`] so each experiment can
+//! run in either precision.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element type for sparse matrices and vectors.
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Sum
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Size of one element in device memory, in bytes.
+    const BYTES: usize;
+    /// Precision name used in experiment tables ("f32" / "f64").
+    const NAME: &'static str;
+
+    /// Lossy conversion from `f64` (generator output, damping factors, ...).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion for error measurement and reporting.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root (used by Euclidean convergence tests).
+    fn sqrt(self) -> Self;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `true` when the value is finite (not NaN/±inf).
+    fn is_finite(self) -> bool;
+
+    /// Convenience conversion from a usize count (e.g. `1/n` initial ranks).
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $name:literal) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const BYTES: usize = std::mem::size_of::<$t>();
+            const NAME: &'static str = $name;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, "f32");
+impl_scalar!(f64, "f64");
+
+/// Relative L2 distance between two vectors, `‖a-b‖₂ / max(‖b‖₂, ε)`.
+///
+/// Used throughout the test suite to compare kernel outputs against the
+/// sequential reference while tolerating float reassociation.
+pub fn rel_l2_distance<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rel_l2_distance: length mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x.to_f64() - y.to_f64();
+        num += d * d;
+        den += y.to_f64() * y.to_f64();
+    }
+    (num / den.max(1e-300)).sqrt()
+}
+
+/// Euclidean (L2) distance between two vectors — the convergence measure
+/// the paper uses for PageRank/HITS/RWR (§VI, ε = 1e-6).
+pub fn l2_distance<T: Scalar>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l2_distance: length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x.to_f64() - y.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_identities() {
+        assert_eq!(f32::ZERO + 1.5f32, 1.5);
+        assert_eq!(f64::ONE * 2.5f64, 2.5);
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(f64::from_f64(3.25).to_f64(), 3.25);
+        assert_eq!(f32::from_usize(7).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn mul_add_is_fused_product_sum() {
+        let r = 2.0f64.mul_add(3.0, 4.0);
+        assert_eq!(r, 10.0);
+    }
+
+    #[test]
+    fn l2_distance_of_identical_vectors_is_zero() {
+        let v = vec![1.0f64, -2.0, 3.0];
+        assert_eq!(l2_distance(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn l2_distance_matches_hand_computation() {
+        let a = vec![1.0f32, 0.0];
+        let b = vec![0.0f32, 0.0];
+        assert!((l2_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_l2_tolerates_scale() {
+        let a = vec![1e10f64, 2e10];
+        let b = vec![1e10f64 * (1.0 + 1e-9), 2e10];
+        assert!(rel_l2_distance(&a, &b) < 1e-8);
+    }
+}

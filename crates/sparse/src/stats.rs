@@ -1,0 +1,229 @@
+//! Row-length statistics and histograms.
+//!
+//! These are the quantities of the paper's Table I (NNZ, rows, μ, σ, max)
+//! and Figure 3 (the power-law row-length histogram whose long tail
+//! motivates ACSR's dynamic-parallelism path).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a matrix's per-row non-zero distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RowLengthStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Total non-zeros.
+    pub nnz: usize,
+    /// Mean non-zeros per row (μ).
+    pub mean: f64,
+    /// Standard deviation of non-zeros per row (σ).
+    pub std_dev: f64,
+    /// Maximum non-zeros in any row.
+    pub max_row: usize,
+    /// Minimum non-zeros in any row.
+    pub min_row: usize,
+    /// Number of completely empty rows.
+    pub empty_rows: usize,
+}
+
+impl RowLengthStats {
+    /// Compute from an iterator of row lengths.
+    pub fn from_lengths(
+        rows: usize,
+        cols: usize,
+        lengths: impl Iterator<Item = usize>,
+    ) -> RowLengthStats {
+        let mut nnz = 0usize;
+        let mut sum_sq = 0f64;
+        let mut max_row = 0usize;
+        let mut min_row = usize::MAX;
+        let mut empty_rows = 0usize;
+        let mut count = 0usize;
+        for len in lengths {
+            nnz += len;
+            sum_sq += (len as f64) * (len as f64);
+            max_row = max_row.max(len);
+            min_row = min_row.min(len);
+            if len == 0 {
+                empty_rows += 1;
+            }
+            count += 1;
+        }
+        assert_eq!(count, rows, "row length iterator does not match row count");
+        let mean = if rows > 0 { nnz as f64 / rows as f64 } else { 0.0 };
+        let var = if rows > 0 {
+            (sum_sq / rows as f64 - mean * mean).max(0.0)
+        } else {
+            0.0
+        };
+        RowLengthStats {
+            rows,
+            cols,
+            nnz,
+            mean,
+            std_dev: var.sqrt(),
+            max_row,
+            min_row: if rows == 0 { 0 } else { min_row },
+            empty_rows,
+        }
+    }
+
+    /// The paper's power-law indicator: σ and max both well above μ.
+    /// (AMZ and DBL in Table I fail this test; the rest pass.)
+    pub fn looks_power_law(&self) -> bool {
+        self.std_dev > self.mean && (self.max_row as f64) > 8.0 * self.mean.max(1.0)
+    }
+}
+
+/// Log2-binned row-length histogram (Figure 3). Bin `i` counts rows whose
+/// non-zero count lies in the ACSR bin range: bin 0 holds empty rows, bin
+/// `i >= 1` holds lengths in `[2^(i-1)+1 .. 2^i]` — except bin 1 which holds
+/// lengths 1..2, matching the paper's binning (§III-A).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegreeHistogram {
+    /// `counts[i]` = number of rows in bin `i`.
+    pub counts: Vec<usize>,
+    /// Total rows histogrammed.
+    pub total_rows: usize,
+}
+
+/// ACSR bin index for a row of length `len` (paper §III-A):
+/// bin 1 ⇔ len ∈ {1, 2}, bin 2 ⇔ {3, 4}, bin 3 ⇔ {5..8}, …,
+/// bin i ⇔ [2^(i-1)+1 .. 2^i]. Empty rows map to bin 0.
+#[inline]
+pub fn bin_index(len: usize) -> usize {
+    match len {
+        0 => 0,
+        1 | 2 => 1,
+        _ => (usize::BITS - (len - 1).leading_zeros()) as usize,
+    }
+}
+
+/// Inclusive row-length range `(lo, hi)` covered by bin `i`.
+#[inline]
+pub fn bin_range(i: usize) -> (usize, usize) {
+    match i {
+        0 => (0, 0),
+        1 => (1, 2),
+        _ => ((1 << (i - 1)) + 1, 1 << i),
+    }
+}
+
+impl DegreeHistogram {
+    /// Histogram an iterator of row lengths into ACSR bins.
+    pub fn from_lengths(lengths: impl Iterator<Item = usize>) -> DegreeHistogram {
+        let mut counts: Vec<usize> = Vec::new();
+        let mut total_rows = 0usize;
+        for len in lengths {
+            let b = bin_index(len);
+            if b >= counts.len() {
+                counts.resize(b + 1, 0);
+            }
+            counts[b] += 1;
+            total_rows += 1;
+        }
+        DegreeHistogram { counts, total_rows }
+    }
+
+    /// Fraction of rows in each bin (the y-axis of Figure 3).
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total_rows == 0 {
+            return Vec::new();
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total_rows as f64)
+            .collect()
+    }
+
+    /// Largest non-empty bin index (`n` in Algorithm 1).
+    pub fn max_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_index_matches_paper_ranges() {
+        assert_eq!(bin_index(0), 0);
+        assert_eq!(bin_index(1), 1);
+        assert_eq!(bin_index(2), 1);
+        assert_eq!(bin_index(3), 2);
+        assert_eq!(bin_index(4), 2);
+        assert_eq!(bin_index(5), 3);
+        assert_eq!(bin_index(8), 3);
+        assert_eq!(bin_index(9), 4);
+        assert_eq!(bin_index(16), 4);
+        assert_eq!(bin_index(17), 5);
+        assert_eq!(bin_index(33), 6);
+        assert_eq!(bin_index(64), 6);
+        assert_eq!(bin_index(65), 7);
+    }
+
+    #[test]
+    fn bin_range_is_inverse_of_bin_index() {
+        for i in 1..20 {
+            let (lo, hi) = bin_range(i);
+            assert_eq!(bin_index(lo), i, "lo of bin {i}");
+            assert_eq!(bin_index(hi), i, "hi of bin {i}");
+            if i > 1 {
+                assert_eq!(bin_index(lo - 1), i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_of_uniform_lengths_have_zero_sigma() {
+        let s = RowLengthStats::from_lengths(4, 10, [3usize, 3, 3, 3].into_iter());
+        assert_eq!(s.nnz, 12);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.max_row, 3);
+        assert_eq!(s.min_row, 3);
+        assert!(!s.looks_power_law());
+    }
+
+    #[test]
+    fn stats_detect_skew() {
+        // one huge row among many tiny ones — power-law-like
+        let lengths = std::iter::once(1000usize).chain(std::iter::repeat(1).take(999));
+        let s = RowLengthStats::from_lengths(1000, 2000, lengths);
+        assert!(s.looks_power_law());
+        assert_eq!(s.max_row, 1000);
+    }
+
+    #[test]
+    fn histogram_counts_rows_per_bin() {
+        let h = DegreeHistogram::from_lengths([0usize, 1, 2, 3, 5, 8, 9, 100].into_iter());
+        assert_eq!(h.total_rows, 8);
+        assert_eq!(h.counts[0], 1); // len 0
+        assert_eq!(h.counts[1], 2); // len 1, 2
+        assert_eq!(h.counts[2], 1); // len 3
+        assert_eq!(h.counts[3], 2); // len 5, 8
+        assert_eq!(h.counts[4], 1); // len 9
+        assert_eq!(h.counts[7], 1); // len 100 (65..128)
+        assert_eq!(h.max_bin(), 7);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let h = DegreeHistogram::from_lengths((0..1000).map(|i| i % 37));
+        let total: f64 = h.frequencies().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_behaves() {
+        let h = DegreeHistogram::from_lengths(std::iter::empty());
+        assert_eq!(h.total_rows, 0);
+        assert!(h.frequencies().is_empty());
+        assert_eq!(h.max_bin(), 0);
+    }
+}

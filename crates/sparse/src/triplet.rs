@@ -1,0 +1,177 @@
+//! Triplet (coordinate-list) builder — the ingestion format.
+//!
+//! Generators and Matrix Market readers accumulate `(row, col, value)`
+//! entries here; [`TripletMatrix::to_csr`] produces the canonical CSR
+//! matrix everything else converts from.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+
+/// Unsorted coordinate-triplet accumulator.
+///
+/// Duplicate `(row, col)` entries are *summed* during [`Self::to_csr`],
+/// matching the usual Matrix Market assembly convention.
+#[derive(Clone, Debug)]
+pub struct TripletMatrix<T> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, T)>,
+}
+
+impl<T: Scalar> TripletMatrix<T> {
+    /// New empty builder for a `rows x cols` matrix.
+    ///
+    /// Indices are stored as `u32`; shapes above `u32::MAX` are rejected
+    /// (far beyond anything this reproduction instantiates).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "TripletMatrix shape exceeds u32 index space"
+        );
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builder with pre-reserved entry capacity.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        let mut t = Self::new(rows, cols);
+        t.entries.reserve(cap);
+        t
+    }
+
+    /// Logical shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of accumulated entries (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no entries were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append one entry; errors if outside the declared shape.
+    pub fn push(&mut self, row: usize, col: usize, value: T) -> Result<(), SparseError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.entries.push((row as u32, col as u32, value));
+        Ok(())
+    }
+
+    /// Append without bounds checking against the shape (debug-asserted).
+    /// Generators that produce indices by construction use this hot path.
+    #[inline]
+    pub fn push_unchecked(&mut self, row: u32, col: u32, value: T) {
+        debug_assert!((row as usize) < self.rows && (col as usize) < self.cols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Raw entry access (tests, shufflers).
+    pub fn entries(&self) -> &[(u32, u32, T)] {
+        &self.entries
+    }
+
+    /// Convert to CSR: sort row-major, merge duplicates by summation.
+    pub fn to_csr(mut self) -> CsrMatrix<T> {
+        // Sort by (row, col). Unstable sort is fine: duplicate coordinates
+        // are merged by *addition*, which is order-insensitive up to float
+        // rounding.
+        self.entries
+            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        // Merge duplicates in place.
+        let mut merged: Vec<(u32, u32, T)> = Vec::with_capacity(self.entries.len());
+        for (r, c, v) in self.entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let nnz = merged.len();
+        let mut row_offsets = vec![0u32; self.rows + 1];
+        for &(r, _, _) in &merged {
+            row_offsets[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        let mut col_indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for (_, c, v) in merged {
+            col_indices.push(c);
+            values.push(v);
+        }
+        CsrMatrix::from_raw_parts(self.rows, self.cols, row_offsets, col_indices, values)
+            .expect("triplet assembly produced invalid CSR (internal bug)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_out_of_bounds() {
+        let mut t = TripletMatrix::<f64>::new(2, 2);
+        assert!(t.push(2, 0, 1.0).is_err());
+        assert!(t.push(0, 2, 1.0).is_err());
+        assert!(t.push(1, 1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn to_csr_sorts_and_offsets_correctly() {
+        let mut t = TripletMatrix::<f64>::new(3, 4);
+        t.push(2, 1, 5.0).unwrap();
+        t.push(0, 3, 1.0).unwrap();
+        t.push(0, 0, 2.0).unwrap();
+        t.push(1, 2, 3.0).unwrap();
+        let m = t.to_csr();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_offsets(), &[0, 2, 3, 4]);
+        assert_eq!(m.col_indices(), &[0, 3, 2, 1]);
+        assert_eq!(m.values(), &[2.0, 1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::<f32>::new(1, 1);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(0, 0, 2.5).unwrap();
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.values(), &[3.5]);
+    }
+
+    #[test]
+    fn empty_builder_yields_empty_csr() {
+        let t = TripletMatrix::<f64>::new(5, 5);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row_offsets(), &[0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_rows_interleave_correctly() {
+        let mut t = TripletMatrix::<f64>::new(4, 4);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(3, 3, 2.0).unwrap();
+        let m = t.to_csr();
+        assert_eq!(m.row_offsets(), &[0, 1, 1, 1, 2]);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Dynamic-graph update batches (paper §VII).
+//!
+//! A matrix update is "defined by specifying the rows to be updated, and
+//! for each row, which columns are to be added or deleted"; both lists are
+//! sorted and CSR-encoded. This module holds that wire format plus a
+//! sequential reference application used as the oracle for the
+//! device-side update kernel in the `acsr` crate.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::scalar::Scalar;
+use crate::triplet::TripletMatrix;
+
+/// A batch of row updates: per touched row, sorted column delete and
+/// insert lists (CSR-style offsets into shared column/value arrays).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateBatch<T> {
+    /// Rows being updated, strictly increasing.
+    pub rows: Vec<u32>,
+    /// `rows.len() + 1` offsets into `delete_cols`.
+    pub delete_offsets: Vec<u32>,
+    /// Sorted columns to remove, grouped by row.
+    pub delete_cols: Vec<u32>,
+    /// `rows.len() + 1` offsets into `insert_cols` / `insert_vals`.
+    pub insert_offsets: Vec<u32>,
+    /// Sorted columns to add, grouped by row.
+    pub insert_cols: Vec<u32>,
+    /// Values for the inserted columns.
+    pub insert_vals: Vec<T>,
+}
+
+impl<T: Scalar> UpdateBatch<T> {
+    /// Empty batch.
+    pub fn empty() -> Self {
+        UpdateBatch {
+            rows: Vec::new(),
+            delete_offsets: vec![0],
+            delete_cols: Vec::new(),
+            insert_offsets: vec![0],
+            insert_cols: Vec::new(),
+            insert_vals: Vec::new(),
+        }
+    }
+
+    /// Number of rows touched.
+    pub fn touched_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total deletions across all rows.
+    pub fn total_deletes(&self) -> usize {
+        self.delete_cols.len()
+    }
+
+    /// Total insertions across all rows.
+    pub fn total_inserts(&self) -> usize {
+        self.insert_cols.len()
+    }
+
+    /// Bytes this batch occupies on the wire (what ACSR ships to the
+    /// device instead of the whole matrix — the Fig. 7 advantage).
+    pub fn wire_bytes(&self) -> usize {
+        self.rows.len() * 4
+            + self.delete_offsets.len() * 4
+            + self.delete_cols.len() * 4
+            + self.insert_offsets.len() * 4
+            + self.insert_cols.len() * 4
+            + self.insert_vals.len() * T::BYTES
+    }
+
+    /// Delete/insert slices for batch position `i`.
+    pub fn row_ops(&self, i: usize) -> (&[u32], &[u32], &[T]) {
+        let dl = self.delete_offsets[i] as usize;
+        let dh = self.delete_offsets[i + 1] as usize;
+        let il = self.insert_offsets[i] as usize;
+        let ih = self.insert_offsets[i + 1] as usize;
+        (
+            &self.delete_cols[dl..dh],
+            &self.insert_cols[il..ih],
+            &self.insert_vals[il..ih],
+        )
+    }
+
+    /// Validate structural invariants (sorted rows, offset monotonicity,
+    /// per-row sorted column lists).
+    pub fn validate(&self) -> Result<(), SparseError> {
+        let n = self.rows.len();
+        if !self.rows.windows(2).all(|w| w[0] < w[1]) {
+            return Err(SparseError::InvalidStructure(
+                "update rows not strictly increasing".into(),
+            ));
+        }
+        for (name, offs, data_len) in [
+            ("delete", &self.delete_offsets, self.delete_cols.len()),
+            ("insert", &self.insert_offsets, self.insert_cols.len()),
+        ] {
+            if offs.len() != n + 1 || offs[0] != 0 || *offs.last().unwrap() as usize != data_len {
+                return Err(SparseError::InvalidStructure(format!(
+                    "{name} offsets inconsistent"
+                )));
+            }
+            if !offs.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(SparseError::InvalidStructure(format!(
+                    "{name} offsets decreasing"
+                )));
+            }
+        }
+        if self.insert_vals.len() != self.insert_cols.len() {
+            return Err(SparseError::InvalidStructure(
+                "insert values/cols length mismatch".into(),
+            ));
+        }
+        for i in 0..n {
+            let (del, ins, _) = self.row_ops(i);
+            if !del.windows(2).all(|w| w[0] < w[1]) || !ins.windows(2).all(|w| w[0] < w[1]) {
+                return Err(SparseError::InvalidStructure(format!(
+                    "row {} update lists not sorted",
+                    self.rows[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequential reference: apply this batch to `m`, returning the updated
+    /// matrix. Deletes are applied before inserts, per the paper's kernel
+    /// ("first deletes columns of the delete list..., then extends the row
+    /// by adding columns from the insert list"). Deleting an absent column
+    /// is a no-op; inserting an existing column overwrites its value.
+    pub fn apply_to_csr(&self, m: &CsrMatrix<T>) -> CsrMatrix<T> {
+        let mut t = TripletMatrix::with_capacity(
+            m.rows(),
+            m.cols(),
+            m.nnz() + self.total_inserts(),
+        );
+        let mut batch_pos = 0usize;
+        for r in 0..m.rows() {
+            let (cols, vals) = m.row(r);
+            if batch_pos < self.rows.len() && self.rows[batch_pos] as usize == r {
+                let (del, ins, ivals) = self.row_ops(batch_pos);
+                batch_pos += 1;
+                for (c, v) in cols.iter().zip(vals.iter()) {
+                    if del.binary_search(c).is_err() && ins.binary_search(c).is_err() {
+                        t.push_unchecked(r as u32, *c, *v);
+                    }
+                }
+                for (c, v) in ins.iter().zip(ivals.iter()) {
+                    t.push_unchecked(r as u32, *c, *v);
+                }
+            } else {
+                for (c, v) in cols.iter().zip(vals.iter()) {
+                    t.push_unchecked(r as u32, *c, *v);
+                }
+            }
+        }
+        t.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CsrMatrix<f64> {
+        let mut t = TripletMatrix::new(3, 5);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(0, 2, 2.0).unwrap();
+        t.push(1, 1, 3.0).unwrap();
+        t.push(2, 4, 4.0).unwrap();
+        t.to_csr()
+    }
+
+    fn batch() -> UpdateBatch<f64> {
+        UpdateBatch {
+            rows: vec![0, 2],
+            delete_offsets: vec![0, 1, 1],
+            delete_cols: vec![2],
+            insert_offsets: vec![0, 1, 3],
+            insert_cols: vec![3, 0, 1],
+            insert_vals: vec![9.0, 7.0, 8.0],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_batch() {
+        batch().validate().unwrap();
+        UpdateBatch::<f64>::empty().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_rows() {
+        let mut b = batch();
+        b.rows = vec![2, 0];
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_offsets() {
+        let mut b = batch();
+        b.delete_offsets = vec![0, 2, 1];
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn apply_deletes_and_inserts() {
+        let m = base();
+        let updated = batch().apply_to_csr(&m);
+        // row 0: delete col 2, insert col 3=9.0 → cols {0:1.0, 3:9.0}
+        assert_eq!(updated.get(0, 2), 0.0);
+        assert_eq!(updated.get(0, 3), 9.0);
+        assert_eq!(updated.get(0, 0), 1.0);
+        // row 1 untouched
+        assert_eq!(updated.get(1, 1), 3.0);
+        // row 2: inserts cols 0 and 1, keeps col 4
+        assert_eq!(updated.get(2, 0), 7.0);
+        assert_eq!(updated.get(2, 1), 8.0);
+        assert_eq!(updated.get(2, 4), 4.0);
+        assert_eq!(updated.nnz(), 6);
+    }
+
+    #[test]
+    fn deleting_absent_column_is_noop() {
+        let m = base();
+        let b = UpdateBatch::<f64> {
+            rows: vec![1],
+            delete_offsets: vec![0, 1],
+            delete_cols: vec![3], // row 1 has no col 3
+            insert_offsets: vec![0, 0],
+            insert_cols: vec![],
+            insert_vals: vec![],
+        };
+        assert_eq!(b.apply_to_csr(&m), m);
+    }
+
+    #[test]
+    fn inserting_existing_column_overwrites() {
+        let m = base();
+        let b = UpdateBatch::<f64> {
+            rows: vec![1],
+            delete_offsets: vec![0, 0],
+            delete_cols: vec![],
+            insert_offsets: vec![0, 1],
+            insert_cols: vec![1],
+            insert_vals: vec![99.0],
+        };
+        let u = b.apply_to_csr(&m);
+        assert_eq!(u.get(1, 1), 99.0);
+        assert_eq!(u.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn wire_bytes_scales_with_content() {
+        let b = batch();
+        let small = UpdateBatch::<f64>::empty();
+        assert!(b.wire_bytes() > small.wire_bytes());
+    }
+}

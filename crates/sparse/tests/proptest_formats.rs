@@ -1,0 +1,226 @@
+//! Property-based tests: every storage format must compute exactly the
+//! same SpMV as the CSR reference on *arbitrary* matrices, and every
+//! conversion must preserve the stored entries.
+
+use proptest::prelude::*;
+use sparse_formats::SpFormat;
+use sparse_formats::{
+    BccooConfig, BccooMatrix, BrcMatrix, CooMatrix, CsrMatrix, EllMatrix, HybMatrix,
+    TcooMatrix, TripletMatrix, UpdateBatch,
+};
+
+/// Strategy: an arbitrary small sparse matrix (duplicates allowed — the
+/// builder must merge them).
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (1usize..40, 1usize..40).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, -8.0f64..8.0);
+        proptest::collection::vec(entry, 0..300).prop_map(move |entries| {
+            let mut t = TripletMatrix::new(rows, cols);
+            for (r, c, v) in entries {
+                t.push(r, c, v).unwrap();
+            }
+            t.to_csr()
+        })
+    })
+}
+
+fn arb_x(cols: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-4.0f64..4.0, cols..=cols)
+}
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.iter()
+        .zip(b.iter())
+        .all(|(x, y)| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn coo_spmv_matches_csr((m, seed) in arb_matrix().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_x(cols))
+    })) {
+        let (m, x) = (m, seed);
+        let (coo, _) = CooMatrix::from_csr(&m);
+        prop_assert!(close(&coo.spmv(&x), &m.spmv(&x)));
+        prop_assert_eq!(coo.to_csr(), m);
+    }
+
+    #[test]
+    fn ell_spmv_matches_csr((m, x) in arb_matrix().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_x(cols))
+    })) {
+        let (ell, _) = EllMatrix::from_csr(&m, usize::MAX).unwrap();
+        prop_assert!(close(&ell.spmv(&x), &m.spmv(&x)));
+    }
+
+    #[test]
+    fn hyb_spmv_matches_csr_any_k((m, x, k) in arb_matrix().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_x(cols), 0usize..12)
+    })) {
+        let (hyb, _) = HybMatrix::from_csr_with_k(&m, k, usize::MAX).unwrap();
+        prop_assert_eq!(hyb.ell().nnz() + hyb.coo().nnz(), m.nnz());
+        prop_assert!(close(&hyb.spmv(&x), &m.spmv(&x)));
+    }
+
+    #[test]
+    fn brc_spmv_matches_csr((m, x) in arb_matrix().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_x(cols))
+    })) {
+        let (brc, _) = BrcMatrix::from_csr(&m, usize::MAX).unwrap();
+        prop_assert!(close(&brc.spmv(&x), &m.spmv(&x)));
+    }
+
+    #[test]
+    fn bccoo_spmv_matches_csr_any_tile((m, x, bh, bw) in arb_matrix().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_x(cols), prop::sample::select(vec![1usize, 2, 4, 8]),
+         prop::sample::select(vec![1usize, 2, 4, 8]))
+    })) {
+        let cfg = BccooConfig { block_h: bh, block_w: bw, ..Default::default() };
+        let (b, _) = BccooMatrix::from_csr(&m, cfg, usize::MAX).unwrap();
+        prop_assert_eq!(b.nnz(), m.nnz());
+        prop_assert!(close(&b.spmv(&x), &m.spmv(&x)));
+    }
+
+    #[test]
+    fn tcoo_spmv_matches_csr_any_tiling((m, x, tiles) in arb_matrix().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_x(cols), 1usize..20)
+    })) {
+        let (tc, _) = TcooMatrix::from_csr(&m, tiles, usize::MAX).unwrap();
+        prop_assert!(close(&tc.spmv(&x), &m.spmv(&x)));
+    }
+
+    #[test]
+    fn transpose_is_an_involution(m in arb_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        // and preserves nnz + swaps shape
+        let t = m.transpose();
+        prop_assert_eq!(t.nnz(), m.nnz());
+        prop_assert_eq!(t.shape(), (m.cols(), m.rows()));
+    }
+
+    #[test]
+    fn transpose_spmv_duality((m, x, y) in arb_matrix().prop_flat_map(|m| {
+        let (rows, cols) = m.shape();
+        (Just(m), arb_x(cols), arb_x(rows))
+    })) {
+        // <A x, y> == <x, Aᵀ y>
+        let ax = m.spmv(&x);
+        let aty = m.transpose().spmv(&y);
+        let lhs: f64 = ax.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(aty.iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-7 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn matrix_market_round_trips(m in arb_matrix()) {
+        let mut buf = Vec::new();
+        sparse_formats::mmio::write_matrix_market(&m, &mut buf).unwrap();
+        let m2: CsrMatrix<f64> = sparse_formats::mmio::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn row_normalize_makes_nonempty_rows_sum_to_one(m in arb_matrix()) {
+        let mut n = m.clone();
+        n.row_normalize();
+        for r in 0..n.rows() {
+            let (_, vals) = n.row(r);
+            let s: f64 = vals.iter().sum();
+            // rows whose sum was ~0 are left alone; others must be ~1
+            let (_, orig) = m.row(r);
+            let orig_sum: f64 = orig.iter().sum();
+            if orig_sum.abs() > 1e-9 {
+                prop_assert!((s - 1.0).abs() < 1e-6, "row {} sums to {}", r, s);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_is_linear((m, x1, x2) in arb_matrix().prop_flat_map(|m| {
+        let cols = m.cols();
+        (Just(m), arb_x(cols), arb_x(cols))
+    })) {
+        // A(x1 + 2*x2) == A x1 + 2 A x2
+        let combined: Vec<f64> = x1.iter().zip(x2.iter()).map(|(a, b)| a + 2.0 * b).collect();
+        let lhs = m.spmv(&combined);
+        let a1 = m.spmv(&x1);
+        let a2 = m.spmv(&x2);
+        let rhs: Vec<f64> = a1.iter().zip(a2.iter()).map(|(a, b)| a + 2.0 * b).collect();
+        prop_assert!(close(&lhs, &rhs));
+    }
+}
+
+/// Strategy for an update batch valid against `m`.
+fn arb_batch(m: &CsrMatrix<f64>) -> impl Strategy<Value = UpdateBatch<f64>> {
+    let rows = m.rows();
+    let cols = m.cols();
+    let m = m.clone();
+    proptest::collection::btree_set(0..rows as u32, 0..rows.min(8))
+        .prop_flat_map(move |touched| {
+            let touched: Vec<u32> = touched.into_iter().collect();
+            let per_row: Vec<_> = touched
+                .iter()
+                .map(|&r| {
+                    let (rcols, _) = m.row(r as usize);
+                    let rcols = rcols.to_vec();
+                    let deletes = proptest::sample::subsequence(rcols.clone(), 0..=rcols.len());
+                    let inserts = proptest::collection::btree_set(0..cols as u32, 0..4);
+                    (deletes, inserts)
+                })
+                .collect();
+            let rcols_by_row: Vec<Vec<u32>> = touched
+                .iter()
+                .map(|&r| m.row(r as usize).0.to_vec())
+                .collect();
+            (Just(touched), per_row).prop_map(move |(touched, per_row)| {
+                let mut b = UpdateBatch::<f64>::empty();
+                for (i, (dels, ins)) in per_row.into_iter().enumerate() {
+                    b.rows.push(touched[i]);
+                    let mut dels = dels;
+                    dels.sort_unstable();
+                    b.delete_cols.extend_from_slice(&dels);
+                    b.delete_offsets.push(b.delete_cols.len() as u32);
+                    for c in ins {
+                        // inserts must not collide with existing columns
+                        if rcols_by_row[i].binary_search(&c).is_err() {
+                            b.insert_cols.push(c);
+                            b.insert_vals.push(1.0 + c as f64 * 0.25);
+                        }
+                    }
+                    b.insert_offsets.push(b.insert_cols.len() as u32);
+                }
+                b
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn update_batches_validate_and_apply((m, batch) in arb_matrix().prop_flat_map(|m| {
+        let b = arb_batch(&m);
+        (Just(m), b)
+    })) {
+        batch.validate().unwrap();
+        let updated = batch.apply_to_csr(&m);
+        // nnz accounting: original - deletions + insertions
+        let expect = m.nnz() - batch.total_deletes() + batch.total_inserts();
+        prop_assert_eq!(updated.nnz(), expect);
+        // untouched rows identical
+        let touched: std::collections::HashSet<u32> = batch.rows.iter().copied().collect();
+        for r in 0..m.rows() {
+            if !touched.contains(&(r as u32)) {
+                prop_assert_eq!(m.row(r), updated.row(r), "row {} changed", r);
+            }
+        }
+    }
+}

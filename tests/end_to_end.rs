@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: the full pipeline from generator to
+//! application, exercising every crate through the public API.
+
+use acsr_repro::acsr::{AcsrConfig, AcsrEngine, AcsrMode};
+use acsr_repro::gpu_sim::{presets, Device};
+use acsr_repro::graph_apps::pagerank::{pagerank_gpu, pagerank_operator};
+use acsr_repro::graph_apps::IterParams;
+use acsr_repro::graphgen::{
+    generate_rmat, generate_update_batch, MatrixSpec, RmatConfig, UpdateConfig,
+};
+use acsr_repro::multi_gpu::MultiGpuAcsr;
+use acsr_repro::sparse_formats::{CsrMatrix, HybMatrix};
+use acsr_repro::spmv_kernels::csr_vector::CsrVector;
+use acsr_repro::spmv_kernels::hyb_kernel::HybKernel;
+use acsr_repro::spmv_kernels::{DevCsr, DevHyb, GpuSpmv};
+
+fn suite_matrix(abbrev: &str, scale: usize) -> CsrMatrix<f64> {
+    MatrixSpec::by_abbrev(abbrev)
+        .unwrap()
+        .generate::<f64>(scale, 99)
+        .csr
+}
+
+#[test]
+fn all_engines_agree_on_every_suite_shape() {
+    // A cross-section of suite shapes: heavy tail, low skew, rectangular.
+    let dev = Device::new(presets::gtx_titan());
+    for abbrev in ["ENR", "AMZ", "WIK", "RAL"] {
+        let m = suite_matrix(abbrev, 256);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 + (i % 13) as f64 * 0.125).collect();
+        let want = m.spmv(&x);
+        let xd = dev.alloc(x.clone());
+
+        let engines: Vec<Box<dyn GpuSpmv<f64>>> = vec![
+            Box::new(AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()))),
+            Box::new(CsrVector::new(DevCsr::upload(&dev, &m))),
+            Box::new(HybKernel::new(DevHyb::upload(
+                &dev,
+                &HybMatrix::from_csr(&m, usize::MAX).unwrap().0,
+            ))),
+        ];
+        for engine in engines {
+            let mut yd = dev.alloc_zeroed::<f64>(m.rows());
+            engine.spmv(&dev, &xd, &mut yd);
+            let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &want);
+            assert!(d < 1e-11, "{abbrev}/{}: rel distance {d}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn acsr_all_three_modes_agree_numerically() {
+    let m = suite_matrix("EU2", 256);
+    let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 5) as f64 * 0.25).collect();
+    let want = m.spmv(&x);
+    for (dev_cfg, mode) in [
+        (presets::gtx_titan(), AcsrMode::DynamicParallelism),
+        (presets::gtx_titan(), AcsrMode::StaticLongTail),
+        (presets::gtx_580(), AcsrMode::BinningOnly),
+    ] {
+        let dev = Device::new(dev_cfg);
+        let mut cfg = AcsrConfig::for_device(dev.config());
+        cfg.mode = mode;
+        if mode == AcsrMode::BinningOnly {
+            cfg.row_max = 0;
+        }
+        let engine = AcsrEngine::from_csr(&dev, &m, cfg);
+        let xd = dev.alloc(x.clone());
+        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
+        engine.spmv(&dev, &xd, &mut yd);
+        let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &want);
+        assert!(d < 1e-11, "{mode:?}: rel distance {d}");
+    }
+}
+
+#[test]
+fn dynamic_updates_compose_with_pagerank() {
+    // update the graph, then PageRank on the updated operator must match
+    // PageRank on a freshly-built operator
+    let dev = Device::new(presets::gtx_titan());
+    let g = suite_matrix("INT", 64);
+    let op = pagerank_operator(&g);
+    let mut engine = AcsrEngine::from_csr(&dev, &op, AcsrConfig::for_device(dev.config()));
+    let batch = generate_update_batch(&op, &UpdateConfig::default());
+    engine.apply_update(&dev, &batch);
+    let updated = batch.apply_to_csr(&op);
+
+    let params = IterParams {
+        epsilon: 1e-6,
+        max_iters: 300,
+    };
+    let incremental = pagerank_gpu(&dev, &engine, 0.85, &params);
+    let fresh_engine = AcsrEngine::from_csr(&dev, &updated, AcsrConfig::for_device(dev.config()));
+    let fresh = pagerank_gpu(&dev, &fresh_engine, 0.85, &params);
+    assert_eq!(incremental.iterations, fresh.iterations);
+    let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(
+        &incremental.scores,
+        &fresh.scores,
+    );
+    assert!(d < 1e-12, "rel distance {d}");
+}
+
+#[test]
+fn rmat_graphs_flow_through_the_full_stack() {
+    let m: CsrMatrix<f64> = generate_rmat(&RmatConfig {
+        scale: 12,
+        edge_factor: 8,
+        ..Default::default()
+    });
+    let dev = Device::new(presets::gtx_titan());
+    let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
+    let x: Vec<f64> = (0..m.cols()).map(|i| (i % 3) as f64 + 1.0).collect();
+    let xd = dev.alloc(x.clone());
+    let mut yd = dev.alloc_zeroed::<f64>(m.rows());
+    let r = engine.spmv(&dev, &xd, &mut yd);
+    assert!(r.time_s > 0.0);
+    let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &m.spmv(&x));
+    assert!(d < 1e-11);
+}
+
+#[test]
+fn multi_gpu_matches_single_gpu_results() {
+    let m = suite_matrix("LJ2", 256);
+    let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 9) as f64 * 0.1).collect();
+    let k10 = presets::tesla_k10_single();
+    let mut y1 = vec![0.0; m.rows()];
+    let mut y2 = vec![0.0; m.rows()];
+    MultiGpuAcsr::new(&m, &k10, 1, AcsrConfig::static_long_tail()).spmv(&x, &mut y1);
+    MultiGpuAcsr::new(&m, &k10, 2, AcsrConfig::static_long_tail()).spmv(&x, &mut y2);
+    let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(&y1, &y2);
+    assert!(d < 1e-12, "rel distance {d}");
+}
+
+#[test]
+fn matrix_market_round_trip_preserves_engine_results() {
+    let m = suite_matrix("DBL", 512);
+    let mut buf = Vec::new();
+    acsr_repro::sparse_formats::mmio::write_matrix_market(&m, &mut buf).unwrap();
+    let m2: CsrMatrix<f64> =
+        acsr_repro::sparse_formats::mmio::read_matrix_market(&buf[..]).unwrap();
+    assert_eq!(m, m2);
+}
