@@ -25,8 +25,8 @@ use gpu_sim::{Device, RunReport};
 use graphgen::{generate_update_batch, UpdateConfig};
 use serde::{Deserialize, Serialize};
 use sparse_formats::{CsrMatrix, HostModel, HybMatrix, Scalar, UpdateBatch};
-use spmv_kernels::hyb_kernel::HybKernel;
 use spmv_kernels::csr_vector::CsrVector;
+use spmv_kernels::hyb_kernel::HybKernel;
 use spmv_kernels::{DevCsr, DevHyb, GpuSpmv};
 
 /// Update-handling strategy.
@@ -120,19 +120,19 @@ pub fn power_pagerank_gpu<T: Scalar>(
     let teleport = T::from_f64((1.0 - damping) / n as f64);
     let d = T::from_f64(damping);
     let mut pr = dev.alloc(init.to_vec());
-    let mut tmp = dev.alloc_zeroed::<T>(n);
+    let tmp = dev.alloc_zeroed::<T>(n);
     let mut next = dev.alloc_zeroed::<T>(n);
     let mut report = RunReport::default();
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        report = report.then(&engine.spmv(dev, &pr, &mut tmp));
-        report = report.then(&scale_add(dev, &tmp, d, teleport, &mut next));
+        report = report.then(&engine.spmv(dev, &pr, &tmp));
+        report = report.then(&scale_add(dev, &tmp, d, teleport, &next));
         let (norm, rn) = l1_norm(dev, &next);
         report = report.then(&rn);
         report = report.then(&scale_inplace(
             dev,
-            &mut next,
+            &next,
             T::from_f64(1.0 / norm.max(1e-300)),
         ));
         let (dist2, rd) = l2_distance_sq(dev, &next, &pr);
@@ -218,7 +218,8 @@ pub fn dynamic_pagerank<T: Scalar>(
                     }
                     Strategy::AcsrIncremental => unreachable!(),
                 };
-                let solve = power_pagerank_gpu(dev, engine.as_ref(), cfg.damping, &cfg.params, init);
+                let solve =
+                    power_pagerank_gpu(dev, engine.as_ref(), cfg.damping, &cfg.params, init);
                 let st = EpochStats {
                     epoch,
                     iterations: solve.iterations,
@@ -235,9 +236,8 @@ pub fn dynamic_pagerank<T: Scalar>(
             for epoch in 1..=cfg.epochs {
                 let batch = epoch_batch(&host_matrix, cfg, epoch);
                 // host applies the update (streamed cost) before re-upload
-                let apply_host =
-                    (host_matrix.nnz() as u64 * 2 * (4 + T::BYTES as u64)) as f64
-                        / host.mem_bandwidth_bytes_s;
+                let apply_host = (host_matrix.nnz() as u64 * 2 * (4 + T::BYTES as u64)) as f64
+                    / host.mem_bandwidth_bytes_s;
                 host_matrix = batch.apply_to_csr(&host_matrix);
                 let (scores, mut st) = epoch_run(&host_matrix, &warm, epoch);
                 st.host_seconds += apply_host;

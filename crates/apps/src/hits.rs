@@ -45,13 +45,13 @@ pub fn hits_gpu<T: Scalar>(
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        report = report.then(&engine.spmv(dev, &v, &mut next));
+        report = report.then(&engine.spmv(dev, &v, &next));
         // Independent L2 normalization of the authority and hub halves.
         let (na, nh, r1) = l2_norm_halves(dev, &next);
         report = report.then(&r1);
         report = report.then(&scale_halves(
             dev,
-            &mut next,
+            &next,
             T::from_f64(1.0 / na.max(1e-300)),
             T::from_f64(1.0 / nh.max(1e-300)),
         ));
@@ -79,10 +79,7 @@ pub fn split_scores<T: Scalar>(combined: &[T]) -> HitsScores<T> {
 }
 
 /// CPU reference (tests / benches): power-iterate the coupling matrix.
-pub fn hits_cpu<T: Scalar>(
-    coupling: &CsrMatrix<T>,
-    params: &IterParams,
-) -> (Vec<T>, usize) {
+pub fn hits_cpu<T: Scalar>(coupling: &CsrMatrix<T>, params: &IterParams) -> (Vec<T>, usize) {
     let n2 = coupling.rows();
     let init = T::from_f64(1.0 / (n2 / 2) as f64);
     let mut v = vec![init; n2];
@@ -187,11 +184,7 @@ mod tests {
         let coupling = hits_operator(&g);
         let (v, _) = hits_cpu(&coupling, &IterParams::default());
         let s = split_scores(&v);
-        let max_auth = s
-            .authority
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max);
+        let max_auth = s.authority.iter().cloned().fold(f64::MIN, f64::max);
         assert_eq!(s.authority[0], max_auth);
         // per-half normalization: the sole authority carries the whole
         // authority norm

@@ -15,13 +15,13 @@ pub fn scale_add<T: Scalar>(
     x: &DeviceBuffer<T>,
     a: T,
     b: T,
-    out: &mut DeviceBuffer<T>,
+    out: &DeviceBuffer<T>,
 ) -> RunReport {
     let n = x.len();
     assert_eq!(out.len(), n, "scale_add length mismatch");
     let block = 256;
     let grid = n.div_ceil(block).max(1);
-    dev.launch("scale_add", grid, block, &mut |blk| {
+    dev.launch("scale_add", grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n {
@@ -50,10 +50,10 @@ pub fn l2_distance_sq<T: Scalar>(
 ) -> (f64, RunReport) {
     let n = a.len();
     assert_eq!(b.len(), n, "l2_distance length mismatch");
-    let mut acc = dev.alloc(vec![0.0f64]);
+    let acc = dev.alloc(vec![0.0f64]);
     let block = 256;
     let grid = n.div_ceil(block).max(1);
-    let report = dev.launch("l2_distance", grid, block, &mut |blk| {
+    let report = dev.launch("l2_distance", grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n {
@@ -72,7 +72,7 @@ pub fn l2_distance_sq<T: Scalar>(
             warp.charge_alu(2);
             let red = warp.segmented_reduce_sum(&d2, WARP);
             let idx = [0usize; WARP];
-            warp.atomic_rmw(&mut acc, &idx, &red, 1, |x, y| x + y);
+            warp.atomic_rmw(&acc, &idx, &red, 1, |x, y| x + y);
         });
     });
     (acc.as_slice()[0], report)
@@ -81,10 +81,10 @@ pub fn l2_distance_sq<T: Scalar>(
 /// L1 norm `Σ |v[i]|` (power-iteration renormalization).
 pub fn l1_norm<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>) -> (f64, RunReport) {
     let n = v.len();
-    let mut acc = dev.alloc(vec![0.0f64]);
+    let acc = dev.alloc(vec![0.0f64]);
     let block = 256;
     let grid = n.div_ceil(block).max(1);
-    let report = dev.launch("l1_norm", grid, block, &mut |blk| {
+    let report = dev.launch("l1_norm", grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n {
@@ -101,7 +101,7 @@ pub fn l1_norm<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>) -> (f64, RunReport)
             warp.charge_alu(1);
             let red = warp.segmented_reduce_sum(&abs, WARP);
             let idx = [0usize; WARP];
-            warp.atomic_rmw(&mut acc, &idx, &red, 1, |x, y| x + y);
+            warp.atomic_rmw(&acc, &idx, &red, 1, |x, y| x + y);
         });
     });
     (acc.as_slice()[0], report)
@@ -110,17 +110,14 @@ pub fn l1_norm<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>) -> (f64, RunReport)
 /// L2 norms of the two halves of a `2n`-vector in one pass (HITS
 /// normalizes authorities and hubs independently; joint normalization of
 /// the bipartite coupling operator oscillates with period 2).
-pub fn l2_norm_halves<T: Scalar>(
-    dev: &Device,
-    v: &DeviceBuffer<T>,
-) -> (f64, f64, RunReport) {
+pub fn l2_norm_halves<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>) -> (f64, f64, RunReport) {
     let n2 = v.len();
     assert_eq!(n2 % 2, 0, "l2_norm_halves needs an even-length vector");
     let half = n2 / 2;
-    let mut acc = dev.alloc(vec![0.0f64; 2]);
+    let acc = dev.alloc(vec![0.0f64; 2]);
     let block = 256;
     let grid = n2.div_ceil(block).max(1);
-    let report = dev.launch("l2_norm_halves", grid, block, &mut |blk| {
+    let report = dev.launch("l2_norm_halves", grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n2 {
@@ -138,8 +135,8 @@ pub fn l2_norm_halves<T: Scalar>(
             // a warp never straddles the half boundary when `half` is a
             // multiple of 32; handle the general case lane-by-lane
             let mut idx = [0usize; WARP];
-            for lane in 0..WARP {
-                idx[lane] = usize::from(base + lane >= half);
+            for (lane, slot) in idx.iter_mut().enumerate() {
+                *slot = usize::from(base + lane >= half);
             }
             let red_lo = {
                 let mut lo = sq;
@@ -160,31 +157,22 @@ pub fn l2_norm_halves<T: Scalar>(
                 warp.segmented_reduce_sum(&hi, WARP)
             };
             let zeros = [0usize; WARP];
-            warp.atomic_rmw(&mut acc, &zeros, &red_lo, 1, |a, b| a + b);
+            warp.atomic_rmw(&acc, &zeros, &red_lo, 1, |a, b| a + b);
             let ones = [1usize; WARP];
-            warp.atomic_rmw(&mut acc, &ones, &red_hi, 1, |a, b| a + b);
+            warp.atomic_rmw(&acc, &ones, &red_hi, 1, |a, b| a + b);
         });
     });
-    (
-        acc.as_slice()[0].sqrt(),
-        acc.as_slice()[1].sqrt(),
-        report,
-    )
+    (acc.as_slice()[0].sqrt(), acc.as_slice()[1].sqrt(), report)
 }
 
 /// Scale the two halves of a `2n`-vector by independent factors.
-pub fn scale_halves<T: Scalar>(
-    dev: &Device,
-    v: &mut DeviceBuffer<T>,
-    s_lo: T,
-    s_hi: T,
-) -> RunReport {
+pub fn scale_halves<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>, s_lo: T, s_hi: T) -> RunReport {
     let n2 = v.len();
     assert_eq!(n2 % 2, 0, "scale_halves needs an even-length vector");
     let half = n2 / 2;
     let block = 256;
     let grid = n2.div_ceil(block).max(1);
-    dev.launch("scale_halves", grid, block, &mut |blk| {
+    dev.launch("scale_halves", grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n2 {
@@ -206,11 +194,11 @@ pub fn scale_halves<T: Scalar>(
 }
 
 /// In-place scale: `v[i] *= s`.
-pub fn scale_inplace<T: Scalar>(dev: &Device, v: &mut DeviceBuffer<T>, s: T) -> RunReport {
+pub fn scale_inplace<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>, s: T) -> RunReport {
     let n = v.len();
     let block = 256;
     let grid = n.div_ceil(block).max(1);
-    dev.launch("scale", grid, block, &mut |blk| {
+    dev.launch("scale", grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n {
@@ -239,8 +227,8 @@ mod tests {
     fn scale_add_computes_affine_map() {
         let dev = Device::new(presets::gtx_titan());
         let x = dev.alloc(vec![1.0f64, 2.0, 3.0]);
-        let mut out = dev.alloc_zeroed::<f64>(3);
-        scale_add(&dev, &x, 2.0, 0.5, &mut out);
+        let out = dev.alloc_zeroed::<f64>(3);
+        scale_add(&dev, &x, 2.0, 0.5, &out);
         assert_eq!(out.as_slice(), &[2.5, 4.5, 6.5]);
     }
 
@@ -267,8 +255,8 @@ mod tests {
     #[test]
     fn scale_inplace_multiplies() {
         let dev = Device::new(presets::gtx_titan());
-        let mut v = dev.alloc(vec![1.0f64; 100]);
-        scale_inplace(&dev, &mut v, 0.5);
+        let v = dev.alloc(vec![1.0f64; 100]);
+        scale_inplace(&dev, &v, 0.5);
         assert!(v.as_slice().iter().all(|&x| x == 0.5));
     }
 }

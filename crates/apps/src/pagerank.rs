@@ -40,14 +40,14 @@ pub fn pagerank_gpu<T: Scalar>(
     let d = T::from_f64(damping);
 
     let mut pr = dev.alloc(vec![T::from_f64(1.0 / n as f64); n]);
-    let mut tmp = dev.alloc_zeroed::<T>(n);
+    let tmp = dev.alloc_zeroed::<T>(n);
     let mut next = dev.alloc_zeroed::<T>(n);
     let mut report = RunReport::default();
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        report = report.then(&engine.spmv(dev, &pr, &mut tmp));
-        report = report.then(&scale_add(dev, &tmp, d, teleport, &mut next));
+        report = report.then(&engine.spmv(dev, &pr, &tmp));
+        report = report.then(&scale_add(dev, &tmp, d, teleport, &next));
         let (dist2, r) = l2_distance_sq(dev, &next, &pr);
         report = report.then(&r);
         std::mem::swap(&mut pr, &mut next);
@@ -136,8 +136,7 @@ mod tests {
         let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
         let params = IterParams::default();
         let gpu = pagerank_gpu(&dev, &engine, 0.85, &params);
-        let (cpu, cpu_iters) =
-            pagerank_cpu(m.rows(), 0.85, &params, |x, y| m.spmv_into(x, y));
+        let (cpu, cpu_iters) = pagerank_cpu(m.rows(), 0.85, &params, |x, y| m.spmv_into(x, y));
         assert_eq!(gpu.iterations, cpu_iters);
         let d = sparse_formats::scalar::rel_l2_distance(&gpu.scores, &cpu);
         assert!(d < 1e-10, "rel distance {d}");

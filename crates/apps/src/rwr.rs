@@ -27,12 +27,12 @@ fn rwr_update<T: Scalar>(
     c: T,
     restart: T,
     seed: usize,
-    out: &mut DeviceBuffer<T>,
+    out: &DeviceBuffer<T>,
 ) -> RunReport {
     let n = x.len();
     let block = 256;
     let grid = n.div_ceil(block).max(1);
-    dev.launch("rwr_update", grid, block, &mut |blk| {
+    dev.launch("rwr_update", grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n {
@@ -73,14 +73,14 @@ pub fn rwr_gpu<T: Scalar>(
     let mut r0 = vec![T::ZERO; n];
     r0[seed] = T::ONE;
     let mut r = dev.alloc(r0);
-    let mut tmp = dev.alloc_zeroed::<T>(n);
+    let tmp = dev.alloc_zeroed::<T>(n);
     let mut next = dev.alloc_zeroed::<T>(n);
     let mut report = RunReport::default();
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        report = report.then(&engine.spmv(dev, &r, &mut tmp));
-        report = report.then(&rwr_update(dev, &tmp, c, restart, seed, &mut next));
+        report = report.then(&engine.spmv(dev, &r, &tmp));
+        report = report.then(&rwr_update(dev, &tmp, c, restart, seed, &next));
         let (dist2, dr) = l2_distance_sq(dev, &next, &r);
         report = report.then(&dr);
         std::mem::swap(&mut r, &mut next);

@@ -26,15 +26,19 @@ fn bench_dynamic(c: &mut Criterion) {
             },
         );
         // the naive alternative: rebuild the matrix from scratch
-        g.bench_with_input(BenchmarkId::new("rebuild_from_triplets", abbrev), &m, |b, m| {
-            b.iter(|| {
-                let mut t = TripletMatrix::with_capacity(m.rows(), m.cols(), m.nnz());
-                for (r, c2, v) in m.iter() {
-                    t.push_unchecked(r as u32, c2 as u32, v);
-                }
-                t.to_csr()
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("rebuild_from_triplets", abbrev),
+            &m,
+            |b, m| {
+                b.iter(|| {
+                    let mut t = TripletMatrix::with_capacity(m.rows(), m.cols(), m.nnz());
+                    for (r, c2, v) in m.iter() {
+                        t.push_unchecked(r as u32, c2 as u32, v);
+                    }
+                    t.to_csr()
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -24,11 +24,13 @@ fn bench_pagerank(c: &mut Criterion) {
             b.iter(|| pagerank_cpu(op.rows(), 0.85, &params, |x, y| cpu::spmv_csr(op, x, y)));
         });
         let binned = acsr::cpu::CpuAcsr::new(op.clone());
-        g.bench_with_input(BenchmarkId::new("acsr_binned", abbrev), &binned, |b, eng| {
-            b.iter(|| {
-                pagerank_cpu(eng.matrix().rows(), 0.85, &params, |x, y| eng.spmv(x, y))
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("acsr_binned", abbrev),
+            &binned,
+            |b, eng| {
+                b.iter(|| pagerank_cpu(eng.matrix().rows(), 0.85, &params, |x, y| eng.spmv(x, y)));
+            },
+        );
     }
     g.finish();
 }

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphgen::MatrixSpec;
-use sparse_formats::{BccooConfig, BccooMatrix, BrcMatrix, CooMatrix, CsrMatrix, HybMatrix, TcooMatrix};
+use sparse_formats::{
+    BccooConfig, BccooMatrix, BrcMatrix, CooMatrix, CsrMatrix, HybMatrix, TcooMatrix,
+};
 
 fn suite(abbrev: &str) -> CsrMatrix<f64> {
     MatrixSpec::by_abbrev(abbrev)

@@ -23,8 +23,8 @@ pub struct AblationRow {
 
 fn spmv_time(dev: &Device, engine: &AcsrEngine<f64>, x: &[f64]) -> f64 {
     let xd = dev.alloc(x.to_vec());
-    let mut yd = dev.alloc_zeroed::<f64>(engine.rows());
-    engine.spmv(dev, &xd, &mut yd).time_s
+    let yd = dev.alloc_zeroed::<f64>(engine.rows());
+    engine.spmv(dev, &xd, &yd).time_s
 }
 
 /// Run all ablations on one heavy-tailed matrix (default HOL).
@@ -51,10 +51,7 @@ pub fn run(opts: &Options) -> Vec<AblationRow> {
 
     // 1) long-tail mode
     for (name, cfg) in [
-        (
-            "dynamic-parallelism",
-            AcsrConfig::for_device(dev.config()),
-        ),
+        ("dynamic-parallelism", AcsrConfig::for_device(dev.config())),
         ("static-long-tail", AcsrConfig::static_long_tail()),
         (
             "binning-only",
@@ -142,12 +139,7 @@ mod tests {
             matrices: vec!["HOL".into()],
             ..Default::default()
         });
-        let get = |v: &str| {
-            rows.iter()
-                .find(|r| r.variant == v)
-                .unwrap()
-                .spmv_seconds
-        };
+        let get = |v: &str| rows.iter().find(|r| r.variant == v).unwrap().spmv_seconds;
         assert!(
             get("dynamic-parallelism") < get("binning-only"),
             "dp {} vs binning {}",
@@ -163,12 +155,7 @@ mod tests {
             matrices: vec!["ENR".into()],
             ..Default::default()
         });
-        let get = |v: &str| {
-            rows.iter()
-                .find(|r| r.variant == v)
-                .unwrap()
-                .spmv_seconds
-        };
+        let get = |v: &str| rows.iter().find(|r| r.variant == v).unwrap().spmv_seconds;
         assert!(get("texture=true") <= get("texture=false"));
     }
 

@@ -38,13 +38,7 @@ pub fn run(opts: &Options) -> Fig3Result {
 pub fn render(res: &Fig3Result) -> String {
     let freqs = res.histogram.frequencies();
     let mut t = Table::new(&["Bin", "nnz range", "rows", "freq", "bar"]);
-    for (i, (&count, &freq)) in res
-        .histogram
-        .counts
-        .iter()
-        .zip(freqs.iter())
-        .enumerate()
-    {
+    for (i, (&count, &freq)) in res.histogram.counts.iter().zip(freqs.iter()).enumerate() {
         let (lo, hi) = bin_range(i);
         let bar = "#".repeat((freq * 60.0).round() as usize);
         t.row(vec![
@@ -57,7 +51,9 @@ pub fn render(res: &Fig3Result) -> String {
     }
     format!(
         "Figure 3: row-length distribution of {} ({} rows):\n{}",
-        res.abbrev, res.histogram.total_rows, t.render()
+        res.abbrev,
+        res.histogram.total_rows,
+        t.render()
     )
 }
 
@@ -76,7 +72,11 @@ mod tests {
         let small: f64 = freqs.iter().take(4).sum();
         assert!(small > 0.5, "small-bin mass {small}");
         // ...and a non-empty long tail several bins out
-        assert!(res.histogram.max_bin() >= 8, "max bin {}", res.histogram.max_bin());
+        assert!(
+            res.histogram.max_bin() >= 8,
+            "max bin {}",
+            res.histogram.max_bin()
+        );
         // monotone-ish decay: the last bin is rare
         assert!(*freqs.last().unwrap() < 0.01);
     }

@@ -40,7 +40,11 @@ pub fn summarize(rows: &[FormatComparison]) -> Vec<Fig4Summary> {
         }
         out.push(Fig4Summary {
             format: f.clone(),
-            geomean_ratio: if n > 0 { (log_sum / n as f64).exp() } else { f64::NAN },
+            geomean_ratio: if n > 0 {
+                (log_sum / n as f64).exp()
+            } else {
+                f64::NAN
+            },
         });
     }
     let mut log_sum = 0.0;
@@ -101,7 +105,12 @@ mod tests {
                 .geomean_ratio
         };
         // paper ordering: BCCOO >> TCOO > BRC > HYB > ACSR
-        assert!(get("BCCOO") > get("TCOO"), "bccoo {} tcoo {}", get("BCCOO"), get("TCOO"));
+        assert!(
+            get("BCCOO") > get("TCOO"),
+            "bccoo {} tcoo {}",
+            get("BCCOO"),
+            get("TCOO")
+        );
         assert!(get("TCOO") > get("HYB"));
         assert!(get("BRC") > get("HYB"));
         assert!(get("HYB") > get("ACSR"));

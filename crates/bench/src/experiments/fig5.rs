@@ -37,7 +37,9 @@ fn measure<T: Scalar>(
     let dev = Device::new(device_cfg.clone());
     let flops = 2 * m.nnz() as u64;
     let mem = dev.config().memory_bytes() as u64;
-    let x: Vec<T> = (0..m.cols()).map(|i| T::from_f64(1.0 + (i % 7) as f64 * 0.1)).collect();
+    let x: Vec<T> = (0..m.cols())
+        .map(|i| T::from_f64(1.0 + (i % 7) as f64 * 0.1))
+        .collect();
     let xd = dev.alloc(x);
     let fits = |bytes: u64| bytes.saturating_mul(scale as u64) <= mem;
     let avg = |engine: &dyn GpuSpmv<T>| -> f64 {
@@ -45,9 +47,9 @@ fn measure<T: Scalar>(
         // reported" — the simulator is deterministic, so one rep IS the
         // 50-rep average; `reps` exists for cache-warmup studies.
         let mut total = 0.0;
-        let mut y = dev.alloc_zeroed::<T>(engine.rows());
+        let y = dev.alloc_zeroed::<T>(engine.rows());
         for _ in 0..reps {
-            total += engine.spmv(&dev, &xd, &mut y).time_s;
+            total += engine.spmv(&dev, &xd, &y).time_s;
         }
         flops as f64 / (total / reps as f64) / 1e9
     };
@@ -85,9 +87,21 @@ pub fn run(opts: &Options) -> Vec<Fig5Row> {
     ] {
         for spec in selected_specs(opts) {
             let m32 = spec.generate::<f32>(opts.scale, opts.seed);
-            rows.push(measure(&device_cfg, spec.abbrev, &m32.csr, opts.scale, reps));
+            rows.push(measure(
+                &device_cfg,
+                spec.abbrev,
+                &m32.csr,
+                opts.scale,
+                reps,
+            ));
             let m64 = spec.generate::<f64>(opts.scale, opts.seed);
-            rows.push(measure(&device_cfg, spec.abbrev, &m64.csr, opts.scale, reps));
+            rows.push(measure(
+                &device_cfg,
+                spec.abbrev,
+                &m64.csr,
+                opts.scale,
+                reps,
+            ));
         }
     }
     rows

@@ -79,10 +79,17 @@ pub fn run(opts: &Options) -> Vec<Fig6Row> {
         let m = spec.generate::<f64>(opts.scale, opts.seed);
         // PageRank
         let op = pagerank_operator(&m.csr);
-        rows.push(app_rows("PageRank", &dev, spec.abbrev, &op, &params, |d, e| {
-            let r = pagerank_gpu(d, e, 0.85, &params);
-            (r.iterations, r.seconds())
-        }));
+        rows.push(app_rows(
+            "PageRank",
+            &dev,
+            spec.abbrev,
+            &op,
+            &params,
+            |d, e| {
+                let r = pagerank_gpu(d, e, 0.85, &params);
+                (r.iterations, r.seconds())
+            },
+        ));
         // HITS
         let op = hits_operator(&m.csr);
         rows.push(app_rows("HITS", &dev, spec.abbrev, &op, &params, |d, e| {
@@ -104,7 +111,8 @@ pub fn run(opts: &Options) -> Vec<Fig6Row> {
 
 /// Render as text, one block per application plus averages.
 pub fn render(rows: &[Fig6Row]) -> String {
-    let mut out = String::from("Figure 6: application speedup of ACSR over CSR and HYB (GTX Titan, f64):\n");
+    let mut out =
+        String::from("Figure 6: application speedup of ACSR over CSR and HYB (GTX Titan, f64):\n");
     for app in ["PageRank", "HITS", "RWR"] {
         let mut t = Table::new(&["Matrix", "iters", "ACSR time", "vs CSR", "vs HYB"]);
         let mut s_csr = Vec::new();
@@ -157,6 +165,10 @@ mod tests {
         }
         // PageRank on a power-law matrix must favor ACSR over CSR
         let pr = rows.iter().find(|r| r.app == "PageRank").unwrap();
-        assert!(pr.speedup_vs_csr > 1.0, "PageRank vs CSR {}", pr.speedup_vs_csr);
+        assert!(
+            pr.speedup_vs_csr > 1.0,
+            "PageRank vs CSR {}",
+            pr.speedup_vs_csr
+        );
     }
 }

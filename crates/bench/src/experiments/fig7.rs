@@ -9,10 +9,10 @@
 //! complete matrix for ACSR is only paid in the first time period").
 
 use crate::common::{selected_specs, Options, Table};
+use gpu_sim::{presets, Device};
 use graph_apps::dynamic::{dynamic_pagerank, DynamicConfig, EpochStats, Strategy};
 use graph_apps::pagerank::pagerank_operator;
 use graph_apps::IterParams;
-use gpu_sim::{presets, Device};
 use serde::Serialize;
 use sparse_formats::HostModel;
 
@@ -152,8 +152,13 @@ mod tests {
 
     #[test]
     fn warm_start_shrinks_iteration_counts() {
+        // Scale 64 (not 128): at /128 the YOT analog is tiny enough that
+        // one unlucky 10%-churn stream can move the eigenvector more
+        // than a cold start costs, making the average flip on specific
+        // RNG streams. The paper's claim is about realistically sized
+        // graphs; /64 is robust across generator seeds.
         let opts = Options {
-            scale: 128,
+            scale: 64,
             matrices: vec!["YOT".into()],
             ..Default::default()
         };
@@ -162,8 +167,8 @@ mod tests {
         // individual early epochs can exceed the cold start (10% churn can
         // move the eigenvector a lot), but warm starting must win on
         // average — the paper's "often just tens of iterations"
-        let warm_avg: f64 = acsr[1..].iter().map(|e| e.iterations as f64).sum::<f64>()
-            / (acsr.len() - 1) as f64;
+        let warm_avg: f64 =
+            acsr[1..].iter().map(|e| e.iterations as f64).sum::<f64>() / (acsr.len() - 1) as f64;
         assert!(
             warm_avg < acsr[0].iterations as f64,
             "warm avg {warm_avg} vs cold {}",

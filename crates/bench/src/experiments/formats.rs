@@ -22,11 +22,11 @@ use acsr::{AcsrConfig, AcsrEngine};
 use gpu_sim::{presets, Device, DeviceBuffer};
 use serde::Serialize;
 use sparse_formats::{BrcMatrix, CsrMatrix, HostModel, HybMatrix};
+use spmv_kernels::bccoo_kernel::BccooKernel;
 use spmv_kernels::brc_kernel::BrcKernel;
 use spmv_kernels::hyb_kernel::HybKernel;
-use spmv_kernels::tuning::{autotune_bccoo, tune_tcoo};
-use spmv_kernels::bccoo_kernel::BccooKernel;
 use spmv_kernels::tcoo_kernel::TcooKernel;
+use spmv_kernels::tuning::{autotune_bccoo, tune_tcoo};
 use spmv_kernels::{DevBccoo, DevBrc, DevHyb, DevTcoo, GpuSpmv};
 
 /// Row cap for the BCCOO tuning sample (cost extrapolated to full size;
@@ -101,8 +101,8 @@ fn one_spmv<T: sparse_formats::Scalar>(
     x: &DeviceBuffer<T>,
     scale: usize,
 ) -> f64 {
-    let mut y = dev.alloc_zeroed::<T>(engine.rows());
-    let r = engine.spmv(dev, x, &mut y);
+    let y = dev.alloc_zeroed::<T>(engine.rows());
+    let r = engine.spmv(dev, x, &y);
     let s = scale as f64;
     let work = (r.breakdown.compute_s * s)
         .max(r.breakdown.memory_s * s)
@@ -163,8 +163,7 @@ pub fn compare_matrix(
             let eng = BccooKernel::new(DevBccoo::upload(&dev, &tuned.matrix));
             others.push(FormatCost {
                 format: "BCCOO".into(),
-                preprocess_seconds: project_cost(&tuned.cost, scale)
-                    .modeled_host_seconds(host),
+                preprocess_seconds: project_cost(&tuned.cost, scale).modeled_host_seconds(host),
                 spmv_seconds: one_spmv(&dev, &eng, &xd, scale),
                 feasible: fits_full_scale(&dev, eng.device_bytes(), scale),
             });
@@ -192,8 +191,7 @@ pub fn compare_matrix(
             let eng = TcooKernel::new(DevTcoo::upload(&dev, &tuned.matrix));
             others.push(FormatCost {
                 format: "TCOO".into(),
-                preprocess_seconds: project_cost(&tuned.cost, scale)
-                    .modeled_host_seconds(host),
+                preprocess_seconds: project_cost(&tuned.cost, scale).modeled_host_seconds(host),
                 spmv_seconds: one_spmv(&dev, &eng, &xd, scale),
                 feasible: fits_full_scale(&dev, eng.device_bytes(), scale),
             });
@@ -300,7 +298,7 @@ mod tests {
     }
 
     #[test]
-    fn break_even_is_none_or_large(){
+    fn break_even_is_none_or_large() {
         let c = small_comparison();
         for other in &c.others {
             if let Some(n) = c.break_even_n(other) {

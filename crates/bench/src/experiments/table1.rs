@@ -46,8 +46,17 @@ pub fn run(opts: &Options) -> Vec<Table1Row> {
 /// Render as text.
 pub fn render(rows: &[Table1Row]) -> String {
     let mut t = Table::new(&[
-        "Matrix", "Abbrev", "NNZ", "Rows", "Cols", "mu", "sigma", "Max", "PowerLaw",
-        "paper mu", "paper max",
+        "Matrix",
+        "Abbrev",
+        "NNZ",
+        "Rows",
+        "Cols",
+        "mu",
+        "sigma",
+        "Max",
+        "PowerLaw",
+        "paper mu",
+        "paper max",
     ]);
     for r in rows {
         t.row(vec![
@@ -86,7 +95,13 @@ mod tests {
         for r in &rows {
             // μ within 30% of the paper's value
             let err = (r.realized.mean - r.paper_mu).abs() / r.paper_mu;
-            assert!(err < 0.3, "{}: mu {} vs paper {}", r.abbrev, r.realized.mean, r.paper_mu);
+            assert!(
+                err < 0.3,
+                "{}: mu {} vs paper {}",
+                r.abbrev,
+                r.realized.mean,
+                r.paper_mu
+            );
             // power-law flags match the paper's classification
             assert_eq!(
                 r.realized.looks_power_law(),

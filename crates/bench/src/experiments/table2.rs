@@ -12,7 +12,13 @@ pub fn run() -> Vec<DeviceConfig> {
 /// Render as text.
 pub fn render(devices: &[DeviceConfig]) -> String {
     let mut t = Table::new(&[
-        "Device", "SMs", "CC", "Clock(GHz)", "BW(GB/s)", "Mem(GiB)", "DynPar",
+        "Device",
+        "SMs",
+        "CC",
+        "Clock(GHz)",
+        "BW(GB/s)",
+        "Mem(GiB)",
+        "DynPar",
     ]);
     for d in devices {
         t.row(vec![

@@ -13,8 +13,8 @@ pub fn run(opts: &Options) -> Vec<FormatComparison> {
 /// Render as text.
 pub fn render(rows: &[FormatComparison]) -> String {
     let mut t = Table::new(&["Matrix", "vs BCCOO", "vs BRC", "vs TCOO", "vs HYB"]);
-    let mut sums = vec![0.0f64; 4];
-    let mut counts = vec![0usize; 4];
+    let mut sums = [0.0f64; 4];
+    let mut counts = [0usize; 4];
     for c in rows {
         let mut cells = vec![c.abbrev.clone()];
         for (i, other) in c.others.iter().enumerate() {

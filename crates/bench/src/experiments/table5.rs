@@ -23,8 +23,7 @@ pub fn run(opts: &Options) -> Vec<Table5Row> {
         .into_iter()
         .map(|spec| {
             let m = spec.generate::<f32>(opts.scale, opts.seed);
-            let engine =
-                AcsrEngine::from_csr(&dev, &m.csr, AcsrConfig::for_device(dev.config()));
+            let engine = AcsrEngine::from_csr(&dev, &m.csr, AcsrConfig::for_device(dev.config()));
             let BinStats {
                 bin_grids,
                 row_grids,

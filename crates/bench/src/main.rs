@@ -105,8 +105,18 @@ fn run_experiment(name: &str, opts: &Options) {
         }
         "all" => {
             for exp in [
-                "table1", "table2", "fig3", "table3", "fig4", "table4", "table5", "fig5",
-                "fig6", "fig7", "fig8", "ablations",
+                "table1",
+                "table2",
+                "fig3",
+                "table3",
+                "fig4",
+                "table4",
+                "table5",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "ablations",
             ] {
                 eprintln!(">>> {exp}");
                 run_experiment(exp, opts);

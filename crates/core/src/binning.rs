@@ -47,7 +47,10 @@ pub struct BinStats {
 impl Binning {
     /// Bin the rows described by `row_len` under `cfg`. Returns the
     /// binning plus its (tiny) preprocessing cost.
-    pub fn build(row_len: impl ExactSizeIterator<Item = usize>, cfg: &AcsrConfig) -> (Binning, PreprocessCost) {
+    pub fn build(
+        row_len: impl ExactSizeIterator<Item = usize>,
+        cfg: &AcsrConfig,
+    ) -> (Binning, PreprocessCost) {
         let n_rows = row_len.len();
         let (binning, mut cost) = sparse_formats::cost::timed(|cost| {
             let mut bins: Vec<Vec<u32>> = Vec::new();

@@ -24,7 +24,7 @@ pub(crate) fn dp_parent_kernel<T: Scalar>(
     thread_load: usize,
     texture_x: bool,
     x: &DeviceBuffer<T>,
-    y: &mut DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
 ) {
     let n = g1_rows.len();
     if n == 0 {
@@ -33,8 +33,7 @@ pub(crate) fn dp_parent_kernel<T: Scalar>(
     let thread_load = thread_load.max(1);
     let block = 256;
     let grid = n.div_ceil(block).max(1);
-    group.add("acsr_dp_parent", grid, block, &mut |blk| {
-        let y_ref: &mut DeviceBuffer<T> = y;
+    group.add("acsr_dp_parent", grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n {
@@ -57,18 +56,8 @@ pub(crate) fn dp_parent_kernel<T: Scalar>(
                 let b_size = len.div_ceil(thread_load);
                 let child_blocks = b_size.div_ceil(256).max(1);
                 let total_threads = child_blocks * 256;
-                warp.launch_child(child_blocks, 256, &mut |child| {
-                    row_child_body(
-                        child,
-                        mat,
-                        row,
-                        start,
-                        len,
-                        total_threads,
-                        texture_x,
-                        x,
-                        y_ref,
-                    );
+                warp.launch_child(child_blocks, 256, move |child| {
+                    row_child_body(child, mat, row, start, len, total_threads, texture_x, x, y);
                 });
             }
         });
@@ -88,7 +77,7 @@ fn row_child_body<T: Scalar>(
     total_threads: usize,
     texture_x: bool,
     x: &DeviceBuffer<T>,
-    y: &mut DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
 ) {
     let block_off = child.thread_offset();
     child.for_each_warp(&mut |warp| {
@@ -102,10 +91,10 @@ fn row_child_body<T: Scalar>(
             }
             let mut m = 0u32;
             let mut idx = [0usize; WARP];
-            for lane in 0..WARP {
+            for (lane, slot) in idx.iter_mut().enumerate() {
                 if base + lane < len {
                     m |= 1 << lane;
-                    idx[lane] = start + base + lane;
+                    *slot = start + base + lane;
                 }
             }
             let cols = warp.gather(&mat.col_indices, &idx, m);
@@ -147,7 +136,7 @@ mod tests {
         list: &DeviceBuffer<u32>,
         thread_load: usize,
         x: &DeviceBuffer<f64>,
-        y: &mut DeviceBuffer<f64>,
+        y: &DeviceBuffer<f64>,
     ) -> RunReport {
         let mut group = dev.launch_group("dp_test");
         dp_parent_kernel(&mut group, mat, list, thread_load, true, x, y);
@@ -181,8 +170,8 @@ mod tests {
         let xd = dev.alloc(x.clone());
         let want = m.spmv(&x);
         let list = dev.alloc(big.clone());
-        let mut y = dev.alloc_zeroed::<f64>(m.rows());
-        let r = run_dp(&dev, &a, &list, 4, &xd, &mut y);
+        let y = dev.alloc_zeroed::<f64>(m.rows());
+        let r = run_dp(&dev, &a, &list, 4, &xd, &y);
         assert_eq!(r.counters.child_launches, 3);
         for &row in &big {
             let got = y.as_slice()[row as usize];
@@ -209,8 +198,8 @@ mod tests {
         let xd = dev.alloc(x);
         let list = dev.alloc(big);
         let run = |tl: usize| {
-            let mut y = dev.alloc_zeroed::<f64>(m.rows());
-            run_dp(&dev, &a, &list, tl, &xd, &mut y)
+            let y = dev.alloc_zeroed::<f64>(m.rows());
+            run_dp(&dev, &a, &list, tl, &xd, &y)
         };
         let r1 = run(1);
         let r8 = run(8);
@@ -227,8 +216,8 @@ mod tests {
         let a = AcsrMatrix::from_csr(&dev, &m, &cfg);
         let xd = dev.alloc(vec![1.0f64; m.cols()]);
         let list = dev.alloc(Vec::<u32>::new());
-        let mut y = dev.alloc_zeroed::<f64>(m.rows());
-        let r = run_dp(&dev, &a, &list, 4, &xd, &mut y);
+        let y = dev.alloc_zeroed::<f64>(m.rows());
+        let r = run_dp(&dev, &a, &list, 4, &xd, &y);
         assert_eq!(r.counters.child_launches, 0);
     }
 }

@@ -164,7 +164,7 @@ impl<T: Scalar> GpuSpmv<T> for AcsrEngine<T> {
         self.mat.device_bytes() + lists
     }
 
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport {
         assert_eq!(x.len(), self.mat.cols(), "x length mismatch");
         assert_eq!(y.len(), self.mat.rows(), "y length mismatch");
         // All of ACSR's per-SpMV kernels are independent (each writes a
@@ -256,8 +256,8 @@ mod tests {
         let engine = AcsrEngine::from_csr(dev, m, cfg);
         let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 + (i % 9) as f64 * 0.25).collect();
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc(vec![-3.0f64; m.rows()]);
-        let r = engine.spmv(dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![-3.0f64; m.rows()]);
+        let r = engine.spmv(dev, &xd, &yd);
         let want = m.spmv(&x);
         let d = sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &want);
         assert!(d < 1e-12, "rel distance {d} in mode {:?}", engine.cfg.mode);
@@ -307,8 +307,8 @@ mod tests {
         let m = t.to_csr();
         let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
         let xd = dev.alloc(vec![1.0f64; 6]);
-        let mut yd = dev.alloc(vec![7.0f64; 6]);
-        engine.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![7.0f64; 6]);
+        engine.spmv(&dev, &xd, &yd);
         assert_eq!(yd.as_slice(), &[2.0, 0.0, 0.0, 4.0, 0.0, 0.0]);
     }
 
@@ -335,8 +335,8 @@ mod tests {
         assert_eq!(engine.binning().overflow_rows().len(), big_rows - 1);
         let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 3) as f64).collect();
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        let r = engine.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        let r = engine.spmv(&dev, &xd, &yd);
         assert_eq!(r.counters.child_launches, 1);
         let d = sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &m.spmv(&x));
         assert!(d < 1e-12);
@@ -363,11 +363,11 @@ mod tests {
         let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 5) as f64 * 0.2).collect();
         let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        let r_acsr = engine.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        let r_acsr = engine.spmv(&dev, &xd, &yd);
         let vec_eng = CsrVector::new(DevCsr::upload(&dev, &m));
-        let mut yd2 = dev.alloc_zeroed::<f64>(m.rows());
-        let r_vec = vec_eng.spmv(&dev, &xd, &mut yd2);
+        let yd2 = dev.alloc_zeroed::<f64>(m.rows());
+        let r_vec = vec_eng.spmv(&dev, &xd, &yd2);
         assert!(
             r_acsr.time_s < r_vec.time_s,
             "ACSR {:.1}us vs CSR-vector {:.1}us",

@@ -15,13 +15,13 @@ use sparse_formats::Scalar;
 pub(crate) fn zero_rows_kernel<T: Scalar>(
     group: &mut ConcurrentGroup,
     rows_list: &DeviceBuffer<u32>,
-    y: &mut DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
     name: &str,
 ) {
     let n = rows_list.len();
     let block = 256;
     let grid = n.div_ceil(block).max(1);
-    group.add(name, grid, block, &mut |blk| {
+    group.add(name, grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n {
@@ -49,7 +49,7 @@ pub(crate) fn warp_rows_body<T: Scalar>(
     group: usize,
     texture_x: bool,
     x: &DeviceBuffer<T>,
-    y: &mut DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
 ) {
     let n = rows_list.len();
     if list_base >= n {
@@ -132,7 +132,7 @@ pub(crate) fn bin_kernel<T: Scalar>(
     group: usize,
     texture_x: bool,
     x: &DeviceBuffer<T>,
-    y: &mut DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
     name: &str,
 ) {
     assert!(group.is_power_of_two() && group <= WARP);
@@ -141,7 +141,7 @@ pub(crate) fn bin_kernel<T: Scalar>(
     let warps = n.div_ceil(groups_per_warp).max(1);
     let block = 256;
     let grid = (warps * WARP).div_ceil(block).max(1);
-    launch_group.add(name, grid, block, &mut |blk| {
+    launch_group.add(name, grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let list_base = warp.global_warp_id() * groups_per_warp;
             warp_rows_body(warp, mat, rows_list, list_base, group, texture_x, x, y);
@@ -159,7 +159,7 @@ pub(crate) fn static_long_tail_kernel<T: Scalar>(
     rows_list: &DeviceBuffer<u32>,
     texture_x: bool,
     x: &DeviceBuffer<T>,
-    y: &mut DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
 ) {
     let n = rows_list.len();
     if n == 0 {
@@ -167,7 +167,7 @@ pub(crate) fn static_long_tail_kernel<T: Scalar>(
     }
     let block = 256;
     let warps_per_block = block / WARP;
-    group.add("acsr_static_tail", n, block, &mut |blk| {
+    group.add("acsr_static_tail", n, block, &|blk| {
         let row_slot = blk.block_idx();
         blk.for_each_warp(&mut |warp| {
             // all lanes read the same list slot / row descriptor
@@ -185,10 +185,10 @@ pub(crate) fn static_long_tail_kernel<T: Scalar>(
             while off < len {
                 let mut m = 0u32;
                 let mut idx = [0usize; WARP];
-                for lane in 0..WARP {
+                for (lane, slot) in idx.iter_mut().enumerate() {
                     if off + lane < len {
                         m |= 1 << lane;
-                        idx[lane] = start + off + lane;
+                        *slot = start + off + lane;
                     }
                 }
                 let cols = warp.gather(&mat.col_indices, &idx, m);
@@ -242,9 +242,9 @@ mod tests {
     fn zero_rows_kernel_zeroes_only_listed_rows() {
         let dev = Device::new(presets::gtx_titan());
         let list = dev.alloc(vec![1u32, 3]);
-        let mut y = dev.alloc(vec![9.0f64; 5]);
+        let y = dev.alloc(vec![9.0f64; 5]);
         let mut g = dev.launch_group("t");
-        zero_rows_kernel(&mut g, &list, &mut y, "zero");
+        zero_rows_kernel(&mut g, &list, &y, "zero");
         g.finish();
         assert_eq!(y.as_slice(), &[9.0, 0.0, 9.0, 0.0, 9.0]);
     }
@@ -262,7 +262,7 @@ mod tests {
         for &bin in binning.g2_bins() {
             let rows = binning.bin_rows(bin).to_vec();
             let list = dev.alloc(rows.clone());
-            let mut y = dev.alloc(vec![-1.0f64; m.rows()]);
+            let y = dev.alloc(vec![-1.0f64; m.rows()]);
             let mut g = dev.launch_group("t");
             bin_kernel(
                 &mut g,
@@ -271,7 +271,7 @@ mod tests {
                 Binning::group_for_bin(bin),
                 true,
                 &xd,
-                &mut y,
+                &y,
                 "bin",
             );
             g.finish();
@@ -300,14 +300,17 @@ mod tests {
         let xd = dev.alloc(x.clone());
         let want = m.spmv(&x);
         let list = dev.alloc(big.clone());
-        let mut y = dev.alloc_zeroed::<f64>(m.rows());
+        let y = dev.alloc_zeroed::<f64>(m.rows());
         let mut g = dev.launch_group("t");
-        static_long_tail_kernel(&mut g, &a, &list, true, &xd, &mut y);
+        static_long_tail_kernel(&mut g, &a, &list, true, &xd, &y);
         g.finish();
         for &r in &big {
             let got = y.as_slice()[r as usize];
             let w = want[r as usize];
-            assert!((got - w).abs() / w.abs().max(1.0) < 1e-9, "row {r}: {got} vs {w}");
+            assert!(
+                (got - w).abs() / w.abs().max(1.0) < 1e-9,
+                "row {r}: {got} vs {w}"
+            );
         }
     }
 }

@@ -49,9 +49,9 @@ impl<T: Scalar> AcsrMatrix<T> {
         }
         let mut col_indices = vec![0u32; pos];
         let mut values = vec![T::ZERO; pos];
-        for r in 0..rows {
+        for (r, &s) in row_start.iter().enumerate() {
             let (cols, vals) = m.row(r);
-            let s = row_start[r] as usize;
+            let s = s as usize;
             col_indices[s..s + cols.len()].copy_from_slice(cols);
             values[s..s + vals.len()].copy_from_slice(vals);
         }
@@ -132,8 +132,7 @@ impl<T: Scalar> AcsrMatrix<T> {
             if end > self.col_indices.len() {
                 return Err(format!("row {r}: capacity end {end} out of bounds"));
             }
-            if r + 1 < self.rows && starts[r] as usize + caps[r] as usize > starts[r + 1] as usize
-            {
+            if r + 1 < self.rows && starts[r] as usize + caps[r] as usize > starts[r + 1] as usize {
                 return Err(format!("row {r} overlaps row {}", r + 1));
             }
             let s = starts[r] as usize;

@@ -53,25 +53,30 @@ impl<T: Scalar> AcsrEngine<T> {
         let ins_vals_d = dev.alloc(batch.insert_vals.clone());
 
         let n = batch.rows.len();
-        let mut overflow: Vec<u32> = Vec::new();
-        let mut nnz_delta: i64 = 0;
+        // Kernel-to-host feedback. The kernel closure is `Fn + Sync` (its
+        // blocks may run on several host workers), so these are shared and
+        // order-independent: overflow is consumed as a set, nnz_delta is an
+        // integer sum — both deterministic at any worker count.
+        let overflow: std::sync::Mutex<Vec<u32>> = std::sync::Mutex::new(Vec::new());
+        let nnz_delta = std::sync::atomic::AtomicI64::new(0);
 
         let kernel = {
             let mat = self.matrix_mut();
-            // Split borrows: kernels read row_start/row_cap, mutate
-            // row_len/col_indices/values.
+            // Kernels read row_start/row_cap and write
+            // row_len/col_indices/values through the buffers' interior
+            // mutability (distinct rows — no overlapping elements).
             let row_start = &mat.row_start;
             let row_cap = &mat.row_cap;
-            let row_len = &mut mat.row_len;
-            let col_indices = &mut mat.col_indices;
-            let values = &mut mat.values;
+            let row_len = &mat.row_len;
+            let col_indices = &mat.col_indices;
+            let values = &mat.values;
 
             let block = 256;
             let warps_per_block = block / WARP;
             let grid = n.div_ceil(warps_per_block).max(1);
-            let overflow_ref = &mut overflow;
-            let nnz_ref = &mut nnz_delta;
-            dev.launch("acsr_update", grid, block, &mut |blk| {
+            let overflow_ref = &overflow;
+            let nnz_ref = &nnz_delta;
+            dev.launch("acsr_update", grid, block, &|blk| {
                 blk.for_each_warp(&mut |warp| {
                     let pos = warp.global_warp_id();
                     if pos >= n {
@@ -120,8 +125,7 @@ impl<T: Scalar> AcsrEngine<T> {
                     // a sorted merge; inserting an existing column
                     // overwrites its value, matching the host reference.
                     let survivors = merged;
-                    let mut merged: Vec<(u32, T)> =
-                        Vec::with_capacity(survivors.len() + ins.len());
+                    let mut merged: Vec<(u32, T)> = Vec::with_capacity(survivors.len() + ins.len());
                     let (mut a, mut b) = (0usize, 0usize);
                     while a < survivors.len() || b < ins.len() {
                         warp.charge_alu(1);
@@ -145,7 +149,7 @@ impl<T: Scalar> AcsrEngine<T> {
                     }
 
                     if merged.len() > cap {
-                        overflow_ref.push(row as u32);
+                        overflow_ref.lock().unwrap().push(row as u32);
                         return; // row untouched; host rebuild handles it
                     }
                     // Write back the compacted row.
@@ -153,17 +157,18 @@ impl<T: Scalar> AcsrEngine<T> {
                         warp.scatter(col_indices, &[start + k; WARP], &[*c; WARP], L0);
                         warp.scatter(values, &[start + k; WARP], &[*v; WARP], L0);
                     }
-                    warp.scatter(
-                        row_len,
-                        &[row; WARP],
-                        &[merged.len() as u32; WARP],
-                        L0,
+                    warp.scatter(row_len, &[row; WARP], &[merged.len() as u32; WARP], L0);
+                    nnz_ref.fetch_add(
+                        merged.len() as i64 - old_len as i64,
+                        std::sync::atomic::Ordering::Relaxed,
                     );
-                    *nnz_ref += merged.len() as i64 - old_len as i64;
                 });
             })
         };
 
+        let mut overflow = overflow.into_inner().unwrap();
+        overflow.sort_unstable();
+        let nnz_delta = nnz_delta.into_inner();
         let new_nnz = (self.matrix().nnz() as i64 + nnz_delta) as usize;
         self.matrix_mut().set_nnz(new_nnz);
 
@@ -285,8 +290,8 @@ mod tests {
         let updated = reference_apply(&m, &batch);
         let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 6) as f64 * 0.3).collect();
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        engine.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        engine.spmv(&dev, &xd, &yd);
         let d = sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &updated.spmv(&x));
         assert!(d < 1e-12, "rel distance {d}");
     }

@@ -24,9 +24,9 @@ fn arb_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
 
 fn arb_config() -> impl Strategy<Value = AcsrConfig> {
     (
-        1usize..16,                                   // bin_max
+        1usize..16,                                     // bin_max
         prop::sample::select(vec![0usize, 1, 4, 2048]), // row_max
-        1usize..8,                                    // thread_load
+        1usize..8,                                      // thread_load
         prop::sample::select(vec![
             AcsrMode::DynamicParallelism,
             AcsrMode::BinningOnly,
@@ -34,14 +34,20 @@ fn arb_config() -> impl Strategy<Value = AcsrConfig> {
         ]),
         any::<bool>(), // texture_x
     )
-        .prop_map(|(bin_max, row_max, thread_load, mode, texture_x)| AcsrConfig {
-            bin_max,
-            row_max: if mode == AcsrMode::BinningOnly { 0 } else { row_max },
-            thread_load,
-            mode,
-            texture_x,
-            slack_fraction: 1.0,
-        })
+        .prop_map(
+            |(bin_max, row_max, thread_load, mode, texture_x)| AcsrConfig {
+                bin_max,
+                row_max: if mode == AcsrMode::BinningOnly {
+                    0
+                } else {
+                    row_max
+                },
+                thread_load,
+                mode,
+                texture_x,
+                slack_fraction: 1.0,
+            },
+        )
 }
 
 fn close(a: &[f64], b: &[f64]) -> bool {
@@ -63,8 +69,8 @@ proptest! {
         let dev = Device::new(presets::gtx_titan());
         let engine = AcsrEngine::from_csr(&dev, &m, cfg);
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc(vec![f64::NAN; m.rows()]); // must be fully overwritten
-        engine.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![f64::NAN; m.rows()]); // must be fully overwritten
+        engine.spmv(&dev, &xd, &yd);
         let want = m.spmv(&x);
         prop_assert!(yd.as_slice().iter().all(|v| v.is_finite()));
         prop_assert!(close(yd.as_slice(), &want));

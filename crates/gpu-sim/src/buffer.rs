@@ -3,7 +3,24 @@
 //! A [`DeviceBuffer`] is host-resident data stamped with a unique device
 //! *base address*, so the coalescing and cache models operate on a single
 //! unified address space regardless of which buffer an access touches.
+//!
+//! ## Shared mutability and the kernel data contract
+//!
+//! Elements are stored in [`UnsafeCell`]s so kernels — which since the
+//! sharded engine run as `Fn + Sync` closures, possibly on several host
+//! threads at once — can write through `&DeviceBuffer<T>`. This mirrors
+//! CUDA global memory exactly: every thread of a grid sees one address
+//! space, and the hardware gives no protection against racing writes.
+//!
+//! The safety contract is CUDA's, too: **two blocks of one launch must
+//! not touch the same element unless every such access goes through
+//! [`crate::WarpCtx::atomic_rmw`]** (which serializes under a global
+//! lock). Plain `gather`/`scatter` races on one element are undefined
+//! behaviour on real hardware and are equally out of contract here; the
+//! engine's shard-per-SM execution never introduces such a race on its
+//! own — only a kernel whose blocks overlap non-atomically can.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Element types storable in device buffers.
@@ -23,18 +40,25 @@ fn alloc_base(bytes: u64) -> u64 {
 }
 
 /// A typed simulated-device allocation.
-#[derive(Debug)]
 pub struct DeviceBuffer<T> {
     base: u64,
-    data: Vec<T>,
+    data: Box<[UnsafeCell<T>]>,
 }
+
+// SAFETY: `DeviceBuffer` hands out copies of `T` (never references into
+// the cells), all element writes go through `get`/`set` under the kernel
+// data contract above, and `T: DevCopy` implies `T: Send + Sync`.
+unsafe impl<T: DevCopy> Sync for DeviceBuffer<T> {}
 
 impl<T: DevCopy> DeviceBuffer<T> {
     /// Wrap host data as a device allocation (no transfer time charged —
     /// transfers are modeled explicitly by [`crate::DeviceConfig::copy_seconds`]).
     pub fn new(data: Vec<T>) -> Self {
         let base = alloc_base((data.len() * T::SIZE) as u64);
-        DeviceBuffer { base, data }
+        DeviceBuffer {
+            base,
+            data: data.into_iter().map(UnsafeCell::new).collect(),
+        }
     }
 
     /// Zero-filled buffer of `len` elements.
@@ -50,7 +74,11 @@ impl<T: DevCopy> DeviceBuffer<T> {
     /// Byte address of element `idx`.
     #[inline]
     pub fn addr_of(&self, idx: usize) -> u64 {
-        debug_assert!(idx < self.data.len(), "address of {idx} >= {}", self.data.len());
+        debug_assert!(
+            idx < self.data.len(),
+            "address of {idx} >= {}",
+            self.data.len()
+        );
         self.base + (idx * T::SIZE) as u64
     }
 
@@ -69,37 +97,61 @@ impl<T: DevCopy> DeviceBuffer<T> {
         (self.data.len() * T::SIZE) as u64
     }
 
-    /// Read-only host view.
+    /// Read-only host view. Callers must not hold this across a launch
+    /// that writes the buffer (the usual host/device synchronization
+    /// rule; the borrow checker enforces it except through `&self`
+    /// aliasing inside a kernel, which the kernel data contract forbids).
     pub fn as_slice(&self) -> &[T] {
-        &self.data
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`, and under
+        // the kernel data contract no writer is concurrent with this view.
+        unsafe { std::slice::from_raw_parts(self.data.as_ptr() as *const T, self.data.len()) }
     }
 
     /// Mutable host view (host-side initialization; kernels go through
     /// [`crate::WarpCtx`] so their traffic is accounted).
     pub fn as_mut_slice(&mut self) -> &mut [T] {
-        &mut self.data
+        // SAFETY: `&mut self` guarantees exclusivity; layouts match.
+        unsafe { std::slice::from_raw_parts_mut(self.data.as_mut_ptr() as *mut T, self.data.len()) }
     }
 
     /// Consume the buffer, returning the host data.
     pub fn into_vec(self) -> Vec<T> {
         self.data
+            .into_vec()
+            .into_iter()
+            .map(UnsafeCell::into_inner)
+            .collect()
     }
 
     #[inline]
     pub(crate) fn get(&self, idx: usize) -> T {
-        self.data[idx]
+        // SAFETY: elements are only written under the kernel data
+        // contract (disjoint blocks, atomics serialized), so no write is
+        // concurrent with this read.
+        unsafe { *self.data[idx].get() }
     }
 
     #[inline]
-    pub(crate) fn set(&mut self, idx: usize, v: T) {
-        self.data[idx] = v;
+    pub(crate) fn set(&self, idx: usize, v: T) {
+        // SAFETY: as for `get` — the kernel data contract guarantees no
+        // other shard touches this element concurrently.
+        unsafe { *self.data[idx].get() = v }
+    }
+}
+
+impl<T: DevCopy + std::fmt::Debug> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer")
+            .field("base", &self.base)
+            .field("data", &self.as_slice())
+            .finish()
     }
 }
 
 impl<T: DevCopy> Clone for DeviceBuffer<T> {
     /// Cloning allocates a fresh device address (it is a new allocation).
     fn clone(&self) -> Self {
-        Self::new(self.data.clone())
+        Self::new(self.as_slice().to_vec())
     }
 }
 
@@ -149,5 +201,13 @@ mod tests {
     fn into_vec_round_trips() {
         let b = DeviceBuffer::new(vec![5i32, 6]);
         assert_eq!(b.into_vec(), vec![5, 6]);
+    }
+
+    #[test]
+    fn set_through_shared_ref_is_visible() {
+        let b = DeviceBuffer::new(vec![0u32; 4]);
+        b.set(2, 9);
+        assert_eq!(b.get(2), 9);
+        assert_eq!(b.as_slice(), &[0, 0, 9, 0]);
     }
 }

@@ -48,6 +48,17 @@ impl Counters {
         }
     }
 
+    /// Reduce a sequence of per-shard counters in iteration order (the
+    /// engine passes shards in SM order, making the merge deterministic
+    /// regardless of which host worker ran which shard).
+    pub fn sum<'a>(shards: impl IntoIterator<Item = &'a Counters>) -> Counters {
+        let mut acc = Counters::default();
+        for c in shards {
+            acc.merge(c);
+        }
+        acc
+    }
+
     /// Elementwise accumulate.
     pub fn merge(&mut self, o: &Counters) {
         self.warp_instructions += o.warp_instructions;

@@ -19,37 +19,162 @@
 //! * dynamic child launches pay device-side overhead, amortized over the
 //!   hardware launch units, plus a stall penalty beyond the pending-launch
 //!   limit (`cudaLimitDevRuntimePendingLaunchCount`, §III-B).
+//!
+//! ## Sharded host execution
+//!
+//! Execution is *always* partitioned into one shard per SM: shard `s`
+//! runs exactly the blocks the round-robin scheduler places on SM `s`,
+//! in ascending block order, against shard-private counters and texture
+//! caches. CUDA guarantees blocks of a grid are independent and may run
+//! in any order, so this partition is semantically faithful — and it
+//! makes the host-side worker count ([`sim_threads`]) pure mechanism:
+//! whether one thread walks the shards in order or eight threads claim
+//! them from a pool, every shard computes the same numbers and the
+//! SM-ordered merge in `assemble_report` produces a bit-identical
+//! [`RunReport`].
+//!
+//! Dynamic child grids are *queued* at launch and executed as follow-on
+//! waves after the parent grid's blocks drain: the per-shard queues are
+//! merged in SM order (deterministic at any worker count) and each child
+//! block then runs on the shard of the SM it is attributed to,
+//! `(block + seq) % SMs`. Because blocks attributed to SM `s` always
+//! execute on shard `s` — for top-level grids and child grids alike —
+//! shard `s`'s texture cache sees exactly the access stream SM `s`'s
+//! cache sees in a fully sequential walk, so child grids reuse the lines
+//! earlier kernels of the same launch group already pulled.
 
 use crate::buffer::{DevCopy, DeviceBuffer};
 use crate::cache::SetAssocCache;
 use crate::config::DeviceConfig;
 use crate::counters::{Counters, RunReport, TimeBreakdown};
 use crate::warp::{WarpCtx, WARP};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// Kernel body: called once per thread block.
-pub type KernelFn<'a> = &'a mut dyn FnMut(&mut BlockCtx);
+/// Kernel body: called once per thread block. Kernels must be `Fn + Sync`
+/// because blocks of one grid may execute on several host threads; all
+/// writes to simulation state go through [`crate::WarpCtx`] and
+/// [`DeviceBuffer`]'s interior mutability (see the buffer module's kernel
+/// data contract). The pinned third lifetime lets kernel bodies launch
+/// child grids whose closures borrow from the same scope the kernel
+/// itself borrows from.
+pub type KernelFn<'a> = &'a (dyn for<'r, 'c> Fn(&mut BlockCtx<'r, 'c, 'a>) + Sync);
 
-/// Mutable state of one in-flight launch (shared with child grids).
-pub struct RunState<'d> {
-    pub(crate) cfg: &'d DeviceConfig,
+/// A dynamically launched child grid, queued by [`WarpCtx::launch_child`]
+/// and executed as part of the next follow-on wave (module docs).
+pub(crate) struct PendingChild<'k> {
+    /// Launch sequence number of the owning shard at launch time;
+    /// rotates the child's block→SM attribution.
+    pub(crate) seq: usize,
+    pub(crate) grid_blocks: usize,
+    pub(crate) block_dim: usize,
+    pub(crate) kernel: Box<dyn for<'r, 'c> Fn(&mut BlockCtx<'r, 'c, 'k>) + Send + Sync + 'k>,
+}
+
+/// Host-thread override set by [`set_sim_threads`] (0 = no override).
+static SIM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the number of host threads simulated launches execute on.
+/// `0` clears the override, returning to `ACSR_SIM_THREADS` / the
+/// machine's available parallelism. `1` forces the sequential path.
+///
+/// Thread count is pure mechanism: reports are bit-identical at every
+/// width (see the module docs), so this knob only trades wall-clock
+/// simulation speed.
+pub fn set_sim_threads(n: usize) {
+    SIM_THREADS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Host threads a launch will use: the [`set_sim_threads`] override if
+/// set, else the `ACSR_SIM_THREADS` environment variable (read once), else
+/// the machine's available parallelism.
+pub fn sim_threads() -> usize {
+    match SIM_THREADS_OVERRIDE.load(Ordering::SeqCst) {
+        0 => env_or_auto_threads(),
+        n => n,
+    }
+}
+
+fn env_or_auto_threads() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    let from_env = *ENV.get_or_init(|| {
+        std::env::var("ACSR_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+    });
+    from_env
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Per-SM slice of an in-flight launch: the blocks scheduled on one SM
+/// plus every model structure they touch. Shards are mutated by exactly
+/// one host worker at a time and merged in SM order afterwards.
+pub(crate) struct ShardState {
+    /// The SM whose blocks this shard executes.
+    pub(crate) home_sm: usize,
     pub(crate) counters: Counters,
+    /// Issue slots attributed per SM (full length: child blocks launched
+    /// from this shard may be attributed to any SM).
     pub(crate) sm_instr: Vec<u64>,
+    /// Longest warp critical path attributed per SM.
     pub(crate) sm_crit: Vec<u64>,
-    pub(crate) tex_caches: Vec<SetAssocCache>,
-    /// Monotone child-launch sequence, used to spread child blocks across
-    /// SMs starting at different offsets.
+    /// SM `home_sm`'s texture cache, allocated on first touch. Every
+    /// block attributed to `home_sm` executes on this shard — top-level
+    /// blocks directly, child blocks via the follow-on wave — so the
+    /// cache's access stream matches a sequential round-robin walk
+    /// exactly, at any host worker count.
+    pub(crate) tex_cache: Option<SetAssocCache>,
+    /// Child-launch sequence of this shard's parent blocks. Shard-private
+    /// (hence deterministic); pre-incremented per launch so the first
+    /// child grid gets `seq == 1`, matching a global launch counter
+    /// whenever a single block does the launching.
     pub(crate) child_seq: usize,
 }
 
-/// Per-block kernel context.
-pub struct BlockCtx<'r, 'd> {
-    run: &'r mut RunState<'d>,
-    block_idx: usize,
-    block_dim: usize,
-    sm: usize,
+impl ShardState {
+    fn new(home_sm: usize, sm_count: usize) -> Self {
+        ShardState {
+            home_sm,
+            counters: Counters::default(),
+            sm_instr: vec![0; sm_count],
+            sm_crit: vec![0; sm_count],
+            tex_cache: None,
+            child_seq: 0,
+        }
+    }
+
+    /// This shard's texture cache (SM `home_sm`'s cache).
+    pub(crate) fn cache_mut(&mut self, cfg: &DeviceConfig) -> &mut SetAssocCache {
+        self.tex_cache.get_or_insert_with(|| {
+            SetAssocCache::new(cfg.tex_cache_bytes, cfg.tex_line_bytes, cfg.tex_ways)
+        })
+    }
 }
 
-impl<'r, 'd> BlockCtx<'r, 'd> {
+/// Mutable state of one in-flight launch (shared with child grids):
+/// one [`ShardState`] per SM, in SM order.
+pub struct RunState<'d> {
+    pub(crate) cfg: &'d DeviceConfig,
+    pub(crate) shards: Vec<ShardState>,
+}
+
+/// Per-block kernel context.
+pub struct BlockCtx<'r, 'd, 'k> {
+    pub(crate) shard: &'r mut ShardState,
+    /// Child grids this shard queued for the next wave.
+    pub(crate) pending: &'r mut Vec<PendingChild<'k>>,
+    pub(crate) cfg: &'d DeviceConfig,
+    pub(crate) block_idx: usize,
+    pub(crate) block_dim: usize,
+    pub(crate) sm: usize,
+}
+
+impl<'r, 'd, 'k> BlockCtx<'r, 'd, 'k> {
     /// Block index within the grid.
     pub fn block_idx(&self) -> usize {
         self.block_idx
@@ -75,8 +200,9 @@ impl<'r, 'd> BlockCtx<'r, 'd> {
         self.sm
     }
 
-    /// Run `f` once for every warp of this block.
-    pub fn for_each_warp(&mut self, f: &mut dyn FnMut(&mut WarpCtx)) {
+    /// Run `f` once for every warp of this block. Warps of one block run
+    /// on one host thread, so `f` may be a stateful `FnMut`.
+    pub fn for_each_warp(&mut self, f: &mut dyn FnMut(&mut WarpCtx<'_, 'd, 'k>)) {
         for w in 0..self.warp_count() {
             let mut warp = WarpCtx {
                 block_idx: self.block_idx,
@@ -85,34 +211,144 @@ impl<'r, 'd> BlockCtx<'r, 'd> {
                 sm: self.sm,
                 instr: 0,
                 crit: 0,
-                run: self.run,
+                shard: &mut *self.shard,
+                pending: &mut *self.pending,
+                cfg: self.cfg,
             };
             f(&mut warp);
         }
     }
 }
 
-/// Execute a grid into `run`. `sm_offset` rotates the block→SM mapping
-/// (children start where the global child sequence points, spreading
-/// concurrent children over the machine).
-pub(crate) fn execute_grid(
+/// Execute the blocks of one shard: every block the round-robin scheduler
+/// maps to `shard.home_sm`, in ascending block order. Child launches land
+/// in `pending` for the follow-on wave.
+fn run_shard<'k>(
+    cfg: &DeviceConfig,
+    shard: &mut ShardState,
+    pending: &mut Vec<PendingChild<'k>>,
+    grid_blocks: usize,
+    block_dim: usize,
+    sm_offset: usize,
+    kernel: KernelFn<'k>,
+) {
+    let sms = cfg.sm_count;
+    // Smallest b with (b + sm_offset) % sms == home_sm.
+    let mut b = (shard.home_sm + sms - sm_offset % sms) % sms;
+    while b < grid_blocks {
+        shard.counters.blocks += 1;
+        let home = shard.home_sm;
+        let mut blk = BlockCtx {
+            shard: &mut *shard,
+            pending: &mut *pending,
+            cfg,
+            block_idx: b,
+            block_dim,
+            sm: home,
+        };
+        kernel(&mut blk);
+        b += sms;
+    }
+}
+
+/// Execute one shard's slice of a child wave: for every queued child
+/// grid, in wave order, the blocks attributed to `shard.home_sm`
+/// (`(block + seq) % SMs == home_sm`) in ascending block order.
+/// Grandchild launches land in `next`.
+fn run_wave_shard<'k>(
+    cfg: &DeviceConfig,
+    shard: &mut ShardState,
+    wave: &[PendingChild<'k>],
+    next: &mut Vec<PendingChild<'k>>,
+) {
+    let sms = cfg.sm_count;
+    for child in wave {
+        let mut b = (shard.home_sm + sms - child.seq % sms) % sms;
+        while b < child.grid_blocks {
+            shard.counters.blocks += 1;
+            let home = shard.home_sm;
+            let mut blk = BlockCtx {
+                shard: &mut *shard,
+                pending: &mut *next,
+                cfg,
+                block_idx: b,
+                block_dim: child.block_dim,
+                sm: home,
+            };
+            (child.kernel)(&mut blk);
+            b += sms;
+        }
+    }
+}
+
+/// Run `body(s)` once per shard `s`, on up to `threads` host workers.
+/// `shards` and `extras` hand each invocation exclusive `&mut` access to
+/// their `s`-th elements.
+fn for_each_shard<'k>(
+    threads: usize,
+    shards: &mut [ShardState],
+    extras: &mut [Vec<PendingChild<'k>>],
+    body: impl Fn(usize, &mut ShardState, &mut Vec<PendingChild<'k>>) + Sync,
+) {
+    let n = shards.len();
+    assert_eq!(extras.len(), n);
+    if threads <= 1 {
+        for (s, (shard, extra)) in shards.iter_mut().zip(extras.iter_mut()).enumerate() {
+            body(s, shard, extra);
+        }
+    } else {
+        let sbase = shards.as_mut_ptr() as usize;
+        let ebase = extras.as_mut_ptr() as usize;
+        par_runtime::par_shards(threads, n, |s| {
+            // SAFETY: par_shards hands each index to exactly one
+            // invocation, so these &mut are disjoint, and both slices
+            // stay mutably borrowed for the whole call.
+            let shard = unsafe { &mut *(sbase as *mut ShardState).add(s) };
+            let extra = unsafe { &mut *(ebase as *mut Vec<PendingChild<'k>>).add(s) };
+            body(s, shard, extra);
+        });
+    }
+}
+
+/// Execute a grid into `run`. `sm_offset` rotates the block→SM mapping.
+/// Shards run on up to [`sim_threads`] host workers; child grids queued
+/// during the block wave execute in follow-on waves, each block on the
+/// shard of its attributed SM. The result is identical at any width.
+pub(crate) fn execute_grid<'k>(
     run: &mut RunState,
     grid_blocks: usize,
     block_dim: usize,
     sm_offset: usize,
-    kernel: KernelFn,
+    kernel: KernelFn<'k>,
 ) {
-    assert!(block_dim > 0 && block_dim <= 1024, "block_dim {block_dim} out of range");
-    let sms = run.cfg.sm_count;
-    for b in 0..grid_blocks {
-        run.counters.blocks += 1;
-        let mut blk = BlockCtx {
-            block_idx: b,
-            block_dim,
-            sm: (b + sm_offset) % sms,
-            run,
-        };
-        kernel(&mut blk);
+    assert!(
+        block_dim > 0 && block_dim <= 1024,
+        "block_dim {block_dim} out of range"
+    );
+    if grid_blocks == 0 {
+        return;
+    }
+    let cfg = run.cfg;
+    let sms = cfg.sm_count;
+    let threads = sim_threads().min(sms);
+    let mut pending: Vec<Vec<PendingChild<'k>>> = (0..sms).map(|_| Vec::new()).collect();
+    let width = if grid_blocks < 2 { 1 } else { threads };
+    for_each_shard(width, &mut run.shards, &mut pending, |_s, shard, pend| {
+        run_shard(cfg, shard, pend, grid_blocks, block_dim, sm_offset, kernel);
+    });
+    // Follow-on child waves: merge the per-shard queues in SM order
+    // (deterministic at any worker count) and run each wave sharded by
+    // attributed SM, until no launches remain.
+    let mut wave: Vec<PendingChild<'k>> = pending.into_iter().flatten().collect();
+    while !wave.is_empty() {
+        let wave_blocks: usize = wave.iter().map(|c| c.grid_blocks).sum();
+        let width = if wave_blocks < 2 { 1 } else { threads };
+        let mut next: Vec<Vec<PendingChild<'k>>> = (0..sms).map(|_| Vec::new()).collect();
+        let wave_ref = &wave;
+        for_each_shard(width, &mut run.shards, &mut next, |_s, shard, nx| {
+            run_wave_shard(cfg, shard, wave_ref, nx);
+        });
+        wave = next.into_iter().flatten().collect();
     }
 }
 
@@ -172,7 +408,11 @@ impl Device {
         ConcurrentGroup {
             dev: self,
             name: name.to_string(),
-            pooled: if concurrent { Some(self.fresh_run()) } else { None },
+            pooled: if concurrent {
+                Some(self.fresh_run())
+            } else {
+                None
+            },
             serial: RunReport::default(),
             launches: 0,
             grid_offset: 0,
@@ -182,19 +422,9 @@ impl Device {
     fn fresh_run(&self) -> RunState<'_> {
         RunState {
             cfg: &self.cfg,
-            counters: Counters::default(),
-            sm_instr: vec![0; self.cfg.sm_count],
-            sm_crit: vec![0; self.cfg.sm_count],
-            tex_caches: (0..self.cfg.sm_count)
-                .map(|_| {
-                    SetAssocCache::new(
-                        self.cfg.tex_cache_bytes,
-                        self.cfg.tex_line_bytes,
-                        self.cfg.tex_ways,
-                    )
-                })
+            shards: (0..self.cfg.sm_count)
+                .map(|s| ShardState::new(s, self.cfg.sm_count))
                 .collect(),
-            child_seq: 0,
         }
     }
 
@@ -206,18 +436,32 @@ impl Device {
         launches: u32,
     ) -> RunReport {
         let cfg = &self.cfg;
+        let sms = cfg.sm_count;
+        // Deterministic merge: shards are reduced in SM order. (All shard
+        // fields are integers, so the sums are order-independent anyway —
+        // the fixed order keeps that true by construction if a float
+        // counter is ever added.)
+        let counters = Counters::sum(run.shards.iter().map(|s| &s.counters));
+        let mut sm_instr = vec![0u64; sms];
+        let mut sm_crit = vec![0u64; sms];
+        for shard in &run.shards {
+            for t in 0..sms {
+                sm_instr[t] += shard.sm_instr[t];
+                sm_crit[t] = sm_crit[t].max(shard.sm_crit[t]);
+            }
+        }
         let clock_hz = cfg.clock_ghz * 1e9;
         let mut comp_cycles = 0u64;
         let mut lat_cycles = 0u64;
-        for sm in 0..cfg.sm_count {
-            let throughput = (run.sm_instr[sm] as f64 / cfg.ipc_per_sm).ceil() as u64;
+        for sm in 0..sms {
+            let throughput = (sm_instr[sm] as f64 / cfg.ipc_per_sm).ceil() as u64;
             comp_cycles = comp_cycles.max(throughput);
-            lat_cycles = lat_cycles.max(run.sm_crit[sm]);
+            lat_cycles = lat_cycles.max(sm_crit[sm]);
         }
         let compute_s = comp_cycles as f64 / clock_hz;
         let latency_s = lat_cycles as f64 / clock_hz;
-        let memory_s = run.counters.dram_bytes() as f64 / cfg.bandwidth_bytes_s();
-        let n_children = run.counters.child_launches;
+        let memory_s = counters.dram_bytes() as f64 / cfg.bandwidth_bytes_s();
+        let n_children = counters.child_launches;
         let dynamic_launch_s = if n_children > 0 {
             let batches = (n_children as usize).div_ceil(cfg.child_launch_parallelism.max(1));
             let overflow = n_children.saturating_sub(cfg.pending_launch_limit as u64);
@@ -229,7 +473,7 @@ impl Device {
         RunReport {
             name: name.to_string(),
             time_s,
-            counters: run.counters,
+            counters,
             breakdown: TimeBreakdown {
                 launch_s,
                 compute_s,
@@ -317,7 +561,7 @@ mod tests {
     #[test]
     fn empty_kernel_costs_one_launch() {
         let dev = titan();
-        let r = dev.launch("empty", 0, 32, &mut |_b| {});
+        let r = dev.launch("empty", 0, 32, &|_b| {});
         assert!((r.time_s - dev.config().kernel_launch_s).abs() < 1e-12);
         assert_eq!(r.counters.blocks, 0);
     }
@@ -327,9 +571,9 @@ mod tests {
         let dev = titan();
         let n = 1000usize;
         let src = dev.alloc((0..n as u32).collect::<Vec<_>>());
-        let mut dst = dev.alloc_zeroed::<u32>(n);
+        let dst = dev.alloc_zeroed::<u32>(n);
         let blocks = n.div_ceil(128);
-        let r = dev.launch("copy", blocks, 128, &mut |blk| {
+        let r = dev.launch("copy", blocks, 128, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let base = warp.first_thread();
                 if base >= n {
@@ -338,7 +582,7 @@ mod tests {
                 let live = (n - base).min(WARP);
                 let mask = lane_mask(live);
                 let vals = warp.read_coalesced(&src, base, mask);
-                warp.write_coalesced(&mut dst, base, &vals, mask);
+                warp.write_coalesced(&dst, base, &vals, mask);
             });
         });
         assert_eq!(dst.as_slice(), src.as_slice());
@@ -350,12 +594,12 @@ mod tests {
     fn coalesced_access_uses_fewer_transactions_than_scattered() {
         let dev = titan();
         let buf = dev.alloc(vec![1.0f64; 32 * 64]);
-        let r_coal = dev.launch("coalesced", 1, 32, &mut |blk| {
+        let r_coal = dev.launch("coalesced", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 warp.read_coalesced(&buf, 0, FULL_MASK);
             });
         });
-        let r_scat = dev.launch("scattered", 1, 32, &mut |blk| {
+        let r_scat = dev.launch("scattered", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let mut idx = [0usize; WARP];
                 for (lane, slot) in idx.iter_mut().enumerate() {
@@ -374,7 +618,7 @@ mod tests {
     fn texture_reuse_hits_cache() {
         let dev = titan();
         let x = dev.alloc(vec![2.0f32; 1024]);
-        let r = dev.launch("tex", 4, 256, &mut |blk| {
+        let r = dev.launch("tex", 4, 256, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 // every warp reads the same 32 elements: first warp per SM
                 // misses, the rest hit
@@ -388,23 +632,23 @@ mod tests {
     #[test]
     fn atomic_conflicts_serialize() {
         let dev = titan();
-        let mut acc = dev.alloc(vec![0.0f64; 4]);
-        let r_conflict = dev.launch("atomic-same", 1, 32, &mut |blk| {
+        let acc = dev.alloc(vec![0.0f64; 4]);
+        let r_conflict = dev.launch("atomic-same", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let idx = [0usize; WARP];
                 let vals = [1.0f64; WARP];
-                warp.atomic_rmw(&mut acc, &idx, &vals, FULL_MASK, |a, b| a + b);
+                warp.atomic_rmw(&acc, &idx, &vals, FULL_MASK, |a, b| a + b);
             });
         });
         assert_eq!(acc.as_slice()[0], 32.0);
         assert!(r_conflict.counters.atomic_conflicts > 0);
 
-        let mut acc2 = dev.alloc(vec![0.0f64; 32]);
-        let r_free = dev.launch("atomic-distinct", 1, 32, &mut |blk| {
+        let acc2 = dev.alloc(vec![0.0f64; 32]);
+        let r_free = dev.launch("atomic-distinct", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let idx = std::array::from_fn(|i| i);
                 let vals = [1.0f64; WARP];
-                warp.atomic_rmw(&mut acc2, &idx, &vals, FULL_MASK, |a, b| a + b);
+                warp.atomic_rmw(&acc2, &idx, &vals, FULL_MASK, |a, b| a + b);
             });
         });
         assert_eq!(r_free.counters.atomic_conflicts, 0);
@@ -414,14 +658,17 @@ mod tests {
     #[test]
     fn segmented_reduce_sums_segments() {
         let dev = titan();
-        dev.launch("reduce", 1, 32, &mut |blk| {
+        dev.launch("reduce", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let vals: [f64; WARP] = std::array::from_fn(|i| i as f64);
                 let red = warp.segmented_reduce_sum(&vals, 8);
                 // segment 0 = 0+1+..+7 = 28, segment 1 = 8+..+15 = 92
                 assert_eq!(red[0], 28.0);
                 assert_eq!(red[8], 92.0);
-                assert_eq!(red[24], 0.0 + (24..32).map(|i| i as f64).sum::<f64>() - 24.0 + 24.0);
+                assert_eq!(
+                    red[24],
+                    0.0 + (24..32).map(|i| i as f64).sum::<f64>() - 24.0 + 24.0
+                );
                 let full = warp.segmented_reduce_sum(&vals, 32);
                 assert_eq!(full[0], (0..32).map(|i| i as f64).sum::<f64>());
             });
@@ -431,7 +678,7 @@ mod tests {
     #[test]
     fn shfl_down_shifts_lanes() {
         let dev = titan();
-        dev.launch("shfl", 1, 32, &mut |blk| {
+        dev.launch("shfl", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let vals: [u32; WARP] = std::array::from_fn(|i| i as u32);
                 let s = warp.shfl_down(&vals, 4);
@@ -445,7 +692,7 @@ mod tests {
     #[test]
     fn ballot_collects_predicates() {
         let dev = titan();
-        dev.launch("ballot", 1, 32, &mut |blk| {
+        dev.launch("ballot", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let preds: [bool; WARP] = std::array::from_fn(|i| i % 2 == 0);
                 let m = warp.ballot(&preds, FULL_MASK);
@@ -459,12 +706,11 @@ mod tests {
     #[test]
     fn dynamic_child_launches_run_and_charge_overhead() {
         let dev = titan();
-        let mut out = dev.alloc_zeroed::<u32>(64);
-        let r = dev.launch("parent", 1, 32, &mut |blk| {
-            // split borrow: child kernels capture `out` mutably one at a time
-            let out_ref = &mut out;
+        let out = dev.alloc_zeroed::<u32>(64);
+        let out_ref = &out;
+        let r = dev.launch("parent", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
-                warp.launch_child(2, 32, &mut |child_blk| {
+                warp.launch_child(2, 32, move |child_blk| {
                     let off = child_blk.thread_offset();
                     child_blk.for_each_warp(&mut |cw| {
                         let vals = [7u32; WARP];
@@ -482,9 +728,9 @@ mod tests {
     #[should_panic(expected = "dynamic parallelism")]
     fn child_launch_panics_on_fermi() {
         let dev = Device::new(presets::gtx_580());
-        dev.launch("parent", 1, 32, &mut |blk| {
+        dev.launch("parent", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
-                warp.launch_child(1, 32, &mut |_b| {});
+                warp.launch_child(1, 32, |_b| {});
             });
         });
     }
@@ -494,9 +740,9 @@ mod tests {
         let mut cfg = presets::gtx_titan();
         cfg.pending_launch_limit = 4;
         let dev = Device::new(cfg);
-        let r = dev.launch("parent", 1, 32 * 8, &mut |blk| {
+        let r = dev.launch("parent", 1, 32 * 8, &|blk| {
             blk.for_each_warp(&mut |warp| {
-                warp.launch_child(1, 32, &mut |_b| {});
+                warp.launch_child(1, 32, |_b| {});
             });
         });
         assert_eq!(r.counters.child_launches, 8);
@@ -510,7 +756,7 @@ mod tests {
         let buf = dev.alloc(vec![1.0f64; 1 << 20]);
         // One warp walks 4096 strided reads (a long-row critical path);
         // the balanced version spreads the same reads over 128 warps.
-        let r_tail = dev.launch("tail", 1, 32, &mut |blk| {
+        let r_tail = dev.launch("tail", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 for it in 0..4096usize {
                     let idx = std::array::from_fn(|i| (it * WARP + i) % (1 << 20));
@@ -518,7 +764,7 @@ mod tests {
                 }
             });
         });
-        let r_flat = dev.launch("flat", 128, 32, &mut |blk| {
+        let r_flat = dev.launch("flat", 128, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let wid = warp.global_warp_id();
                 for it in 0..32usize {
@@ -546,7 +792,7 @@ mod tests {
         let dev = titan();
         let buf = dev.alloc(vec![0u32; 1024]);
         let mk = || {
-            dev.launch("k", 4, 256, &mut |blk| {
+            dev.launch("k", 4, 256, &|blk| {
                 blk.for_each_warp(&mut |warp| {
                     warp.read_coalesced(&buf, 0, FULL_MASK);
                 });
@@ -557,5 +803,47 @@ mod tests {
         let seq = RunReport::sequence([&a, &b]);
         assert!((seq.time_s - (a.time_s + b.time_s)).abs() < 1e-15);
         assert_eq!(seq.launches, 2);
+    }
+
+    /// Mixed-feature kernel (coalesced + texture + reduce + atomics) used
+    /// to compare reports across worker widths.
+    fn stress_report(dev: &Device, threads: usize) -> RunReport {
+        set_sim_threads(threads);
+        let n = 96 * 64;
+        let src = dev.alloc((0..n).map(|i| i as f64).collect::<Vec<_>>());
+        let dst = dev.alloc_zeroed::<f64>(n);
+        let acc = dev.alloc_zeroed::<f64>(8);
+        let r = dev.launch("stress", 96, 64, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                let base = warp.first_thread();
+                let vals = warp.read_coalesced(&src, base, FULL_MASK);
+                let idx = std::array::from_fn(|i| (base + i * 31) % n);
+                warp.gather_tex(&src, &idx, FULL_MASK);
+                let red = warp.segmented_reduce_sum(&vals, 8);
+                warp.write_coalesced(&dst, base, &red, FULL_MASK);
+                let aidx = [warp.block_idx() % 8; WARP];
+                // integer-valued adds: exact at any association order
+                let ones = [1.0f64; WARP];
+                warp.atomic_rmw(&acc, &aidx, &ones, FULL_MASK, |a, b| a + b);
+            });
+        });
+        set_sim_threads(0);
+        r
+    }
+
+    #[test]
+    fn reports_are_bit_identical_across_worker_widths() {
+        let dev = titan();
+        let base = stress_report(&dev, 1);
+        for threads in [2, 4, 8] {
+            let r = stress_report(&dev, threads);
+            assert_eq!(base.counters, r.counters, "threads={threads}");
+            assert_eq!(base.breakdown, r.breakdown, "threads={threads}");
+            assert_eq!(
+                base.time_s.to_bits(),
+                r.time_s.to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -21,6 +21,16 @@
 //! testbed: GTX 580 (Fermi, cc 2.0), Tesla K10 (GK104, cc 3.0, dual) and
 //! GTX Titan (GK110, cc 3.5 — the only one with dynamic parallelism).
 //!
+//! ## Parallel host execution
+//!
+//! Launches are partitioned into one shard per SM and the shards may run
+//! on several host threads ([`engine::sim_threads`] threads; override
+//! with [`engine::set_sim_threads`] or the `ACSR_SIM_THREADS` environment
+//! variable, `1` forcing sequential). Worker count is pure mechanism:
+//! reports are bit-identical at every width. Kernels are therefore
+//! `Fn + Sync` closures, and buffer writes go through `&DeviceBuffer`
+//! (see [`buffer`] for the CUDA-style kernel data contract).
+//!
 //! ## Example
 //!
 //! ```
@@ -28,8 +38,8 @@
 //!
 //! let dev = Device::new(presets::gtx_titan());
 //! let a = dev.alloc((0..64u32).collect::<Vec<_>>());
-//! let mut out = dev.alloc(vec![0u32; 64]);
-//! let report = dev.launch("double", 2, 32, &mut |block| {
+//! let out = dev.alloc(vec![0u32; 64]);
+//! let report = dev.launch("double", 2, 32, &|block| {
 //!     block.for_each_warp(&mut |warp| {
 //!         let base = warp.first_thread();
 //!         let vals = warp.read_coalesced(&a, base, FULL_MASK);
@@ -38,7 +48,7 @@
 //!             doubled[i] = vals[i] * 2;
 //!         }
 //!         warp.charge_alu(1);
-//!         warp.write_coalesced(&mut out, base, &doubled, FULL_MASK);
+//!         warp.write_coalesced(&out, base, &doubled, FULL_MASK);
 //!     });
 //! });
 //! assert_eq!(out.as_slice()[10], 20);
@@ -55,5 +65,5 @@ pub mod warp;
 pub use buffer::{DevCopy, DeviceBuffer};
 pub use config::{presets, DeviceConfig};
 pub use counters::{Counters, RunReport, TimeBreakdown};
-pub use engine::{BlockCtx, ConcurrentGroup, Device, KernelFn};
+pub use engine::{set_sim_threads, sim_threads, BlockCtx, ConcurrentGroup, Device, KernelFn};
 pub use warp::{lane_mask, WarpCtx, FULL_MASK, WARP};

@@ -10,15 +10,32 @@
 //! instruction, not per active lane**. A warp with one active lane pays
 //! the same issue slot as a full warp — that waste is precisely the
 //! divergence ACSR's binning removes.
+//!
+//! All model mutations go to the warp's [`ShardState`] — the per-SM slice
+//! of the launch this warp's block belongs to — so warps of blocks on
+//! different SMs can execute on different host threads without sharing
+//! any mutable state (see the engine module's sharding docs). Buffer
+//! writes go through `&DeviceBuffer` interior mutability under the kernel
+//! data contract; cross-shard read-modify-write races are prevented by
+//! serializing [`WarpCtx::atomic_rmw`] under a process-wide lock.
 
 use crate::buffer::{DevCopy, DeviceBuffer};
-use crate::engine::RunState;
+use crate::config::DeviceConfig;
+use crate::engine::ShardState;
+use std::sync::Mutex;
 
 /// Lanes per warp (fixed at 32 on every NVIDIA GPU the paper uses).
 pub const WARP: usize = 32;
 
 /// All 32 lanes active.
 pub const FULL_MASK: u32 = u32::MAX;
+
+/// Serializes atomic read-modify-write sequences across host workers,
+/// mirroring the L2 atomic unit. Counter and timing charges stay
+/// shard-local; only the memory update itself is serialized, so the
+/// final value is *some* association order of the contributions —
+/// exactly the guarantee CUDA atomics give.
+static ATOMIC_LOCK: Mutex<()> = Mutex::new(());
 
 /// Mask with the first `n` lanes active (`n ≥ 32` ⇒ full mask).
 #[inline]
@@ -31,8 +48,12 @@ pub fn lane_mask(n: usize) -> u32 {
 }
 
 /// Execution context of one warp inside one block.
-pub struct WarpCtx<'r, 'd> {
-    pub(crate) run: &'r mut RunState<'d>,
+pub struct WarpCtx<'r, 'd, 'k> {
+    pub(crate) shard: &'r mut ShardState,
+    /// Child grids queued for the launch's next wave (see the engine
+    /// module's sharding docs).
+    pub(crate) pending: &'r mut Vec<crate::engine::PendingChild<'k>>,
+    pub(crate) cfg: &'d DeviceConfig,
     pub(crate) block_idx: usize,
     pub(crate) warp_in_block: usize,
     pub(crate) block_dim: usize,
@@ -43,7 +64,7 @@ pub struct WarpCtx<'r, 'd> {
     pub(crate) crit: u64,
 }
 
-impl<'r, 'd> WarpCtx<'r, 'd> {
+impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
     /// Index of this warp within its block.
     pub fn warp_in_block(&self) -> usize {
         self.warp_in_block
@@ -96,7 +117,7 @@ impl<'r, 'd> WarpCtx<'r, 'd> {
                 n_active += 1;
             }
         }
-        let txn = self.run.cfg.dram_transaction_bytes as u64;
+        let txn = self.cfg.dram_transaction_bytes as u64;
         let segs = distinct_segments(&mut addrs[..n_active], txn);
         self.charge_mem_read(segs, txn);
         out
@@ -121,27 +142,32 @@ impl<'r, 'd> WarpCtx<'r, 'd> {
                 n_active += 1;
             }
         }
-        let line = self.run.cfg.tex_line_bytes as u64;
+        let line = self.cfg.tex_line_bytes as u64;
         let lines = distinct_segments(&mut addrs[..n_active], line);
         self.instr += 1;
-        let mut missed = false;
-        let active = &addrs[..lines]; // distinct_segments compacts in place
-        for &line_addr in active {
-            if self.run.tex_caches[self.sm].access(line_addr * line) {
-                self.run.counters.tex_hits += 1;
-            } else {
-                self.run.counters.tex_misses += 1;
-                self.run.counters.dram_read_bytes += line;
-                self.run.counters.transactions += 1;
-                missed = true;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        {
+            let cache = self.shard.cache_mut(self.cfg);
+            // distinct_segments compacts in place
+            for &line_addr in &addrs[..lines] {
+                if cache.access(line_addr * line) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
             }
         }
-        let lat = if missed {
-            self.run.cfg.mem_latency_cycles
+        self.shard.counters.tex_hits += hits;
+        self.shard.counters.tex_misses += misses;
+        self.shard.counters.dram_read_bytes += misses * line;
+        self.shard.counters.transactions += misses;
+        let lat = if misses > 0 {
+            self.cfg.mem_latency_cycles
         } else {
-            self.run.cfg.tex_hit_latency_cycles
+            self.cfg.tex_hit_latency_cycles
         };
-        self.crit += (lat as f64 / self.run.cfg.mlp).ceil() as u64;
+        self.crit += (lat as f64 / self.cfg.mlp).ceil() as u64;
         out
     }
 
@@ -164,7 +190,7 @@ impl<'r, 'd> WarpCtx<'r, 'd> {
     /// Lane `i` writes `vals[i]` to `buf[base + i]`.
     pub fn write_coalesced<T: DevCopy>(
         &mut self,
-        buf: &mut DeviceBuffer<T>,
+        buf: &DeviceBuffer<T>,
         base: usize,
         vals: &[T; WARP],
         mask: u32,
@@ -183,7 +209,7 @@ impl<'r, 'd> WarpCtx<'r, 'd> {
     /// CUDA's undefined-but-last-writer-wins behaviour in practice.
     pub fn scatter<T: DevCopy>(
         &mut self,
-        buf: &mut DeviceBuffer<T>,
+        buf: &DeviceBuffer<T>,
         idx: &[usize; WARP],
         vals: &[T; WARP],
         mask: u32,
@@ -197,17 +223,20 @@ impl<'r, 'd> WarpCtx<'r, 'd> {
                 n_active += 1;
             }
         }
-        let txn = self.run.cfg.dram_transaction_bytes as u64;
+        let txn = self.cfg.dram_transaction_bytes as u64;
         let segs = distinct_segments(&mut addrs[..n_active], txn);
         self.charge_mem_write(segs, txn);
     }
 
     /// Atomic read-modify-write: `buf[idx[i]] = op(buf[idx[i]], vals[i])`.
     /// Lanes hitting the same address serialize (charged as extra passes),
-    /// and the result is the correct full combination.
+    /// and the result is the correct full combination. Across host
+    /// workers, the whole warp-level sequence holds a process-wide lock,
+    /// so concurrent shards never tear an update — their application
+    /// *order* is unspecified, as on hardware.
     pub fn atomic_rmw<T: DevCopy>(
         &mut self,
-        buf: &mut DeviceBuffer<T>,
+        buf: &DeviceBuffer<T>,
         idx: &[usize; WARP],
         vals: &[T; WARP],
         mask: u32,
@@ -216,16 +245,19 @@ impl<'r, 'd> WarpCtx<'r, 'd> {
         let mut seen: [(usize, u32); WARP] = [(usize::MAX, 0); WARP];
         let mut n_distinct = 0usize;
         let mut n_active = 0u64;
-        for lane in 0..WARP {
-            if mask >> lane & 1 == 1 {
-                n_active += 1;
-                let cur = buf.get(idx[lane]);
-                buf.set(idx[lane], op(cur, vals[lane]));
-                match seen[..n_distinct].iter_mut().find(|(a, _)| *a == idx[lane]) {
-                    Some((_, c)) => *c += 1,
-                    None => {
-                        seen[n_distinct] = (idx[lane], 1);
-                        n_distinct += 1;
+        {
+            let _serialize = ATOMIC_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            for lane in 0..WARP {
+                if mask >> lane & 1 == 1 {
+                    n_active += 1;
+                    let cur = buf.get(idx[lane]);
+                    buf.set(idx[lane], op(cur, vals[lane]));
+                    match seen[..n_distinct].iter_mut().find(|(a, _)| *a == idx[lane]) {
+                        Some((_, c)) => *c += 1,
+                        None => {
+                            seen[n_distinct] = (idx[lane], 1);
+                            n_distinct += 1;
+                        }
                     }
                 }
             }
@@ -233,16 +265,20 @@ impl<'r, 'd> WarpCtx<'r, 'd> {
         if n_active == 0 {
             return;
         }
-        let max_mult = seen[..n_distinct].iter().map(|&(_, c)| c).max().unwrap_or(1) as u64;
+        let max_mult = seen[..n_distinct]
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(1) as u64;
         self.instr += max_mult;
-        self.run.counters.atomic_ops += n_active;
-        self.run.counters.atomic_conflicts += (max_mult - 1) * n_distinct as u64;
+        self.shard.counters.atomic_ops += n_active;
+        self.shard.counters.atomic_conflicts += (max_mult - 1) * n_distinct as u64;
         // atomics resolve in L2 at 32B granularity
-        self.run.counters.transactions += n_distinct as u64;
-        self.run.counters.dram_read_bytes += n_distinct as u64 * 32;
-        self.run.counters.dram_write_bytes += n_distinct as u64 * 32;
-        self.crit += max_mult * self.run.cfg.atomic_serialize_cycles
-            + (self.run.cfg.mem_latency_cycles as f64 / self.run.cfg.mlp).ceil() as u64;
+        self.shard.counters.transactions += n_distinct as u64;
+        self.shard.counters.dram_read_bytes += n_distinct as u64 * 32;
+        self.shard.counters.dram_write_bytes += n_distinct as u64 * 32;
+        self.crit += max_mult * self.cfg.atomic_serialize_cycles
+            + (self.cfg.mem_latency_cycles as f64 / self.cfg.mlp).ceil() as u64;
     }
 
     /// `__shfl_down_sync`: lane `i` receives lane `i + delta`'s value
@@ -292,8 +328,8 @@ impl<'r, 'd> WarpCtx<'r, 'd> {
     pub fn ballot(&mut self, preds: &[bool; WARP], mask: u32) -> u32 {
         self.charge_alu(1);
         let mut out = 0u32;
-        for lane in 0..WARP {
-            if mask >> lane & 1 == 1 && preds[lane] {
+        for (lane, &p) in preds.iter().enumerate() {
+            if mask >> lane & 1 == 1 && p {
                 out |= 1 << lane;
             }
         }
@@ -304,51 +340,64 @@ impl<'r, 'd> WarpCtx<'r, 'd> {
     /// Algorithm 3). Panics on devices below compute capability 3.5,
     /// matching the hardware constraint the paper works around on the
     /// GTX 580 and K10.
-    pub fn launch_child(
-        &mut self,
-        grid_blocks: usize,
-        block_dim: usize,
-        kernel: &mut dyn FnMut(&mut crate::engine::BlockCtx),
-    ) {
+    ///
+    /// The child grid is queued and executes after the parent grid's
+    /// blocks drain, mirroring the CUDA rule that a child grid is only
+    /// guaranteed complete once the parent synchronizes. Its blocks are
+    /// attributed round-robin across SMs starting at the shard's private
+    /// launch sequence, and each runs on the shard of its attributed SM —
+    /// see the engine module's sharding docs.
+    pub fn launch_child<F>(&mut self, grid_blocks: usize, block_dim: usize, kernel: F)
+    where
+        F: for<'x, 'y> Fn(&mut crate::engine::BlockCtx<'x, 'y, 'k>) + Send + Sync + 'k,
+    {
         assert!(
-            self.run.cfg.has_dynamic_parallelism(),
+            self.cfg.has_dynamic_parallelism(),
             "device '{}' (cc {}.{}) does not support dynamic parallelism",
-            self.run.cfg.name,
-            self.run.cfg.compute_capability.0,
-            self.run.cfg.compute_capability.1
+            self.cfg.name,
+            self.cfg.compute_capability.0,
+            self.cfg.compute_capability.1
+        );
+        assert!(
+            block_dim > 0 && block_dim <= 1024,
+            "block_dim {block_dim} out of range"
         );
         self.charge_alu(2); // launch setup on the parent thread
-        self.run.counters.child_launches += 1;
-        self.run.child_seq += 1;
-        let seq = self.run.child_seq;
-        crate::engine::execute_grid(self.run, grid_blocks, block_dim, seq, kernel);
+        self.shard.counters.child_launches += 1;
+        self.shard.child_seq += 1;
+        self.pending.push(crate::engine::PendingChild {
+            seq: self.shard.child_seq,
+            grid_blocks,
+            block_dim,
+            kernel: Box::new(kernel),
+        });
     }
 
     fn charge_mem_read(&mut self, segments: usize, txn_bytes: u64) {
         self.instr += 1;
-        self.run.counters.transactions += segments as u64;
-        self.run.counters.dram_read_bytes += segments as u64 * txn_bytes;
-        self.crit += (self.run.cfg.mem_latency_cycles as f64 / self.run.cfg.mlp).ceil() as u64;
+        self.shard.counters.transactions += segments as u64;
+        self.shard.counters.dram_read_bytes += segments as u64 * txn_bytes;
+        self.crit += (self.cfg.mem_latency_cycles as f64 / self.cfg.mlp).ceil() as u64;
     }
 
     fn charge_mem_write(&mut self, segments: usize, txn_bytes: u64) {
         self.instr += 1;
-        self.run.counters.transactions += segments as u64;
-        self.run.counters.dram_write_bytes += segments as u64 * txn_bytes;
+        self.shard.counters.transactions += segments as u64;
+        self.shard.counters.dram_write_bytes += segments as u64 * txn_bytes;
         // writes retire through the store queue; they cost issue + a small
         // fraction of latency on the critical path
         self.crit += 4;
     }
 }
 
-impl Drop for WarpCtx<'_, '_> {
+impl Drop for WarpCtx<'_, '_, '_> {
     fn drop(&mut self) {
-        self.run.sm_instr[self.sm] += self.instr;
-        if self.crit > self.run.sm_crit[self.sm] {
-            self.run.sm_crit[self.sm] = self.crit;
+        self.shard.sm_instr[self.sm] += self.instr;
+        if self.crit > self.shard.sm_crit[self.sm] {
+            self.shard.sm_crit[self.sm] = self.crit;
         }
-        self.run.counters.warp_instructions += self.instr;
-        self.run.counters.warps += 1;
+        self.shard.counters.warp_instructions += self.instr;
+        self.shard.counters.warps += 1;
     }
 }
 

@@ -1,0 +1,176 @@
+//! Parallel host execution must be unobservable: for ANY kernel, grid
+//! shape and device preset, running the simulator on N host workers must
+//! produce a [`RunReport`] bit-identical to the sequential run. The
+//! engine shards a launch per SM and merges in SM order regardless of
+//! which worker ran which shard, so this holds by construction — these
+//! properties pin it against regressions.
+//!
+//! Atomic adds in the stress kernel use integer-valued `f64` operands so
+//! buffer contents are exact under any cross-shard application order
+//! (the report itself never depends on that order).
+
+use gpu_sim::{lane_mask, presets, set_sim_threads, Device, DeviceConfig, RunReport, WARP};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// `set_sim_threads` is process-global; the test harness runs `#[test]`
+/// fns on several threads, so every test that flips the width holds this.
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+fn preset(which: u8) -> DeviceConfig {
+    match which % 3 {
+        0 => presets::gtx_titan(),
+        1 => presets::gtx_580(),
+        _ => presets::tesla_k10_single(),
+    }
+}
+
+/// A kernel exercising every counter source: coalesced reads, texture
+/// gathers, ALU charges, segmented reduction, atomics and strided writes.
+fn stress_run(dev: &Device, threads: usize, grid: usize, block_dim: usize) -> RunReport {
+    set_sim_threads(threads);
+    let n = grid * block_dim;
+    let src = dev.alloc((0..n).map(|i| (i % 97) as f64).collect::<Vec<_>>());
+    let dst = dev.alloc_zeroed::<f64>(n);
+    let acc = dev.alloc_zeroed::<f64>(16);
+    let report = dev.launch("determinism_stress", grid, block_dim, &|blk| {
+        let bidx = blk.block_idx();
+        blk.for_each_warp(&mut |warp| {
+            let base = warp.first_thread();
+            if base >= n {
+                return;
+            }
+            let mask = lane_mask(n - base);
+            let vals = warp.read_coalesced(&src, base, mask);
+            let idx: [usize; WARP] = std::array::from_fn(|l| (base * 7 + l * 13 + bidx * 31) % n);
+            let tex = warp.gather_tex(&src, &idx, mask);
+            let mut out = [0.0f64; WARP];
+            for l in 0..WARP {
+                out[l] = vals[l] + tex[l];
+            }
+            warp.charge_alu(2);
+            let red = warp.segmented_reduce_sum(&out, WARP);
+            let ones = [1.0f64; WARP];
+            let tgt = [bidx % 16; WARP];
+            warp.atomic_rmw(&acc, &tgt, &ones, mask, |a, b| a + b);
+            let _ = red;
+            warp.write_coalesced(&dst, base, &out, mask);
+        });
+    });
+    set_sim_threads(0);
+    report
+}
+
+/// Same kernel on a dynamic-parallelism device: parent warps launch
+/// child grids, exercising child-sequence attribution and DP overheads.
+fn dp_run(dev: &Device, threads: usize, grid: usize, fan: usize) -> RunReport {
+    set_sim_threads(threads);
+    let n = grid * 64 * fan;
+    let out = dev.alloc_zeroed::<f64>(n.max(1));
+    let out = &out;
+    let report = dev.launch("determinism_dp", grid, 64, &|blk| {
+        let bidx = blk.block_idx();
+        blk.for_each_warp(&mut |warp| {
+            if warp.warp_in_block() != 0 {
+                return;
+            }
+            warp.launch_child(fan, 32, move |child| {
+                let cb = child.block_idx();
+                child.for_each_warp(&mut |cw| {
+                    let base = (bidx * 64 * fan + cb * WARP) % n.max(1);
+                    let vals = [2.0f64; WARP];
+                    cw.write_coalesced(out, base.min(n - WARP), &vals, u32::MAX);
+                });
+            });
+        });
+    });
+    set_sim_threads(0);
+    report
+}
+
+/// Full-strictness report comparison: structural equality plus bit-exact
+/// time fields (`PartialEq` on f64 would accept -0.0 == 0.0 etc.).
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.counters, b.counters, "{what}: counters diverged");
+    assert_eq!(a.launches, b.launches, "{what}: launch counts diverged");
+    assert_eq!(
+        a.time_s.to_bits(),
+        b.time_s.to_bits(),
+        "{what}: time_s bits diverged"
+    );
+    for (x, y, f) in [
+        (a.breakdown.launch_s, b.breakdown.launch_s, "launch_s"),
+        (a.breakdown.compute_s, b.breakdown.compute_s, "compute_s"),
+        (a.breakdown.memory_s, b.breakdown.memory_s, "memory_s"),
+        (a.breakdown.latency_s, b.breakdown.latency_s, "latency_s"),
+        (
+            a.breakdown.dynamic_launch_s,
+            b.breakdown.dynamic_launch_s,
+            "dynamic_launch_s",
+        ),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: breakdown {f} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_reports_match_sequential_on_every_preset(
+        which in 0u8..3,
+        grid in 1usize..40,
+        block_pow in 0u32..=3,
+        threads in 2usize..=8,
+    ) {
+        let _guard = WIDTH_LOCK.lock().unwrap();
+        let block_dim = 32usize << block_pow;
+        let dev = Device::new(preset(which));
+        let seq = stress_run(&dev, 1, grid, block_dim);
+        let par = stress_run(&dev, threads, grid, block_dim);
+        assert_identical(&seq, &par, &format!(
+            "preset {which}, grid {grid}x{block_dim}, {threads} workers"
+        ));
+    }
+
+    #[test]
+    fn dynamic_parallelism_reports_match_sequential(
+        grid in 1usize..16,
+        fan in 1usize..6,
+        threads in 2usize..=8,
+    ) {
+        let _guard = WIDTH_LOCK.lock().unwrap();
+        // GTX Titan is the only preset with dynamic parallelism.
+        let dev = Device::new(presets::gtx_titan());
+        let seq = dp_run(&dev, 1, grid, fan);
+        let par = dp_run(&dev, threads, grid, fan);
+        assert_identical(&seq, &par, &format!(
+            "dp grid {grid}, fan {fan}, {threads} workers"
+        ));
+    }
+}
+
+/// Beyond the report: kernel-visible buffer contents must also agree when
+/// the atomic operands are exact at any association order.
+#[test]
+fn buffer_contents_match_across_widths() {
+    let _guard = WIDTH_LOCK.lock().unwrap();
+    let dev = Device::new(presets::gtx_titan());
+    let run = |threads: usize| {
+        set_sim_threads(threads);
+        let acc = dev.alloc_zeroed::<f64>(8);
+        dev.launch("acc", 64, 128, &|blk| {
+            let tgt = [blk.block_idx() % 8; WARP];
+            blk.for_each_warp(&mut |warp| {
+                let ones = [1.0f64; WARP];
+                warp.atomic_rmw(&acc, &tgt, &ones, u32::MAX, |a, b| a + b);
+            });
+        });
+        set_sim_threads(0);
+        acc.into_vec()
+    };
+    let seq = run(1);
+    for threads in [2, 4] {
+        assert_eq!(seq, run(threads), "{threads} workers");
+    }
+}

@@ -18,7 +18,7 @@ proptest! {
         let n = data.len();
         let buf = dev.alloc(data.clone());
         let idx: [usize; WARP] = std::array::from_fn(|i| idx_seed[i] % n);
-        dev.launch("t", 1, 32, &mut |blk| {
+        dev.launch("t", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let got = warp.gather(&buf, &idx, mask);
                 for lane in 0..WARP {
@@ -38,17 +38,17 @@ proptest! {
         n_lanes in 1usize..=WARP,
     ) {
         let dev = Device::new(presets::gtx_titan());
-        let mut buf = dev.alloc_zeroed::<f64>(WARP);
+        let buf = dev.alloc_zeroed::<f64>(WARP);
         let v: [f64; WARP] = std::array::from_fn(|i| vals[i]);
         let idx: [usize; WARP] = std::array::from_fn(|i| i);
         let mask = lane_mask(n_lanes);
-        dev.launch("t", 1, 32, &mut |blk| {
+        dev.launch("t", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
-                warp.scatter(&mut buf, &idx, &v, mask);
+                warp.scatter(&buf, &idx, &v, mask);
             });
         });
-        for i in 0..WARP {
-            let want = if i < n_lanes { vals[i] } else { 0.0 };
+        for (i, &v) in vals.iter().enumerate() {
+            let want = if i < n_lanes { v } else { 0.0 };
             prop_assert_eq!(buf.as_slice()[i], want);
         }
     }
@@ -61,7 +61,7 @@ proptest! {
         let width = 1usize << width_pow;
         let dev = Device::new(presets::gtx_titan());
         let v: [f64; WARP] = std::array::from_fn(|i| vals[i]);
-        dev.launch("t", 1, 32, &mut |blk| {
+        dev.launch("t", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let red = warp.segmented_reduce_sum(&v, width);
                 for seg in 0..WARP / width {
@@ -83,22 +83,22 @@ proptest! {
         mask in any::<u32>(),
     ) {
         let dev = Device::new(presets::gtx_titan());
-        let mut acc = dev.alloc_zeroed::<f64>(8);
+        let acc = dev.alloc_zeroed::<f64>(8);
         let idx: [usize; WARP] = std::array::from_fn(|i| targets[i]);
         let v: [f64; WARP] = std::array::from_fn(|i| vals[i]);
-        dev.launch("t", 1, 32, &mut |blk| {
+        dev.launch("t", 1, 32, &|blk| {
             blk.for_each_warp(&mut |warp| {
-                warp.atomic_rmw(&mut acc, &idx, &v, mask, |a, b| a + b);
+                warp.atomic_rmw(&acc, &idx, &v, mask, |a, b| a + b);
             });
         });
-        let mut want = vec![0.0f64; 8];
+        let mut want = [0.0f64; 8];
         for lane in 0..WARP {
             if mask >> lane & 1 == 1 {
                 want[targets[lane]] += vals[lane];
             }
         }
-        for t in 0..8 {
-            prop_assert!((acc.as_slice()[t] - want[t]).abs() < 1e-9);
+        for (t, &w) in want.iter().enumerate() {
+            prop_assert!((acc.as_slice()[t] - w).abs() < 1e-9);
         }
     }
 
@@ -108,7 +108,7 @@ proptest! {
         let dev = Device::new(presets::gtx_titan());
         let buf = dev.alloc(vec![1.0f64; 4096]);
         let time = |k: usize| {
-            dev.launch("t", 8 * k, 256, &mut |blk| {
+            dev.launch("t", 8 * k, 256, &|blk| {
                 blk.for_each_warp(&mut |warp| {
                     let base = (warp.global_warp_id() * WARP) % 4000;
                     warp.read_coalesced(&buf, base, u32::MAX);

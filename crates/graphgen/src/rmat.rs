@@ -138,7 +138,12 @@ mod tests {
         };
         let m: CsrMatrix<f64> = generate_rmat(&cfg);
         let stats = m.row_stats();
-        assert!(stats.std_dev < stats.mean, "σ {} μ {}", stats.std_dev, stats.mean);
+        assert!(
+            stats.std_dev < stats.mean,
+            "σ {} μ {}",
+            stats.std_dev,
+            stats.mean
+        );
     }
 
     #[test]

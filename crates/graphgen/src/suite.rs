@@ -39,23 +39,176 @@ pub struct MatrixSpec {
 
 /// The 17-matrix suite of Table I. Statistics transcribed from the paper.
 pub const TABLE1_SUITE: &[MatrixSpec] = &[
-    MatrixSpec { name: "amazon-2008", abbrev: "AMZ", rows: 735_000, cols: 735_000, mu: 7.7, sigma: 4.7, max: 10, power_law: false },
-    MatrixSpec { name: "cnr-2000", abbrev: "CNR", rows: 845_000, cols: 845_000, mu: 10.2, sigma: 7.8, max: 2216, power_law: true },
-    MatrixSpec { name: "dblp-2010", abbrev: "DBL", rows: 320_000, cols: 320_000, mu: 5.8, sigma: 5.3, max: 238, power_law: false },
-    MatrixSpec { name: "enron", abbrev: "ENR", rows: 69_000, cols: 69_000, mu: 4.7, sigma: 28.0, max: 1392, power_law: true },
-    MatrixSpec { name: "eu-2005", abbrev: "EU2", rows: 862_000, cols: 862_000, mu: 22.7, sigma: 29.0, max: 6985, power_law: true },
-    MatrixSpec { name: "flickr", abbrev: "FLI", rows: 1_800_000, cols: 1_800_000, mu: 12.0, sigma: 101.0, max: 2615, power_law: true },
-    MatrixSpec { name: "hollywood-2009", abbrev: "HOL", rows: 1_100_000, cols: 1_100_000, mu: 100.0, sigma: 272.0, max: 11_468, power_law: true },
-    MatrixSpec { name: "in-2004", abbrev: "IN2", rows: 1_380_000, cols: 1_380_000, mu: 12.0, sigma: 37.0, max: 7753, power_law: true },
-    MatrixSpec { name: "indochina-2004", abbrev: "IND", rows: 7_400_000, cols: 7_400_000, mu: 26.0, sigma: 216.0, max: 6985, power_law: true },
-    MatrixSpec { name: "internet", abbrev: "INT", rows: 65_000, cols: 65_000, mu: 2.7, sigma: 24.0, max: 693, power_law: true },
-    MatrixSpec { name: "livejournal", abbrev: "LIV", rows: 5_200_000, cols: 5_200_000, mu: 13.0, sigma: 22.0, max: 9186, power_law: true },
-    MatrixSpec { name: "ljournal-2008", abbrev: "LJ2", rows: 5_360_000, cols: 5_360_000, mu: 15.0, sigma: 37.0, max: 2469, power_law: true },
-    MatrixSpec { name: "uk-2002", abbrev: "UK2", rows: 18_500_000, cols: 18_500_000, mu: 16.0, sigma: 27.0, max: 2450, power_law: true },
-    MatrixSpec { name: "wikipedia", abbrev: "WIK", rows: 1_300_000, cols: 1_300_000, mu: 31.0, sigma: 42.0, max: 20_975, power_law: true },
-    MatrixSpec { name: "youtube", abbrev: "YOT", rows: 1_160_000, cols: 1_160_000, mu: 4.7, sigma: 48.0, max: 2894, power_law: true },
-    MatrixSpec { name: "webbase-1M", abbrev: "WEB", rows: 1_000_000, cols: 1_000_000, mu: 3.1, sigma: 25.0, max: 4700, power_law: true },
-    MatrixSpec { name: "rail4284", abbrev: "RAL", rows: 4284, cols: 1_096_894, mu: 2633.0, sigma: 2409.0, max: 56_181, power_law: false },
+    MatrixSpec {
+        name: "amazon-2008",
+        abbrev: "AMZ",
+        rows: 735_000,
+        cols: 735_000,
+        mu: 7.7,
+        sigma: 4.7,
+        max: 10,
+        power_law: false,
+    },
+    MatrixSpec {
+        name: "cnr-2000",
+        abbrev: "CNR",
+        rows: 845_000,
+        cols: 845_000,
+        mu: 10.2,
+        sigma: 7.8,
+        max: 2216,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "dblp-2010",
+        abbrev: "DBL",
+        rows: 320_000,
+        cols: 320_000,
+        mu: 5.8,
+        sigma: 5.3,
+        max: 238,
+        power_law: false,
+    },
+    MatrixSpec {
+        name: "enron",
+        abbrev: "ENR",
+        rows: 69_000,
+        cols: 69_000,
+        mu: 4.7,
+        sigma: 28.0,
+        max: 1392,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "eu-2005",
+        abbrev: "EU2",
+        rows: 862_000,
+        cols: 862_000,
+        mu: 22.7,
+        sigma: 29.0,
+        max: 6985,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "flickr",
+        abbrev: "FLI",
+        rows: 1_800_000,
+        cols: 1_800_000,
+        mu: 12.0,
+        sigma: 101.0,
+        max: 2615,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "hollywood-2009",
+        abbrev: "HOL",
+        rows: 1_100_000,
+        cols: 1_100_000,
+        mu: 100.0,
+        sigma: 272.0,
+        max: 11_468,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "in-2004",
+        abbrev: "IN2",
+        rows: 1_380_000,
+        cols: 1_380_000,
+        mu: 12.0,
+        sigma: 37.0,
+        max: 7753,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "indochina-2004",
+        abbrev: "IND",
+        rows: 7_400_000,
+        cols: 7_400_000,
+        mu: 26.0,
+        sigma: 216.0,
+        max: 6985,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "internet",
+        abbrev: "INT",
+        rows: 65_000,
+        cols: 65_000,
+        mu: 2.7,
+        sigma: 24.0,
+        max: 693,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "livejournal",
+        abbrev: "LIV",
+        rows: 5_200_000,
+        cols: 5_200_000,
+        mu: 13.0,
+        sigma: 22.0,
+        max: 9186,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "ljournal-2008",
+        abbrev: "LJ2",
+        rows: 5_360_000,
+        cols: 5_360_000,
+        mu: 15.0,
+        sigma: 37.0,
+        max: 2469,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "uk-2002",
+        abbrev: "UK2",
+        rows: 18_500_000,
+        cols: 18_500_000,
+        mu: 16.0,
+        sigma: 27.0,
+        max: 2450,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "wikipedia",
+        abbrev: "WIK",
+        rows: 1_300_000,
+        cols: 1_300_000,
+        mu: 31.0,
+        sigma: 42.0,
+        max: 20_975,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "youtube",
+        abbrev: "YOT",
+        rows: 1_160_000,
+        cols: 1_160_000,
+        mu: 4.7,
+        sigma: 48.0,
+        max: 2894,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "webbase-1M",
+        abbrev: "WEB",
+        rows: 1_000_000,
+        cols: 1_000_000,
+        mu: 3.1,
+        sigma: 25.0,
+        max: 4700,
+        power_law: true,
+    },
+    MatrixSpec {
+        name: "rail4284",
+        abbrev: "RAL",
+        rows: 4284,
+        cols: 1_096_894,
+        mu: 2633.0,
+        sigma: 2409.0,
+        max: 56_181,
+        power_law: false,
+    },
 ];
 
 /// A generated suite matrix: the spec it came from, the scale used, and

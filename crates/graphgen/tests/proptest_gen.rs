@@ -2,11 +2,11 @@
 //! for arbitrary configurations, and update streams must always be valid
 //! against their source matrix.
 
+use graphgen::powerlaw::DegreeModel;
 use graphgen::{
     generate_power_law, generate_rmat, generate_update_batch, DiscreteAlias, PowerLawConfig,
     RmatConfig, UpdateConfig,
 };
-use graphgen::powerlaw::DegreeModel;
 use proptest::prelude::*;
 
 proptest! {

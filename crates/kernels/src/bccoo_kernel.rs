@@ -42,7 +42,7 @@ impl<T: Scalar> GpuSpmv<T> for BccooKernel<T> {
         self.mat.device_bytes()
     }
 
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport {
         assert_eq!(x.len(), self.mat.cols, "x length mismatch");
         assert_eq!(y.len(), self.mat.rows, "y length mismatch");
         let zero = fill_kernel(dev, y, T::ZERO);
@@ -58,7 +58,7 @@ impl<T: Scalar> GpuSpmv<T> for BccooKernel<T> {
         let threads = n_tiles.div_ceil(tiles_per_thread);
         let block_dim = cfg.workgroup.clamp(WARP, 1024);
         let grid = threads.div_ceil(block_dim).max(1);
-        let main = dev.launch("bccoo", grid, block_dim, &mut |blk| {
+        let main = dev.launch("bccoo", grid, block_dim, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let t0 = warp.first_thread();
                 if t0 >= threads {
@@ -171,7 +171,7 @@ impl<T: Scalar> GpuSpmv<T> for BccooKernel<T> {
 /// then clear those accumulators.
 fn flush<T: Scalar>(
     warp: &mut gpu_sim::WarpCtx,
-    y: &mut DeviceBuffer<T>,
+    y: &DeviceBuffer<T>,
     acc: &mut [[T; WARP]],
     cur_row: &[u32; WARP],
     flush_mask: u32,
@@ -213,8 +213,8 @@ mod tests {
         let eng = BccooKernel::new(DevBccoo::upload(&dev, &b));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc(vec![5.0f64; m.rows()]);
-        eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![5.0f64; m.rows()]);
+        eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, &format!("{cfg:?}"));
     }
 
@@ -288,8 +288,8 @@ mod tests {
             let (b, _) = BccooMatrix::from_csr(&m, cfg, usize::MAX).unwrap();
             let eng = BccooKernel::new(DevBccoo::upload(&dev, &b));
             let xd = dev.alloc(x.clone());
-            let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-            times.push(eng.spmv(&dev, &xd, &mut yd).time_s);
+            let yd = dev.alloc_zeroed::<f64>(m.rows());
+            times.push(eng.spmv(&dev, &xd, &yd).time_s);
         }
         assert_ne!(times[0], times[1]);
     }

@@ -48,7 +48,7 @@ impl<T: Scalar> GpuSpmv<T> for BrcKernel<T> {
         self.mat.device_bytes()
     }
 
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport {
         assert_eq!(x.len(), self.mat.cols, "x length mismatch");
         assert_eq!(y.len(), self.mat.rows, "y length mismatch");
         let zero = fill_kernel(dev, y, T::ZERO);
@@ -62,7 +62,7 @@ impl<T: Scalar> GpuSpmv<T> for BrcKernel<T> {
         let block_dim = 256;
         let warps_per_tb = block_dim / WARP;
         let grid = n_blocks.div_ceil(warps_per_tb);
-        let main = dev.launch("brc", grid, block_dim, &mut |blk| {
+        let main = dev.launch("brc", grid, block_dim, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let bid = warp.global_warp_id();
                 if bid >= n_blocks {
@@ -132,8 +132,8 @@ mod tests {
         let eng = BrcKernel::new(DevBrc::upload(&dev, &brc));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc(vec![-9.0f64; m.rows()]);
-        eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![-9.0f64; m.rows()]);
+        eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "brc");
     }
 
@@ -146,8 +146,8 @@ mod tests {
         let eng = BrcKernel::new(DevBrc::upload(&dev, &brc));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "brc partial block");
     }
 
@@ -162,9 +162,9 @@ mod tests {
         let brc_eng = BrcKernel::new(DevBrc::upload(&dev, &brc));
         let sc_eng = CsrScalar::new(DevCsr::upload(&dev, &m));
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        let r_brc = brc_eng.spmv(&dev, &xd, &mut yd);
-        let r_sc = sc_eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        let r_brc = brc_eng.spmv(&dev, &xd, &yd);
+        let r_sc = sc_eng.spmv(&dev, &xd, &yd);
         assert!(
             r_brc.counters.warp_instructions < r_sc.counters.warp_instructions,
             "brc {} vs scalar {}",

@@ -33,7 +33,7 @@ impl<T: Scalar> CooKernel<T> {
         &self,
         dev: &Device,
         x: &DeviceBuffer<T>,
-        y: &mut DeviceBuffer<T>,
+        y: &DeviceBuffer<T>,
     ) -> RunReport {
         assert_eq!(x.len(), self.mat.cols, "x length mismatch");
         assert_eq!(y.len(), self.mat.rows, "y length mismatch");
@@ -46,7 +46,7 @@ impl<T: Scalar> CooKernel<T> {
         let texture_x = self.texture_x;
         let block = 256;
         let grid = nnz.div_ceil(block).max(1);
-        dev.launch("coo_segred", grid, block, &mut |blk| {
+        dev.launch("coo_segred", grid, block, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let base = warp.first_thread();
                 if base >= nnz {
@@ -117,7 +117,7 @@ impl<T: Scalar> GpuSpmv<T> for CooKernel<T> {
         self.mat.device_bytes()
     }
 
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport {
         let zero = fill_kernel(dev, y, T::ZERO);
         let main = self.spmv_accumulate(dev, x, y);
         zero.then(&main)
@@ -139,8 +139,8 @@ mod tests {
         let eng = CooKernel::new(DevCoo::upload(&dev, &coo));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc(vec![99.0f64; m.rows()]); // must be overwritten
-        let r = eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![99.0f64; m.rows()]); // must be overwritten
+        let r = eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "coo");
         assert_eq!(r.launches, 2, "memset + main kernel");
         assert!(r.counters.atomic_ops > 0);
@@ -156,8 +156,8 @@ mod tests {
         let eng = CooKernel::new(DevCoo::upload(&dev, &coo));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        let r = eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        let r = eng.spmv(&dev, &xd, &yd);
         assert!(
             (r.counters.atomic_ops as usize) < m.nnz(),
             "atomics {} vs nnz {}",
@@ -173,8 +173,8 @@ mod tests {
         let dev = Device::new(presets::gtx_titan());
         let eng = CooKernel::new(DevCoo::upload(&dev, &coo));
         let xd = dev.alloc(vec![1.0f64; 10]);
-        let mut yd = dev.alloc(vec![5.0f64; 10]);
-        eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![5.0f64; 10]);
+        eng.spmv(&dev, &xd, &yd);
         assert!(yd.as_slice().iter().all(|&v| v == 0.0));
     }
 
@@ -186,8 +186,8 @@ mod tests {
         let eng = CooKernel::new(DevCoo::upload(&dev, &coo));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc(vec![2.0f64; m.rows()]);
-        eng.spmv_accumulate(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![2.0f64; m.rows()]);
+        eng.spmv_accumulate(&dev, &xd, &yd);
         let want: Vec<f64> = m.spmv(&x).iter().map(|v| v + 2.0).collect();
         assert_close(yd.as_slice(), &want, 1e-12, "coo accumulate");
     }

@@ -6,7 +6,7 @@
 //! * **uncoalesced access** — adjacent lanes read different rows' data,
 //!   scattering transactions.
 
-use crate::{GpuSpmv, DevCsr};
+use crate::{DevCsr, GpuSpmv};
 use gpu_sim::{lane_mask, Device, DeviceBuffer, RunReport, WARP};
 use sparse_formats::Scalar;
 
@@ -45,7 +45,7 @@ impl<T: Scalar> GpuSpmv<T> for CsrScalar<T> {
         self.mat.device_bytes()
     }
 
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport {
         assert_eq!(x.len(), self.mat.cols, "x length mismatch");
         assert_eq!(y.len(), self.mat.rows, "y length mismatch");
         let rows = self.mat.rows;
@@ -53,7 +53,7 @@ impl<T: Scalar> GpuSpmv<T> for CsrScalar<T> {
         let texture_x = self.texture_x;
         let block = 256;
         let grid = rows.div_ceil(block).max(1);
-        dev.launch("csr_scalar", grid, block, &mut |blk| {
+        dev.launch("csr_scalar", grid, block, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let base_row = warp.first_thread();
                 if base_row >= rows {
@@ -63,11 +63,9 @@ impl<T: Scalar> GpuSpmv<T> for CsrScalar<T> {
                 let mask = lane_mask(live);
 
                 // Row bounds: lane i handles row base_row + i.
-                let off_idx: [usize; WARP] =
-                    std::array::from_fn(|i| (base_row + i).min(rows));
+                let off_idx: [usize; WARP] = std::array::from_fn(|i| (base_row + i).min(rows));
                 let starts = warp.gather(&mat.row_offsets, &off_idx, mask);
-                let ends_idx: [usize; WARP] =
-                    std::array::from_fn(|i| (base_row + i + 1).min(rows));
+                let ends_idx: [usize; WARP] = std::array::from_fn(|i| (base_row + i + 1).min(rows));
                 let ends = warp.gather(&mat.row_offsets, &ends_idx, mask);
 
                 let mut lens = [0usize; WARP];
@@ -122,8 +120,8 @@ mod tests {
         let eng = CsrScalar::new(DevCsr::upload(&dev, &m));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        let report = eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        let report = eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "csr-scalar");
         assert!(report.time_s > 0.0);
         assert!(report.counters.warp_instructions > 0);
@@ -149,9 +147,12 @@ mod tests {
         let run = |m: &sparse_formats::CsrMatrix<f64>| {
             let eng = CsrScalar::new(DevCsr::upload(&dev, m));
             let xd = dev.alloc(x.clone());
-            let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-            let r = eng.spmv(&dev, &xd, &mut yd);
-            (r.counters.warp_instructions as f64 / m.nnz() as f64, r.time_s)
+            let yd = dev.alloc_zeroed::<f64>(m.rows());
+            let r = eng.spmv(&dev, &xd, &yd);
+            (
+                r.counters.warp_instructions as f64 / m.nnz() as f64,
+                r.time_s,
+            )
         };
         let (ipe_uni, _) = run(&uni);
         let (ipe_skw, _) = run(&skw);
@@ -174,8 +175,8 @@ mod tests {
         let eng = CsrScalar::new(DevCsr::upload(&dev, &m));
         let x = test_x::<f32>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f32>(m.rows());
-        eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f32>(m.rows());
+        eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-5, "csr-scalar f32");
     }
 
@@ -186,10 +187,10 @@ mod tests {
         let x = test_x::<f64>(m.cols());
         let mut eng = CsrScalar::new(DevCsr::upload(&dev, &m));
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        let with_tex = eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        let with_tex = eng.spmv(&dev, &xd, &yd);
         eng.texture_x = false;
-        let without = eng.spmv(&dev, &xd, &mut yd);
+        let without = eng.spmv(&dev, &xd, &yd);
         assert!(without.counters.dram_read_bytes > with_tex.counters.dram_read_bytes);
     }
 }

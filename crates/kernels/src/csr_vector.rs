@@ -74,7 +74,7 @@ impl<T: Scalar> GpuSpmv<T> for CsrVector<T> {
         self.mat.device_bytes()
     }
 
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport {
         assert_eq!(x.len(), self.mat.cols, "x length mismatch");
         assert_eq!(y.len(), self.mat.rows, "y length mismatch");
         let rows = self.mat.rows;
@@ -86,7 +86,7 @@ impl<T: Scalar> GpuSpmv<T> for CsrVector<T> {
         let grid = warps_needed.div_ceil(warps_per_block);
         let mat = &self.mat;
         let texture_x = self.texture_x;
-        dev.launch("csr_vector", grid, block, &mut |blk| {
+        dev.launch("csr_vector", grid, block, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let warp_id = warp.global_warp_id();
                 let base_row = warp_id * groups_per_warp;
@@ -190,8 +190,8 @@ mod tests {
         for group in [1, 2, 4, 8, 16, 32] {
             let eng = CsrVector::with_group(DevCsr::upload(&dev, &m), group);
             let xd = dev.alloc(x.clone());
-            let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-            eng.spmv(&dev, &xd, &mut yd);
+            let yd = dev.alloc_zeroed::<f64>(m.rows());
+            eng.spmv(&dev, &xd, &yd);
             assert_close(yd.as_slice(), &want, 1e-12, &format!("group {group}"));
         }
     }
@@ -216,8 +216,8 @@ mod tests {
         let run = |group| {
             let eng = CsrVector::with_group(DevCsr::upload(&dev, &m), group);
             let xd = dev.alloc(x.clone());
-            let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-            let r = eng.spmv(&dev, &xd, &mut yd);
+            let yd = dev.alloc_zeroed::<f64>(m.rows());
+            let r = eng.spmv(&dev, &xd, &yd);
             r.counters.transactions
         };
         let t32 = run(32);
@@ -250,8 +250,8 @@ mod tests {
         let eng = CsrVector::new(DevCsr::upload(&dev, &m));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        let r = eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        let r = eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "huge row");
         // The tail must make the kernel latency-bound, not bandwidth-bound.
         assert!(

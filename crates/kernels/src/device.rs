@@ -206,7 +206,9 @@ impl<T: Scalar> DevBccoo<T> {
 
     /// Total device bytes.
     pub fn device_bytes(&self) -> u64 {
-        self.tile_rows.bytes() + self.tile_cols.bytes() + self.row_flags.bytes()
+        self.tile_rows.bytes()
+            + self.tile_cols.bytes()
+            + self.row_flags.bytes()
             + self.tile_values.bytes()
     }
 }

@@ -49,7 +49,7 @@ impl<T: Scalar> GpuSpmv<T> for EllKernel<T> {
         self.mat.device_bytes()
     }
 
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport {
         assert_eq!(x.len(), self.mat.cols, "x length mismatch");
         assert_eq!(y.len(), self.mat.rows, "y length mismatch");
         let rows = self.mat.rows;
@@ -59,7 +59,7 @@ impl<T: Scalar> GpuSpmv<T> for EllKernel<T> {
         let accumulate = self.accumulate;
         let block = 256;
         let grid = rows.div_ceil(block).max(1);
-        dev.launch("ell", grid, block, &mut |blk| {
+        dev.launch("ell", grid, block, &|blk| {
             blk.for_each_warp(&mut |warp| {
                 let base_row = warp.first_thread();
                 if base_row >= rows {
@@ -139,8 +139,8 @@ mod tests {
         let eng = EllKernel::new(DevEll::upload(&dev, &ell));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "ell");
     }
 
@@ -153,8 +153,8 @@ mod tests {
         eng.accumulate = true;
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc(vec![1.0f64; m.rows()]);
-        eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![1.0f64; m.rows()]);
+        eng.spmv(&dev, &xd, &yd);
         let want: Vec<f64> = m.spmv(&x).iter().map(|v| v + 1.0).collect();
         assert_close(yd.as_slice(), &want, 1e-12, "ell accumulate");
     }
@@ -169,8 +169,8 @@ mod tests {
         let eng = EllKernel::new(DevEll::upload(&dev, &ell));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        let r = eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        let r = eng.spmv(&dev, &xd, &yd);
         let padded = ell.width() * m.rows();
         // reads: cols (4B) + vals (8B) over padded slots, coalesced =>
         // about padded*12 bytes + x; allow 2.5x slack
@@ -198,8 +198,8 @@ mod tests {
         let eng = EllKernel::new(DevEll::upload(&dev, &ell));
         let x = test_x::<f64>(1024);
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(1024);
-        let r = eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(1024);
+        let r = eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "padded ell");
         // reading the col array alone over all padded slots: 4B * width * rows
         assert!(r.counters.dram_read_bytes as f64 > 0.5 * (ell.width() * 1024 * 4) as f64);

@@ -55,7 +55,7 @@ impl<T: Scalar> GpuSpmv<T> for HybKernel<T> {
         self.ell.device_bytes() + self.coo.device_bytes()
     }
 
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport {
         // ELL writes every row (y = ell_part * x), the COO tail then
         // accumulates — no explicit memset needed.
         let r_ell = self.ell.spmv(dev, x, y);
@@ -81,8 +81,8 @@ mod tests {
         let eng = HybKernel::new(DevHyb::upload(&dev, &hyb));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc(vec![-1.0f64; m.rows()]);
-        let r = eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![-1.0f64; m.rows()]);
+        let r = eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "hyb");
         assert!(r.launches >= 2);
     }
@@ -95,8 +95,8 @@ mod tests {
         let eng = HybKernel::new(DevHyb::upload(&dev, &hyb));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc(vec![3.0f64; m.rows()]);
-        eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc(vec![3.0f64; m.rows()]);
+        eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "hyb k=0");
     }
 
@@ -110,8 +110,8 @@ mod tests {
         let eng = HybKernel::new(DevHyb::upload(&dev, &hyb));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        eng.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        eng.spmv(&dev, &xd, &yd);
         assert_close(yd.as_slice(), &m.spmv(&x), 1e-12, "hyb pure ell");
     }
 }

@@ -26,6 +26,11 @@
 //! The ACSR kernels themselves (the paper's contribution) live in the
 //! `acsr` crate; everything here is baseline machinery.
 
+// Warp-lane loops (`for lane in 0..WARP`) index several parallel 32-wide
+// arrays in lockstep; iterator rewrites would obscure the SIMT lane
+// structure the kernels are written in.
+#![allow(clippy::needless_range_loop)]
+
 pub mod bccoo_kernel;
 pub mod brc_kernel;
 pub mod coo_kernel;
@@ -51,7 +56,7 @@ pub trait GpuSpmv<T: Scalar> {
     /// Kernel family name for reports ("CSR-vector", "HYB", ...).
     fn name(&self) -> &'static str;
     /// Run one SpMV; returns the modeled launch report.
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport;
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport;
     /// Rows of the operator.
     fn rows(&self) -> usize;
     /// Columns of the operator.
@@ -65,16 +70,12 @@ pub trait GpuSpmv<T: Scalar> {
 
 /// Launch a memset-style kernel writing `value` over all of `y`.
 /// Bandwidth-bound, like `cudaMemset`.
-pub(crate) fn fill_kernel<T: Scalar>(
-    dev: &Device,
-    y: &mut DeviceBuffer<T>,
-    value: T,
-) -> RunReport {
+pub(crate) fn fill_kernel<T: Scalar>(dev: &Device, y: &DeviceBuffer<T>, value: T) -> RunReport {
     use gpu_sim::{lane_mask, WARP};
     let n = y.len();
     let block = 256;
     let grid = n.div_ceil(block).max(1);
-    dev.launch("fill", grid, block, &mut |blk| {
+    dev.launch("fill", grid, block, &|blk| {
         blk.for_each_warp(&mut |warp| {
             let base = warp.first_thread();
             if base >= n {

@@ -46,7 +46,7 @@ impl<T: Scalar> GpuSpmv<T> for TcooKernel<T> {
         self.mat.device_bytes()
     }
 
-    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &mut DeviceBuffer<T>) -> RunReport {
+    fn spmv(&self, dev: &Device, x: &DeviceBuffer<T>, y: &DeviceBuffer<T>) -> RunReport {
         assert_eq!(x.len(), self.mat.cols, "x length mismatch");
         assert_eq!(y.len(), self.mat.rows, "y length mismatch");
         let mut report = fill_kernel(dev, y, T::ZERO);
@@ -62,7 +62,7 @@ impl<T: Scalar> GpuSpmv<T> for TcooKernel<T> {
             let start = tile.entry_start;
             let block = 256;
             let grid = n.div_ceil(block).max(1);
-            let r = dev.launch(&format!("tcoo_tile{ti}"), grid, block, &mut |blk| {
+            let r = dev.launch(&format!("tcoo_tile{ti}"), grid, block, &|blk| {
                 blk.for_each_warp(&mut |warp| {
                     let base = warp.first_thread();
                     if base >= n {
@@ -131,8 +131,8 @@ mod tests {
             let (tc, _) = TcooMatrix::from_csr(&m, tiles, usize::MAX).unwrap();
             let eng = TcooKernel::new(DevTcoo::upload(&dev, &tc));
             let xd = dev.alloc(x.clone());
-            let mut yd = dev.alloc(vec![7.0f64; m.rows()]);
-            eng.spmv(&dev, &xd, &mut yd);
+            let yd = dev.alloc(vec![7.0f64; m.rows()]);
+            eng.spmv(&dev, &xd, &yd);
             assert_close(yd.as_slice(), &want, 1e-12, &format!("tiles {tiles}"));
         }
     }
@@ -146,9 +146,13 @@ mod tests {
         let eng = TcooKernel::new(DevTcoo::upload(&dev, &tc));
         let x = test_x::<f64>(m.cols());
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        let r = eng.spmv(&dev, &xd, &mut yd);
-        assert_eq!(r.launches as usize, 1 + nonempty, "memset + per-tile kernels");
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        let r = eng.spmv(&dev, &xd, &yd);
+        assert_eq!(
+            r.launches as usize,
+            1 + nonempty,
+            "memset + per-tile kernels"
+        );
     }
 
     #[test]
@@ -171,8 +175,8 @@ mod tests {
             let (tc, _) = TcooMatrix::from_csr(&m, tiles, usize::MAX).unwrap();
             let eng = TcooKernel::new(DevTcoo::upload(&dev, &tc));
             let xd = dev.alloc(x.clone());
-            let mut yd = dev.alloc_zeroed::<f32>(m.rows());
-            let r = eng.spmv(&dev, &xd, &mut yd);
+            let yd = dev.alloc_zeroed::<f32>(m.rows());
+            let r = eng.spmv(&dev, &xd, &yd);
             r.counters.tex_hit_rate()
         };
         let flat = rate(1);

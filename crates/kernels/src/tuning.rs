@@ -75,8 +75,8 @@ pub fn autotune_bccoo<T: Scalar>(
         };
         total.merge(&conv_cost);
         let eng = BccooKernel::new(DevBccoo::upload(dev, &mat));
-        let mut yd = dev.alloc_zeroed::<T>(sample.rows());
-        let report = eng.spmv(dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<T>(sample.rows());
+        let report = eng.spmv(dev, &xd, &yd);
         total.autotune_trials += 1;
         total.autotune_device_seconds += report.time_s * scale_up;
         match best {
@@ -122,8 +122,8 @@ pub fn tune_tcoo<T: Scalar>(
         let (mat, conv_cost) = TcooMatrix::from_csr(m, tiles, max_bytes)?;
         total.merge(&conv_cost);
         let eng = TcooKernel::new(DevTcoo::upload(dev, &mat));
-        let mut yd = dev.alloc_zeroed::<T>(m.rows());
-        let report = eng.spmv(dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<T>(m.rows());
+        let report = eng.spmv(dev, &xd, &yd);
         total.autotune_trials += 1;
         total.autotune_device_seconds += report.time_s;
         match best {
@@ -170,10 +170,7 @@ mod tests {
         let sampled = autotune_bccoo(&dev, &m, 500, usize::MAX).unwrap();
         // extrapolated charge must be the same order of magnitude
         let ratio = sampled.cost.autotune_device_seconds / full.cost.autotune_device_seconds;
-        assert!(
-            (0.2..5.0).contains(&ratio),
-            "extrapolation ratio {ratio}"
-        );
+        assert!((0.2..5.0).contains(&ratio), "extrapolation ratio {ratio}");
         // and the final matrix is full size either way
         assert_eq!(sampled.matrix.nnz(), m.nnz());
     }

@@ -6,7 +6,9 @@
 
 use gpu_sim::{presets, Device};
 use proptest::prelude::*;
-use sparse_formats::{BccooConfig, BccooMatrix, BrcMatrix, CooMatrix, CsrMatrix, HybMatrix, TcooMatrix, TripletMatrix};
+use sparse_formats::{
+    BccooConfig, BccooMatrix, BrcMatrix, CooMatrix, CsrMatrix, HybMatrix, TcooMatrix, TripletMatrix,
+};
 use spmv_kernels::bccoo_kernel::BccooKernel;
 use spmv_kernels::brc_kernel::BrcKernel;
 use spmv_kernels::coo_kernel::CooKernel;
@@ -44,8 +46,8 @@ fn arb_case() -> impl Strategy<Value = Case> {
 
 fn check(engine: &dyn GpuSpmv<f64>, dev: &Device, x: &[f64], want: &[f64]) -> Result<(), String> {
     let xd = dev.alloc(x.to_vec());
-    let mut yd = dev.alloc(vec![f64::NAN; want.len()]);
-    let report = engine.spmv(dev, &xd, &mut yd);
+    let yd = dev.alloc(vec![f64::NAN; want.len()]);
+    let report = engine.spmv(dev, &xd, &yd);
     if report.time_s <= 0.0 {
         return Err(format!("{}: non-positive modeled time", engine.name()));
     }

@@ -50,11 +50,7 @@ pub struct MultiReport {
 impl MultiReport {
     /// Modeled wall time: slowest device + sync.
     pub fn seconds(&self) -> f64 {
-        self.per_device
-            .iter()
-            .map(|r| r.time_s)
-            .fold(0.0, f64::max)
-            + self.sync_seconds
+        self.per_device.iter().map(|r| r.time_s).fold(0.0, f64::max) + self.sync_seconds
     }
 
     /// GFLOP/s for `flops` useful operations.
@@ -130,8 +126,8 @@ impl<T: Scalar> MultiGpuAcsr<T> {
             let dev = &self.devices[d];
             // each device holds a full copy of x (as on the K10)
             let xd = dev.alloc(x.to_vec());
-            let mut yd = dev.alloc_zeroed::<T>(engine.rows());
-            per_device.push(engine.spmv(dev, &xd, &mut yd));
+            let yd = dev.alloc_zeroed::<T>(engine.rows());
+            per_device.push(engine.spmv(dev, &xd, &yd));
             for (local, &global) in self.row_maps[d].iter().enumerate() {
                 y[global as usize] = yd.as_slice()[local];
             }

@@ -21,10 +21,7 @@ pub struct BinPartition {
 }
 
 /// Split `m`'s rows across `n_devices` by dealing each bin round-robin.
-pub fn partition_rows_by_bins<T: Scalar>(
-    m: &CsrMatrix<T>,
-    n_devices: usize,
-) -> Vec<BinPartition> {
+pub fn partition_rows_by_bins<T: Scalar>(m: &CsrMatrix<T>, n_devices: usize) -> Vec<BinPartition> {
     assert!(n_devices >= 1);
     // bin -> rows (ascending because we scan rows in order)
     let mut bins: Vec<Vec<u32>> = Vec::new();
@@ -105,12 +102,7 @@ mod tests {
         let parts = partition_rows_by_bins(&m, 2);
         let widest = m.row_stats().max_row;
         for p in &parts {
-            let dev_max = p
-                .rows
-                .iter()
-                .map(|&r| m.row_nnz(r as usize))
-                .max()
-                .unwrap();
+            let dev_max = p.rows.iter().map(|&r| m.row_nnz(r as usize)).max().unwrap();
             assert!(
                 dev_max as f64 >= widest as f64 / 4.0,
                 "device {} max row {dev_max} vs global {widest}",

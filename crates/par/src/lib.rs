@@ -36,7 +36,7 @@ mod pool;
 pub use ops::{
     for_each_chunk_mut, join, parallel_fill, parallel_for, parallel_map_into, parallel_reduce,
 };
-pub use pool::{configure_threads, num_threads, Pool};
+pub use pool::{configure_threads, num_threads, par_shards, Pool};
 
 #[cfg(test)]
 mod tests {

@@ -15,7 +15,10 @@ pub fn parallel_for(total: usize, grain: usize, body: impl Fn(Range<usize>) + Sy
 
 /// Fork-join: run two closures, potentially in parallel, and return both
 /// results.
-pub fn join<A: Send, B: Send>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B) {
+pub fn join<A: Send, B: Send>(
+    a: impl FnOnce() -> A + Send,
+    b: impl FnOnce() -> B + Send,
+) -> (A, B) {
     let mut ra: Option<A> = None;
     let mut rb: Option<B> = None;
     {

@@ -22,7 +22,10 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -51,12 +54,19 @@ struct TaskHeader {
     /// Caller parks here until `completed == n_grains`.
     done_lock: Mutex<bool>,
     done_cond: Condvar,
+    /// First panic payload raised by any grain, re-thrown on the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
     body: ClosurePtr,
 }
 
 impl TaskHeader {
     /// Claim and run grains until the cursor is exhausted.
     /// Returns the number of grains this thread executed.
+    ///
+    /// A panicking grain still counts towards completion — otherwise the
+    /// caller (or, with a single worker, every subsequent `par_shards`
+    /// wait) would park forever on a count that can no longer be reached.
+    /// The payload is stashed and re-thrown on the calling thread instead.
     fn drain(&self) -> usize {
         let mut ran = 0;
         loop {
@@ -69,7 +79,12 @@ impl TaskHeader {
             // SAFETY: a grain was claimed, so the caller has not yet
             // returned and the closure is alive (see module docs).
             let body = unsafe { &*self.body.0 };
-            body(lo..hi);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(lo..hi))) {
+                let mut slot = self.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
             ran += 1;
             let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
             if done == self.n_grains {
@@ -150,6 +165,7 @@ impl Pool {
             completed: AtomicUsize::new(0),
             done_lock: Mutex::new(false),
             done_cond: Condvar::new(),
+            panic: Mutex::new(None),
             body: ClosurePtr(body_static),
         });
         // Wake at most as many workers as there are grains beyond the one
@@ -162,7 +178,56 @@ impl Pool {
         }
         header.drain();
         header.wait();
+        let payload = header.panic.lock().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
     }
+
+    /// Run `body(shard)` once for every shard in `0..n_shards`, each shard
+    /// exactly once, distributed over the pool (the caller participates).
+    ///
+    /// This is the executor behind `gpu-sim`'s per-SM sharded launches:
+    /// shards are claimed dynamically, so a shard with skewed work does
+    /// not idle the rest of the pool, and the call blocks until every
+    /// shard has finished (or re-throws the first shard panic).
+    pub fn run_shards(&self, n_shards: usize, body: &(dyn Fn(usize) + Sync)) {
+        self.run(n_shards, 1, &|r: Range<usize>| {
+            for s in r {
+                body(s);
+            }
+        });
+    }
+}
+
+/// Dedicated pools keyed by total width, for callers that need a specific
+/// parallelism regardless of how the global pool was configured (the
+/// simulator's `ACSR_SIM_THREADS` knob, width-sweep benchmarks). Pools are
+/// created on first use and live for the process; threads park between
+/// calls, so idle widths cost nothing but stack space.
+static SHARD_POOLS: OnceLock<Mutex<HashMap<usize, &'static Pool>>> = OnceLock::new();
+
+fn shard_pool(threads: usize) -> &'static Pool {
+    let map = SHARD_POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut m = map.lock();
+    m.entry(threads)
+        .or_insert_with(|| &*Box::leak(Box::new(Pool::new(threads - 1))))
+}
+
+/// Run `body(shard)` for every shard in `0..n_shards` on a pool of exactly
+/// `threads` total threads (workers + the caller). `threads <= 1` runs all
+/// shards inline on the caller, in order — the forced-sequential path.
+pub fn par_shards(threads: usize, n_shards: usize, body: impl Fn(usize) + Sync) {
+    if n_shards == 0 {
+        return;
+    }
+    if threads <= 1 || n_shards == 1 {
+        for s in 0..n_shards {
+            body(s);
+        }
+        return;
+    }
+    shard_pool(threads).run_shards(n_shards, &body);
 }
 
 static GLOBAL: OnceLock<Pool> = OnceLock::new();
@@ -251,6 +316,61 @@ mod tests {
                 sum.fetch_add(r.len() as u64, Ordering::Relaxed);
             });
             assert_eq!(sum.load(Ordering::Relaxed), 64, "round {round}");
+        }
+    }
+
+    #[test]
+    fn run_shards_visits_each_shard_once() {
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicU64> = (0..16).map(|_| AtomicU64::new(0)).collect();
+        pool.run_shards(16, &|s| {
+            hits[s].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn panicking_grain_propagates_instead_of_hanging() {
+        // Regression: with one worker, a panic inside a worker-claimed
+        // grain used to leave `completed` short of `n_grains`, parking the
+        // caller forever. The pool must re-throw the panic on the caller
+        // and stay usable afterwards.
+        let pool = Pool::new(1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_shards(8, &|s| {
+                if s % 2 == 1 {
+                    panic!("shard {s} failed");
+                }
+            });
+        }));
+        assert!(err.is_err(), "panic must propagate to the caller");
+
+        // The same pool still completes fresh work.
+        let sum = AtomicU64::new(0);
+        pool.run_shards(8, &|s| {
+            sum.fetch_add(s as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn par_shards_sequential_path_runs_in_order() {
+        let order = Mutex::new(Vec::new());
+        par_shards(1, 5, |s| order.lock().push(s));
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn par_shards_parallel_covers_all_shards() {
+        for width in [2, 4, 8] {
+            let hits: Vec<AtomicU64> = (0..32).map(|_| AtomicU64::new(0)).collect();
+            par_shards(width, 32, |s| {
+                hits[s].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "width {width}"
+            );
         }
     }
 }

@@ -126,7 +126,7 @@ impl<T: Scalar> BccooMatrix<T> {
                 if key != last_key {
                     tile_rows.push(((key >> 32) as u32) * bh as u32);
                     tile_cols.push((key as u32) * bw as u32);
-                    tile_values.extend(std::iter::repeat(T::ZERO).take(tile_len));
+                    tile_values.extend(std::iter::repeat_n(T::ZERO, tile_len));
                     last_key = key;
                 }
                 let base = tile_values.len() - tile_len;

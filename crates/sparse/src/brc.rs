@@ -85,7 +85,10 @@ impl<T: Scalar> BrcMatrix<T> {
             let mut pos = 0usize;
             while pos < chunks.len() {
                 let height = BRC_BLOCK_ROWS.min(chunks.len() - pos);
-                let width = (0..height).map(|i| chunks[pos + i].2 as usize).max().unwrap_or(0);
+                let width = (0..height)
+                    .map(|i| chunks[pos + i].2 as usize)
+                    .max()
+                    .unwrap_or(0);
                 blocks.push(BrcBlock {
                     row_start: pos,
                     height,
@@ -220,7 +223,8 @@ mod tests {
         for r in 0..rows {
             let len = if r % 64 == 0 { 200 } else { 1 + r % 3 };
             for j in 0..len.min(rows) {
-                t.push(r, (r + j * 17) % rows, (r + j) as f64 + 0.5).unwrap();
+                t.push(r, (r + j * 17) % rows, (r + j) as f64 + 0.5)
+                    .unwrap();
             }
         }
         t.to_csr()
@@ -273,11 +277,7 @@ mod tests {
     fn every_nnz_is_represented_exactly_once() {
         let m = skewed(513);
         let (brc, _) = BrcMatrix::from_csr(&m, usize::MAX).unwrap();
-        let real: usize = brc
-            .col_indices()
-            .iter()
-            .filter(|&&c| c != ELL_PAD)
-            .count();
+        let real: usize = brc.col_indices().iter().filter(|&&c| c != ELL_PAD).count();
         assert_eq!(real, m.nnz());
     }
 

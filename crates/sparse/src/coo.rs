@@ -29,7 +29,7 @@ impl<T: Scalar> CooMatrix<T> {
             let nnz = csr.nnz();
             let mut row_indices = Vec::with_capacity(nnz);
             for r in 0..csr.rows() {
-                row_indices.extend(std::iter::repeat(r as u32).take(csr.row_nnz(r)));
+                row_indices.extend(std::iter::repeat_n(r as u32, csr.row_nnz(r)));
             }
             cost.bytes_read += (csr.rows() as u64 + 1) * 4 + nnz as u64 * (4 + T::BYTES as u64);
             cost.bytes_written += nnz as u64 * (8 + T::BYTES as u64);

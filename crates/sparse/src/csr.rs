@@ -183,13 +183,13 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn spmv_into(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.cols, "spmv: x length != cols");
         assert_eq!(y.len(), self.rows, "spmv: y length != rows");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut sum = T::ZERO;
             for (c, v) in cols.iter().zip(vals.iter()) {
                 sum += *v * x[*c as usize];
             }
-            y[r] = sum;
+            *yr = sum;
         }
     }
 
@@ -268,7 +268,11 @@ impl<T: Scalar> CsrMatrix<T> {
 
     /// Per-row non-zero statistics (μ, σ, max — the Table I columns).
     pub fn row_stats(&self) -> RowLengthStats {
-        RowLengthStats::from_lengths(self.rows, self.cols, (0..self.rows).map(|r| self.row_nnz(r)))
+        RowLengthStats::from_lengths(
+            self.rows,
+            self.cols,
+            (0..self.rows).map(|r| self.row_nnz(r)),
+        )
     }
 
     /// Iterate `(row, col, value)` in row-major order.

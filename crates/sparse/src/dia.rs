@@ -45,11 +45,8 @@ impl<T: Scalar> DiaMatrix<T> {
         }
         let (out, cost) = timed(|cost| {
             let offsets: Vec<i64> = present.iter().copied().collect();
-            let index_of: std::collections::HashMap<i64, usize> = offsets
-                .iter()
-                .enumerate()
-                .map(|(i, &d)| (d, i))
-                .collect();
+            let index_of: std::collections::HashMap<i64, usize> =
+                offsets.iter().enumerate().map(|(i, &d)| (d, i)).collect();
             let mut data = vec![T::ZERO; offsets.len() * csr.rows()];
             for (r, c, v) in csr.iter() {
                 let d = index_of[&(c as i64 - r as i64)];
@@ -83,10 +80,10 @@ impl<T: Scalar> DiaMatrix<T> {
         assert_eq!(x.len(), self.cols, "spmv: x length != cols");
         let mut y = vec![T::ZERO; self.rows];
         for (d, &off) in self.offsets.iter().enumerate() {
-            for r in 0..self.rows {
+            for (r, yr) in y.iter_mut().enumerate() {
                 let c = r as i64 + off;
                 if c >= 0 && (c as usize) < self.cols {
-                    y[r] += self.data[d * self.rows + r] * x[c as usize];
+                    *yr += self.data[d * self.rows + r] * x[c as usize];
                 }
             }
         }

@@ -148,7 +148,7 @@ impl<T: Scalar> EllMatrix<T> {
     pub fn spmv_accumulate(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.cols, "spmv: x length != cols");
         assert_eq!(y.len(), self.rows, "spmv: y length != rows");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut sum = T::ZERO;
             for slot in 0..self.width {
                 let c = self.col_indices[slot * self.rows + r];
@@ -156,7 +156,7 @@ impl<T: Scalar> EllMatrix<T> {
                     sum += self.values[slot * self.rows + r] * x[c as usize];
                 }
             }
-            y[r] += sum;
+            *yr += sum;
         }
     }
 

@@ -36,10 +36,7 @@ impl fmt::Display for SparseError {
                 col,
                 rows,
                 cols,
-            } => write!(
-                f,
-                "entry ({row}, {col}) outside matrix shape {rows}x{cols}"
-            ),
+            } => write!(f, "entry ({row}, {col}) outside matrix shape {rows}x{cols}"),
             SparseError::InvalidStructure(s) => write!(f, "invalid sparse structure: {s}"),
             SparseError::CapacityExceeded { format, detail } => {
                 write!(f, "{format} cannot represent this matrix: {detail}")

@@ -193,7 +193,9 @@ mod tests {
     fn spmv_matches_csr_on_skewed_matrix() {
         let m = skewed(5000, 37, 64);
         let (hyb, _) = HybMatrix::from_csr(&m, usize::MAX).unwrap();
-        let x: Vec<f64> = (0..m.cols()).map(|i| (i % 13) as f64 * 0.25 + 1.0).collect();
+        let x: Vec<f64> = (0..m.cols())
+            .map(|i| (i % 13) as f64 * 0.25 + 1.0)
+            .collect();
         let y_ref = m.spmv(&x);
         let y = hyb.spmv(&x);
         for (a, b) in y.iter().zip(y_ref.iter()) {

@@ -50,7 +50,10 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>,
             }
         }
     };
-    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(SparseError::Parse {
             line: line_no,
@@ -121,7 +124,11 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>,
     }
     let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
 
-    let cap = if symmetry == Symmetry::Symmetric { 2 * nnz } else { nnz };
+    let cap = if symmetry == Symmetry::Symmetric {
+        2 * nnz
+    } else {
+        nnz
+    };
     let mut t = TripletMatrix::with_capacity(rows, cols, cap);
     let mut seen = 0usize;
     for l in lines {
@@ -180,7 +187,9 @@ pub fn read_matrix_market<T: Scalar, R: Read>(reader: R) -> Result<CsrMatrix<T>,
 }
 
 /// Read a Matrix Market file from disk.
-pub fn read_matrix_market_file<T: Scalar>(path: impl AsRef<Path>) -> Result<CsrMatrix<T>, SparseError> {
+pub fn read_matrix_market_file<T: Scalar>(
+    path: impl AsRef<Path>,
+) -> Result<CsrMatrix<T>, SparseError> {
     let f = std::fs::File::open(path)?;
     read_matrix_market(f)
 }

@@ -51,7 +51,11 @@ impl RowLengthStats {
             count += 1;
         }
         assert_eq!(count, rows, "row length iterator does not match row count");
-        let mean = if rows > 0 { nnz as f64 / rows as f64 } else { 0.0 };
+        let mean = if rows > 0 {
+            nnz as f64 / rows as f64
+        } else {
+            0.0
+        };
         let var = if rows > 0 {
             (sum_sq / rows as f64 - mean * mean).max(0.0)
         } else {
@@ -139,10 +143,7 @@ impl DegreeHistogram {
 
     /// Largest non-empty bin index (`n` in Algorithm 1).
     pub fn max_bin(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 }
 
@@ -193,7 +194,7 @@ mod tests {
     #[test]
     fn stats_detect_skew() {
         // one huge row among many tiny ones — power-law-like
-        let lengths = std::iter::once(1000usize).chain(std::iter::repeat(1).take(999));
+        let lengths = std::iter::once(1000usize).chain(std::iter::repeat_n(1, 999));
         let s = RowLengthStats::from_lengths(1000, 2000, lengths);
         assert!(s.looks_power_law());
         assert_eq!(s.max_row, 1000);

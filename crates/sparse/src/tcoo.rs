@@ -229,8 +229,7 @@ mod tests {
         let m = scattered(300);
         let (tc, _) = TcooMatrix::from_csr(&m, 4, usize::MAX).unwrap();
         for tile in tc.tiles() {
-            let rows =
-                &tc.row_indices()[tile.entry_start..tile.entry_start + tile.entry_count];
+            let rows = &tc.row_indices()[tile.entry_start..tile.entry_start + tile.entry_count];
             assert!(rows.windows(2).all(|w| w[0] <= w[1]));
         }
     }

@@ -90,8 +90,7 @@ impl<T: Scalar> TripletMatrix<T> {
         // Sort by (row, col). Unstable sort is fine: duplicate coordinates
         // are merged by *addition*, which is order-insensitive up to float
         // rounding.
-        self.entries
-            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         // Merge duplicates in place.
         let mut merged: Vec<(u32, u32, T)> = Vec::with_capacity(self.entries.len());
         for (r, c, v) in self.entries {

@@ -128,11 +128,8 @@ impl<T: Scalar> UpdateBatch<T> {
     /// by adding columns from the insert list"). Deleting an absent column
     /// is a no-op; inserting an existing column overwrites its value.
     pub fn apply_to_csr(&self, m: &CsrMatrix<T>) -> CsrMatrix<T> {
-        let mut t = TripletMatrix::with_capacity(
-            m.rows(),
-            m.cols(),
-            m.nnz() + self.total_inserts(),
-        );
+        let mut t =
+            TripletMatrix::with_capacity(m.rows(), m.cols(), m.nnz() + self.total_inserts());
         let mut batch_pos = 0usize;
         for r in 0..m.rows() {
             let (cols, vals) = m.row(r);

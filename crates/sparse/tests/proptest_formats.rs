@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use sparse_formats::SpFormat;
 use sparse_formats::{
-    BccooConfig, BccooMatrix, BrcMatrix, CooMatrix, CsrMatrix, EllMatrix, HybMatrix,
-    TcooMatrix, TripletMatrix, UpdateBatch,
+    BccooConfig, BccooMatrix, BrcMatrix, CooMatrix, CsrMatrix, EllMatrix, HybMatrix, TcooMatrix,
+    TripletMatrix, UpdateBatch,
 };
 
 /// Strategy: an arbitrary small sparse matrix (duplicates allowed — the
@@ -163,43 +163,42 @@ fn arb_batch(m: &CsrMatrix<f64>) -> impl Strategy<Value = UpdateBatch<f64>> {
     let rows = m.rows();
     let cols = m.cols();
     let m = m.clone();
-    proptest::collection::btree_set(0..rows as u32, 0..rows.min(8))
-        .prop_flat_map(move |touched| {
-            let touched: Vec<u32> = touched.into_iter().collect();
-            let per_row: Vec<_> = touched
-                .iter()
-                .map(|&r| {
-                    let (rcols, _) = m.row(r as usize);
-                    let rcols = rcols.to_vec();
-                    let deletes = proptest::sample::subsequence(rcols.clone(), 0..=rcols.len());
-                    let inserts = proptest::collection::btree_set(0..cols as u32, 0..4);
-                    (deletes, inserts)
-                })
-                .collect();
-            let rcols_by_row: Vec<Vec<u32>> = touched
-                .iter()
-                .map(|&r| m.row(r as usize).0.to_vec())
-                .collect();
-            (Just(touched), per_row).prop_map(move |(touched, per_row)| {
-                let mut b = UpdateBatch::<f64>::empty();
-                for (i, (dels, ins)) in per_row.into_iter().enumerate() {
-                    b.rows.push(touched[i]);
-                    let mut dels = dels;
-                    dels.sort_unstable();
-                    b.delete_cols.extend_from_slice(&dels);
-                    b.delete_offsets.push(b.delete_cols.len() as u32);
-                    for c in ins {
-                        // inserts must not collide with existing columns
-                        if rcols_by_row[i].binary_search(&c).is_err() {
-                            b.insert_cols.push(c);
-                            b.insert_vals.push(1.0 + c as f64 * 0.25);
-                        }
-                    }
-                    b.insert_offsets.push(b.insert_cols.len() as u32);
-                }
-                b
+    proptest::collection::btree_set(0..rows as u32, 0..rows.min(8)).prop_flat_map(move |touched| {
+        let touched: Vec<u32> = touched.into_iter().collect();
+        let per_row: Vec<_> = touched
+            .iter()
+            .map(|&r| {
+                let (rcols, _) = m.row(r as usize);
+                let rcols = rcols.to_vec();
+                let deletes = proptest::sample::subsequence(rcols.clone(), 0..=rcols.len());
+                let inserts = proptest::collection::btree_set(0..cols as u32, 0..4);
+                (deletes, inserts)
             })
+            .collect();
+        let rcols_by_row: Vec<Vec<u32>> = touched
+            .iter()
+            .map(|&r| m.row(r as usize).0.to_vec())
+            .collect();
+        (Just(touched), per_row).prop_map(move |(touched, per_row)| {
+            let mut b = UpdateBatch::<f64>::empty();
+            for (i, (dels, ins)) in per_row.into_iter().enumerate() {
+                b.rows.push(touched[i]);
+                let mut dels = dels;
+                dels.sort_unstable();
+                b.delete_cols.extend_from_slice(&dels);
+                b.delete_offsets.push(b.delete_cols.len() as u32);
+                for c in ins {
+                    // inserts must not collide with existing columns
+                    if rcols_by_row[i].binary_search(&c).is_err() {
+                        b.insert_cols.push(c);
+                        b.insert_vals.push(1.0 + c as f64 * 0.25);
+                    }
+                }
+                b.insert_offsets.push(b.insert_cols.len() as u32);
+            }
+            b
         })
+    })
 }
 
 proptest! {

@@ -7,10 +7,10 @@
 //! cargo run --release --example dynamic_social
 //! ```
 
+use acsr_repro::gpu_sim::{presets, Device};
 use acsr_repro::graph_apps::dynamic::{dynamic_pagerank, DynamicConfig, Strategy};
 use acsr_repro::graph_apps::pagerank::pagerank_operator;
 use acsr_repro::graph_apps::IterParams;
-use acsr_repro::gpu_sim::{presets, Device};
 use acsr_repro::graphgen::MatrixSpec;
 use acsr_repro::sparse_formats::HostModel;
 

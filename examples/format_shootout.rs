@@ -9,17 +9,15 @@
 use acsr_repro::acsr::{AcsrConfig, AcsrEngine};
 use acsr_repro::gpu_sim::{presets, Device};
 use acsr_repro::graphgen::MatrixSpec;
-use acsr_repro::sparse_formats::{
-    BrcMatrix, CooMatrix, DiaMatrix, HostModel, HybMatrix, SpFormat,
-};
+use acsr_repro::sparse_formats::{BrcMatrix, CooMatrix, DiaMatrix, HostModel, HybMatrix};
+use acsr_repro::spmv_kernels::bccoo_kernel::BccooKernel;
 use acsr_repro::spmv_kernels::brc_kernel::BrcKernel;
 use acsr_repro::spmv_kernels::coo_kernel::CooKernel;
 use acsr_repro::spmv_kernels::csr_scalar::CsrScalar;
 use acsr_repro::spmv_kernels::csr_vector::CsrVector;
 use acsr_repro::spmv_kernels::hyb_kernel::HybKernel;
-use acsr_repro::spmv_kernels::tuning::{autotune_bccoo, tune_tcoo};
-use acsr_repro::spmv_kernels::bccoo_kernel::BccooKernel;
 use acsr_repro::spmv_kernels::tcoo_kernel::TcooKernel;
+use acsr_repro::spmv_kernels::tuning::{autotune_bccoo, tune_tcoo};
 use acsr_repro::spmv_kernels::{DevBccoo, DevBrc, DevCoo, DevCsr, DevHyb, DevTcoo, GpuSpmv};
 
 fn main() {
@@ -39,8 +37,8 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     let spmv = |e: &dyn GpuSpmv<f32>| {
-        let mut y = dev.alloc_zeroed::<f32>(e.rows());
-        e.spmv(&dev, &x, &mut y).time_s
+        let y = dev.alloc_zeroed::<f32>(e.rows());
+        e.spmv(&dev, &x, &y).time_s
     };
 
     struct Row {
@@ -53,34 +51,69 @@ fn main() {
 
     // CSR variants: no preprocessing at all.
     let e = CsrScalar::new(DevCsr::upload(&dev, &m));
-    rows.push(Row { name: "CSR-scalar", pre_s: 0.0, spmv_s: spmv(&e), bytes: e.device_bytes() });
+    rows.push(Row {
+        name: "CSR-scalar",
+        pre_s: 0.0,
+        spmv_s: spmv(&e),
+        bytes: e.device_bytes(),
+    });
     let e = CsrVector::new(DevCsr::upload(&dev, &m));
-    rows.push(Row { name: "CSR-vector", pre_s: 0.0, spmv_s: spmv(&e), bytes: e.device_bytes() });
+    rows.push(Row {
+        name: "CSR-vector",
+        pre_s: 0.0,
+        spmv_s: spmv(&e),
+        bytes: e.device_bytes(),
+    });
 
     // COO.
     let (coo, c) = CooMatrix::from_csr(&m);
     let e = CooKernel::new(DevCoo::upload(&dev, &coo));
-    rows.push(Row { name: "COO", pre_s: c.modeled_host_seconds(&host), spmv_s: spmv(&e), bytes: e.device_bytes() });
+    rows.push(Row {
+        name: "COO",
+        pre_s: c.modeled_host_seconds(&host),
+        spmv_s: spmv(&e),
+        bytes: e.device_bytes(),
+    });
 
     // HYB.
     let (hyb, c) = HybMatrix::from_csr(&m, usize::MAX).unwrap();
     let e = HybKernel::new(DevHyb::upload(&dev, &hyb));
-    rows.push(Row { name: "HYB", pre_s: c.modeled_host_seconds(&host), spmv_s: spmv(&e), bytes: e.device_bytes() });
+    rows.push(Row {
+        name: "HYB",
+        pre_s: c.modeled_host_seconds(&host),
+        spmv_s: spmv(&e),
+        bytes: e.device_bytes(),
+    });
 
     // BRC.
     let (brc, c) = BrcMatrix::from_csr(&m, usize::MAX).unwrap();
     let e = BrcKernel::new(DevBrc::upload(&dev, &brc));
-    rows.push(Row { name: "BRC", pre_s: c.modeled_host_seconds(&host), spmv_s: spmv(&e), bytes: e.device_bytes() });
+    rows.push(Row {
+        name: "BRC",
+        pre_s: c.modeled_host_seconds(&host),
+        spmv_s: spmv(&e),
+        bytes: e.device_bytes(),
+    });
 
     // TCOO with its exhaustive tile search.
     let t = tune_tcoo(&dev, &m, usize::MAX).unwrap();
     let e = TcooKernel::new(DevTcoo::upload(&dev, &t.matrix));
-    rows.push(Row { name: "TCOO(tuned)", pre_s: t.cost.modeled_host_seconds(&host), spmv_s: spmv(&e), bytes: e.device_bytes() });
+    rows.push(Row {
+        name: "TCOO(tuned)",
+        pre_s: t.cost.modeled_host_seconds(&host),
+        spmv_s: spmv(&e),
+        bytes: e.device_bytes(),
+    });
 
     // BCCOO with its >300-configuration auto-tuner (sampled trials).
     let t = autotune_bccoo(&dev, &m, 4096, usize::MAX).unwrap();
     let e = BccooKernel::new(DevBccoo::upload(&dev, &t.matrix));
-    rows.push(Row { name: "BCCOO(tuned)", pre_s: t.cost.modeled_host_seconds(&host), spmv_s: spmv(&e), bytes: e.device_bytes() });
+    rows.push(Row {
+        name: "BCCOO(tuned)",
+        pre_s: t.cost.modeled_host_seconds(&host),
+        spmv_s: spmv(&e),
+        bytes: e.device_bytes(),
+    });
 
     // ACSR.
     let e = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
@@ -118,7 +151,11 @@ fn main() {
     for r in &rows {
         if r.spmv_s < acsr_spmv {
             let n = (r.pre_s - rows.last().unwrap().pre_s) / (acsr_spmv - r.spmv_s);
-            println!("  {} overtakes ACSR after ~{:.0} iterations", r.name, n.max(1.0));
+            println!(
+                "  {} overtakes ACSR after ~{:.0} iterations",
+                r.name,
+                n.max(1.0)
+            );
         }
     }
     println!(")");

@@ -12,14 +12,23 @@ use acsr_repro::multi_gpu::MultiGpuAcsr;
 
 fn main() {
     let k10 = presets::tesla_k10_single();
-    println!("device: 2x {} (no dynamic parallelism — §VIII static long-tail ACSR)\n", k10.name);
+    println!(
+        "device: 2x {} (no dynamic parallelism — §VIII static long-tail ACSR)\n",
+        k10.name
+    );
     println!(
         "{:<6} {:>10} {:>12} {:>12} {:>9}",
         "matrix", "nnz", "1 GPU GF/s", "2 GPU GF/s", "speedup"
     );
     // A big web graph that scales vs a small one that can't saturate two
     // GPUs — the paper's EU2-vs-INT contrast.
-    for (abbrev, scale) in [("LJ2", 64usize), ("EU2", 64), ("HOL", 64), ("INT", 64), ("ENR", 64)] {
+    for (abbrev, scale) in [
+        ("LJ2", 64usize),
+        ("EU2", 64),
+        ("HOL", 64),
+        ("INT", 64),
+        ("ENR", 64),
+    ] {
         let spec = MatrixSpec::by_abbrev(abbrev).unwrap();
         let m = spec.generate::<f64>(scale, 5).csr;
         let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 5) as f64 * 0.2).collect();

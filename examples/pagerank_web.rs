@@ -38,9 +38,7 @@ fn main() {
     let hyb = HybKernel::new(DevHyb::upload(&dev, &hyb_mat));
     println!(
         "(HYB conversion alone cost {:.2} ms of host work — ACSR's binning is a scan)",
-        hyb_cost
-            .modeled_host_seconds(&acsr_repro::sparse_formats::HostModel::default())
-            * 1e3
+        hyb_cost.modeled_host_seconds(&acsr_repro::sparse_formats::HostModel::default()) * 1e3
     );
 
     let engines: Vec<(&str, &dyn GpuSpmv<f64>)> =
@@ -61,7 +59,10 @@ fn main() {
     }
     for (name, res) in &results {
         if *name != "ACSR" {
-            println!("ACSR speedup over {name}: {:.2}x", res.seconds() / acsr_time);
+            println!(
+                "ACSR speedup over {name}: {:.2}x",
+                res.seconds() / acsr_time
+            );
         }
     }
 

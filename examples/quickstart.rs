@@ -42,13 +42,13 @@ fn main() {
         "ACSR binning: {} bin-specific grids, {} row-specific (dynamic) grids",
         stats.bin_grids, stats.row_grids
     );
-    let mut y = dev.alloc_zeroed::<f64>(m.rows());
-    let r_acsr = engine.spmv(&dev, &x, &mut y);
+    let y = dev.alloc_zeroed::<f64>(m.rows());
+    let r_acsr = engine.spmv(&dev, &x, &y);
 
     // 4. The cuSPARSE-style CSR-vector baseline on the same matrix.
     let baseline = CsrVector::new(DevCsr::upload(&dev, &m));
-    let mut y2 = dev.alloc_zeroed::<f64>(m.rows());
-    let r_csr = baseline.spmv(&dev, &x, &mut y2);
+    let y2 = dev.alloc_zeroed::<f64>(m.rows());
+    let r_csr = baseline.spmv(&dev, &x, &y2);
 
     // 5. Same answer, different speed.
     let diff = acsr_repro::sparse_formats::scalar::rel_l2_distance(y.as_slice(), y2.as_slice());

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, tests. Run from the repo root.
+#
+# Matches what the tier-1 gate checks plus the full workspace suite.
+# Pass --offline (the default here) so the hermetic shims in shims/ are
+# used instead of crates.io.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "CI green."

@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`. Provides enough of the API for the
+//! repo's benches to build and run: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`/`bench_with_input`,
+//! `Bencher::iter`, `Throughput`, and `BenchmarkId`.
+//!
+//! Measurement is deliberately simple — a short warmup followed by an
+//! adaptively sized timed loop, reporting mean wall-clock per iteration
+//! (and derived throughput when declared). No statistical analysis,
+//! HTML reports, or baselines; the numbers are for quick trend checks,
+//! not publication.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Bencher {
+    /// Mean seconds per iteration of the most recent `iter` call.
+    last_mean_s: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + pilot measurement to size the timed loop.
+        let pilot_start = Instant::now();
+        black_box(routine());
+        let pilot = pilot_start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~200ms of total measurement, clamped by sample_size.
+        let target = Duration::from_millis(200);
+        let iters = (target.as_secs_f64() / pilot.as_secs_f64()).clamp(1.0, self.sample_size as f64)
+            as usize;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.last_mean_s = total.as_secs_f64() / iters as f64;
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.run_one(name.to_string(), f);
+        group.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run_one(id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.id;
+        self.run_one(id, |b| f(b, input));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            last_mean_s: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let label = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mean = bencher.last_mean_s;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if mean > 0.0 => {
+                format!("  {:.3} MiB/s", b as f64 / mean / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(e)) if mean > 0.0 => {
+                format!("  {:.3} Melem/s", e as f64 / mean / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{label}: {:.3} us/iter{rate}", mean * 1e6);
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(100));
+        let mut count = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        let input = vec![1u64, 2, 3];
+        g.bench_with_input(BenchmarkId::new("sum", 3), &input, |b, v| {
+            b.iter(|| v.iter().sum::<u64>())
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

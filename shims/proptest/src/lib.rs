@@ -1,0 +1,603 @@
+//! Offline stand-in for `proptest`, implementing the subset this
+//! workspace's property tests use: the `proptest!` macro, `Strategy`
+//! with `prop_map`/`prop_flat_map`/`prop_perturb`, numeric range and
+//! tuple strategies, `Just`, `any`, `collection::{vec, btree_set}`,
+//! `sample::{select, subsequence}`, and the `prop_assert*`/`prop_assume`
+//! macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - no shrinking — a failing case panics with the generated values'
+//!   `Debug` output left to the assertion message;
+//! - generation is driven by a fixed per-test seed (derived from the
+//!   test's module path and name), so runs are deterministic;
+//! - `prop_assume!` skips the case rather than drawing a replacement.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand;
+
+/// Deterministic RNG handed to strategies and `prop_perturb` closures.
+/// Implements the (shimmed) `rand::RngCore`, so rand's `Rng` extension
+/// methods work on it.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        seed ^= (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng {
+            inner: rand::SeedableRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Split off an independent generator (for `prop_perturb`).
+    pub fn fork(&mut self) -> TestRng {
+        let seed = rand::RngCore::next_u64(&mut self.inner);
+        TestRng {
+            inner: rand::SeedableRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Case-level failure signal. `Fail` aborts the test with a panic;
+/// `Reject` (from `prop_assume!`) skips the case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_perturb<O, F>(self, f: F) -> Perturb<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value, TestRng) -> O,
+    {
+        Perturb { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Perturb<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value, TestRng) -> O> Strategy for Perturb<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        let value = self.inner.generate(rng);
+        (self.f)(value, rng.fork())
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                <$t as rand::SampleUniform>::sample_between(
+                    rng, self.start, self.end, false)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                <$t as rand::SampleUniform>::sample_between(
+                    rng, *self.start(), *self.end(), true)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// A vector of strategies generates element-wise (mirrors proptest's
+/// `Strategy for Vec<S>`).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Arbitrary but always finite: tests here never want NaN/inf.
+        let unit: f64 = rand::StandardDist::sample_standard(rng);
+        (unit - 0.5) * 2e6
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Size specification for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        <usize as rand::SampleUniform>::sample_between(rng, self.lo, self.hi_inclusive, true)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.end() >= r.start(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            // Bounded retries: with narrow element domains the target
+            // size may be unreachable; returning fewer elements is fine
+            // for "pick some distinct keys" usage.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(10) + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    use super::{SizeRange, Strategy, TestRng};
+
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i =
+                <usize as rand::SampleUniform>::sample_between(rng, 0, self.options.len(), false);
+            self.options[i].clone()
+        }
+    }
+
+    pub struct Subsequence<T: Clone> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// Order-preserving random subsequence of `items`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            items,
+            size: size.into(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let want = self.size.sample(rng).min(self.items.len());
+            // Reservoir-style index pick: choose `want` distinct
+            // positions, then emit in original order.
+            let n = self.items.len();
+            let mut picked = vec![false; n];
+            let mut chosen = 0usize;
+            while chosen < want {
+                let i = <usize as rand::SampleUniform>::sample_between(rng, 0, n, false);
+                if !picked[i] {
+                    picked[i] = true;
+                    chosen += 1;
+                }
+            }
+            self.items
+                .iter()
+                .zip(picked.iter())
+                .filter(|(_, &p)| p)
+                .map(|(v, _)| v.clone())
+                .collect()
+        }
+    }
+}
+
+pub mod strategy {
+    pub use super::{FlatMap, Just, Map, Perturb, Strategy};
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+    // `prop::sample::select(...)`-style paths.
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    let ( $($pat,)+ ) = (
+                        $( $crate::Strategy::generate(&($strat), &mut __rng), )+
+                    );
+                    // The body may use `?` with `TestCaseError` (and
+                    // `prop_assume!` returns a Reject) — run it in an
+                    // immediately-invoked closure to give it a `Result`
+                    // return type.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!("proptest case {} failed: {}", __case, __msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case when the assumption fails. Only valid inside a
+/// `proptest!` body (the surrounding runner treats a Reject as a skip).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)+)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pairs() -> impl Strategy<Value = Vec<(usize, f64)>> {
+        (1usize..20).prop_flat_map(|n| crate::collection::vec((0..n, -1.0f64..1.0), 0..50))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..10, b in 0u32..=4, f in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_respects_inner_bounds(pairs in arb_pairs()) {
+            for (i, v) in pairs {
+                prop_assert!(i < 20);
+                prop_assert!((-1.0..1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn select_and_subsequence((k, sub) in (prop::sample::select(vec![2usize, 4, 8]),
+            prop::sample::subsequence(vec![1u32, 2, 3, 4, 5], 0..=5))) {
+            prop_assert!(k == 2 || k == 4 || k == 8);
+            let mut sorted = sub.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &sub, "subsequence preserves order");
+        }
+
+        #[test]
+        fn btree_set_sizes(s in crate::collection::btree_set(0u32..100, 0..8)) {
+            prop_assert!(s.len() < 8);
+        }
+
+        #[test]
+        fn assume_skips(v in 0usize..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn perturb_gets_usable_rng(v in (0usize..5).prop_perturb(|v, mut rng| {
+            use rand::Rng;
+            (v, rng.random_range(10usize..20))
+        })) {
+            prop_assert!(v.0 < 5 && (10..20).contains(&v.1));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_case("x", 0);
+        let mut b = crate::TestRng::for_case("x", 0);
+        let s = (0usize..100).prop_map(|v| v * 2);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

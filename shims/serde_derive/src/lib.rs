@@ -1,0 +1,392 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace serde shim. Supports exactly the shapes this repo derives
+//! on: structs with named fields (optionally generic) and enums whose
+//! variants are all unit variants. Anything else produces a
+//! `compile_error!` naming the limitation.
+//!
+//! No `syn`/`quote`: the item is parsed directly from the
+//! `proc_macro::TokenStream` and the impl is emitted as source text.
+//! Token runs lifted verbatim from the input (generics headers, where
+//! clauses) are re-rendered via `TokenStream::to_string`, which
+//! preserves joint spacing (so `'a` stays `'a`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    NamedStruct(Vec<String>),
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Generics header for the `impl<...>` position, defaults stripped.
+    impl_generics: String,
+    /// Parameter names for the type position, e.g. `'a, T, N`.
+    param_uses: Vec<String>,
+    /// Names of *type* parameters only (these get `Serialize` bounds).
+    type_params: Vec<String>,
+    /// Original where-clause predicates (without the `where` keyword).
+    where_preds: String,
+    body: Body,
+}
+
+fn stream_of(tokens: &[TokenTree]) -> String {
+    let ts: TokenStream = tokens.iter().cloned().collect();
+    ts.to_string()
+}
+
+fn is_attr_start(tok: &TokenTree) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == '#')
+}
+
+/// Advance past `#[...]` attribute(s) starting at `i`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() && is_attr_start(&toks[i]) {
+        i += 2; // '#' + bracket group
+    }
+    i
+}
+
+/// Advance past attributes, reporting whether one of them was
+/// `#[serde(skip)]` (the only serde field attribute this shim honors).
+fn skip_attrs_noting_serde_skip(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip_field = false;
+    while i + 1 < toks.len() && is_attr_start(&toks[i]) {
+        if let TokenTree::Group(attr) = &toks[i + 1] {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    if args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+                    {
+                        skip_field = true;
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, skip_field)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Preamble: attributes, visibility, `struct`/`enum` keyword.
+    let is_enum = loop {
+        if i >= toks.len() {
+            return Err("expected `struct` or `enum`".into());
+        }
+        match &toks[i] {
+            t if is_attr_start(t) => i = skip_attrs(&toks, i),
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                i += 1;
+                match s.as_str() {
+                    "struct" => break false,
+                    "enum" => break true,
+                    "union" => return Err("unions are not supported".into()),
+                    _ => {} // pub / crate / etc.
+                }
+            }
+            TokenTree::Group(_) => i += 1, // the `(crate)` of `pub(crate)`
+            _ => return Err("unexpected token before item keyword".into()),
+        }
+    };
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+
+    // Generics header.
+    let mut header: Vec<TokenTree> = Vec::new();
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        while depth > 0 {
+            let t = toks
+                .get(i)
+                .ok_or_else(|| "unterminated generics".to_string())?;
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    header.push(t.clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth > 0 {
+                        header.push(t.clone());
+                    }
+                }
+                _ => header.push(t.clone()),
+            }
+            i += 1;
+        }
+    }
+
+    // Split the header into top-level comma-separated parameter
+    // segments; strip defaults (`= ...`) so the header is reusable in
+    // impl position.
+    let mut param_uses = Vec::new();
+    let mut type_params = Vec::new();
+    let mut impl_segments: Vec<String> = Vec::new();
+    {
+        let mut depth = 0usize;
+        let mut seg: Vec<TokenTree> = Vec::new();
+        let mut flush = |seg: &mut Vec<TokenTree>| {
+            if seg.is_empty() {
+                return;
+            }
+            // Truncate at a top-level `=` (parameter default).
+            let mut d = 0usize;
+            let mut cut = seg.len();
+            for (k, t) in seg.iter().enumerate() {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => d += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => d -= 1,
+                    TokenTree::Punct(p) if p.as_char() == '=' && d == 0 => {
+                        cut = k;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let seg = &seg[..cut];
+            // Identify the parameter name.
+            match seg.first() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    if let Some(TokenTree::Ident(id)) = seg.get(1) {
+                        param_uses.push(format!("'{id}"));
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+                    if let Some(TokenTree::Ident(n)) = seg.get(1) {
+                        param_uses.push(n.to_string());
+                    }
+                }
+                Some(TokenTree::Ident(id)) => {
+                    param_uses.push(id.to_string());
+                    type_params.push(id.to_string());
+                }
+                _ => {}
+            }
+            impl_segments.push(stream_of(seg));
+        };
+        for t in header.iter() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    seg.push(t.clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    seg.push(t.clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    flush(&mut seg);
+                    seg.clear();
+                }
+                _ => seg.push(t.clone()),
+            }
+        }
+        flush(&mut seg);
+    }
+    let impl_generics = impl_segments.join(", ");
+
+    // Optional where clause, then the body group.
+    let mut where_toks: Vec<TokenTree> = Vec::new();
+    let body_group = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("tuple structs are not supported; use named fields".into());
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("unit structs are not supported".into());
+            }
+            Some(t) => {
+                where_toks.push(t.clone());
+                i += 1;
+            }
+            None => return Err("expected item body".into()),
+        }
+    };
+    let where_preds = {
+        let s = stream_of(&where_toks);
+        s.trim().strip_prefix("where").unwrap_or(&s).to_string()
+    };
+
+    let body_toks: Vec<TokenTree> = body_group.into_iter().collect();
+    let body = if is_enum {
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < body_toks.len() {
+            j = skip_attrs(&body_toks, j);
+            match body_toks.get(j) {
+                Some(TokenTree::Ident(id)) => {
+                    variants.push(id.to_string());
+                    j += 1;
+                    if matches!(body_toks.get(j), Some(TokenTree::Group(_))) {
+                        return Err(format!(
+                            "enum variant `{id}` carries data; only unit variants are supported"
+                        ));
+                    }
+                    // Skip a possible discriminant up to the comma.
+                    while j < body_toks.len()
+                        && !matches!(&body_toks[j], TokenTree::Punct(p) if p.as_char() == ',')
+                    {
+                        j += 1;
+                    }
+                    j += 1; // the comma
+                }
+                None => break,
+                _ => return Err("unexpected token in enum body".into()),
+            }
+        }
+        Body::UnitEnum(variants)
+    } else {
+        let mut fields = Vec::new();
+        let mut j = 0;
+        while j < body_toks.len() {
+            let (next, skip_field) = skip_attrs_noting_serde_skip(&body_toks, j);
+            j = next;
+            // Visibility.
+            if matches!(body_toks.get(j), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+                j += 1;
+                if matches!(body_toks.get(j), Some(TokenTree::Group(_))) {
+                    j += 1;
+                }
+            }
+            match body_toks.get(j) {
+                Some(TokenTree::Ident(id)) => {
+                    if !skip_field {
+                        fields.push(id.to_string());
+                    }
+                    j += 1;
+                    if !matches!(body_toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ':')
+                    {
+                        return Err(format!("expected `:` after field `{id}`"));
+                    }
+                    // Skip the type up to a top-level comma. Generic
+                    // angle brackets are the only depth we must track;
+                    // groups arrive as single trees.
+                    let mut depth = 0usize;
+                    loop {
+                        match body_toks.get(j) {
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                                j += 1;
+                                break;
+                            }
+                            None => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                None => break,
+                _ => return Err("unexpected token in struct body".into()),
+            }
+        }
+        Body::NamedStruct(fields)
+    };
+
+    Ok(Item {
+        name,
+        impl_generics,
+        param_uses,
+        type_params,
+        where_preds,
+        body,
+    })
+}
+
+fn impl_header(item: &Item, trait_path: &str, extra_bounds: bool) -> String {
+    let generics = if item.impl_generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.impl_generics)
+    };
+    let ty_args = if item.param_uses.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.param_uses.join(", "))
+    };
+    let mut preds: Vec<String> = Vec::new();
+    if !item.where_preds.trim().is_empty() {
+        preds.push(item.where_preds.trim().to_string());
+    }
+    if extra_bounds {
+        for p in &item.type_params {
+            preds.push(format!("{p}: ::serde::Serialize"));
+        }
+    }
+    let where_clause = if preds.is_empty() {
+        String::new()
+    } else {
+        format!(" where {}", preds.join(", "))
+    };
+    format!(
+        "impl{generics} {trait_path} for {name}{ty_args}{where_clause}",
+        name = item.name
+    )
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return error(&format!("#[derive(Serialize)] shim: {e}")),
+    };
+    let header = impl_header(&item, "::serde::Serialize", true);
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Body::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{}::{v} => {v:?}", item.name))
+                .collect();
+            format!(
+                "::serde::Value::Str(::std::string::String::from(match self {{ {} }}))",
+                arms.join(", ")
+            )
+        }
+    };
+    format!("{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return error(&format!("#[derive(Deserialize)] shim: {e}")),
+    };
+    let header = impl_header(&item, "::serde::Deserialize", false);
+    format!("{header} {{}}").parse().unwrap()
+}

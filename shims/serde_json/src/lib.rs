@@ -1,0 +1,158 @@
+//! Offline stand-in for `serde_json`: renders the serde shim's
+//! [`serde::Value`] tree as JSON text. Only serialization is provided —
+//! nothing in this workspace parses JSON back.
+
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn newline_indent(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn render(value: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => {
+            if v.is_finite() {
+                // `{:?}` keeps a decimal point or exponent, so the
+                // output round-trips as a float (1.0, 1e-6, ...).
+                let _ = write!(out, "{v:?}");
+            } else {
+                // serde_json emits null for non-finite floats.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                    if indent.is_none() {
+                        // compact form: no space
+                    }
+                }
+                newline_indent(indent, level + 1, out);
+                render(item, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                escape_into(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push('}');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: String,
+        nnz: u64,
+        gflops: f64,
+        tags: Vec<&'static str>,
+    }
+
+    #[test]
+    fn pretty_renders_nested_structs() {
+        let row = Row {
+            name: "web-Google".into(),
+            nnz: 5_105_039,
+            gflops: 12.5,
+            tags: vec!["graph", "paper"],
+        };
+        let s = super::to_string_pretty(&vec![row]).unwrap();
+        assert!(s.contains("\"name\": \"web-Google\""));
+        assert!(s.contains("\"nnz\": 5105039"));
+        assert!(s.contains("\"gflops\": 12.5"));
+        assert!(s.starts_with("[\n"));
+        assert!(s.ends_with("]"));
+    }
+
+    #[test]
+    fn compact_and_escape() {
+        let s = super::to_string(&"a\"b\\c\n").unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(super::to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(super::to_string(&Option::<u8>::None).unwrap(), "null");
+    }
+}

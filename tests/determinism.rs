@@ -25,8 +25,8 @@ fn simulated_reports_are_bit_identical_across_runs() {
         let dev = Device::new(presets::gtx_titan());
         let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
         let x = dev.alloc(vec![1.25f64; m.cols()]);
-        let mut y = dev.alloc_zeroed::<f64>(m.rows());
-        let r = engine.spmv(&dev, &x, &mut y);
+        let y = dev.alloc_zeroed::<f64>(m.rows());
+        let r = engine.spmv(&dev, &x, &y);
         (r.time_s, r.counters, y.into_vec())
     };
     let (t1, c1, y1) = run();
@@ -64,7 +64,12 @@ fn suite_generation_is_stable_across_scales_and_seeds() {
     let small = gen("YOT", 256, 1);
     assert!(small.rows() < a.rows());
     let (sa, ss) = (a.row_stats(), small.row_stats());
-    assert!((sa.mean - ss.mean).abs() < 1.5, "mu drifted: {} vs {}", sa.mean, ss.mean);
+    assert!(
+        (sa.mean - ss.mean).abs() < 1.5,
+        "mu drifted: {} vs {}",
+        sa.mean,
+        ss.mean
+    );
 }
 
 #[test]
@@ -75,8 +80,8 @@ fn cpu_and_sim_backends_agree_numerically() {
     let dev = Device::new(presets::gtx_titan());
     let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
     let xd = dev.alloc(x.clone());
-    let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-    engine.spmv(&dev, &xd, &mut yd);
+    let yd = dev.alloc_zeroed::<f64>(m.rows());
+    engine.spmv(&dev, &xd, &yd);
     // multicore CPU ACSR
     let cpu = acsr_repro::acsr::cpu::CpuAcsr::new(m.clone());
     let mut y_cpu = vec![0.0; m.rows()];

@@ -27,12 +27,18 @@ fn all_engines_agree_on_every_suite_shape() {
     let dev = Device::new(presets::gtx_titan());
     for abbrev in ["ENR", "AMZ", "WIK", "RAL"] {
         let m = suite_matrix(abbrev, 256);
-        let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 + (i % 13) as f64 * 0.125).collect();
+        let x: Vec<f64> = (0..m.cols())
+            .map(|i| 0.5 + (i % 13) as f64 * 0.125)
+            .collect();
         let want = m.spmv(&x);
         let xd = dev.alloc(x.clone());
 
         let engines: Vec<Box<dyn GpuSpmv<f64>>> = vec![
-            Box::new(AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()))),
+            Box::new(AcsrEngine::from_csr(
+                &dev,
+                &m,
+                AcsrConfig::for_device(dev.config()),
+            )),
             Box::new(CsrVector::new(DevCsr::upload(&dev, &m))),
             Box::new(HybKernel::new(DevHyb::upload(
                 &dev,
@@ -40,8 +46,8 @@ fn all_engines_agree_on_every_suite_shape() {
             ))),
         ];
         for engine in engines {
-            let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-            engine.spmv(&dev, &xd, &mut yd);
+            let yd = dev.alloc_zeroed::<f64>(m.rows());
+            engine.spmv(&dev, &xd, &yd);
             let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &want);
             assert!(d < 1e-11, "{abbrev}/{}: rel distance {d}", engine.name());
         }
@@ -66,8 +72,8 @@ fn acsr_all_three_modes_agree_numerically() {
         }
         let engine = AcsrEngine::from_csr(&dev, &m, cfg);
         let xd = dev.alloc(x.clone());
-        let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-        engine.spmv(&dev, &xd, &mut yd);
+        let yd = dev.alloc_zeroed::<f64>(m.rows());
+        engine.spmv(&dev, &xd, &yd);
         let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &want);
         assert!(d < 1e-11, "{mode:?}: rel distance {d}");
     }
@@ -93,10 +99,7 @@ fn dynamic_updates_compose_with_pagerank() {
     let fresh_engine = AcsrEngine::from_csr(&dev, &updated, AcsrConfig::for_device(dev.config()));
     let fresh = pagerank_gpu(&dev, &fresh_engine, 0.85, &params);
     assert_eq!(incremental.iterations, fresh.iterations);
-    let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(
-        &incremental.scores,
-        &fresh.scores,
-    );
+    let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(&incremental.scores, &fresh.scores);
     assert!(d < 1e-12, "rel distance {d}");
 }
 
@@ -111,8 +114,8 @@ fn rmat_graphs_flow_through_the_full_stack() {
     let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
     let x: Vec<f64> = (0..m.cols()).map(|i| (i % 3) as f64 + 1.0).collect();
     let xd = dev.alloc(x.clone());
-    let mut yd = dev.alloc_zeroed::<f64>(m.rows());
-    let r = engine.spmv(&dev, &xd, &mut yd);
+    let yd = dev.alloc_zeroed::<f64>(m.rows());
+    let r = engine.spmv(&dev, &xd, &yd);
     assert!(r.time_s > 0.0);
     let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(yd.as_slice(), &m.spmv(&x));
     assert!(d < 1e-11);
