@@ -1,0 +1,37 @@
+//! Temporary review probe: do cross-shard float atomics produce
+//! run-to-run varying buffer contents?
+
+use gpu_sim::{presets, set_sim_threads, Device, WARP};
+
+#[test]
+fn probe_float_atomic_order_sensitivity() {
+    let dev = Device::new(presets::gtx_titan());
+    let run = |threads: usize| {
+        set_sim_threads(threads);
+        let acc = dev.alloc(vec![0.0f64]);
+        // 256 blocks across 14 SM shards, each warp atomically adding a
+        // non-exact f64 (0.1-ish) to acc[0].
+        dev.launch("probe", 256, 64, &|blk| {
+            let b = blk.block_idx();
+            blk.for_each_warp(&mut |warp| {
+                let v = [0.1 + (b as f64) * 1e-7; WARP];
+                let idx = [0usize; WARP];
+                warp.atomic_rmw(&acc, &idx, &v, 1, |a, b| a + b);
+            });
+        });
+        set_sim_threads(0);
+        acc.as_slice()[0].to_bits()
+    };
+    let seq = run(1);
+    let mut distinct = std::collections::HashSet::new();
+    distinct.insert(seq);
+    for _ in 0..20 {
+        distinct.insert(run(8));
+    }
+    assert_eq!(
+        distinct.len(),
+        1,
+        "float atomic accumulation order varies: {} distinct bit patterns (seq={seq:x})",
+        distinct.len()
+    );
+}
