@@ -142,6 +142,11 @@ pub fn power_pagerank_gpu<T: Scalar>(
             break;
         }
     }
+    // final scores are copied back to the host
+    report = report.then(&dev.record_dtoh(
+        "power_pagerank_scores_d2h",
+        (n * std::mem::size_of::<T>()) as u64,
+    ));
     SolveResult {
         scores: pr.into_vec(),
         iterations,

@@ -62,6 +62,9 @@ pub fn hits_gpu<T: Scalar>(
             break;
         }
     }
+    // final hub/authority vector is copied back to the host
+    report =
+        report.then(&dev.record_dtoh("hits_scores_d2h", (n2 * std::mem::size_of::<T>()) as u64));
     SolveResult {
         scores: v.into_vec(),
         iterations,

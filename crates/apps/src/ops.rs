@@ -42,7 +42,8 @@ pub fn scale_add<T: Scalar>(
 }
 
 /// Squared Euclidean distance `‖a - b‖₂²` via per-warp reduction and one
-/// atomic per warp. Returns `(distance², report)`.
+/// atomic per warp. Returns `(distance², report)`. The host reads the
+/// scalar result back, so the report includes the D2H copy.
 pub fn l2_distance_sq<T: Scalar>(
     dev: &Device,
     a: &DeviceBuffer<T>,
@@ -75,10 +76,12 @@ pub fn l2_distance_sq<T: Scalar>(
             warp.atomic_rmw(&acc, &idx, &red, 1, |x, y| x + y);
         });
     });
+    let report = report.then(&dev.record_dtoh("l2_distance_d2h", 8));
     (acc.as_slice()[0], report)
 }
 
-/// L1 norm `Σ |v[i]|` (power-iteration renormalization).
+/// L1 norm `Σ |v[i]|` (power-iteration renormalization). The scalar is
+/// read back to the host, so the report includes the D2H copy.
 pub fn l1_norm<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>) -> (f64, RunReport) {
     let n = v.len();
     let acc = dev.alloc(vec![0.0f64]);
@@ -104,6 +107,7 @@ pub fn l1_norm<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>) -> (f64, RunReport)
             warp.atomic_rmw(&acc, &idx, &red, 1, |x, y| x + y);
         });
     });
+    let report = report.then(&dev.record_dtoh("l1_norm_d2h", 8));
     (acc.as_slice()[0], report)
 }
 
@@ -162,6 +166,8 @@ pub fn l2_norm_halves<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>) -> (f64, f64
             warp.atomic_rmw(&acc, &ones, &red_hi, 1, |a, b| a + b);
         });
     });
+    // both norms come back to the host for the renormalization factors
+    let report = report.then(&dev.record_dtoh("l2_norm_halves_d2h", 16));
     (acc.as_slice()[0].sqrt(), acc.as_slice()[1].sqrt(), report)
 }
 

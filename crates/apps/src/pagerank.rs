@@ -55,6 +55,9 @@ pub fn pagerank_gpu<T: Scalar>(
             break;
         }
     }
+    // final scores are copied back to the host
+    report =
+        report.then(&dev.record_dtoh("pagerank_scores_d2h", (n * std::mem::size_of::<T>()) as u64));
     SolveResult {
         scores: pr.into_vec(),
         iterations,

@@ -88,6 +88,8 @@ pub fn rwr_gpu<T: Scalar>(
             break;
         }
     }
+    // final relevance vector is copied back to the host
+    report = report.then(&dev.record_dtoh("rwr_scores_d2h", (n * std::mem::size_of::<T>()) as u64));
     SolveResult {
         scores: r.into_vec(),
         iterations,

@@ -14,6 +14,9 @@ pub struct Options {
     pub matrices: Vec<String>,
     /// Emit JSON instead of text tables.
     pub json: bool,
+    /// Capture a launch-level trace ledger per experiment and export it
+    /// as chrome://tracing JSON under `results/` (see [`crate::tracing`]).
+    pub trace: bool,
 }
 
 impl Default for Options {
@@ -23,6 +26,7 @@ impl Default for Options {
             seed: 1,
             matrices: Vec::new(),
             json: false,
+            trace: false,
         }
     }
 }

@@ -9,5 +9,6 @@
 
 pub mod common;
 pub mod experiments;
+pub mod tracing;
 
 pub use common::{selected_specs, Options, Table};

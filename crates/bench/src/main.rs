@@ -1,7 +1,7 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json]
+//! repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json] [--trace]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table5
@@ -9,11 +9,17 @@
 //!   ablations
 //!   formats    Table III + Figure 4 + Table IV from one computation
 //!   all        every experiment at its default scope
+//!
+//! utilities:
+//!   trace-check <file>   validate an exported trace JSON parses
 //! ```
 //!
 //! `--scale` divides the Table I matrix sizes (default 64); smaller
 //! values approach the paper's full-size matrices at the cost of
-//! simulation time.
+//! simulation time. `--trace` additionally records every simulated
+//! launch/transfer in a ledger, reconciles it against the experiment's
+//! own accounting, and writes `results/trace_<experiment>.json`
+//! (chrome://tracing format) with a per-phase rollup on stderr.
 
 use repro_bench::experiments::*;
 use repro_bench::Options;
@@ -25,6 +31,13 @@ fn main() {
         return;
     }
     let experiment = args[0].clone();
+    if experiment == "trace-check" {
+        let path = args
+            .get(1)
+            .unwrap_or_else(|| die("trace-check needs a file path"));
+        trace_check(path);
+        return;
+    }
     let mut opts = Options::default();
     let mut i = 1;
     while i < args.len() {
@@ -57,6 +70,10 @@ fn main() {
                 opts.json = true;
                 i += 1;
             }
+            "--trace" => {
+                opts.trace = true;
+                i += 1;
+            }
             other => die(&format!("unknown option '{other}'")),
         }
     }
@@ -64,6 +81,38 @@ fn main() {
 }
 
 fn run_experiment(name: &str, opts: &Options) {
+    if name == "all" {
+        for exp in [
+            "table1",
+            "table2",
+            "fig3",
+            "table3",
+            "fig4",
+            "table4",
+            "table5",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "ablations",
+        ] {
+            eprintln!(">>> {exp}");
+            run_experiment(exp, opts);
+        }
+        return;
+    }
+    // Arm the global trace ledger per experiment so each gets its own
+    // `results/trace_<name>.json` (Devices attach at construction time).
+    if opts.trace {
+        repro_bench::tracing::begin();
+    }
+    run_one(name, opts);
+    if opts.trace {
+        repro_bench::tracing::finish(name);
+    }
+}
+
+fn run_one(name: &str, opts: &Options) {
     match name {
         "table1" => emit(opts, table1::run(opts), table1::render),
         "table2" => {
@@ -103,26 +152,17 @@ fn run_experiment(name: &str, opts: &Options) {
                 println!("{}", table4::render(&rows));
             }
         }
-        "all" => {
-            for exp in [
-                "table1",
-                "table2",
-                "fig3",
-                "table3",
-                "fig4",
-                "table4",
-                "table5",
-                "fig5",
-                "fig6",
-                "fig7",
-                "fig8",
-                "ablations",
-            ] {
-                eprintln!(">>> {exp}");
-                run_experiment(exp, opts);
-            }
-        }
         other => die(&format!("unknown experiment '{other}'")),
+    }
+}
+
+/// `repro trace-check <file>`: assert an exported trace is one valid
+/// JSON document (used by CI on the smoke-test export).
+fn trace_check(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    match serde_json::validate(&text) {
+        Ok(()) => println!("{path}: valid JSON ({} bytes)", text.len()),
+        Err(e) => die(&format!("{path}: invalid JSON: {e}")),
     }
 }
 
@@ -137,9 +177,12 @@ fn emit<R: serde::Serialize>(opts: &Options, rows: Vec<R>, render: impl Fn(&[R])
 fn print_usage() {
     println!(
         "repro — regenerate the paper's tables and figures on the simulated testbed\n\n\
-         usage: repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json]\n\n\
+         usage: repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json] [--trace]\n\
+         \x20      repro trace-check <file>\n\n\
          experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 ablations formats all\n\n\
          defaults: --scale 64 --seed 1 (whole Table I suite)\n\
+         --trace records every simulated launch, reconciles the ledger, and writes\n\
+         results/trace_<experiment>.json (chrome://tracing) + a phase rollup on stderr\n\
          tip: fig6/fig7 are iterative solvers — use --scale 256 for quick runs"
     );
 }

@@ -1,0 +1,66 @@
+//! `--trace` plumbing for the `repro` binary.
+//!
+//! With `--trace`, every [`gpu_sim::Device`] an experiment creates
+//! attaches to the process-global [`gpu_sim::TraceLedger`]; after the
+//! experiment the ledger is reconciled (span counters must sum exactly
+//! to its running total — a hard failure otherwise), exported as
+//! chrome://tracing JSON under `results/`, and summarized per ACSR
+//! phase on stderr (stdout stays clean for `--json` pipelines).
+
+use acsr::PhaseRollup;
+use gpu_sim::trace;
+use std::path::PathBuf;
+
+/// Arm the global ledger for one experiment (clears any prior spans).
+pub fn begin() {
+    trace::enable_global_capture();
+    trace::global_ledger().clear();
+}
+
+/// Reconcile, export `results/trace_<name>.json`, print the per-phase
+/// rollup to stderr, and disarm capture. Panics if the ledger's span
+/// counters fail to sum to its total — that would mean the simulator
+/// lost or double-counted events.
+pub fn finish(name: &str) -> PathBuf {
+    trace::disable_global_capture();
+    let ledger = trace::global_ledger();
+    let total = ledger
+        .reconcile()
+        .unwrap_or_else(|e| panic!("trace reconciliation failed for '{name}': {e}"));
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = PathBuf::from(format!("results/trace_{name}.json"));
+    std::fs::write(&path, ledger.chrome_trace_json())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+
+    let spans = ledger.spans();
+    let rollup = PhaseRollup::from_spans(&spans);
+    eprintln!(
+        "trace[{name}]: {} spans, {} launches, {:.3} ms modeled -> {}",
+        spans.len(),
+        total.launches,
+        total.time_s * 1e3,
+        path.display()
+    );
+    let attributed = rollup.total_seconds().max(1e-300);
+    for (label, b) in rollup.nonempty() {
+        eprintln!(
+            "trace[{name}]:   {:<12} {:>5.1}%  {:>8} spans  {:>10} launches  {:>12} DRAM B  {:>12} PCIe B",
+            label,
+            100.0 * b.seconds / attributed,
+            b.spans,
+            b.launches,
+            b.counters.dram_bytes(),
+            b.counters.htod_bytes + b.counters.dtoh_bytes,
+        );
+    }
+    if rollup.bin_grid_launches() > 0 || rollup.row_grid_launches() > 0 {
+        eprintln!(
+            "trace[{name}]:   Table V view: BS={} bin grids, RS={} row grids",
+            rollup.bin_grid_launches(),
+            rollup.row_grid_launches()
+        );
+    }
+    ledger.clear();
+    path
+}

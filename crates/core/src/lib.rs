@@ -26,7 +26,9 @@
 //! * [`engine`] — [`engine::AcsrEngine`], the `GpuSpmv` driver tying it
 //!   together;
 //! * [`update`] — the §VII device-side update kernel;
-//! * [`cpu`] — a multicore binned SpMV used by the wall-clock benches.
+//! * [`cpu`] — a multicore binned SpMV used by the wall-clock benches;
+//! * [`phases`] — folds a [`gpu_sim::trace`] span stream into per-phase
+//!   rollups (Table V's BS/RS view) for traced runs.
 //!
 //! ## Quickstart
 //!
@@ -57,9 +59,11 @@ pub mod dynpar;
 pub mod engine;
 pub mod kernels;
 pub mod matrix;
+pub mod phases;
 pub mod update;
 
 pub use binning::{BinStats, Binning};
 pub use config::{AcsrConfig, AcsrMode};
 pub use engine::AcsrEngine;
 pub use matrix::AcsrMatrix;
+pub use phases::{Phase, PhaseBucket, PhaseRollup};

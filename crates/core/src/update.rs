@@ -42,7 +42,10 @@ impl<T: Scalar> AcsrEngine<T> {
         batch
             .validate()
             .expect("update batch must satisfy its structural invariants");
-        let mut copy_seconds = dev.htod_seconds(batch.wire_bytes() as u64);
+        // record_htod also emits a transfer span when tracing is on
+        let mut copy_seconds = dev
+            .record_htod("acsr_update_delta", batch.wire_bytes() as u64)
+            .time_s;
 
         // Upload the change lists — the only data shipped to the device.
         let rows_d = dev.alloc(batch.rows.clone());
@@ -197,7 +200,8 @@ impl<T: Scalar> AcsrEngine<T> {
         let cfg = *self.config();
         *self.matrix_mut() = AcsrMatrix::from_csr(dev, m, &cfg);
         self.rebin(dev);
-        dev.htod_seconds(self.matrix().device_bytes())
+        dev.record_htod("acsr_rebuild_upload", self.matrix().device_bytes())
+            .time_s
     }
 }
 

@@ -60,6 +60,10 @@ pub struct DeviceConfig {
     pub atomic_serialize_cycles: u64,
     /// PCIe host→device bandwidth, GB/s.
     pub pcie_gbs: f64,
+    /// PCIe device→host bandwidth, GB/s. Readback is asymmetric in
+    /// practice (host-side write-combining and smaller read requests),
+    /// so D2H sustains slightly less than H2D on these parts.
+    pub pcie_d2h_gbs: f64,
     /// PCIe fixed per-copy latency, seconds.
     pub pcie_latency_s: f64,
     /// Independent kernels that can execute concurrently when launched on
@@ -88,9 +92,14 @@ impl DeviceConfig {
         (self.memory_gib * (1u64 << 30) as f64) as usize
     }
 
-    /// Modeled host→device (or device→host) copy time for `bytes`.
+    /// Modeled host→device copy time for `bytes`.
     pub fn copy_seconds(&self, bytes: u64) -> f64 {
         self.pcie_latency_s + bytes as f64 / (self.pcie_gbs * 1e9)
+    }
+
+    /// Modeled device→host copy time for `bytes` (asymmetric bandwidth).
+    pub fn copy_seconds_d2h(&self, bytes: u64) -> f64 {
+        self.pcie_latency_s + bytes as f64 / (self.pcie_d2h_gbs * 1e9)
     }
 }
 
@@ -123,6 +132,7 @@ pub mod presets {
             pending_overflow_penalty_s: 0.0,
             atomic_serialize_cycles: 40,
             pcie_gbs: 5.5,
+            pcie_d2h_gbs: 5.0,
             pcie_latency_s: 10e-6,
             concurrent_kernels: 16,
         }
@@ -153,6 +163,7 @@ pub mod presets {
             pending_overflow_penalty_s: 0.0,
             atomic_serialize_cycles: 30,
             pcie_gbs: 6.0,
+            pcie_d2h_gbs: 5.2,
             pcie_latency_s: 10e-6,
             concurrent_kernels: 32,
         }
@@ -184,6 +195,7 @@ pub mod presets {
             pending_overflow_penalty_s: 3e-6,
             atomic_serialize_cycles: 30,
             pcie_gbs: 6.0,
+            pcie_d2h_gbs: 5.2,
             pcie_latency_s: 10e-6,
             concurrent_kernels: 32,
         }
@@ -235,5 +247,17 @@ mod tests {
     fn copy_seconds_has_latency_floor() {
         let cfg = presets::gtx_titan();
         assert!(cfg.copy_seconds(0) >= cfg.pcie_latency_s);
+        assert!(cfg.copy_seconds_d2h(0) >= cfg.pcie_latency_s);
+    }
+
+    #[test]
+    fn readback_is_slower_than_upload() {
+        for cfg in presets::table2() {
+            assert!(
+                cfg.copy_seconds_d2h(1 << 20) > cfg.copy_seconds(1 << 20),
+                "{}",
+                cfg.name
+            );
+        }
     }
 }

@@ -30,6 +30,10 @@ pub struct Counters {
     pub blocks: u64,
     /// Warps executed.
     pub warps: u64,
+    /// Host→device bytes shipped over PCIe (modeled transfers).
+    pub htod_bytes: u64,
+    /// Device→host bytes read back over PCIe (modeled transfers).
+    pub dtoh_bytes: u64,
 }
 
 impl Counters {
@@ -72,6 +76,28 @@ impl Counters {
         self.child_launches += o.child_launches;
         self.blocks += o.blocks;
         self.warps += o.warps;
+        self.htod_bytes += o.htod_bytes;
+        self.dtoh_bytes += o.dtoh_bytes;
+    }
+
+    /// Elementwise difference against an earlier snapshot of the same
+    /// (monotonically growing) counter set. Panics on non-monotonic input.
+    pub fn delta_from(&self, earlier: &Counters) -> Counters {
+        Counters {
+            warp_instructions: self.warp_instructions - earlier.warp_instructions,
+            dram_read_bytes: self.dram_read_bytes - earlier.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes - earlier.dram_write_bytes,
+            transactions: self.transactions - earlier.transactions,
+            tex_hits: self.tex_hits - earlier.tex_hits,
+            tex_misses: self.tex_misses - earlier.tex_misses,
+            atomic_ops: self.atomic_ops - earlier.atomic_ops,
+            atomic_conflicts: self.atomic_conflicts - earlier.atomic_conflicts,
+            child_launches: self.child_launches - earlier.child_launches,
+            blocks: self.blocks - earlier.blocks,
+            warps: self.warps - earlier.warps,
+            htod_bytes: self.htod_bytes - earlier.htod_bytes,
+            dtoh_bytes: self.dtoh_bytes - earlier.dtoh_bytes,
+        }
     }
 }
 
@@ -88,6 +114,8 @@ pub struct TimeBreakdown {
     pub latency_s: f64,
     /// Dynamic-parallelism launch overhead (incl. pending-limit stalls).
     pub dynamic_launch_s: f64,
+    /// Modeled PCIe transfer time (H2D uploads and D2H readbacks).
+    pub transfer_s: f64,
 }
 
 /// Result of one simulated kernel launch (or a merged sequence).
@@ -131,6 +159,7 @@ impl RunReport {
         self.breakdown.memory_s += other.breakdown.memory_s;
         self.breakdown.latency_s += other.breakdown.latency_s;
         self.breakdown.dynamic_launch_s += other.breakdown.dynamic_launch_s;
+        self.breakdown.transfer_s += other.breakdown.transfer_s;
         self.launches += other.launches;
         self
     }

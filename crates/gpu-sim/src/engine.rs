@@ -47,9 +47,10 @@ use crate::buffer::{DevCopy, DeviceBuffer};
 use crate::cache::SetAssocCache;
 use crate::config::DeviceConfig;
 use crate::counters::{Counters, RunReport, TimeBreakdown};
+use crate::trace::{self, ChildRec, StreamRec, TraceLedger};
 use crate::warp::{WarpCtx, WARP};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Kernel body: called once per thread block. Kernels must be `Fn + Sync`
 /// because blocks of one grid may execute on several host threads; all
@@ -134,6 +135,9 @@ pub(crate) struct ShardState {
     /// child grid gets `seq == 1`, matching a global launch counter
     /// whenever a single block does the launching.
     pub(crate) child_seq: usize,
+    /// Per-child-grid counter slices executed on this shard, recorded
+    /// only while tracing (empty otherwise).
+    pub(crate) child_recs: Vec<ChildRec>,
 }
 
 impl ShardState {
@@ -145,6 +149,7 @@ impl ShardState {
             sm_crit: vec![0; sm_count],
             tex_cache: None,
             child_seq: 0,
+            child_recs: Vec::new(),
         }
     }
 
@@ -161,6 +166,9 @@ impl ShardState {
 pub struct RunState<'d> {
     pub(crate) cfg: &'d DeviceConfig,
     pub(crate) shards: Vec<ShardState>,
+    /// Whether the owning device has a trace ledger attached (enables
+    /// the per-stream / per-child counter snapshots).
+    pub(crate) trace: bool,
 }
 
 /// Per-block kernel context.
@@ -260,9 +268,11 @@ fn run_wave_shard<'k>(
     shard: &mut ShardState,
     wave: &[PendingChild<'k>],
     next: &mut Vec<PendingChild<'k>>,
+    trace: bool,
 ) {
     let sms = cfg.sm_count;
     for child in wave {
+        let before = if trace { Some(shard.counters) } else { None };
         let mut b = (shard.home_sm + sms - child.seq % sms) % sms;
         while b < child.grid_blocks {
             shard.counters.blocks += 1;
@@ -277,6 +287,21 @@ fn run_wave_shard<'k>(
             };
             (child.kernel)(&mut blk);
             b += sms;
+        }
+        if let Some(before) = before {
+            let delta = shard.counters.delta_from(&before);
+            // Only record slices that actually ran blocks here; the
+            // block→shard attribution is width-independent, so the
+            // recorded set is too.
+            if delta.blocks > 0 {
+                shard.child_recs.push(ChildRec {
+                    seq: child.seq,
+                    sm: shard.home_sm,
+                    grid_blocks: child.grid_blocks,
+                    block_dim: child.block_dim,
+                    counters: delta,
+                });
+            }
         }
     }
 }
@@ -329,6 +354,7 @@ pub(crate) fn execute_grid<'k>(
         return;
     }
     let cfg = run.cfg;
+    let trace = run.trace;
     let sms = cfg.sm_count;
     let threads = sim_threads().min(sms);
     let mut pending: Vec<Vec<PendingChild<'k>>> = (0..sms).map(|_| Vec::new()).collect();
@@ -346,7 +372,7 @@ pub(crate) fn execute_grid<'k>(
         let mut next: Vec<Vec<PendingChild<'k>>> = (0..sms).map(|_| Vec::new()).collect();
         let wave_ref = &wave;
         for_each_shard(width, &mut run.shards, &mut next, |_s, shard, nx| {
-            run_wave_shard(cfg, shard, wave_ref, nx);
+            run_wave_shard(cfg, shard, wave_ref, nx, trace);
         });
         wave = next.into_iter().flatten().collect();
     }
@@ -355,12 +381,35 @@ pub(crate) fn execute_grid<'k>(
 /// A simulated GPU.
 pub struct Device {
     cfg: DeviceConfig,
+    /// Trace ledger, when attached (see [`crate::trace`]). `None` keeps
+    /// launches on the zero-overhead path.
+    ledger: Option<Arc<TraceLedger>>,
 }
 
 impl Device {
     /// Create a device from a configuration (see [`crate::presets`]).
+    /// If process-global trace capture is on
+    /// ([`trace::enable_global_capture`]), the device records into the
+    /// shared [`trace::global_ledger`].
     pub fn new(cfg: DeviceConfig) -> Device {
-        Device { cfg }
+        let ledger = if trace::global_capture_enabled() {
+            Some(trace::global_ledger())
+        } else {
+            None
+        };
+        Device { cfg, ledger }
+    }
+
+    /// Attach a fresh private trace ledger to this device and return it.
+    pub fn enable_tracing(&mut self) -> Arc<TraceLedger> {
+        let ledger = Arc::new(TraceLedger::new());
+        self.ledger = Some(ledger.clone());
+        ledger
+    }
+
+    /// The attached trace ledger, if any.
+    pub fn ledger(&self) -> Option<&Arc<TraceLedger>> {
+        self.ledger.as_ref()
     }
 
     /// The device's configuration.
@@ -383,6 +432,54 @@ impl Device {
         self.cfg.copy_seconds(bytes)
     }
 
+    /// Modeled device→host copy time for `bytes` (asymmetric PCIe
+    /// readback bandwidth — see [`DeviceConfig::copy_seconds_d2h`]).
+    pub fn dtoh_seconds(&self, bytes: u64) -> f64 {
+        self.cfg.copy_seconds_d2h(bytes)
+    }
+
+    /// Charge a host→device transfer: returns a report carrying the
+    /// copy time (as `transfer_s`) and `htod_bytes`, and records a
+    /// transfer span when tracing.
+    pub fn record_htod(&self, name: &str, bytes: u64) -> RunReport {
+        self.transfer_report(name, self.htod_seconds(bytes), bytes, 0)
+    }
+
+    /// Charge a device→host readback: returns a report carrying the
+    /// copy time (as `transfer_s`) and `dtoh_bytes`, and records a
+    /// transfer span when tracing.
+    pub fn record_dtoh(&self, name: &str, bytes: u64) -> RunReport {
+        self.transfer_report(name, self.dtoh_seconds(bytes), bytes, 1)
+    }
+
+    fn transfer_report(&self, name: &str, time_s: f64, bytes: u64, dtoh: u32) -> RunReport {
+        let counters = if dtoh != 0 {
+            Counters {
+                dtoh_bytes: bytes,
+                ..Default::default()
+            }
+        } else {
+            Counters {
+                htod_bytes: bytes,
+                ..Default::default()
+            }
+        };
+        let report = RunReport {
+            name: name.to_string(),
+            time_s,
+            counters,
+            breakdown: TimeBreakdown {
+                transfer_s: time_s,
+                ..Default::default()
+            },
+            launches: 0,
+        };
+        if let Some(ledger) = &self.ledger {
+            ledger.record_transfer(&self.cfg, &report);
+        }
+        report
+    }
+
     /// Launch `kernel` over `grid_blocks x block_dim` threads and return
     /// the modeled report. Execution is functional (all writes through
     /// [`WarpCtx`] happen for real); time is assembled from the counters.
@@ -395,7 +492,14 @@ impl Device {
     ) -> RunReport {
         let mut run = self.fresh_run();
         execute_grid(&mut run, grid_blocks, block_dim, 0, kernel);
-        self.assemble_report(name, run, self.cfg.kernel_launch_s, 1)
+        self.assemble_report(
+            name,
+            run,
+            self.cfg.kernel_launch_s,
+            1,
+            (grid_blocks, block_dim),
+            Vec::new(),
+        )
     }
 
     /// Begin a group of *independent* kernels launched on separate
@@ -416,6 +520,7 @@ impl Device {
             serial: RunReport::default(),
             launches: 0,
             grid_offset: 0,
+            streams: Vec::new(),
         }
     }
 
@@ -425,15 +530,18 @@ impl Device {
             shards: (0..self.cfg.sm_count)
                 .map(|s| ShardState::new(s, self.cfg.sm_count))
                 .collect(),
+            trace: self.ledger.is_some(),
         }
     }
 
     fn assemble_report(
         &self,
         name: &str,
-        run: RunState,
+        mut run: RunState,
         launch_s: f64,
         launches: u32,
+        shape: (usize, usize),
+        streams: Vec<StreamRec>,
     ) -> RunReport {
         let cfg = &self.cfg;
         let sms = cfg.sm_count;
@@ -470,7 +578,7 @@ impl Device {
             0.0
         };
         let time_s = launch_s + compute_s.max(memory_s).max(latency_s) + dynamic_launch_s;
-        RunReport {
+        let report = RunReport {
             name: name.to_string(),
             time_s,
             counters,
@@ -480,9 +588,20 @@ impl Device {
                 memory_s,
                 latency_s,
                 dynamic_launch_s,
+                transfer_s: 0.0,
             },
             launches,
+        };
+        if let Some(ledger) = &self.ledger {
+            // Drain the per-shard child slices in SM order — the same
+            // deterministic order the counter merge uses.
+            let mut children = Vec::new();
+            for shard in &mut run.shards {
+                children.append(&mut shard.child_recs);
+            }
+            ledger.record_launch(&self.cfg, &report, shape.0, shape.1, streams, children);
         }
+        report
     }
 }
 
@@ -498,6 +617,8 @@ pub struct ConcurrentGroup<'d> {
     launches: u32,
     /// Rotates block→SM placement so concurrent small grids spread out.
     grid_offset: usize,
+    /// Per-stream counter slices, recorded only while tracing.
+    streams: Vec<StreamRec>,
 }
 
 impl ConcurrentGroup<'_> {
@@ -507,7 +628,24 @@ impl ConcurrentGroup<'_> {
         self.launches += 1;
         match &mut self.pooled {
             Some(run) => {
+                // Group adds are sequential host-side, so snapshotting
+                // the pooled counters around each add attributes every
+                // increment (child waves included) to its stream.
+                let before = if run.trace {
+                    Some(Counters::sum(run.shards.iter().map(|s| &s.counters)))
+                } else {
+                    None
+                };
                 execute_grid(run, grid_blocks, block_dim, self.grid_offset, kernel);
+                if let Some(before) = before {
+                    let after = Counters::sum(run.shards.iter().map(|s| &s.counters));
+                    self.streams.push(StreamRec {
+                        name: name.to_string(),
+                        grid_blocks,
+                        block_dim,
+                        counters: after.delta_from(&before),
+                    });
+                }
                 self.grid_offset += grid_blocks.max(1);
             }
             None => {
@@ -535,6 +673,8 @@ impl ConcurrentGroup<'_> {
                     run,
                     cfg.kernel_launch_s + extra,
                     self.launches.max(1),
+                    (0, 0),
+                    self.streams,
                 )
             }
             None => {

@@ -31,6 +31,16 @@
 //! `Fn + Sync` closures, and buffer writes go through `&DeviceBuffer`
 //! (see [`buffer`] for the CUDA-style kernel data contract).
 //!
+//! ## Tracing
+//!
+//! An opt-in launch-level trace ledger ([`trace`]) records one span per
+//! launch (plus per-stream and per-child-wave slices and PCIe transfers)
+//! with full [`Counters`] and [`TimeBreakdown`], exports
+//! chrome://tracing JSON, and reconciles span sums bit-identically
+//! against the merged [`RunReport`]. Attach per device with
+//! [`Device::enable_tracing`] or process-wide with
+//! [`trace::enable_global_capture`]; disabled devices pay nothing.
+//!
 //! ## Example
 //!
 //! ```
@@ -60,10 +70,12 @@ pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
+pub mod trace;
 pub mod warp;
 
 pub use buffer::{DevCopy, DeviceBuffer};
 pub use config::{presets, DeviceConfig};
 pub use counters::{Counters, RunReport, TimeBreakdown};
 pub use engine::{set_sim_threads, sim_threads, BlockCtx, ConcurrentGroup, Device, KernelFn};
+pub use trace::{Span, SpanKind, TraceLedger};
 pub use warp::{lane_mask, WarpCtx, FULL_MASK, WARP};

@@ -1,0 +1,585 @@
+//! Launch-level trace ledger.
+//!
+//! Every [`crate::Device::launch`], every kernel added to a
+//! [`crate::ConcurrentGroup`], every dynamic child wave (per shard), and
+//! every modeled PCIe transfer can emit a *span*: name, grid/block shape,
+//! SM attribution, [`Counters`], and [`TimeBreakdown`], appended to a
+//! [`TraceLedger`]. The ledger supports
+//!
+//! * a chrome://tracing-compatible JSON exporter
+//!   ([`TraceLedger::chrome_trace_json`]) so a bench run can be opened in
+//!   a trace viewer,
+//! * a reconciliation check ([`TraceLedger::reconcile`]) asserting that
+//!   the per-span counters sum *bit-identically* to the merged
+//!   [`RunReport`] — a standing accounting invariant wired into the
+//!   determinism proptests.
+//!
+//! Tracing is strictly opt-in: a [`crate::Device`] without a ledger
+//! attached skips every snapshot (one branch per launch), so the default
+//! path is unchanged. Attach a private ledger with
+//! [`crate::Device::enable_tracing`], or flip the process-global capture
+//! flag ([`enable_global_capture`]) so every *subsequently created*
+//! device records into the shared [`global_ledger`] — the hook the bench
+//! binary's `--trace` flag uses, since experiments construct their
+//! devices internally.
+//!
+//! Span *times* are model times, not host wall-clock: launches are laid
+//! end to end on a per-ledger virtual clock (`t_start` of a launch is
+//! the sum of all earlier spans' durations), and stream/child spans are
+//! placed inside their parent with a roofline-attributed duration. This
+//! keeps the export deterministic — same run, same bytes.
+
+use crate::config::DeviceConfig;
+use crate::counters::{Counters, RunReport, TimeBreakdown};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// What a [`Span`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One [`crate::Device::launch`] or one finished
+    /// [`crate::ConcurrentGroup`] (the merged report).
+    Launch,
+    /// One kernel added to a concurrent group (its slice of the pooled
+    /// counters), child of a `Launch` span.
+    Stream,
+    /// One dynamic child grid's blocks on one shard (SM), child of a
+    /// `Launch` span.
+    ChildWave,
+    /// A modeled PCIe transfer (H2D upload or D2H readback).
+    Transfer,
+}
+
+impl SpanKind {
+    fn cat(self) -> &'static str {
+        match self {
+            SpanKind::Launch => "launch",
+            SpanKind::Stream => "stream",
+            SpanKind::ChildWave => "child",
+            SpanKind::Transfer => "transfer",
+        }
+    }
+}
+
+/// One trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    pub kind: SpanKind,
+    /// Kernel / transfer name.
+    pub name: String,
+    /// Device the span executed on (config name).
+    pub device: String,
+    /// Grid blocks (0 for transfers and merged group spans).
+    pub grid_blocks: usize,
+    /// Threads per block (0 for transfers and merged group spans).
+    pub block_dim: usize,
+    /// Home SM for `ChildWave` spans.
+    pub sm: Option<usize>,
+    /// Stream index (`Stream`) or child launch sequence (`ChildWave`).
+    pub seq: Option<usize>,
+    /// Index of the parent `Launch` span within the ledger.
+    pub parent: Option<usize>,
+    /// Start on the ledger's virtual clock, seconds.
+    pub t_start_s: f64,
+    /// Modeled duration, seconds.
+    pub dur_s: f64,
+    /// Event counts attributed to this span.
+    pub counters: Counters,
+    /// Full breakdown (top-level spans only).
+    pub breakdown: Option<TimeBreakdown>,
+    /// Kernel launches merged into this span (0 for sub-spans/transfers).
+    pub launches: u32,
+}
+
+impl Span {
+    /// Top-level spans carry the authoritative counters; `Stream` and
+    /// `ChildWave` spans re-slice their parent's.
+    pub fn is_top_level(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+/// One group-stream's slice of a pooled launch, recorded by
+/// `ConcurrentGroup::add` while tracing.
+#[derive(Clone, Debug)]
+pub(crate) struct StreamRec {
+    pub(crate) name: String,
+    pub(crate) grid_blocks: usize,
+    pub(crate) block_dim: usize,
+    pub(crate) counters: Counters,
+}
+
+/// One dynamic child grid's blocks on one shard, recorded by the child
+/// wave executor while tracing.
+#[derive(Clone, Debug)]
+pub(crate) struct ChildRec {
+    pub(crate) seq: usize,
+    pub(crate) sm: usize,
+    pub(crate) grid_blocks: usize,
+    pub(crate) block_dim: usize,
+    pub(crate) counters: Counters,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<Span>,
+    /// Sequence-merge of every recorded top-level report, in record order.
+    total: RunReport,
+    /// Virtual clock: sum of recorded top-level durations so far.
+    clock_s: f64,
+}
+
+/// Append-only ledger of launch spans (see module docs). Thread-safe;
+/// recording takes one short mutex hold per launch.
+#[derive(Default)]
+pub struct TraceLedger {
+    inner: Mutex<Inner>,
+}
+
+/// Roofline share of a counter slice: the larger of its issue time and
+/// its DRAM time. Used to give sub-spans a plausible duration inside
+/// their parent; sub-span durations are schematic and do *not* take part
+/// in reconciliation.
+fn attributed_seconds(cfg: &DeviceConfig, c: &Counters) -> f64 {
+    let compute = c.warp_instructions as f64 / cfg.issue_rate();
+    let memory = c.dram_bytes() as f64 / cfg.bandwidth_bytes_s();
+    compute.max(memory)
+}
+
+impl TraceLedger {
+    pub fn new() -> TraceLedger {
+        TraceLedger::default()
+    }
+
+    /// Record one top-level launch report plus its sub-spans.
+    pub(crate) fn record_launch(
+        &self,
+        cfg: &DeviceConfig,
+        report: &RunReport,
+        grid_blocks: usize,
+        block_dim: usize,
+        streams: Vec<StreamRec>,
+        children: Vec<ChildRec>,
+    ) {
+        let mut inner = self.inner.lock();
+        let parent = inner.spans.len();
+        let t0 = inner.clock_s;
+        inner.spans.push(Span {
+            kind: SpanKind::Launch,
+            name: report.name.clone(),
+            device: cfg.name.clone(),
+            grid_blocks,
+            block_dim,
+            sm: None,
+            seq: None,
+            parent: None,
+            t_start_s: t0,
+            dur_s: report.time_s,
+            counters: report.counters,
+            breakdown: Some(report.breakdown),
+            launches: report.launches,
+        });
+        // Sub-spans start after the parent's launch overhead.
+        let t_body = t0 + report.breakdown.launch_s;
+        for (i, s) in streams.into_iter().enumerate() {
+            let dur = attributed_seconds(cfg, &s.counters);
+            inner.spans.push(Span {
+                kind: SpanKind::Stream,
+                name: s.name,
+                device: cfg.name.clone(),
+                grid_blocks: s.grid_blocks,
+                block_dim: s.block_dim,
+                sm: None,
+                seq: Some(i),
+                parent: Some(parent),
+                t_start_s: t_body,
+                dur_s: dur,
+                counters: s.counters,
+                breakdown: None,
+                launches: 1,
+            });
+        }
+        for c in children {
+            let dur = attributed_seconds(cfg, &c.counters);
+            let name = format!("{}.child{}", report.name, c.seq);
+            inner.spans.push(Span {
+                kind: SpanKind::ChildWave,
+                name,
+                device: cfg.name.clone(),
+                grid_blocks: c.grid_blocks,
+                block_dim: c.block_dim,
+                sm: Some(c.sm),
+                seq: Some(c.seq),
+                parent: Some(parent),
+                t_start_s: t_body,
+                dur_s: dur,
+                counters: c.counters,
+                breakdown: None,
+                launches: 0,
+            });
+        }
+        inner.total = std::mem::take(&mut inner.total).then(report);
+        inner.clock_s += report.time_s;
+    }
+
+    /// Record a modeled PCIe transfer (the report carries `htod_bytes`
+    /// or `dtoh_bytes` and a pure-`transfer_s` breakdown).
+    pub(crate) fn record_transfer(&self, cfg: &DeviceConfig, report: &RunReport) {
+        let mut inner = self.inner.lock();
+        let t0 = inner.clock_s;
+        inner.spans.push(Span {
+            kind: SpanKind::Transfer,
+            name: report.name.clone(),
+            device: cfg.name.clone(),
+            grid_blocks: 0,
+            block_dim: 0,
+            sm: None,
+            seq: None,
+            parent: None,
+            t_start_s: t0,
+            dur_s: report.time_s,
+            counters: report.counters,
+            breakdown: Some(report.breakdown),
+            launches: report.launches,
+        });
+        inner.total = std::mem::take(&mut inner.total).then(report);
+        inner.clock_s += report.time_s;
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.inner.lock().spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all spans, in record order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.lock().spans.clone()
+    }
+
+    /// The sequence-merge of every recorded top-level report — what the
+    /// caller would get by `.then()`-chaining the same reports itself.
+    pub fn total(&self) -> RunReport {
+        self.inner.lock().total.clone()
+    }
+
+    /// Drop all recorded spans and reset the clock/total.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.spans.clear();
+        inner.total = RunReport::default();
+        inner.clock_s = 0.0;
+    }
+
+    /// Verify the ledger's accounting invariants and return the merged
+    /// total on success:
+    ///
+    /// 1. Top-level span counters sum *exactly* (integer equality) to the
+    ///    merged total's counters; launches likewise.
+    /// 2. Top-level span durations, folded in record order, equal the
+    ///    total's `time_s` *bit-identically* (same fold the merge does).
+    /// 3. Each pooled group's stream counters sum exactly to the parent
+    ///    launch's counters.
+    pub fn reconcile(&self) -> Result<RunReport, String> {
+        let inner = self.inner.lock();
+        let mut counters = Counters::default();
+        let mut time_s = 0.0f64;
+        let mut launches = 0u32;
+        for span in inner.spans.iter().filter(|s| s.is_top_level()) {
+            counters.merge(&span.counters);
+            time_s += span.dur_s;
+            launches += span.launches;
+        }
+        if counters != inner.total.counters {
+            return Err(format!(
+                "span counters do not reconcile:\n spans  {:?}\n total  {:?}",
+                counters, inner.total.counters
+            ));
+        }
+        if launches != inner.total.launches {
+            return Err(format!(
+                "span launches {} != total launches {}",
+                launches, inner.total.launches
+            ));
+        }
+        if time_s.to_bits() != inner.total.time_s.to_bits() {
+            return Err(format!(
+                "span time fold {:e} is not bit-identical to total {:e}",
+                time_s, inner.total.time_s
+            ));
+        }
+        for (idx, span) in inner.spans.iter().enumerate() {
+            if span.kind != SpanKind::Launch {
+                continue;
+            }
+            let streams: Vec<&Span> = inner
+                .spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Stream && s.parent == Some(idx))
+                .collect();
+            if streams.is_empty() {
+                continue;
+            }
+            let sum = Counters::sum(streams.iter().map(|s| &s.counters));
+            if sum != span.counters {
+                return Err(format!(
+                    "stream counters of '{}' do not sum to the pooled launch:\n streams {:?}\n launch  {:?}",
+                    span.name, sum, span.counters
+                ));
+            }
+        }
+        Ok(inner.total.clone())
+    }
+
+    /// Export every span as chrome://tracing "trace event format" JSON
+    /// (complete-event `ph:"X"` records, timestamps in microseconds).
+    /// Open the result at `chrome://tracing` or <https://ui.perfetto.dev>.
+    ///
+    /// The writer is hand-rolled with a fixed field order and `{:?}`
+    /// float formatting, so the same run produces byte-identical output
+    /// (the golden test relies on this). Processes are devices; track 0
+    /// holds top-level launches/transfers, tracks `1+i` the group
+    /// streams, tracks `64+sm` the child waves.
+    pub fn chrome_trace_json(&self) -> String {
+        let inner = self.inner.lock();
+        let mut devices: Vec<&str> = Vec::new();
+        for span in &inner.spans {
+            if !devices.contains(&span.device.as_str()) {
+                devices.push(&span.device);
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        for (pid, dev) in devices.iter().enumerate() {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(dev)
+            );
+        }
+        for span in &inner.spans {
+            sep(&mut out, &mut first);
+            let pid = devices
+                .iter()
+                .position(|d| *d == span.device.as_str())
+                .unwrap_or(0);
+            let tid = match span.kind {
+                SpanKind::Launch | SpanKind::Transfer => 0,
+                SpanKind::Stream => 1 + span.seq.unwrap_or(0),
+                SpanKind::ChildWave => 64 + span.sm.unwrap_or(0),
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:?},\"dur\":{:?},\
+                 \"pid\":{pid},\"tid\":{tid},\"args\":{{",
+                escape(&span.name),
+                span.kind.cat(),
+                span.t_start_s * 1e6,
+                span.dur_s * 1e6,
+            );
+            let _ = write!(
+                out,
+                "\"grid_blocks\":{},\"block_dim\":{},\"launches\":{}",
+                span.grid_blocks, span.block_dim, span.launches
+            );
+            if let Some(p) = span.parent {
+                let _ = write!(out, ",\"parent\":{p}");
+            }
+            if let Some(sm) = span.sm {
+                let _ = write!(out, ",\"sm\":{sm}");
+            }
+            if let Some(seq) = span.seq {
+                let _ = write!(out, ",\"seq\":{seq}");
+            }
+            write_counters(&mut out, &span.counters);
+            if let Some(b) = &span.breakdown {
+                write_breakdown(&mut out, b);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+fn write_counters(out: &mut String, c: &Counters) {
+    let _ = write!(
+        out,
+        ",\"counters\":{{\"warp_instructions\":{},\"dram_read_bytes\":{},\
+         \"dram_write_bytes\":{},\"transactions\":{},\"tex_hits\":{},\"tex_misses\":{},\
+         \"atomic_ops\":{},\"atomic_conflicts\":{},\"child_launches\":{},\"blocks\":{},\
+         \"warps\":{},\"htod_bytes\":{},\"dtoh_bytes\":{}}}",
+        c.warp_instructions,
+        c.dram_read_bytes,
+        c.dram_write_bytes,
+        c.transactions,
+        c.tex_hits,
+        c.tex_misses,
+        c.atomic_ops,
+        c.atomic_conflicts,
+        c.child_launches,
+        c.blocks,
+        c.warps,
+        c.htod_bytes,
+        c.dtoh_bytes,
+    );
+}
+
+fn write_breakdown(out: &mut String, b: &TimeBreakdown) {
+    let _ = write!(
+        out,
+        ",\"breakdown\":{{\"launch_s\":{:?},\"compute_s\":{:?},\"memory_s\":{:?},\
+         \"latency_s\":{:?},\"dynamic_launch_s\":{:?},\"transfer_s\":{:?}}}",
+        b.launch_s, b.compute_s, b.memory_s, b.latency_s, b.dynamic_launch_s, b.transfer_s,
+    );
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Process-global capture flag read by [`crate::Device::new`].
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Arc<TraceLedger>> = OnceLock::new();
+
+/// Make every *subsequently created* [`crate::Device`] record into the
+/// shared [`global_ledger`]. Used by the bench binary's `--trace` flag,
+/// whose experiments construct devices internally.
+pub fn enable_global_capture() {
+    GLOBAL_ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stop attaching the global ledger to new devices (already-attached
+/// devices keep recording).
+pub fn disable_global_capture() {
+    GLOBAL_ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether [`enable_global_capture`] is in effect.
+pub fn global_capture_enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::SeqCst)
+}
+
+/// The process-wide shared ledger (created on first use).
+pub fn global_ledger() -> Arc<TraceLedger> {
+    GLOBAL.get_or_init(|| Arc::new(TraceLedger::new())).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::presets;
+    use crate::engine::Device;
+    use crate::warp::FULL_MASK;
+
+    #[test]
+    fn untraced_device_records_nothing() {
+        let dev = Device::new(presets::gtx_titan());
+        assert!(dev.ledger().is_none());
+        dev.launch("k", 4, 64, &|_b| {});
+    }
+
+    #[test]
+    fn launch_and_transfer_spans_reconcile() {
+        let mut dev = Device::new(presets::gtx_titan());
+        let ledger = dev.enable_tracing();
+        let buf = dev.alloc(vec![1.0f64; 4096]);
+        let r1 = dev.launch("read", 8, 128, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                let base = warp.first_thread() % 2048;
+                warp.read_coalesced(&buf, base, FULL_MASK);
+            });
+        });
+        let r2 = dev.record_dtoh("readback", 4096 * 8);
+        assert_eq!(r2.counters.dtoh_bytes, 4096 * 8);
+        assert!(r2.breakdown.transfer_s > 0.0);
+        let total = ledger.reconcile().expect("ledger reconciles");
+        let manual = RunReport::sequence([&r1, &r2]);
+        assert_eq!(total.counters, manual.counters);
+        assert_eq!(total.time_s.to_bits(), manual.time_s.to_bits());
+        assert_eq!(ledger.len(), 2);
+    }
+
+    #[test]
+    fn group_streams_sum_to_pooled_launch() {
+        let mut dev = Device::new(presets::gtx_titan());
+        let ledger = dev.enable_tracing();
+        let buf = dev.alloc(vec![0u32; 1 << 14]);
+        let mut group = dev.launch_group("grp");
+        for i in 0..3 {
+            group.add(&format!("k{i}"), 4 + i, 64, &|blk| {
+                blk.for_each_warp(&mut |warp| {
+                    let base = warp.first_thread() % (1 << 13);
+                    warp.read_coalesced(&buf, base, FULL_MASK);
+                });
+            });
+        }
+        let report = group.finish();
+        ledger.reconcile().expect("ledger reconciles");
+        let spans = ledger.spans();
+        let launch = spans.iter().find(|s| s.kind == SpanKind::Launch).unwrap();
+        assert_eq!(launch.counters, report.counters);
+        let streams: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Stream)
+            .collect();
+        assert_eq!(streams.len(), 3);
+        let sum = Counters::sum(streams.iter().map(|s| &s.counters));
+        assert_eq!(sum, report.counters);
+    }
+
+    #[test]
+    fn chrome_json_is_stable_and_escapes() {
+        let mut dev = Device::new(presets::gtx_titan());
+        let ledger = dev.enable_tracing();
+        dev.launch("weird\"name\\", 2, 32, &|_b| {});
+        let a = ledger.chrome_trace_json();
+        let b = ledger.chrome_trace_json();
+        assert_eq!(a, b);
+        assert!(a.contains("weird\\\"name\\\\"));
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut dev = Device::new(presets::gtx_titan());
+        let ledger = dev.enable_tracing();
+        dev.launch("k", 2, 32, &|_b| {});
+        assert!(!ledger.is_empty());
+        ledger.clear();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.total(), RunReport::default());
+        ledger.reconcile().expect("empty ledger reconciles");
+    }
+}

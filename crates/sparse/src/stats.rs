@@ -35,20 +35,28 @@ impl RowLengthStats {
         lengths: impl Iterator<Item = usize>,
     ) -> RowLengthStats {
         let mut nnz = 0usize;
-        let mut sum_sq = 0f64;
         let mut max_row = 0usize;
         let mut min_row = usize::MAX;
         let mut empty_rows = 0usize;
         let mut count = 0usize;
+        // Welford's online algorithm: the textbook E[x²] − μ² form
+        // cancels catastrophically once Σx² grows past ~2^53 (lengths
+        // around 1e8 already get there in a handful of rows), whereas
+        // Welford accumulates centered deviations and stays accurate.
+        let mut run_mean = 0f64;
+        let mut m2 = 0f64;
         for len in lengths {
             nnz += len;
-            sum_sq += (len as f64) * (len as f64);
             max_row = max_row.max(len);
             min_row = min_row.min(len);
             if len == 0 {
                 empty_rows += 1;
             }
             count += 1;
+            let x = len as f64;
+            let d = x - run_mean;
+            run_mean += d / count as f64;
+            m2 += d * (x - run_mean);
         }
         assert_eq!(count, rows, "row length iterator does not match row count");
         let mean = if rows > 0 {
@@ -57,7 +65,7 @@ impl RowLengthStats {
             0.0
         };
         let var = if rows > 0 {
-            (sum_sq / rows as f64 - mean * mean).max(0.0)
+            (m2 / rows as f64).max(0.0)
         } else {
             0.0
         };
@@ -189,6 +197,26 @@ mod tests {
         assert_eq!(s.max_row, 3);
         assert_eq!(s.min_row, 3);
         assert!(!s.looks_power_law());
+    }
+
+    #[test]
+    fn variance_survives_huge_row_lengths() {
+        // Regression: 1000 rows alternating 1e8 and 1e8+1 non-zeros.
+        // E[x²] − μ² computes Σx² ≈ 1e19 (units of ~2048 ulps), so the
+        // true variance of 0.25 vanished into cancellation noise; Welford
+        // recovers it to full precision.
+        let lengths = (0..1000usize).map(|i| 100_000_000 + (i % 2));
+        let s = RowLengthStats::from_lengths(1000, 1, lengths);
+        assert!(
+            (s.std_dev - 0.5).abs() < 1e-9,
+            "std_dev = {} (expected 0.5)",
+            s.std_dev
+        );
+        assert_eq!(s.mean, 100_000_000.5);
+
+        // constant huge rows: σ must be exactly 0
+        let s = RowLengthStats::from_lengths(100, 1, std::iter::repeat_n(100_000_000usize, 100));
+        assert_eq!(s.std_dev, 0.0);
     }
 
     #[test]

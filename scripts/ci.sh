@@ -20,4 +20,9 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> trace export smoke (repro fig5 --trace)"
+./target/release/repro fig5 --trace --scale 512 --matrices INT > /dev/null
+test -s results/trace_fig5.json
+./target/release/repro trace-check results/trace_fig5.json
+
 echo "CI green."

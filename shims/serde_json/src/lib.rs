@@ -1,6 +1,7 @@
 //! Offline stand-in for `serde_json`: renders the serde shim's
-//! [`serde::Value`] tree as JSON text. Only serialization is provided —
-//! nothing in this workspace parses JSON back.
+//! [`serde::Value`] tree as JSON text. Serialization plus a syntax
+//! checker ([`validate`]) are provided — nothing in this workspace needs
+//! JSON deserialized back into values.
 
 use serde::{Serialize, Value};
 use std::fmt::Write as _;
@@ -101,6 +102,178 @@ fn render(value: &Value, indent: Option<usize>, level: usize, out: &mut String) 
     }
 }
 
+/// Check that `s` is one syntactically valid JSON value (recursive
+/// descent over the full grammar; no value tree is built). Used to
+/// verify emitted artifacts like the chrome-trace export.
+pub fn validate(s: &str) -> Result<(), Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing data at byte {pos}")));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected '{}' at byte {}", ch as char, *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                parse_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(Error(format!(
+            "unexpected '{}' at byte {}",
+            *c as char, *pos
+        ))),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), Error> {
+    expect(b, pos, b'"')?;
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(Error(format!("bad \\u escape at byte {}", *pos)));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(Error(format!("bad escape at byte {}", *pos))),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(Error(format!("raw control char at byte {}", *pos)));
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err(Error("unterminated string".into()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), Error> {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return Err(Error(format!("digit expected at byte {}", *pos)));
+    }
+    // no leading zeros: "0" alone or a nonzero first digit
+    if b[int_start] == b'0' && *pos - int_start > 1 {
+        return Err(Error(format!("leading zero at byte {int_start}")));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(Error(format!("fraction digit expected at byte {}", *pos)));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(Error(format!("exponent digit expected at byte {}", *pos)));
+        }
+    }
+    Ok(())
+}
+
 fn escape_into(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -154,5 +327,52 @@ mod tests {
         assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(super::to_string(&1.0f64).unwrap(), "1.0");
         assert_eq!(super::to_string(&Option::<u8>::None).unwrap(), "null");
+    }
+
+    #[test]
+    fn validate_accepts_valid_json() {
+        for ok in [
+            "null",
+            "true",
+            " [1, 2.5, -3e-6, \"x\\u0041\", {\"a\": []}] ",
+            "{\"traceEvents\":[{\"ts\":0.0,\"dur\":1e-6}],\"unit\":\"ms\"}",
+            "0",
+            "-0.5",
+            "\"\"",
+            "{}",
+        ] {
+            super::validate(ok).unwrap_or_else(|e| panic!("{ok:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_invalid_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "[1] trailing",
+            "{'single': 1}",
+        ] {
+            assert!(super::validate(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn validate_roundtrips_own_output() {
+        let row = Row {
+            name: "a\"b\\c\nd".into(),
+            nnz: 1,
+            gflops: 1e-9,
+            tags: vec![],
+        };
+        super::validate(&super::to_string(&vec![row]).unwrap()).unwrap();
     }
 }
