@@ -1,6 +1,6 @@
 //! HITS — hubs and authorities via the combined coupling matrix (Eq. 7).
 //!
-//! "As in [28], we combine the computations into a single SpMV:
+//! "As in \[28\], we combine the computations into a single SpMV:
 //! `[a; h]^(k+1) = [[0, Aᵀ], [A, 0]] × [a; h]^(k)`". The authority and
 //! hub halves are L2-normalized *independently* every iteration — the
 //! coupling operator is bipartite (eigenvalues come in ±σ pairs), so

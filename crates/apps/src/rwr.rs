@@ -21,7 +21,7 @@ pub fn rwr_operator<T: Scalar>(adjacency: &CsrMatrix<T>) -> CsrMatrix<T> {
 }
 
 /// `out[j] = c * x[j] + (1-c) * [j == seed]` — the RWR update kernel.
-fn rwr_update<T: Scalar>(
+pub fn rwr_update<T: Scalar>(
     dev: &Device,
     x: &DeviceBuffer<T>,
     c: T,
@@ -51,6 +51,56 @@ fn rwr_update<T: Scalar>(
             }
             warp.charge_alu(2);
             warp.write_coalesced(out, base, &vals, mask);
+        });
+    })
+}
+
+/// Batched RWR update: one launch applies `outs[v] = c[v] * xs[v] +
+/// restart[v] * e_seed[v]` for every query of the batch. `seeds[v]` is
+/// the seed's index in these vectors, or `None` when the vectors are a
+/// device-local row slice that does not contain the seed (multi-device
+/// serving). Per vector the arithmetic is exactly [`rwr_update`]'s, so a
+/// query's trajectory is independent of the batch it rides in.
+pub fn rwr_update_multi<T: Scalar>(
+    dev: &Device,
+    xs: &[&DeviceBuffer<T>],
+    c: &[T],
+    restart: &[T],
+    seeds: &[Option<usize>],
+    outs: &[&DeviceBuffer<T>],
+) -> RunReport {
+    let k = xs.len();
+    assert!(
+        k == c.len() && k == restart.len() && k == seeds.len() && k == outs.len(),
+        "batch slice length mismatch"
+    );
+    if k == 0 {
+        return RunReport::default();
+    }
+    let n = xs[0].len();
+    let block = 256;
+    let grid = n.div_ceil(block).max(1);
+    dev.launch("rwr_update", grid, block, &|blk| {
+        blk.for_each_warp(&mut |warp| {
+            let base = warp.first_thread();
+            if base >= n {
+                return;
+            }
+            let mask = lane_mask(n - base);
+            for v in 0..k {
+                let xv = warp.read_coalesced(xs[v], base, mask);
+                let mut vals = [T::ZERO; WARP];
+                for lane in 0..WARP {
+                    if mask >> lane & 1 == 1 {
+                        vals[lane] = c[v] * xv[lane];
+                        if Some(base + lane) == seeds[v] {
+                            vals[lane] += restart[v];
+                        }
+                    }
+                }
+                warp.charge_alu(2);
+                warp.write_coalesced(outs[v], base, &vals, mask);
+            }
         });
     })
 }
@@ -181,6 +231,38 @@ mod tests {
         let (r, _) = rwr_cpu(&w, 0, 0.85, &IterParams::default());
         let total: f64 = r.iter().sum();
         assert!(total <= 1.0 + 1e-9 && total > 0.1, "total {total}");
+    }
+
+    #[test]
+    fn batched_update_matches_single_bitwise() {
+        let dev = Device::new(presets::gtx_titan());
+        let n = 300usize;
+        let k = 3usize;
+        let xs_host: Vec<Vec<f64>> = (0..k)
+            .map(|v| (0..n).map(|i| 0.5 + ((i + v) % 11) as f64 * 0.3).collect())
+            .collect();
+        let xs: Vec<_> = xs_host.iter().map(|x| dev.alloc(x.clone())).collect();
+        let c = [0.85, 0.5, 0.99].map(f64::from_f64);
+        let restart = [0.15, 0.5, 0.01].map(f64::from_f64);
+        let seeds = [Some(0usize), Some(299), None];
+        let singles: Vec<_> = (0..k)
+            .map(|v| {
+                let out = dev.alloc_zeroed::<f64>(n);
+                // None = seed outside this slice; n is out of lane range
+                rwr_update(&dev, &xs[v], c[v], restart[v], seeds[v].unwrap_or(n), &out);
+                out
+            })
+            .collect();
+        let outs: Vec<_> = (0..k).map(|_| dev.alloc_zeroed::<f64>(n)).collect();
+        let xr: Vec<_> = xs.iter().collect();
+        let or: Vec<_> = outs.iter().collect();
+        let r = rwr_update_multi(&dev, &xr, &c, &restart, &seeds, &or);
+        assert_eq!(r.launches, 1);
+        for v in 0..k {
+            for (a, b) in singles[v].as_slice().iter().zip(outs[v].as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "vector {v}");
+            }
+        }
     }
 
     #[test]

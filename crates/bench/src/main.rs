@@ -6,6 +6,7 @@
 //! experiments:
 //!   table1 table2 table3 table4 table5
 //!   fig3 fig4 fig5 fig6 fig7 fig8
+//!   serve      batched RWR/PPR serving throughput vs batch width
 //!   ablations
 //!   formats    Table III + Figure 4 + Table IV from one computation
 //!   all        every experiment at its default scope
@@ -94,6 +95,7 @@ fn run_experiment(name: &str, opts: &Options) {
             "fig6",
             "fig7",
             "fig8",
+            "serve",
             "ablations",
         ] {
             eprintln!(">>> {exp}");
@@ -139,6 +141,7 @@ fn run_one(name: &str, opts: &Options) {
         "fig6" => emit(opts, fig6::run(opts), fig6::render),
         "fig7" => emit(opts, fig7::run(opts), fig7::render),
         "fig8" => emit(opts, fig8::run(opts), fig8::render),
+        "serve" => emit(opts, serve::run(opts), serve::render),
         "ablations" => emit(opts, ablations::run(opts), ablations::render),
         // Table III, Figure 4 and Table IV share one (expensive) format
         // comparison; this runs it once and prints all three.
@@ -179,7 +182,7 @@ fn print_usage() {
         "repro — regenerate the paper's tables and figures on the simulated testbed\n\n\
          usage: repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json] [--trace]\n\
          \x20      repro trace-check <file>\n\n\
-         experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 ablations formats all\n\n\
+         experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 serve ablations formats all\n\n\
          defaults: --scale 64 --seed 1 (whole Table I suite)\n\
          --trace records every simulated launch, reconciles the ledger, and writes\n\
          results/trace_<experiment>.json (chrome://tracing) + a phase rollup on stderr\n\

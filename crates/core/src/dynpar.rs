@@ -64,6 +64,67 @@ pub(crate) fn dp_parent_kernel<T: Scalar>(
     });
 }
 
+/// Multi-vector variant of [`dp_parent_kernel`]: one child grid per G1
+/// row serves the whole batch (the child's shape is that of the
+/// single-vector child, so the batch amortizes the device-side launch
+/// overhead k-fold). `ys` rows for G1 must be pre-zeroed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dp_parent_kernel_multi<T: Scalar>(
+    group: &mut ConcurrentGroup,
+    mat: &AcsrMatrix<T>,
+    g1_rows: &DeviceBuffer<u32>,
+    thread_load: usize,
+    texture_x: bool,
+    xs: &[&DeviceBuffer<T>],
+    ys: &[&DeviceBuffer<T>],
+) {
+    let n = g1_rows.len();
+    if n == 0 {
+        return;
+    }
+    let thread_load = thread_load.max(1);
+    let block = 256;
+    let grid = n.div_ceil(block).max(1);
+    group.add("acsr_dp_parent", grid, block, &|blk| {
+        blk.for_each_warp(&mut |warp| {
+            let base = warp.first_thread();
+            if base >= n {
+                return;
+            }
+            let live = (n - base).min(WARP);
+            let mask = gpu_sim::lane_mask(live);
+            let rows = warp.read_coalesced(g1_rows, base, mask);
+            let ridx: [usize; WARP] = std::array::from_fn(|i| rows[i] as usize);
+            let starts = warp.gather(&mat.row_start, &ridx, mask);
+            let lens = warp.gather(&mat.row_len, &ridx, mask);
+            for lane in 0..live {
+                let row = rows[lane] as usize;
+                let start = starts[lane] as usize;
+                let len = lens[lane] as usize;
+                if len == 0 {
+                    continue;
+                }
+                let b_size = len.div_ceil(thread_load);
+                let child_blocks = b_size.div_ceil(256).max(1);
+                let total_threads = child_blocks * 256;
+                warp.launch_child(child_blocks, 256, move |child| {
+                    row_child_body_multi(
+                        child,
+                        mat,
+                        row,
+                        start,
+                        len,
+                        total_threads,
+                        texture_x,
+                        xs,
+                        ys,
+                    );
+                });
+            }
+        });
+    });
+}
+
 /// Algorithm 4: the row-specific worker grid body. Threads stride the row
 /// (`element = iter * total_threads + tid`), so consecutive lanes always
 /// read consecutive addresses.
@@ -118,6 +179,67 @@ fn row_child_body<T: Scalar>(
         // ...then the inter-warp reduction via one atomic per warp.
         let idx = [row; WARP];
         warp.atomic_rmw(y, &idx, &reduced, 1, |a, b| a + b);
+    });
+}
+
+/// Multi-vector Algorithm 4 body: the matrix strides are gathered once
+/// per iteration and reused for all k vectors; per vector the reduction
+/// and the per-warp atomic follow the single-vector order exactly.
+#[allow(clippy::too_many_arguments)]
+fn row_child_body_multi<T: Scalar>(
+    child: &mut gpu_sim::BlockCtx,
+    mat: &AcsrMatrix<T>,
+    row: usize,
+    start: usize,
+    len: usize,
+    total_threads: usize,
+    texture_x: bool,
+    xs: &[&DeviceBuffer<T>],
+    ys: &[&DeviceBuffer<T>],
+) {
+    let k = xs.len();
+    let block_off = child.thread_offset();
+    child.for_each_warp(&mut |warp| {
+        let warp_off = block_off + warp.warp_in_block() * WARP;
+        let mut accs = vec![[T::ZERO; WARP]; k];
+        let mut iter = 0usize;
+        loop {
+            let base = iter * total_threads + warp_off;
+            if base >= len {
+                break;
+            }
+            let mut m = 0u32;
+            let mut idx = [0usize; WARP];
+            for (lane, slot) in idx.iter_mut().enumerate() {
+                if base + lane < len {
+                    m |= 1 << lane;
+                    *slot = start + base + lane;
+                }
+            }
+            let cols = warp.gather(&mat.col_indices, &idx, m);
+            let vals = warp.gather(&mat.values, &idx, m);
+            let xi: [usize; WARP] = std::array::from_fn(|i| cols[i] as usize);
+            for (v, x) in xs.iter().enumerate() {
+                let xv = if texture_x {
+                    warp.gather_tex(x, &xi, m)
+                } else {
+                    warp.gather(x, &xi, m)
+                };
+                let acc = &mut accs[v];
+                for lane in 0..WARP {
+                    if m >> lane & 1 == 1 {
+                        acc[lane] = vals[lane].mul_add(xv[lane], acc[lane]);
+                    }
+                }
+                warp.charge_alu(1);
+            }
+            iter += 1;
+        }
+        let idx = [row; WARP];
+        for (v, y) in ys.iter().enumerate() {
+            let reduced = warp.segmented_reduce_sum(&accs[v], WARP);
+            warp.atomic_rmw(y, &idx, &reduced, 1, |a, b| a + b);
+        }
     });
 }
 

@@ -16,12 +16,15 @@
 
 use crate::binning::{BinStats, Binning};
 use crate::config::{AcsrConfig, AcsrMode};
-use crate::dynpar::dp_parent_kernel;
-use crate::kernels::{bin_kernel, static_long_tail_kernel, zero_rows_kernel};
+use crate::dynpar::{dp_parent_kernel, dp_parent_kernel_multi};
+use crate::kernels::{
+    bin_kernel, bin_kernel_multi, static_long_tail_kernel, static_long_tail_kernel_multi,
+    zero_rows_kernel, zero_rows_kernel_multi,
+};
 use crate::matrix::AcsrMatrix;
 use gpu_sim::{Device, DeviceBuffer, RunReport};
 use sparse_formats::{CsrMatrix, PreprocessCost, Scalar};
-use spmv_kernels::GpuSpmv;
+use spmv_kernels::{GpuSpmv, GpuSpmvMulti};
 
 /// ACSR SpMV engine.
 pub struct AcsrEngine<T> {
@@ -225,6 +228,92 @@ impl<T: Scalar> GpuSpmv<T> for AcsrEngine<T> {
                     self.cfg.texture_x,
                     x,
                     y,
+                ),
+                AcsrMode::BinningOnly => unreachable!("binning-only has empty G1"),
+            };
+        }
+        group.finish()
+    }
+}
+
+impl<T: Scalar> GpuSpmvMulti<T> for AcsrEngine<T> {
+    /// Fused multi-vector SpMV: the same launch sequence as [`Self::spmv`]
+    /// (zero-scatter, one kernel per G2 bin, overflow, long tail) but each
+    /// kernel serves all k vectors — row lists, row bounds, columns and
+    /// values are read once per wave instead of once per vector, and the
+    /// group's launch floor is paid once. Per vector, every float
+    /// operation happens in the single-vector order, so `ys[v]` is
+    /// bit-identical to `spmv(dev, xs[v], ys[v])` (for the long-tail
+    /// atomics this holds at any `ACSR_SIM_THREADS` width in
+    /// `StaticLongTail` mode, where a row's atomics stay within one
+    /// block/shard; `DynamicParallelism` spreads a row's child blocks
+    /// across shards, so its accumulation order — for batched and
+    /// unbatched runs alike — is only pinned at width 1).
+    fn spmv_multi(
+        &self,
+        dev: &Device,
+        xs: &[&DeviceBuffer<T>],
+        ys: &[&DeviceBuffer<T>],
+    ) -> RunReport {
+        assert_eq!(xs.len(), ys.len(), "batch size mismatch");
+        for x in xs {
+            assert_eq!(x.len(), self.mat.cols(), "x length mismatch");
+        }
+        for y in ys {
+            assert_eq!(y.len(), self.mat.rows(), "y length mismatch");
+        }
+        if xs.is_empty() {
+            return RunReport::default();
+        }
+        let mut group = dev.launch_group("acsr_spmm");
+        if let Some(zl) = &self.zero_list {
+            zero_rows_kernel_multi(&mut group, zl, ys, "acsr_zero");
+        }
+        for &bin in self.binning.g2_bins() {
+            let list = self.bin_lists[bin]
+                .as_ref()
+                .expect("g2 bin must have an uploaded row list");
+            bin_kernel_multi(
+                &mut group,
+                &self.mat,
+                list,
+                Binning::group_for_bin(bin),
+                self.cfg.texture_x,
+                xs,
+                ys,
+                &format!("acsr_bin{bin}"),
+            );
+        }
+        if let Some(ol) = &self.overflow_list {
+            bin_kernel_multi(
+                &mut group,
+                &self.mat,
+                ol,
+                32,
+                self.cfg.texture_x,
+                xs,
+                ys,
+                "acsr_overflow",
+            );
+        }
+        if !self.g1_list.is_empty() {
+            match self.cfg.mode {
+                AcsrMode::DynamicParallelism => dp_parent_kernel_multi(
+                    &mut group,
+                    &self.mat,
+                    &self.g1_list,
+                    self.cfg.thread_load,
+                    self.cfg.texture_x,
+                    xs,
+                    ys,
+                ),
+                AcsrMode::StaticLongTail => static_long_tail_kernel_multi(
+                    &mut group,
+                    &self.mat,
+                    &self.g1_list,
+                    self.cfg.texture_x,
+                    xs,
+                    ys,
                 ),
                 AcsrMode::BinningOnly => unreachable!("binning-only has empty G1"),
             };

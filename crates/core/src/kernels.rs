@@ -123,6 +123,129 @@ pub(crate) fn warp_rows_body<T: Scalar>(
     warp.scatter(y, &w_idx, &w_vals, w_mask);
 }
 
+/// Multi-vector variant of [`zero_rows_kernel`]: one launch scatters
+/// zeros into every output vector of the batch. The listed rows are read
+/// once; each vector's scatter is identical to the single-vector kernel's.
+pub(crate) fn zero_rows_kernel_multi<T: Scalar>(
+    group: &mut ConcurrentGroup,
+    rows_list: &DeviceBuffer<u32>,
+    ys: &[&DeviceBuffer<T>],
+    name: &str,
+) {
+    let n = rows_list.len();
+    let block = 256;
+    let grid = n.div_ceil(block).max(1);
+    group.add(name, grid, block, &|blk| {
+        blk.for_each_warp(&mut |warp| {
+            let base = warp.first_thread();
+            if base >= n {
+                return;
+            }
+            let live = (n - base).min(WARP);
+            let mask = gpu_sim::lane_mask(live);
+            let rows = warp.read_coalesced(rows_list, base, mask);
+            let idx: [usize; WARP] = std::array::from_fn(|i| rows[i] as usize);
+            let zeros = [T::ZERO; WARP];
+            for y in ys {
+                warp.scatter(y, &idx, &zeros, mask);
+            }
+        });
+    });
+}
+
+/// Multi-vector variant of [`warp_rows_body`]: the row list, row bounds
+/// and the matrix's columns/values are gathered **once** per iteration
+/// and reused for all k vectors of the batch — the amortization batching
+/// buys. Each vector `v` sees exactly the float-op sequence the
+/// single-vector body performs (same `mul_add` order, same segmented
+/// reduction, same scatter), so `ys[v]` is bit-identical to a standalone
+/// SpMV with `xs[v]`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn warp_rows_body_multi<T: Scalar>(
+    warp: &mut WarpCtx,
+    mat: &AcsrMatrix<T>,
+    rows_list: &DeviceBuffer<u32>,
+    list_base: usize,
+    group: usize,
+    texture_x: bool,
+    xs: &[&DeviceBuffer<T>],
+    ys: &[&DeviceBuffer<T>],
+) {
+    let n = rows_list.len();
+    if list_base >= n {
+        return;
+    }
+    let k = xs.len();
+    let groups_per_warp = WARP / group;
+    let live_groups = (n - list_base).min(groups_per_warp);
+    let mut mask = 0u32;
+    for lane in 0..WARP {
+        if lane / group < live_groups {
+            mask |= 1 << lane;
+        }
+    }
+    let lidx: [usize; WARP] =
+        std::array::from_fn(|l| (list_base + (l / group).min(live_groups - 1)).min(n - 1));
+    let rows = warp.gather(rows_list, &lidx, mask);
+    let ridx: [usize; WARP] = std::array::from_fn(|l| rows[l] as usize);
+    let starts = warp.gather(&mat.row_start, &ridx, mask);
+    let lens = warp.gather(&mat.row_len, &ridx, mask);
+
+    let mut iters = 0usize;
+    for g in 0..live_groups {
+        iters = iters.max((lens[g * group] as usize).div_ceil(group));
+    }
+    let mut accs = vec![[T::ZERO; WARP]; k];
+    for it in 0..iters {
+        let mut it_mask = 0u32;
+        let mut idx = [0usize; WARP];
+        for lane in 0..WARP {
+            if mask >> lane & 1 == 0 {
+                continue;
+            }
+            let o = it * group + lane % group;
+            if o < lens[lane] as usize {
+                it_mask |= 1 << lane;
+                idx[lane] = starts[lane] as usize + o;
+            }
+        }
+        if it_mask == 0 {
+            continue;
+        }
+        let cols = warp.gather(&mat.col_indices, &idx, it_mask);
+        let vals = warp.gather(&mat.values, &idx, it_mask);
+        let xi: [usize; WARP] = std::array::from_fn(|i| cols[i] as usize);
+        for (v, x) in xs.iter().enumerate() {
+            let xv = if texture_x {
+                warp.gather_tex(x, &xi, it_mask)
+            } else {
+                warp.gather(x, &xi, it_mask)
+            };
+            let acc = &mut accs[v];
+            for lane in 0..WARP {
+                if it_mask >> lane & 1 == 1 {
+                    acc[lane] = vals[lane].mul_add(xv[lane], acc[lane]);
+                }
+            }
+            warp.charge_alu(1);
+        }
+    }
+
+    for (v, y) in ys.iter().enumerate() {
+        let reduced = warp.segmented_reduce_sum(&accs[v], group);
+        let mut w_mask = 0u32;
+        let mut w_idx = [0usize; WARP];
+        let mut w_vals = [T::ZERO; WARP];
+        for g in 0..live_groups {
+            let lane0 = g * group;
+            w_mask |= 1 << lane0;
+            w_idx[lane0] = rows[lane0] as usize;
+            w_vals[lane0] = reduced[lane0];
+        }
+        warp.scatter(y, &w_idx, &w_vals, w_mask);
+    }
+}
+
 /// Launch the bin-specific kernel for one bin (Algorithm 2).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn bin_kernel<T: Scalar>(
@@ -145,6 +268,33 @@ pub(crate) fn bin_kernel<T: Scalar>(
         blk.for_each_warp(&mut |warp| {
             let list_base = warp.global_warp_id() * groups_per_warp;
             warp_rows_body(warp, mat, rows_list, list_base, group, texture_x, x, y);
+        });
+    });
+}
+
+/// Multi-vector variant of [`bin_kernel`]: same grid shape (the batch
+/// dimension rides inside each warp's body), k outputs per launch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bin_kernel_multi<T: Scalar>(
+    launch_group: &mut ConcurrentGroup,
+    mat: &AcsrMatrix<T>,
+    rows_list: &DeviceBuffer<u32>,
+    group: usize,
+    texture_x: bool,
+    xs: &[&DeviceBuffer<T>],
+    ys: &[&DeviceBuffer<T>],
+    name: &str,
+) {
+    assert!(group.is_power_of_two() && group <= WARP);
+    let n = rows_list.len();
+    let groups_per_warp = WARP / group;
+    let warps = n.div_ceil(groups_per_warp).max(1);
+    let block = 256;
+    let grid = (warps * WARP).div_ceil(block).max(1);
+    launch_group.add(name, grid, block, &|blk| {
+        blk.for_each_warp(&mut |warp| {
+            let list_base = warp.global_warp_id() * groups_per_warp;
+            warp_rows_body_multi(warp, mat, rows_list, list_base, group, texture_x, xs, ys);
         });
     });
 }
@@ -212,6 +362,78 @@ pub(crate) fn static_long_tail_kernel<T: Scalar>(
             // reduction)
             let idx = [row; WARP];
             warp.atomic_rmw(y, &idx, &reduced, 1, |a, b| a + b);
+        });
+    });
+}
+
+/// Multi-vector variant of [`static_long_tail_kernel`]. Columns/values
+/// of each stride are gathered once and reused for all k vectors; for a
+/// fixed vector `v`, every warp contributes its partial to `ys[v]` in
+/// the same warp order as the single-vector kernel, and all of a row's
+/// atomics stay within its one block (hence one simulator shard), so the
+/// accumulated value is bit-stable at any `ACSR_SIM_THREADS` width.
+pub(crate) fn static_long_tail_kernel_multi<T: Scalar>(
+    group: &mut ConcurrentGroup,
+    mat: &AcsrMatrix<T>,
+    rows_list: &DeviceBuffer<u32>,
+    texture_x: bool,
+    xs: &[&DeviceBuffer<T>],
+    ys: &[&DeviceBuffer<T>],
+) {
+    let n = rows_list.len();
+    if n == 0 {
+        return;
+    }
+    let k = xs.len();
+    let block = 256;
+    let warps_per_block = block / WARP;
+    group.add("acsr_static_tail", n, block, &|blk| {
+        let row_slot = blk.block_idx();
+        blk.for_each_warp(&mut |warp| {
+            let lidx = [row_slot; WARP];
+            let rows = warp.gather(rows_list, &lidx, gpu_sim::FULL_MASK);
+            let row = rows[0] as usize;
+            let starts = warp.gather(&mat.row_start, &[row; WARP], 1);
+            let lens = warp.gather(&mat.row_len, &[row; WARP], 1);
+            let start = starts[0] as usize;
+            let len = lens[0] as usize;
+            let w = warp.warp_in_block();
+            let stride = warps_per_block * WARP;
+            let mut accs = vec![[T::ZERO; WARP]; k];
+            let mut off = w * WARP;
+            while off < len {
+                let mut m = 0u32;
+                let mut idx = [0usize; WARP];
+                for (lane, slot) in idx.iter_mut().enumerate() {
+                    if off + lane < len {
+                        m |= 1 << lane;
+                        *slot = start + off + lane;
+                    }
+                }
+                let cols = warp.gather(&mat.col_indices, &idx, m);
+                let vals = warp.gather(&mat.values, &idx, m);
+                let xi: [usize; WARP] = std::array::from_fn(|i| cols[i] as usize);
+                for (v, x) in xs.iter().enumerate() {
+                    let xv = if texture_x {
+                        warp.gather_tex(x, &xi, m)
+                    } else {
+                        warp.gather(x, &xi, m)
+                    };
+                    let acc = &mut accs[v];
+                    for lane in 0..WARP {
+                        if m >> lane & 1 == 1 {
+                            acc[lane] = vals[lane].mul_add(xv[lane], acc[lane]);
+                        }
+                    }
+                    warp.charge_alu(1);
+                }
+                off += stride;
+            }
+            let idx = [row; WARP];
+            for (v, y) in ys.iter().enumerate() {
+                let reduced = warp.segmented_reduce_sum(&accs[v], WARP);
+                warp.atomic_rmw(y, &idx, &reduced, 1, |a, b| a + b);
+            }
         });
     });
 }

@@ -1,6 +1,7 @@
 //! Per-phase time/traffic attribution for ACSR runs (Table V's view).
 //!
-//! [`crate::engine::AcsrEngine::spmv`] launches its kernels under stable
+//! [`AcsrEngine::spmv`](crate::engine::AcsrEngine) launches its kernels
+//! under stable
 //! names — `acsr_zero`, `acsr_bin{i}`, `acsr_overflow`, `acsr_dp_parent`
 //! / `acsr_static_tail`, `acsr_update` — so a [`gpu_sim::trace`] span
 //! stream can be folded into a [`PhaseRollup`]: one bucket per pipeline

@@ -162,7 +162,7 @@ impl ShardState {
 }
 
 /// Mutable state of one in-flight launch (shared with child grids):
-/// one [`ShardState`] per SM, in SM order.
+/// one `ShardState` per SM, in SM order.
 pub struct RunState<'d> {
     pub(crate) cfg: &'d DeviceConfig,
     pub(crate) shards: Vec<ShardState>,
@@ -405,6 +405,13 @@ impl Device {
         let ledger = Arc::new(TraceLedger::new());
         self.ledger = Some(ledger.clone());
         ledger
+    }
+
+    /// Attach an existing trace ledger (possibly shared with other
+    /// devices — multi-GPU executors record all devices into one ledger,
+    /// distinguished by each device's configured name).
+    pub fn attach_ledger(&mut self, ledger: Arc<TraceLedger>) {
+        self.ledger = Some(ledger);
     }
 
     /// The attached trace ledger, if any.

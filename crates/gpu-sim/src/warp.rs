@@ -11,7 +11,7 @@
 //! the same issue slot as a full warp — that waste is precisely the
 //! divergence ACSR's binning removes.
 //!
-//! All model mutations go to the warp's [`ShardState`] — the per-SM slice
+//! All model mutations go to the warp's `ShardState` — the per-SM slice
 //! of the launch this warp's block belongs to — so warps of blocks on
 //! different SMs can execute on different host threads without sharing
 //! any mutable state (see the engine module's sharding docs). Buffer

@@ -1,4 +1,4 @@
-//! BCCOO SpMV [27]: lanes walk dense tiles, accumulating per tile row and
+//! BCCOO SpMV \[27\]: lanes walk dense tiles, accumulating per tile row and
 //! publishing at row-stripe boundaries (the bit-flag segmented scan of
 //! yaSpMV, simplified to per-lane stripe accumulation + atomics at
 //! boundaries).

@@ -1,4 +1,4 @@
-//! BRC SpMV: one warp per 32-chunk block of length-sorted row chunks [1].
+//! BRC SpMV: one warp per 32-chunk block of length-sorted row chunks \[1\].
 //!
 //! Lane `i` owns chunk `i` of its block; each iteration reads one slot of
 //! every chunk — consecutive addresses in the block's column-major

@@ -10,9 +10,9 @@
 //! | COO segmented reduction | [`coo_kernel`] | CUSP `coomv` |
 //! | ELL (thread/row, column-major) | [`ell_kernel`] | CUSP `ellmv` |
 //! | HYB = ELL + COO | [`hyb_kernel`] | cuSPARSE/CUSP `hybmv` |
-//! | BRC (warp/row-block) | [`brc_kernel`] | Ashari et al. [1] |
-//! | BCCOO (tiles + bit flags) | [`bccoo_kernel`] | Yan et al. [27] |
-//! | TCOO (column tiles) | [`tcoo_kernel`] | Yang et al. [28] |
+//! | BRC (warp/row-block) | [`brc_kernel`] | Ashari et al. \[1\] |
+//! | BCCOO (tiles + bit flags) | [`bccoo_kernel`] | Yan et al. \[27\] |
+//! | TCOO (column tiles) | [`tcoo_kernel`] | Yang et al. \[28\] |
 //!
 //! plus:
 //! * [`device`] — device-resident mirrors of each host format with
@@ -67,6 +67,37 @@ pub trait GpuSpmv<T: Scalar> {
     /// modeling).
     fn device_bytes(&self) -> u64;
 }
+
+/// Multi-vector SpMV (SpMM with a tall-skinny dense side): `ys[v] = A *
+/// xs[v]` for a batch of k vectors over one matrix.
+///
+/// Contract: per-vector results are **bit-identical** to k independent
+/// [`GpuSpmv::spmv`] calls — batching is a pure throughput optimization
+/// (row metadata, columns and values are read once per wave instead of
+/// once per vector, and the launch floor is paid once), never a numeric
+/// one. The default implementation simply loops `spmv`; engines with a
+/// fused path (ACSR) override it.
+pub trait GpuSpmvMulti<T: Scalar>: GpuSpmv<T> {
+    /// Run the batch; returns the merged modeled report.
+    fn spmv_multi(
+        &self,
+        dev: &Device,
+        xs: &[&DeviceBuffer<T>],
+        ys: &[&DeviceBuffer<T>],
+    ) -> RunReport {
+        assert_eq!(xs.len(), ys.len(), "batch size mismatch");
+        let mut report = RunReport::default();
+        for (x, y) in xs.iter().zip(ys) {
+            report = report.then(&self.spmv(dev, x, y));
+        }
+        report
+    }
+}
+
+// Baseline formats get the unfused fallback (k sequential launches) so
+// benches can contrast batched ACSR against an unbatched engine.
+impl<T: Scalar> GpuSpmvMulti<T> for csr_vector::CsrVector<T> {}
+impl<T: Scalar> GpuSpmvMulti<T> for csr_scalar::CsrScalar<T> {}
 
 /// Launch a memset-style kernel writing `value` over all of `y`.
 /// Bandwidth-bound, like `cudaMemset`.

@@ -1,4 +1,4 @@
-//! TCOO SpMV [28]: one pass per column tile so each tile's slice of `x`
+//! TCOO SpMV \[28\]: one pass per column tile so each tile's slice of `x`
 //! stays resident in the texture cache — the cache-blocking idea of Yang
 //! et al.'s graph-mining SpMV.
 

@@ -20,9 +20,11 @@ mod partition;
 pub use partition::{partition_rows_by_bins, BinPartition};
 
 use acsr::{AcsrConfig, AcsrEngine};
+use gpu_sim::trace::TraceLedger;
 use gpu_sim::{Device, DeviceConfig, RunReport};
 use sparse_formats::{CsrMatrix, Scalar};
 use spmv_kernels::GpuSpmv;
+use std::sync::Arc;
 
 /// A multi-device ACSR SpMV executor.
 pub struct MultiGpuAcsr<T> {
@@ -75,7 +77,13 @@ impl<T: Scalar> MultiGpuAcsr<T> {
         let mut engines = Vec::with_capacity(n_devices);
         let mut row_maps = Vec::with_capacity(n_devices);
         for part in parts {
-            let dev = Device::new(device_cfg.clone());
+            // Tag each device with its index so trace spans (and the
+            // chrome exporter's process lanes) distinguish the devices.
+            let mut cfg = device_cfg.clone();
+            if n_devices > 1 {
+                cfg.name = format!("{} #{}", cfg.name, part.device);
+            }
+            let dev = Device::new(cfg);
             let sub = extract_rows(m, &part.rows);
             engines.push(AcsrEngine::from_csr(&dev, &sub, acsr_cfg));
             devices.push(dev);
@@ -117,6 +125,32 @@ impl<T: Scalar> MultiGpuAcsr<T> {
         self.engines.iter().map(|e| e.nnz()).collect()
     }
 
+    /// Device `d`.
+    pub fn device(&self, d: usize) -> &Device {
+        &self.devices[d]
+    }
+
+    /// The ACSR engine on device `d` (holds that device's row slice).
+    pub fn engine(&self, d: usize) -> &AcsrEngine<T> {
+        &self.engines[d]
+    }
+
+    /// `row_map(d)[local_row] = global_row` for device `d`.
+    pub fn row_map(&self, d: usize) -> &[u32] {
+        &self.row_maps[d]
+    }
+
+    /// Attach one shared trace ledger to every device and return it, so
+    /// a subsequent [`Self::spmv`] records a device-tagged span timeline
+    /// (one chrome-trace process lane per device).
+    pub fn enable_tracing(&mut self) -> Arc<TraceLedger> {
+        let ledger = Arc::new(TraceLedger::new());
+        for dev in &mut self.devices {
+            dev.attach_ledger(ledger.clone());
+        }
+        ledger
+    }
+
     /// Run `y = A * x` across all devices; `y` must have `rows` slots.
     pub fn spmv(&self, x: &[T], y: &mut [T]) -> MultiReport {
         assert_eq!(x.len(), self.cols, "x length mismatch");
@@ -144,8 +178,10 @@ impl<T: Scalar> MultiGpuAcsr<T> {
 }
 
 /// Extract the listed rows of `m` into a compact sub-matrix (row order
-/// preserved; columns untouched).
-fn extract_rows<T: Scalar>(m: &CsrMatrix<T>, rows: &[u32]) -> CsrMatrix<T> {
+/// preserved; columns untouched). Public so other multi-device executors
+/// (the serving scheduler) can build per-device sub-matrices from a
+/// [`partition_rows_by_bins`] split.
+pub fn extract_rows<T: Scalar>(m: &CsrMatrix<T>, rows: &[u32]) -> CsrMatrix<T> {
     let mut offsets = Vec::with_capacity(rows.len() + 1);
     offsets.push(0u32);
     let mut cols = Vec::new();

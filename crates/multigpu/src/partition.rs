@@ -119,4 +119,82 @@ mod tests {
         assert_eq!(parts[0].rows.len(), m.rows());
         assert_eq!(parts[0].nnz, m.nnz());
     }
+
+    /// Every partition result must be a disjoint cover of all rows with
+    /// exact nnz accounting, whatever the device count.
+    fn assert_disjoint_cover(m: &CsrMatrix<f64>, parts: &[BinPartition]) {
+        let mut seen = vec![false; m.rows()];
+        let mut nnz = 0usize;
+        for p in parts {
+            assert!(p.rows.windows(2).all(|w| w[0] < w[1]), "rows not sorted");
+            for &r in &p.rows {
+                assert!(!seen[r as usize], "row {r} assigned twice");
+                seen[r as usize] = true;
+            }
+            assert_eq!(
+                p.nnz,
+                p.rows.iter().map(|&r| m.row_nnz(r as usize)).sum::<usize>()
+            );
+            nnz += p.nnz;
+        }
+        assert!(seen.iter().all(|&s| s), "some row unassigned");
+        assert_eq!(nnz, m.nnz());
+    }
+
+    #[test]
+    fn fewer_rows_than_devices_leaves_spare_devices_empty() {
+        let mut t = sparse_formats::TripletMatrix::<f64>::new(3, 8);
+        t.push(0, 1, 1.0).unwrap();
+        t.push(1, 2, 2.0).unwrap();
+        t.push(2, 3, 3.0).unwrap();
+        let m = t.to_csr();
+        let parts = partition_rows_by_bins(&m, 8);
+        assert_eq!(parts.len(), 8);
+        assert_disjoint_cover(&m, &parts);
+        // all three rows land in the same bin, so they deal to the first
+        // three devices and the rest own nothing
+        assert!(parts.iter().filter(|p| p.rows.is_empty()).count() >= 5);
+        for p in parts.iter().filter(|p| p.rows.is_empty()) {
+            assert_eq!(p.nnz, 0);
+        }
+    }
+
+    #[test]
+    fn empty_bins_and_empty_rows_are_handled() {
+        // rows: one empty, one tiny, one huge — most bins in between are
+        // empty, and the empty row must still be owned by some device
+        let mut t = sparse_formats::TripletMatrix::<f64>::new(3, 3000);
+        t.push(1, 0, 1.0).unwrap();
+        for cidx in 0..2500u32 {
+            t.push(2, cidx as usize, 1.0).unwrap();
+        }
+        let m = t.to_csr();
+        let parts = partition_rows_by_bins(&m, 2);
+        assert_disjoint_cover(&m, &parts);
+    }
+
+    #[test]
+    fn single_row_bins_are_dealt_deterministically() {
+        // a geometric degree ladder puts exactly one row in each bin, so
+        // every bin's single row deals to device 0
+        let mut t = sparse_formats::TripletMatrix::<f64>::new(5, 64);
+        for (row, len) in [(0usize, 1usize), (1, 3), (2, 6), (3, 12), (4, 24)] {
+            for cidx in 0..len {
+                t.push(row, cidx, 1.0).unwrap();
+            }
+        }
+        let m = t.to_csr();
+        let parts = partition_rows_by_bins(&m, 2);
+        assert_disjoint_cover(&m, &parts);
+        assert_eq!(parts[0].rows, vec![0, 1, 2, 3, 4]);
+        assert!(parts[1].rows.is_empty());
+    }
+
+    #[test]
+    fn zero_row_matrix_yields_empty_partitions() {
+        let m = sparse_formats::TripletMatrix::<f64>::new(0, 10).to_csr();
+        let parts = partition_rows_by_bins(&m, 3);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.rows.is_empty() && p.nnz == 0));
+    }
 }

@@ -1,0 +1,77 @@
+//! Golden-file test for the multi-GPU trace timeline: a dual-device
+//! SpMV recorded into one shared [`TraceLedger`] must export a
+//! byte-identical chrome-trace JSON with one process lane per device
+//! (`Tesla K10 ... #0` / `#1`) — the device-tagged view `repro fig8
+//! --trace` produces.
+//!
+//! Regenerate after an intentional format change with
+//! `ACSR_REGEN_GOLDEN=1 cargo test -p multi-gpu --test trace_multigpu`.
+
+use acsr::AcsrConfig;
+use gpu_sim::{presets, set_sim_threads};
+use graphgen::{generate_power_law, PowerLawConfig};
+use multi_gpu::MultiGpuAcsr;
+
+const GOLDEN: &str = include_str!("golden/trace_dual_k10.json");
+
+fn scenario_json() -> String {
+    set_sim_threads(1);
+    let m = generate_power_law(&PowerLawConfig {
+        rows: 1500,
+        cols: 1500,
+        mean_degree: 6.0,
+        max_degree: 1200,
+        pinned_max_rows: 1,
+        col_skew: 0.4,
+        seed: 191,
+        ..Default::default()
+    });
+    let mut mg = MultiGpuAcsr::new(
+        &m,
+        &presets::tesla_k10_single(),
+        2,
+        AcsrConfig::static_long_tail(),
+    );
+    let ledger = mg.enable_tracing();
+    let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 5) as f64 * 0.25).collect();
+    let mut y = vec![0.0f64; m.rows()];
+    let rep = mg.spmv(&x, &mut y);
+    set_sim_threads(0);
+    // sanity: the run is a real dual-device SpMV, not a degenerate trace
+    assert_eq!(rep.per_device.len(), 2);
+    let d = sparse_formats::scalar::rel_l2_distance(&y, &m.spmv(&x));
+    assert!(d < 1e-12, "rel distance {d}");
+    ledger
+        .reconcile()
+        .expect("dual-GPU scenario must reconcile");
+    ledger.chrome_trace_json()
+}
+
+#[test]
+fn dual_device_trace_matches_golden_file() {
+    let json = scenario_json();
+    serde_json::validate(&json).expect("export must be valid JSON");
+
+    // one process lane per device
+    for dev in ["#0", "#1"] {
+        assert!(
+            json.contains(dev),
+            "export must contain a device lane tagged {dev}"
+        );
+    }
+
+    if std::env::var("ACSR_REGEN_GOLDEN").is_ok() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/trace_dual_k10.json"
+        );
+        std::fs::write(path, &json).expect("write golden");
+        eprintln!("regenerated {path}");
+        return;
+    }
+    assert_eq!(
+        json, GOLDEN,
+        "multi-GPU chrome-trace export drifted from tests/golden/trace_dual_k10.json \
+         (regenerate with ACSR_REGEN_GOLDEN=1 if intentional)"
+    );
+}

@@ -1,0 +1,33 @@
+//! # acsr-serve — batched multi-query SpMV serving
+//!
+//! The paper evaluates ACSR one SpMV at a time; a deployed graph
+//! service answers many personalized queries (RWR/PPR, §VI-C Eq. 8)
+//! concurrently against one shared graph. This crate models that
+//! serving path on the simulated SIMT substrate:
+//!
+//! * [`loadgen`] — seeded Poisson / bursty query streams;
+//! * [`queue`] — a bounded submission queue that sheds overload;
+//! * [`scheduler`] — a continuous-batching engine: each *wave* runs one
+//!   RWR iteration for every active query as a single multi-vector
+//!   ACSR SpMM (amortizing launch floors and row-structure reads across
+//!   the batch), retires converged queries, and refills their slots;
+//! * [`latency`] — p50/p95/p99 latency accounting over the virtual
+//!   model clock.
+//!
+//! Batching never changes answers: per vector, the batched kernels run
+//! exactly the single-vector float-op sequence, so every query's scores
+//! and iteration count are bit-identical to a dedicated single-query
+//! run — whatever the batch width or device count. See
+//! [`scheduler::ServeEngine`].
+
+pub mod latency;
+pub mod loadgen;
+pub mod query;
+pub mod queue;
+pub mod scheduler;
+
+pub use latency::LatencyStats;
+pub use loadgen::{generate_queries, ArrivalPattern};
+pub use query::{Query, QueryOutcome};
+pub use queue::SubmissionQueue;
+pub use scheduler::{ServeConfig, ServeEngine, ServeReport};

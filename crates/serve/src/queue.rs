@@ -1,0 +1,97 @@
+//! Bounded submission queue.
+
+use crate::query::Query;
+use std::collections::VecDeque;
+
+/// FIFO admission queue with a hard capacity: arrivals beyond capacity
+/// are rejected (load shedding) rather than buffered without bound, so
+/// tail latency under overload stays interpretable.
+#[derive(Debug)]
+pub struct SubmissionQueue {
+    pending: VecDeque<Query>,
+    capacity: usize,
+    rejected: Vec<u64>,
+}
+
+impl SubmissionQueue {
+    /// An empty queue holding at most `capacity` waiting queries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        SubmissionQueue {
+            pending: VecDeque::new(),
+            capacity,
+            rejected: Vec::new(),
+        }
+    }
+
+    /// Try to enqueue `q`; returns `false` (and records the rejection)
+    /// when the queue is full.
+    pub fn offer(&mut self, q: Query) -> bool {
+        if self.pending.len() >= self.capacity {
+            self.rejected.push(q.id);
+            return false;
+        }
+        self.pending.push_back(q);
+        true
+    }
+
+    /// Pop the oldest waiting query.
+    pub fn pop(&mut self) -> Option<Query> {
+        self.pending.pop_front()
+    }
+
+    /// Queries currently waiting.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Ids of queries shed because the queue was full, in arrival order.
+    pub fn rejected(&self) -> &[u64] {
+        &self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(id: u64) -> Query {
+        Query {
+            id,
+            seed: 0,
+            restart_c: 0.85,
+            arrival_s: id as f64,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut sq = SubmissionQueue::new(4);
+        for id in 0..4 {
+            assert!(sq.offer(q(id)));
+        }
+        for id in 0..4 {
+            assert_eq!(sq.pop().unwrap().id, id);
+        }
+        assert!(sq.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_is_rejected_and_recorded() {
+        let mut sq = SubmissionQueue::new(2);
+        assert!(sq.offer(q(0)));
+        assert!(sq.offer(q(1)));
+        assert!(!sq.offer(q(2)));
+        assert!(!sq.offer(q(3)));
+        assert_eq!(sq.rejected(), &[2, 3]);
+        // draining makes room again
+        sq.pop();
+        assert!(sq.offer(q(4)));
+        assert_eq!(sq.len(), 2);
+    }
+}

@@ -1,0 +1,526 @@
+//! Continuous-batching RWR scheduler over multi-vector ACSR.
+//!
+//! Queries are admitted from a bounded [`SubmissionQueue`] into one
+//! shared *wave*: every wave runs one RWR iteration for every active
+//! query as a single batched SpMM (`spmv_multi`) plus one batched
+//! update kernel per device. Converged queries retire at the end of a
+//! wave and their batch slots are refilled from the queue — continuous
+//! batching, not gang scheduling.
+//!
+//! Two invariants make the modeled numbers trustworthy:
+//!
+//! 1. **Batch independence** — per vector, the batched kernels execute
+//!    exactly the single-vector float-op sequence, so a query's
+//!    trajectory (scores *and* iteration count) is bit-identical no
+//!    matter which queries it is co-batched with or what `max_batch`
+//!    is. Batching changes *when* a query runs, never *what* it
+//!    computes.
+//! 2. **Device-count independence** — rows are partitioned with
+//!    [`multi_gpu::partition_rows_by_bins`]; a row keeps its bin (and
+//!    its per-row accumulation order) in the device-local sub-matrix,
+//!    so results are bit-identical across device counts too.
+//!
+//! Both are pinned by proptests in `tests/proptest_serve.rs`.
+
+use crate::latency::LatencyStats;
+use crate::loadgen::{generate_queries, ArrivalPattern};
+use crate::query::{Query, QueryOutcome};
+use crate::queue::SubmissionQueue;
+use acsr::{AcsrConfig, AcsrEngine};
+use gpu_sim::trace::TraceLedger;
+use gpu_sim::{presets, Device, DeviceConfig, RunReport};
+use graph_apps::rwr::{rwr_operator, rwr_update_multi};
+use graph_apps::IterParams;
+use multi_gpu::{extract_rows, partition_rows_by_bins};
+use sparse_formats::{CsrMatrix, Scalar};
+use spmv_kernels::GpuSpmvMulti;
+use std::sync::Arc;
+
+/// Serving-engine configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum queries per wave (the SpMM batch width `k`).
+    pub max_batch: usize,
+    /// Submission-queue capacity; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Simulated devices to spread each wave across.
+    pub n_devices: usize,
+    /// Per-query RWR iteration limits.
+    pub iter: IterParams,
+    /// ACSR configuration for the per-device engines.
+    pub acsr: AcsrConfig,
+    /// Simulated device model.
+    pub device: DeviceConfig,
+    /// Keep each query's final relevance vector in its outcome.
+    pub keep_scores: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            queue_capacity: 64,
+            n_devices: 1,
+            iter: IterParams::default(),
+            acsr: AcsrConfig::static_long_tail(),
+            device: presets::gtx_titan(),
+            keep_scores: false,
+        }
+    }
+}
+
+/// A query currently riding in the wave.
+struct Active<T> {
+    q: Query,
+    admitted_s: f64,
+    iterations: usize,
+    /// Current global relevance iterate (host copy between waves).
+    r: Vec<T>,
+}
+
+/// Result of serving one query stream.
+#[derive(Clone, Debug)]
+pub struct ServeReport<T> {
+    /// Completed queries, in retirement order.
+    pub outcomes: Vec<QueryOutcome<T>>,
+    /// Ids shed because the submission queue was full.
+    pub rejected: Vec<u64>,
+    /// Virtual-clock span from start to the last retirement, seconds.
+    pub makespan_s: f64,
+    /// Batched iteration waves executed.
+    pub waves: usize,
+    /// Accumulated per-device kernel/transfer accounting.
+    pub device_reports: Vec<RunReport>,
+    /// Non-zeros of the serving operator (for GFLOPS accounting).
+    pub nnz: usize,
+}
+
+impl<T> ServeReport<T> {
+    /// Completed queries per virtual second.
+    pub fn throughput_qps(&self) -> f64 {
+        self.outcomes.len() as f64 / self.makespan_s
+    }
+
+    /// Total RWR iterations executed across all completed queries.
+    pub fn total_iterations(&self) -> usize {
+        self.outcomes.iter().map(|o| o.iterations).sum()
+    }
+
+    /// Useful SpMV throughput: 2·nnz flops per query iteration over the
+    /// makespan.
+    pub fn gflops(&self) -> f64 {
+        (2 * self.nnz * self.total_iterations()) as f64 / self.makespan_s / 1e9
+    }
+
+    /// Arrival-to-completion latency summary.
+    pub fn latency_stats(&self) -> LatencyStats {
+        let samples: Vec<f64> = self.outcomes.iter().map(|o| o.latency_s()).collect();
+        LatencyStats::from_samples(&samples)
+    }
+
+    /// Queue-wait summary (arrival to admission).
+    pub fn queue_wait_stats(&self) -> LatencyStats {
+        let samples: Vec<f64> = self.outcomes.iter().map(|o| o.queue_wait_s()).collect();
+        LatencyStats::from_samples(&samples)
+    }
+
+    /// Mean iterations per completed query.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.total_iterations() as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// A multi-device RWR/PPR serving engine over one graph.
+pub struct ServeEngine<T> {
+    devices: Vec<Device>,
+    engines: Vec<AcsrEngine<T>>,
+    /// `row_maps[d][local] = global`.
+    row_maps: Vec<Vec<u32>>,
+    /// `local_of[d][global] = local`, `u32::MAX` when `d` does not own
+    /// the row.
+    local_of: Vec<Vec<u32>>,
+    rows: usize,
+    nnz: usize,
+    config: ServeConfig,
+    /// Device barrier + hand-off cost charged once per multi-device
+    /// wave, seconds.
+    pub sync_overhead_s: f64,
+}
+
+impl<T: Scalar> ServeEngine<T> {
+    /// Build a serving engine for `adjacency` (square, unnormalized).
+    /// The RWR operator (column-normalized adjacency) is partitioned
+    /// across `config.n_devices` simulated devices by bin.
+    pub fn new(adjacency: &CsrMatrix<T>, config: ServeConfig) -> Self {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.n_devices >= 1, "need at least one device");
+        let w = rwr_operator(adjacency);
+        let parts = partition_rows_by_bins(&w, config.n_devices);
+        let mut devices = Vec::with_capacity(parts.len());
+        let mut engines = Vec::with_capacity(parts.len());
+        let mut row_maps = Vec::with_capacity(parts.len());
+        let mut local_of = Vec::with_capacity(parts.len());
+        for part in parts {
+            let mut cfg = config.device.clone();
+            if config.n_devices > 1 {
+                cfg.name = format!("{} #{}", cfg.name, part.device);
+            }
+            let dev = Device::new(cfg);
+            let sub = extract_rows(&w, &part.rows);
+            engines.push(AcsrEngine::from_csr(&dev, &sub, config.acsr));
+            devices.push(dev);
+            let mut lookup = vec![u32::MAX; w.rows()];
+            for (local, &global) in part.rows.iter().enumerate() {
+                lookup[global as usize] = local as u32;
+            }
+            local_of.push(lookup);
+            row_maps.push(part.rows);
+        }
+        ServeEngine {
+            devices,
+            engines,
+            row_maps,
+            local_of,
+            rows: w.rows(),
+            nnz: w.nnz(),
+            config,
+            sync_overhead_s: 20e-6,
+        }
+    }
+
+    /// Graph nodes (rows of the serving operator).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Non-zeros of the serving operator.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Devices serving waves.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Attach one shared trace ledger to every device and return it, so
+    /// the next [`Self::serve`] records a device-tagged span timeline.
+    pub fn enable_tracing(&mut self) -> Arc<TraceLedger> {
+        let ledger = Arc::new(TraceLedger::new());
+        for dev in &mut self.devices {
+            dev.attach_ledger(ledger.clone());
+        }
+        ledger
+    }
+
+    /// Serve a query stream to completion and account every wave.
+    pub fn serve(&self, queries: &[Query]) -> ServeReport<T> {
+        let mut stream: Vec<Query> = queries.to_vec();
+        stream.sort_by(|a, b| {
+            a.arrival_s
+                .partial_cmp(&b.arrival_s)
+                .expect("arrival times must not be NaN")
+                .then(a.id.cmp(&b.id))
+        });
+        for q in &stream {
+            assert!(q.seed < self.rows, "query {} seed out of range", q.id);
+        }
+
+        let mut queue = SubmissionQueue::new(self.config.queue_capacity);
+        let mut active: Vec<Active<T>> = Vec::new();
+        let mut outcomes: Vec<QueryOutcome<T>> = Vec::new();
+        let mut device_reports = vec![RunReport::default(); self.devices.len()];
+        let mut next_arrival = 0usize;
+        let mut clock = 0.0f64;
+        let mut waves = 0usize;
+
+        loop {
+            // 1. admit everything that has arrived by now
+            while next_arrival < stream.len() && stream[next_arrival].arrival_s <= clock {
+                queue.offer(stream[next_arrival]);
+                next_arrival += 1;
+            }
+            // 2. refill free batch slots from the queue
+            while active.len() < self.config.max_batch {
+                let Some(q) = queue.pop() else { break };
+                let mut r = vec![T::ZERO; self.rows];
+                r[q.seed] = T::ONE; // r⁰ = e_seed
+                active.push(Active {
+                    q,
+                    admitted_s: clock,
+                    iterations: 0,
+                    r,
+                });
+            }
+            if active.is_empty() {
+                if next_arrival >= stream.len() {
+                    break; // drained
+                }
+                // idle until the next arrival
+                clock = clock.max(stream[next_arrival].arrival_s);
+                continue;
+            }
+
+            // 3. one batched RWR iteration for the whole wave
+            let k = active.len();
+            let c: Vec<T> = active.iter().map(|a| T::from_f64(a.q.restart_c)).collect();
+            let restart: Vec<T> = active
+                .iter()
+                .map(|a| T::from_f64(1.0 - a.q.restart_c))
+                .collect();
+            let mut new_r: Vec<Vec<T>> = vec![vec![T::ZERO; self.rows]; k];
+            let mut wave_time = 0.0f64;
+            for (d, dev) in self.devices.iter().enumerate() {
+                let local_n = self.row_maps[d].len();
+                if local_n == 0 {
+                    continue; // more devices than this graph's bins can feed
+                }
+                let elt = std::mem::size_of::<T>();
+                // each device gets every active iterate in full width
+                let mut rep = dev.record_htod("serve_x_upload", (k * self.rows * elt) as u64);
+                let xs: Vec<_> = active.iter().map(|a| dev.alloc(a.r.clone())).collect();
+                let tmps: Vec<_> = (0..k).map(|_| dev.alloc_zeroed::<T>(local_n)).collect();
+                let xr: Vec<_> = xs.iter().collect();
+                let tr: Vec<_> = tmps.iter().collect();
+                rep = rep.then(&self.engines[d].spmv_multi(dev, &xr, &tr));
+                let seeds: Vec<Option<usize>> = active
+                    .iter()
+                    .map(|a| match self.local_of[d][a.q.seed] {
+                        u32::MAX => None,
+                        local => Some(local as usize),
+                    })
+                    .collect();
+                let nexts: Vec<_> = (0..k).map(|_| dev.alloc_zeroed::<T>(local_n)).collect();
+                let nr: Vec<_> = nexts.iter().collect();
+                rep = rep.then(&rwr_update_multi(dev, &tr, &c, &restart, &seeds, &nr));
+                rep = rep.then(&dev.record_dtoh("serve_y_readback", (k * local_n * elt) as u64));
+                for (v, next) in nexts.iter().enumerate() {
+                    let local = next.as_slice();
+                    for (l, &g) in self.row_maps[d].iter().enumerate() {
+                        new_r[v][g as usize] = local[l];
+                    }
+                }
+                wave_time = wave_time.max(rep.time_s);
+                device_reports[d] = device_reports[d].clone().then(&rep);
+            }
+            if self.devices.len() > 1 {
+                wave_time += self.sync_overhead_s;
+            }
+            clock += wave_time;
+            waves += 1;
+
+            // 4. retire converged queries, keep the rest for the next wave
+            let mut survivors = Vec::with_capacity(active.len());
+            for (v, mut a) in active.into_iter().enumerate() {
+                a.iterations += 1;
+                // Euclidean distance of successive iterates, summed over
+                // global rows in ascending order — identical arithmetic
+                // whatever the batch or device split, so convergence is
+                // a per-query property.
+                let mut dist2 = 0.0f64;
+                for (old, new) in a.r.iter().zip(&new_r[v]) {
+                    let d = new.to_f64() - old.to_f64();
+                    dist2 += d * d;
+                }
+                std::mem::swap(&mut a.r, &mut new_r[v]);
+                let converged = dist2.sqrt() < self.config.iter.epsilon;
+                if converged || a.iterations >= self.config.iter.max_iters {
+                    outcomes.push(QueryOutcome {
+                        id: a.q.id,
+                        seed: a.q.seed,
+                        arrival_s: a.q.arrival_s,
+                        admitted_s: a.admitted_s,
+                        completed_s: clock,
+                        iterations: a.iterations,
+                        converged,
+                        scores: self.config.keep_scores.then_some(a.r),
+                    });
+                } else {
+                    survivors.push(a);
+                }
+            }
+            active = survivors;
+        }
+
+        ServeReport {
+            outcomes,
+            rejected: queue.rejected().to_vec(),
+            makespan_s: clock,
+            waves,
+            device_reports,
+            nnz: self.nnz,
+        }
+    }
+
+    /// Generate a seeded query stream against this engine's graph and
+    /// serve it: the closed-loop experiment entry point.
+    pub fn serve_generated(
+        &self,
+        pattern: ArrivalPattern,
+        n_queries: usize,
+        restart_c: f64,
+        rng_seed: u64,
+    ) -> ServeReport<T> {
+        let queries = generate_queries(pattern, n_queries, self.rows, restart_c, rng_seed);
+        self.serve(&queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_apps::rwr::rwr_cpu;
+    use graphgen::{generate_power_law, PowerLawConfig};
+
+    fn graph(rows: usize, seed: u64) -> CsrMatrix<f64> {
+        generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 6.0,
+            max_degree: 200,
+            pinned_max_rows: 1,
+            col_skew: 0.4,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    fn saturated(n: usize) -> ArrivalPattern {
+        // arrivals far faster than service: everything queues at t≈0
+        let _ = n;
+        ArrivalPattern::Poisson { rate_qps: 1e9 }
+    }
+
+    #[test]
+    fn served_scores_match_cpu_reference() {
+        let g = graph(400, 201);
+        let w = rwr_operator(&g);
+        let engine = ServeEngine::new(
+            &g,
+            ServeConfig {
+                max_batch: 4,
+                keep_scores: true,
+                ..ServeConfig::default()
+            },
+        );
+        let report = engine.serve_generated(saturated(6), 6, 0.85, 11);
+        assert_eq!(report.outcomes.len(), 6);
+        assert!(report.rejected.is_empty());
+        for o in &report.outcomes {
+            assert!(o.converged, "query {} hit the iteration cap", o.id);
+            let (cpu, _) = rwr_cpu(&w, o.seed, 0.85, &IterParams::default());
+            let scores = o.scores.as_ref().unwrap();
+            let d = sparse_formats::scalar::rel_l2_distance(scores, &cpu);
+            assert!(d < 1e-9, "query {} rel distance {d}", o.id);
+        }
+    }
+
+    #[test]
+    fn continuous_batching_refills_slots_as_queries_retire() {
+        let g = graph(300, 202);
+        let engine = ServeEngine::new(
+            &g,
+            ServeConfig {
+                max_batch: 3,
+                queue_capacity: 64,
+                ..ServeConfig::default()
+            },
+        );
+        let report = engine.serve_generated(saturated(9), 9, 0.85, 13);
+        assert_eq!(report.outcomes.len(), 9);
+        // 9 queries through 3 slots: the wave count must be far below
+        // serial (sum of iterations) but at least the longest query
+        let longest = report.outcomes.iter().map(|o| o.iterations).max().unwrap();
+        let serial: usize = report.total_iterations();
+        assert!(report.waves >= longest);
+        assert!(
+            report.waves < serial,
+            "waves {} vs serial {serial}",
+            report.waves
+        );
+        // later queries waited in the queue
+        assert!(report.outcomes.iter().any(|o| o.queue_wait_s() > 0.0));
+        assert!(report.makespan_s > 0.0);
+        assert!(report.throughput_qps() > 0.0);
+        assert!(report.gflops() > 0.0);
+    }
+
+    #[test]
+    fn overload_sheds_queries_beyond_queue_capacity() {
+        let g = graph(200, 203);
+        let engine = ServeEngine::new(
+            &g,
+            ServeConfig {
+                max_batch: 1,
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            },
+        );
+        // 8 simultaneous arrivals into 1 slot + 2 queue places
+        let queries: Vec<Query> = (0..8)
+            .map(|id| Query {
+                id,
+                seed: (id as usize * 13) % 200,
+                restart_c: 0.85,
+                arrival_s: 0.0,
+            })
+            .collect();
+        let report = engine.serve(&queries);
+        assert!(!report.rejected.is_empty(), "overload must shed load");
+        assert_eq!(report.outcomes.len() + report.rejected.len(), 8);
+        // the 8 queries arrive at the same instant, so only the queue's
+        // two places are admitted; the rest shed in arrival order
+        assert_eq!(report.rejected, vec![2, 3, 4, 5, 6, 7]);
+        assert_eq!(report.outcomes.len(), 2);
+    }
+
+    #[test]
+    fn multi_device_waves_account_sync_and_tag_devices() {
+        let g = graph(500, 204);
+        let mut engine = ServeEngine::new(
+            &g,
+            ServeConfig {
+                max_batch: 4,
+                n_devices: 2,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(engine.n_devices(), 2);
+        let ledger = engine.enable_tracing();
+        let report = engine.serve_generated(saturated(4), 4, 0.85, 17);
+        assert_eq!(report.outcomes.len(), 4);
+        assert_eq!(report.device_reports.len(), 2);
+        assert!(report.device_reports.iter().all(|r| r.launches > 0));
+        ledger.reconcile().expect("serve trace must reconcile");
+        let json = ledger.chrome_trace_json();
+        assert!(json.contains("#0") && json.contains("#1"));
+        assert!(json.contains("serve_x_upload"));
+    }
+
+    #[test]
+    fn batching_improves_throughput_on_saturated_load() {
+        let g = graph(600, 205);
+        let qps = |max_batch: usize| {
+            let engine = ServeEngine::new(
+                &g,
+                ServeConfig {
+                    max_batch,
+                    queue_capacity: 64,
+                    ..ServeConfig::default()
+                },
+            );
+            engine
+                .serve_generated(saturated(16), 16, 0.85, 19)
+                .throughput_qps()
+        };
+        let serial = qps(1);
+        let batched = qps(8);
+        assert!(
+            batched > serial * 1.5,
+            "batched {batched} vs serial {serial}"
+        );
+    }
+}

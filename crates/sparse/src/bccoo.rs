@@ -1,4 +1,4 @@
-//! BCCOO — Blocked Compressed COO (Yan et al. [27], yaSpMV, PPoPP'14).
+//! BCCOO — Blocked Compressed COO (Yan et al. \[27\], yaSpMV, PPoPP'14).
 //!
 //! Non-zeros are gathered into dense `block_h x block_w` tiles; tile *row*
 //! indices are difference-compressed into a bit-flag vector (a set bit

@@ -1,4 +1,4 @@
-//! BRC — Blocked Row-Column format (Ashari et al. [1], ICS'14).
+//! BRC — Blocked Row-Column format (Ashari et al. \[1\], ICS'14).
 //!
 //! BRC blocks in *two* dimensions. Rows are first split column-wise into
 //! chunks of at most [`BRC_MAX_WIDTH`] non-zeros (so no single warp ever

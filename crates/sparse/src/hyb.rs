@@ -1,4 +1,4 @@
-//! HYB — the hybrid ELL + COO format of Bell & Garland [5].
+//! HYB — the hybrid ELL + COO format of Bell & Garland \[5\].
 //!
 //! Rows are stored in a width-`k` ELL part; entries beyond `k` per row
 //! spill into a COO tail. `k` is chosen by the CUSP heuristic the paper

@@ -10,9 +10,9 @@
 //! | COO | [`coo`] | segmented-reduction baseline; HYB tail |
 //! | ELL | [`ell`] | padded baseline; HYB head |
 //! | HYB (ELL+COO) | [`hyb`] | the strongest library baseline (§II) |
-//! | BRC | [`brc`] | blocked row-column comparator [1] |
-//! | BCCOO | [`bccoo`] | blocked compressed COO comparator [27], with autotuning |
-//! | TCOO | [`tcoo`] | tiled COO comparator [28], with tile-count search |
+//! | BRC | [`brc`] | blocked row-column comparator \[1\] |
+//! | BCCOO | [`bccoo`] | blocked compressed COO comparator \[27\], with autotuning |
+//! | TCOO | [`tcoo`] | tiled COO comparator \[28\], with tile-count search |
 //! | DIA | [`dia`] | structured-matrix format (related work §IX) |
 //!
 //! Each conversion out of CSR returns a [`cost::PreprocessCost`] describing

@@ -1,7 +1,7 @@
 //! Matrix Market I/O.
 //!
 //! The paper's suite comes from the University of Florida Sparse Matrix
-//! Collection [22], which distributes Matrix Market files. This reader
+//! Collection \[22\], which distributes Matrix Market files. This reader
 //! accepts the `coordinate` variants the collection uses (`real`,
 //! `integer`, `pattern`; `general` or `symmetric`), so real UFL matrices
 //! can be dropped into any experiment where network access permits;

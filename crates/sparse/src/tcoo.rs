@@ -1,4 +1,4 @@
-//! TCOO — Tiled COO (Yang et al. [28], "Fast SpMV on GPUs: implications
+//! TCOO — Tiled COO (Yang et al. \[28\], "Fast SpMV on GPUs: implications
 //! for graph mining", VLDB'11).
 //!
 //! The matrix is partitioned into vertical **column tiles** so each tile's

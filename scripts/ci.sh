@@ -25,4 +25,12 @@ echo "==> trace export smoke (repro fig5 --trace)"
 test -s results/trace_fig5.json
 ./target/release/repro trace-check results/trace_fig5.json
 
+echo "==> serving smoke (repro serve --trace)"
+./target/release/repro serve --trace --scale 512 --matrices INT > /dev/null
+test -s results/trace_serve.json
+./target/release/repro trace-check results/trace_serve.json
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
 echo "CI green."
