@@ -35,7 +35,7 @@ pub fn scale_add<T: Scalar>(
                     vals[lane] = a.mul_add(xs[lane], b);
                 }
             }
-            warp.charge_alu(1);
+            warp.charge_fma(mask);
             warp.write_coalesced(out, base, &vals, mask);
         });
     })
@@ -71,6 +71,7 @@ pub fn l2_distance_sq<T: Scalar>(
                 }
             }
             warp.charge_alu(2);
+            warp.charge_flops(2 * u64::from(mask.count_ones()));
             let red = warp.segmented_reduce_sum(&d2, WARP);
             let idx = [0usize; WARP];
             warp.atomic_rmw(&acc, &idx, &red, 1, |x, y| x + y);
@@ -102,6 +103,7 @@ pub fn l1_norm<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>) -> (f64, RunReport)
                 }
             }
             warp.charge_alu(1);
+            warp.charge_flops(u64::from(mask.count_ones()));
             let red = warp.segmented_reduce_sum(&abs, WARP);
             let idx = [0usize; WARP];
             warp.atomic_rmw(&acc, &idx, &red, 1, |x, y| x + y);
@@ -136,6 +138,7 @@ pub fn l2_norm_halves<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>) -> (f64, f64
                 }
             }
             warp.charge_alu(1);
+            warp.charge_flops(u64::from(mask.count_ones()));
             // a warp never straddles the half boundary when `half` is a
             // multiple of 32; handle the general case lane-by-lane
             let mut idx = [0usize; WARP];
@@ -194,6 +197,7 @@ pub fn scale_halves<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>, s_lo: T, s_hi:
                 }
             }
             warp.charge_alu(2);
+            warp.charge_flops(u64::from(mask.count_ones()));
             warp.write_coalesced(v, base, &vals, mask);
         });
     })
@@ -219,6 +223,7 @@ pub fn scale_inplace<T: Scalar>(dev: &Device, v: &DeviceBuffer<T>, s: T) -> RunR
                 }
             }
             warp.charge_alu(1);
+            warp.charge_flops(u64::from(mask.count_ones()));
             warp.write_coalesced(v, base, &vals, mask);
         });
     })

@@ -50,6 +50,7 @@ pub fn rwr_update<T: Scalar>(
                 }
             }
             warp.charge_alu(2);
+            warp.charge_flops(2 * u64::from(mask.count_ones()));
             warp.write_coalesced(out, base, &vals, mask);
         });
     })
@@ -99,6 +100,7 @@ pub fn rwr_update_multi<T: Scalar>(
                     }
                 }
                 warp.charge_alu(2);
+                warp.charge_flops(2 * u64::from(mask.count_ones()));
                 warp.write_coalesced(outs[v], base, &vals, mask);
             }
         });

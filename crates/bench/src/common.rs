@@ -17,6 +17,10 @@ pub struct Options {
     /// Capture a launch-level trace ledger per experiment and export it
     /// as chrome://tracing JSON under `results/` (see [`crate::tracing`]).
     pub trace: bool,
+    /// Profile the experiment: derive per-kernel SIMT metrics from the
+    /// trace ledger and write `results/PROFILE_<name>.json` (see
+    /// [`crate::profile`]).
+    pub profile: bool,
 }
 
 impl Default for Options {
@@ -27,6 +31,7 @@ impl Default for Options {
             matrices: Vec::new(),
             json: false,
             trace: false,
+            profile: false,
         }
     }
 }

@@ -8,7 +8,9 @@
 //! targets recorded in EXPERIMENTS.md.
 
 pub mod common;
+pub mod diff;
 pub mod experiments;
+pub mod profile;
 pub mod tracing;
 
 pub use common::{selected_specs, Options, Table};

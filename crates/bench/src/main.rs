@@ -12,7 +12,13 @@
 //!   all        every experiment at its default scope
 //!
 //! utilities:
-//!   trace-check <file>   validate an exported trace JSON parses
+//!   profile <experiment> [opts]   run under the per-kernel profiler;
+//!                                 writes results/PROFILE_<experiment>.json
+//!   bench-diff <baseline> <new> [--tolerance F]
+//!                                 perf-regression gate over two JSON
+//!                                 reports; exit 1 on regression
+//!   check-artifacts <file>...     validate emitted JSON artifacts
+//!   trace-check <file>            alias for check-artifacts (one file)
 //! ```
 //!
 //! `--scale` divides the Table I matrix sizes (default 64); smaller
@@ -31,16 +37,30 @@ fn main() {
         print_usage();
         return;
     }
-    let experiment = args[0].clone();
-    if experiment == "trace-check" {
-        let path = args
-            .get(1)
-            .unwrap_or_else(|| die("trace-check needs a file path"));
-        trace_check(path);
+    let mut experiment = args[0].clone();
+    if experiment == "trace-check" || experiment == "check-artifacts" {
+        if args.len() < 2 {
+            die(&format!("{experiment} needs at least one file path"));
+        }
+        for path in &args[1..] {
+            check_artifact(path);
+        }
+        return;
+    }
+    if experiment == "bench-diff" {
+        bench_diff(&args[1..]);
         return;
     }
     let mut opts = Options::default();
     let mut i = 1;
+    if experiment == "profile" {
+        opts.profile = true;
+        experiment = args
+            .get(1)
+            .unwrap_or_else(|| die("profile needs an experiment name"))
+            .clone();
+        i = 2;
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
@@ -105,11 +125,16 @@ fn run_experiment(name: &str, opts: &Options) {
     }
     // Arm the global trace ledger per experiment so each gets its own
     // `results/trace_<name>.json` (Devices attach at construction time).
-    if opts.trace {
+    // The profiler shares the same ledger, so it subsumes `--trace`.
+    if opts.profile {
+        repro_bench::profile::begin();
+    } else if opts.trace {
         repro_bench::tracing::begin();
     }
     run_one(name, opts);
-    if opts.trace {
+    if opts.profile {
+        repro_bench::profile::finish(name, opts.trace);
+    } else if opts.trace {
         repro_bench::tracing::finish(name);
     }
 }
@@ -159,13 +184,76 @@ fn run_one(name: &str, opts: &Options) {
     }
 }
 
-/// `repro trace-check <file>`: assert an exported trace is one valid
-/// JSON document (used by CI on the smoke-test export).
-fn trace_check(path: &str) {
+/// `repro check-artifacts <file>...`: assert each emitted artifact is
+/// one valid JSON document, with schema-specific structure checks for
+/// the formats we emit (used by CI on the smoke-test exports).
+fn check_artifact(path: &str) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
-    match serde_json::validate(&text) {
-        Ok(()) => println!("{path}: valid JSON ({} bytes)", text.len()),
-        Err(e) => die(&format!("{path}: invalid JSON: {e}")),
+    let value =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("{path}: invalid JSON: {e}")));
+    let field = |obj: &serde::Value, key: &str| -> Option<serde::Value> {
+        if let serde::Value::Object(entries) = obj {
+            entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+        } else {
+            None
+        }
+    };
+    let mut kind = "JSON";
+    if let Some(serde::Value::Str(schema)) = field(&value, "schema") {
+        if schema == "acsr-profile-v1" {
+            kind = "profile report";
+            for key in ["devices", "phases", "total", "kernels"] {
+                if field(&value, key).is_none() {
+                    die(&format!("{path}: profile report missing '{key}'"));
+                }
+            }
+            match field(&value, "kernels") {
+                Some(serde::Value::Array(rows)) if !rows.is_empty() => {}
+                _ => die(&format!("{path}: profile report has no kernel rows")),
+            }
+        }
+    } else if let Some(serde::Value::Array(events)) = field(&value, "traceEvents") {
+        kind = "chrome trace";
+        if events.is_empty() {
+            die(&format!("{path}: chrome trace has no events"));
+        }
+    }
+    println!("{path}: valid {kind} ({} bytes)", text.len());
+}
+
+/// `repro bench-diff <baseline.json> <new.json> [--tolerance F]`: the
+/// perf-regression gate. Exit 0 when within tolerance, 1 on regression,
+/// 2 on usage/parse errors.
+fn bench_diff(args: &[String]) {
+    let mut files = Vec::new();
+    let mut tolerance = 0.05f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                tolerance = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tolerance needs a number like 0.05"));
+                i += 2;
+            }
+            other => {
+                files.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if files.len() != 2 {
+        die("bench-diff needs exactly two files: <baseline.json> <new.json>");
+    }
+    let report =
+        repro_bench::diff::diff_files(&files[0], &files[1], tolerance).unwrap_or_else(|e| die(&e));
+    print!("{}", report.render(tolerance));
+    if !report.pass() {
+        std::process::exit(1);
     }
 }
 
@@ -181,11 +269,17 @@ fn print_usage() {
     println!(
         "repro — regenerate the paper's tables and figures on the simulated testbed\n\n\
          usage: repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json] [--trace]\n\
+         \x20      repro profile <experiment> [same options]\n\
+         \x20      repro bench-diff <baseline.json> <new.json> [--tolerance F]\n\
+         \x20      repro check-artifacts <file>...\n\
          \x20      repro trace-check <file>\n\n\
          experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 serve ablations formats all\n\n\
          defaults: --scale 64 --seed 1 (whole Table I suite)\n\
          --trace records every simulated launch, reconciles the ledger, and writes\n\
          results/trace_<experiment>.json (chrome://tracing) + a phase rollup on stderr\n\
+         profile derives per-kernel SIMT metrics (warp efficiency, coalescing,\n\
+         occupancy, roofline verdicts) and writes results/PROFILE_<experiment>.json\n\
+         bench-diff compares two JSON reports; exit 1 if any metric regressed\n\
          tip: fig6/fig7 are iterative solvers — use --scale 256 for quick runs"
     );
 }

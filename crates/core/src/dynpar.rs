@@ -171,7 +171,7 @@ fn row_child_body<T: Scalar>(
                     acc[lane] = vals[lane].mul_add(xs[lane], acc[lane]);
                 }
             }
-            warp.charge_alu(1);
+            warp.charge_fma(m);
             iter += 1;
         }
         // Intra-warp reduction...
@@ -231,7 +231,7 @@ fn row_child_body_multi<T: Scalar>(
                         acc[lane] = vals[lane].mul_add(xv[lane], acc[lane]);
                     }
                 }
-                warp.charge_alu(1);
+                warp.charge_fma(m);
             }
             iter += 1;
         }

@@ -105,7 +105,7 @@ pub(crate) fn warp_rows_body<T: Scalar>(
                 acc[lane] = vals[lane].mul_add(xs[lane], acc[lane]);
             }
         }
-        warp.charge_alu(1);
+        warp.charge_fma(it_mask);
     }
 
     // Intra-group shuffle reduction (Algorithm 2's reduction step);
@@ -227,7 +227,7 @@ pub(crate) fn warp_rows_body_multi<T: Scalar>(
                     acc[lane] = vals[lane].mul_add(xv[lane], acc[lane]);
                 }
             }
-            warp.charge_alu(1);
+            warp.charge_fma(it_mask);
         }
     }
 
@@ -354,7 +354,7 @@ pub(crate) fn static_long_tail_kernel<T: Scalar>(
                         acc[lane] = vals[lane].mul_add(xs[lane], acc[lane]);
                     }
                 }
-                warp.charge_alu(1);
+                warp.charge_fma(m);
                 off += stride;
             }
             let reduced = warp.segmented_reduce_sum(&acc, WARP);
@@ -425,7 +425,7 @@ pub(crate) fn static_long_tail_kernel_multi<T: Scalar>(
                             acc[lane] = vals[lane].mul_add(xv[lane], acc[lane]);
                         }
                     }
-                    warp.charge_alu(1);
+                    warp.charge_fma(m);
                 }
                 off += stride;
             }

@@ -24,6 +24,15 @@ pub struct DeviceConfig {
     pub memory_gib: f64,
     /// Warp instructions issued per cycle per SM (scheduler count).
     pub ipc_per_sm: f64,
+    /// Peak single-precision throughput, GFLOP/s (cores × 2 × clock).
+    /// Only the roofline classifier reads this; it never affects
+    /// modeled time.
+    pub peak_gflops: f64,
+    /// Resident-warp limit per SM (Fermi: 48, Kepler: 64) — the
+    /// occupancy denominator.
+    pub max_warps_per_sm: usize,
+    /// Resident-block limit per SM (Fermi: 8, Kepler: 16).
+    pub max_blocks_per_sm: usize,
     /// Global-memory transaction size in bytes (coalescing granularity).
     /// Kepler global loads bypass L1 and fetch 32-byte L2 segments;
     /// Fermi's L1-cached path fetched 128-byte lines — scattered access
@@ -87,6 +96,12 @@ impl DeviceConfig {
         self.mem_bandwidth_gbs * 1e9
     }
 
+    /// Roofline ridge point, flops/byte: arithmetic intensity below this
+    /// is bandwidth-bound, above it compute-bound (§II's classifier).
+    pub fn ridge_flops_per_byte(&self) -> f64 {
+        self.peak_gflops * 1e9 / self.bandwidth_bytes_s()
+    }
+
     /// Device memory in bytes.
     pub fn memory_bytes(&self) -> usize {
         (self.memory_gib * (1u64 << 30) as f64) as usize
@@ -118,6 +133,10 @@ pub mod presets {
             mem_bandwidth_gbs: 192.4,
             memory_gib: 1.5,
             ipc_per_sm: 2.0,
+            // 512 CUDA cores x 2 flops x 1.544 GHz
+            peak_gflops: 1581.1,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 8,
             dram_transaction_bytes: 128,
             tex_cache_bytes: 12 * 1024,
             tex_line_bytes: 32,
@@ -149,6 +168,10 @@ pub mod presets {
             mem_bandwidth_gbs: 160.0,
             memory_gib: 4.0,
             ipc_per_sm: 4.0,
+            // 1536 CUDA cores x 2 flops x 0.745 GHz
+            peak_gflops: 2288.6,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
             dram_transaction_bytes: 32,
             tex_cache_bytes: 48 * 1024,
             tex_line_bytes: 32,
@@ -181,6 +204,10 @@ pub mod presets {
             mem_bandwidth_gbs: 288.4,
             memory_gib: 6.0,
             ipc_per_sm: 4.0,
+            // 2688 CUDA cores x 2 flops x 0.837 GHz
+            peak_gflops: 4499.7,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
             dram_transaction_bytes: 32,
             tex_cache_bytes: 48 * 1024,
             tex_line_bytes: 32,
@@ -241,6 +268,20 @@ mod tests {
         let m580 = presets::gtx_580().memory_bytes();
         assert!(m580 < presets::gtx_titan().memory_bytes());
         assert!(m580 < presets::tesla_k10_single().memory_bytes());
+    }
+
+    #[test]
+    fn ridge_point_is_far_above_spmv_intensity() {
+        // SpMV moves ≥ 12 bytes per 2-flop non-zero (value + column index
+        // + x element), so its arithmetic intensity sits below 0.2
+        // flops/byte. All three presets' ridge points are an order of
+        // magnitude higher — the §II bandwidth-bound claim is structural.
+        for cfg in presets::table2() {
+            let ridge = cfg.ridge_flops_per_byte();
+            assert!(ridge > 2.0, "{}: ridge {ridge}", cfg.name);
+            assert!(cfg.max_warps_per_sm >= 48, "{}", cfg.name);
+            assert!(cfg.max_blocks_per_sm >= 8, "{}", cfg.name);
+        }
     }
 
     #[test]

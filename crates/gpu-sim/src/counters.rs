@@ -2,6 +2,23 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Buckets of the active-lane divergence histogram
+/// ([`Counters::lane_hist`]): bucket `b` counts masked warp operations
+/// with `2^(b-1) < active lanes ≤ 2^b`, i.e. ≤1, ≤2, ≤4, ≤8, ≤16, ≤32.
+pub const LANE_HIST_BINS: usize = 6;
+
+/// Display labels for the [`Counters::lane_hist`] buckets.
+pub const LANE_HIST_LABELS: [&str; LANE_HIST_BINS] = ["<=1", "<=2", "<=4", "<=8", "<=16", "<=32"];
+
+/// Histogram bucket for a masked warp operation with `n_active` (≥ 1)
+/// active lanes: `ceil(log2(n_active))`, so power-of-two bucket edges
+/// match the bin kernels' row-length classes.
+#[inline]
+pub fn lane_hist_bin(n_active: u64) -> usize {
+    debug_assert!((1..=32).contains(&n_active));
+    (64 - (n_active - 1).leading_zeros()) as usize
+}
+
 /// Raw event counts accumulated while a kernel (and its dynamic children)
 /// execute.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -9,6 +26,27 @@ pub struct Counters {
     /// Warp instructions issued (ALU, control, shuffles, and one per
     /// memory access) — SIMT issue slots, *independent of active lanes*.
     pub warp_instructions: u64,
+    /// Active lanes summed over issued warp instructions. Divided by
+    /// `32 * warp_instructions` this is Nsight's *warp execution
+    /// efficiency* — the SIMT-lane waste ACSR's binning removes.
+    pub lane_ops: u64,
+    /// Useful floating-point operations (an FMA counts 2). Drives the
+    /// roofline's arithmetic intensity; never affects modeled time.
+    pub flops: u64,
+    /// Global-memory load/store warp instructions (coalescer requests;
+    /// texture reads and atomics are accounted separately).
+    pub mem_requests: u64,
+    /// DRAM transactions serving `mem_requests` (subset of
+    /// `transactions`).
+    pub mem_transactions: u64,
+    /// Minimum transactions `mem_requests` could have needed if every
+    /// request were perfectly coalesced: `ceil(active_lanes *
+    /// elem_bytes / transaction_bytes)` per request. `min / actual` is
+    /// Nsight's *coalescing (global load/store) efficiency*.
+    pub min_transactions: u64,
+    /// Active-lane histogram over masked warp operations (memory ops,
+    /// texture reads, atomics, masked FMAs) — see [`lane_hist_bin`].
+    pub lane_hist: [u64; LANE_HIST_BINS],
     /// DRAM bytes read (after coalescing into transactions and after the
     /// texture cache filtered hits).
     pub dram_read_bytes: u64,
@@ -42,13 +80,34 @@ impl Counters {
         self.dram_read_bytes + self.dram_write_bytes
     }
 
-    /// Texture hit rate in [0, 1]; 1.0 when no texture reads occurred.
-    pub fn tex_hit_rate(&self) -> f64 {
-        let total = self.tex_hits + self.tex_misses;
-        if total == 0 {
-            1.0
+    /// Texture hit rate in [0, 1]; `None` when no texture reads occurred
+    /// (an undefined ratio — profiler output prints it as "n/a" rather
+    /// than a misleading 1.0).
+    pub fn tex_hit_rate(&self) -> Option<f64> {
+        ratio(self.tex_hits, self.tex_hits + self.tex_misses)
+    }
+
+    /// Nsight's warp execution efficiency: average fraction of active
+    /// lanes per issued warp instruction. `None` when nothing issued.
+    pub fn warp_execution_efficiency(&self) -> Option<f64> {
+        ratio(self.lane_ops, 32 * self.warp_instructions)
+    }
+
+    /// Global load/store coalescing efficiency: minimum possible DRAM
+    /// transactions over the ones actually issued. `None` when no
+    /// global-memory requests were made.
+    pub fn coalescing_efficiency(&self) -> Option<f64> {
+        ratio(self.min_transactions, self.mem_transactions)
+    }
+
+    /// Atomic serialization factor: average passes the L2 atomic unit
+    /// executes per atomic operation (1.0 ⇔ conflict-free). `None` when
+    /// no atomics ran.
+    pub fn atomic_serialization(&self) -> Option<f64> {
+        if self.atomic_ops == 0 {
+            None
         } else {
-            self.tex_hits as f64 / total as f64
+            Some(1.0 + self.atomic_conflicts as f64 / self.atomic_ops as f64)
         }
     }
 
@@ -66,6 +125,14 @@ impl Counters {
     /// Elementwise accumulate.
     pub fn merge(&mut self, o: &Counters) {
         self.warp_instructions += o.warp_instructions;
+        self.lane_ops += o.lane_ops;
+        self.flops += o.flops;
+        self.mem_requests += o.mem_requests;
+        self.mem_transactions += o.mem_transactions;
+        self.min_transactions += o.min_transactions;
+        for (b, ob) in self.lane_hist.iter_mut().zip(o.lane_hist.iter()) {
+            *b += ob;
+        }
         self.dram_read_bytes += o.dram_read_bytes;
         self.dram_write_bytes += o.dram_write_bytes;
         self.transactions += o.transactions;
@@ -81,23 +148,79 @@ impl Counters {
     }
 
     /// Elementwise difference against an earlier snapshot of the same
-    /// (monotonically growing) counter set. Panics on non-monotonic input.
+    /// (monotonically growing) counter set. Panics on non-monotonic
+    /// input — in every build profile: bare `-` would only check in
+    /// debug and silently wrap in release, so each field goes through
+    /// `checked_sub`.
     pub fn delta_from(&self, earlier: &Counters) -> Counters {
-        Counters {
-            warp_instructions: self.warp_instructions - earlier.warp_instructions,
-            dram_read_bytes: self.dram_read_bytes - earlier.dram_read_bytes,
-            dram_write_bytes: self.dram_write_bytes - earlier.dram_write_bytes,
-            transactions: self.transactions - earlier.transactions,
-            tex_hits: self.tex_hits - earlier.tex_hits,
-            tex_misses: self.tex_misses - earlier.tex_misses,
-            atomic_ops: self.atomic_ops - earlier.atomic_ops,
-            atomic_conflicts: self.atomic_conflicts - earlier.atomic_conflicts,
-            child_launches: self.child_launches - earlier.child_launches,
-            blocks: self.blocks - earlier.blocks,
-            warps: self.warps - earlier.warps,
-            htod_bytes: self.htod_bytes - earlier.htod_bytes,
-            dtoh_bytes: self.dtoh_bytes - earlier.dtoh_bytes,
+        fn sub(field: &str, now: u64, then: u64) -> u64 {
+            now.checked_sub(then).unwrap_or_else(|| {
+                panic!("non-monotonic counter snapshot: {field} went {then} -> {now}")
+            })
         }
+        let mut lane_hist = [0u64; LANE_HIST_BINS];
+        for (i, slot) in lane_hist.iter_mut().enumerate() {
+            *slot = sub("lane_hist", self.lane_hist[i], earlier.lane_hist[i]);
+        }
+        Counters {
+            warp_instructions: sub(
+                "warp_instructions",
+                self.warp_instructions,
+                earlier.warp_instructions,
+            ),
+            lane_ops: sub("lane_ops", self.lane_ops, earlier.lane_ops),
+            flops: sub("flops", self.flops, earlier.flops),
+            mem_requests: sub("mem_requests", self.mem_requests, earlier.mem_requests),
+            mem_transactions: sub(
+                "mem_transactions",
+                self.mem_transactions,
+                earlier.mem_transactions,
+            ),
+            min_transactions: sub(
+                "min_transactions",
+                self.min_transactions,
+                earlier.min_transactions,
+            ),
+            lane_hist,
+            dram_read_bytes: sub(
+                "dram_read_bytes",
+                self.dram_read_bytes,
+                earlier.dram_read_bytes,
+            ),
+            dram_write_bytes: sub(
+                "dram_write_bytes",
+                self.dram_write_bytes,
+                earlier.dram_write_bytes,
+            ),
+            transactions: sub("transactions", self.transactions, earlier.transactions),
+            tex_hits: sub("tex_hits", self.tex_hits, earlier.tex_hits),
+            tex_misses: sub("tex_misses", self.tex_misses, earlier.tex_misses),
+            atomic_ops: sub("atomic_ops", self.atomic_ops, earlier.atomic_ops),
+            atomic_conflicts: sub(
+                "atomic_conflicts",
+                self.atomic_conflicts,
+                earlier.atomic_conflicts,
+            ),
+            child_launches: sub(
+                "child_launches",
+                self.child_launches,
+                earlier.child_launches,
+            ),
+            blocks: sub("blocks", self.blocks, earlier.blocks),
+            warps: sub("warps", self.warps, earlier.warps),
+            htod_bytes: sub("htod_bytes", self.htod_bytes, earlier.htod_bytes),
+            dtoh_bytes: sub("dtoh_bytes", self.dtoh_bytes, earlier.dtoh_bytes),
+        }
+    }
+}
+
+/// `num / den` as `Some` fraction, `None` when the denominator is zero
+/// (the profiler's "n/a").
+fn ratio(num: u64, den: u64) -> Option<f64> {
+    if den == 0 {
+        None
+    } else {
+        Some(num as f64 / den as f64)
     }
 }
 
@@ -193,12 +316,85 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.warp_instructions, 15);
         assert_eq!(a.dram_bytes(), 150);
-        assert_eq!(a.tex_hit_rate(), 0.75);
+        assert_eq!(a.tex_hit_rate(), Some(0.75));
     }
 
     #[test]
-    fn hit_rate_defaults_to_one() {
-        assert_eq!(Counters::default().tex_hit_rate(), 1.0);
+    fn undefined_ratios_are_none() {
+        let c = Counters::default();
+        assert_eq!(c.tex_hit_rate(), None);
+        assert_eq!(c.warp_execution_efficiency(), None);
+        assert_eq!(c.coalescing_efficiency(), None);
+        assert_eq!(c.atomic_serialization(), None);
+    }
+
+    #[test]
+    fn derived_ratios_compute() {
+        let c = Counters {
+            warp_instructions: 10,
+            lane_ops: 160,
+            mem_requests: 4,
+            mem_transactions: 16,
+            min_transactions: 8,
+            atomic_ops: 32,
+            atomic_conflicts: 16,
+            ..Default::default()
+        };
+        assert_eq!(c.warp_execution_efficiency(), Some(0.5));
+        assert_eq!(c.coalescing_efficiency(), Some(0.5));
+        assert_eq!(c.atomic_serialization(), Some(1.5));
+    }
+
+    #[test]
+    fn lane_hist_bin_matches_power_of_two_edges() {
+        assert_eq!(lane_hist_bin(1), 0);
+        assert_eq!(lane_hist_bin(2), 1);
+        assert_eq!(lane_hist_bin(3), 2);
+        assert_eq!(lane_hist_bin(4), 2);
+        assert_eq!(lane_hist_bin(5), 3);
+        assert_eq!(lane_hist_bin(8), 3);
+        assert_eq!(lane_hist_bin(9), 4);
+        assert_eq!(lane_hist_bin(16), 4);
+        assert_eq!(lane_hist_bin(17), 5);
+        assert_eq!(lane_hist_bin(32), 5);
+    }
+
+    #[test]
+    fn delta_from_subtracts_every_field() {
+        let mut earlier = Counters {
+            warp_instructions: 5,
+            lane_ops: 100,
+            flops: 7,
+            ..Default::default()
+        };
+        earlier.lane_hist[3] = 2;
+        let mut now = earlier;
+        now.warp_instructions += 10;
+        now.lane_ops += 20;
+        now.flops += 30;
+        now.lane_hist[3] += 4;
+        let d = now.delta_from(&earlier);
+        assert_eq!(d.warp_instructions, 10);
+        assert_eq!(d.lane_ops, 20);
+        assert_eq!(d.flops, 30);
+        assert_eq!(d.lane_hist[3], 4);
+        assert_eq!(d.lane_hist[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotonic counter snapshot")]
+    fn delta_from_panics_on_non_monotonic_input() {
+        // A snapshot with *more* events than "now" — bare subtraction
+        // would wrap in release builds; delta_from must panic instead.
+        let now = Counters {
+            blocks: 3,
+            ..Default::default()
+        };
+        let earlier = Counters {
+            blocks: 4,
+            ..Default::default()
+        };
+        let _ = now.delta_from(&earlier);
     }
 
     #[test]

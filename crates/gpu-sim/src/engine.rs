@@ -219,6 +219,7 @@ impl<'r, 'd, 'k> BlockCtx<'r, 'd, 'k> {
                 sm: self.sm,
                 instr: 0,
                 crit: 0,
+                lanes: 0,
                 shard: &mut *self.shard,
                 pending: &mut *self.pending,
                 cfg: self.cfg,
@@ -606,7 +607,9 @@ impl Device {
             for shard in &mut run.shards {
                 children.append(&mut shard.child_recs);
             }
-            ledger.record_launch(&self.cfg, &report, shape.0, shape.1, streams, children);
+            ledger.record_launch(
+                &self.cfg, &report, shape.0, shape.1, sm_instr, streams, children,
+            );
         }
         report
     }

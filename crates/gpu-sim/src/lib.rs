@@ -70,6 +70,7 @@ pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
+pub mod profile;
 pub mod trace;
 pub mod warp;
 
@@ -77,5 +78,6 @@ pub use buffer::{DevCopy, DeviceBuffer};
 pub use config::{presets, DeviceConfig};
 pub use counters::{Counters, RunReport, TimeBreakdown};
 pub use engine::{set_sim_threads, sim_threads, BlockCtx, ConcurrentGroup, Device, KernelFn};
+pub use profile::{KernelMetrics, KernelRow, ProfileReport, Roofline, RowKind, Verdict};
 pub use trace::{Span, SpanKind, TraceLedger};
 pub use warp::{lane_mask, WarpCtx, FULL_MASK, WARP};

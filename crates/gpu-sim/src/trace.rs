@@ -91,6 +91,9 @@ pub struct Span {
     pub breakdown: Option<TimeBreakdown>,
     /// Kernel launches merged into this span (0 for sub-spans/transfers).
     pub launches: u32,
+    /// Issue slots attributed per SM (`Launch` spans only) — the
+    /// profiler's load-imbalance input.
+    pub sm_issue_cycles: Option<Vec<u64>>,
 }
 
 impl Span {
@@ -154,12 +157,14 @@ impl TraceLedger {
     }
 
     /// Record one top-level launch report plus its sub-spans.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_launch(
         &self,
         cfg: &DeviceConfig,
         report: &RunReport,
         grid_blocks: usize,
         block_dim: usize,
+        sm_issue: Vec<u64>,
         streams: Vec<StreamRec>,
         children: Vec<ChildRec>,
     ) {
@@ -180,6 +185,7 @@ impl TraceLedger {
             counters: report.counters,
             breakdown: Some(report.breakdown),
             launches: report.launches,
+            sm_issue_cycles: Some(sm_issue),
         });
         // Sub-spans start after the parent's launch overhead.
         let t_body = t0 + report.breakdown.launch_s;
@@ -199,6 +205,7 @@ impl TraceLedger {
                 counters: s.counters,
                 breakdown: None,
                 launches: 1,
+                sm_issue_cycles: None,
             });
         }
         for c in children {
@@ -218,6 +225,7 @@ impl TraceLedger {
                 counters: c.counters,
                 breakdown: None,
                 launches: 0,
+                sm_issue_cycles: None,
             });
         }
         inner.total = std::mem::take(&mut inner.total).then(report);
@@ -243,6 +251,7 @@ impl TraceLedger {
             counters: report.counters,
             breakdown: Some(report.breakdown),
             launches: report.launches,
+            sm_issue_cycles: None,
         });
         inner.total = std::mem::take(&mut inner.total).then(report);
         inner.clock_s += report.time_s;
@@ -365,7 +374,7 @@ impl TraceLedger {
                 escape(dev)
             );
         }
-        for span in &inner.spans {
+        for (span_id, span) in inner.spans.iter().enumerate() {
             sep(&mut out, &mut first);
             let pid = devices
                 .iter()
@@ -385,9 +394,11 @@ impl TraceLedger {
                 span.t_start_s * 1e6,
                 span.dur_s * 1e6,
             );
+            // `span_id` is the span's ledger index — the key a
+            // PROFILE_*.json metric row's `span_ids` refer back to.
             let _ = write!(
                 out,
-                "\"grid_blocks\":{},\"block_dim\":{},\"launches\":{}",
+                "\"span_id\":{span_id},\"grid_blocks\":{},\"block_dim\":{},\"launches\":{}",
                 span.grid_blocks, span.block_dim, span.launches
             );
             if let Some(p) = span.parent {
@@ -421,11 +432,19 @@ fn sep(out: &mut String, first: &mut bool) {
 fn write_counters(out: &mut String, c: &Counters) {
     let _ = write!(
         out,
-        ",\"counters\":{{\"warp_instructions\":{},\"dram_read_bytes\":{},\
+        ",\"counters\":{{\"warp_instructions\":{},\"lane_ops\":{},\"flops\":{},\
+         \"mem_requests\":{},\"mem_transactions\":{},\"min_transactions\":{},\
+         \"lane_hist\":[{}],\"dram_read_bytes\":{},\
          \"dram_write_bytes\":{},\"transactions\":{},\"tex_hits\":{},\"tex_misses\":{},\
          \"atomic_ops\":{},\"atomic_conflicts\":{},\"child_launches\":{},\"blocks\":{},\
          \"warps\":{},\"htod_bytes\":{},\"dtoh_bytes\":{}}}",
         c.warp_instructions,
+        c.lane_ops,
+        c.flops,
+        c.mem_requests,
+        c.mem_transactions,
+        c.min_transactions,
+        c.lane_hist.map(|v| v.to_string()).join(","),
         c.dram_read_bytes,
         c.dram_write_bytes,
         c.transactions,

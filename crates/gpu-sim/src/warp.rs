@@ -62,6 +62,8 @@ pub struct WarpCtx<'r, 'd, 'k> {
     pub(crate) instr: u64,
     /// Local critical-path cycles, flushed (max) to the SM on drop.
     pub(crate) crit: u64,
+    /// Local active-lane count (`lane_ops`), flushed on drop.
+    pub(crate) lanes: u64,
 }
 
 impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
@@ -91,11 +93,46 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         (self.block_dim - (self.warp_in_block * WARP).min(self.block_dim)).min(WARP)
     }
 
-    /// Charge `n` ALU/control warp instructions.
+    /// Charge `n` ALU/control warp instructions. Modeled as uniform
+    /// (full-warp) work: every lane counts active. Divergent arithmetic
+    /// should go through [`WarpCtx::charge_fma`] instead so the wasted
+    /// lanes show up in the profiler's warp execution efficiency.
     #[inline]
     pub fn charge_alu(&mut self, n: u64) {
         self.instr += n;
         self.crit += n;
+        self.lanes += n * WARP as u64;
+    }
+
+    /// Charge one fused-multiply-add warp instruction executing under
+    /// `mask`: one issue slot (identical timing to `charge_alu(1)`),
+    /// `2 × active lanes` useful flops, and the active-lane histogram /
+    /// `lane_ops` accounting the profiler derives divergence from.
+    #[inline]
+    pub fn charge_fma(&mut self, mask: u32) {
+        self.instr += 1;
+        self.crit += 1;
+        let n_active = u64::from(mask.count_ones());
+        self.lanes += n_active;
+        self.shard.counters.flops += 2 * n_active;
+        self.note_lanes(n_active);
+    }
+
+    /// Charge `n` useful floating-point operations (counter-only: no
+    /// issue slots, no time — pair with [`WarpCtx::charge_alu`] for the
+    /// instructions that perform them).
+    #[inline]
+    pub fn charge_flops(&mut self, n: u64) {
+        self.shard.counters.flops += n;
+    }
+
+    /// Bump the active-lane divergence histogram for a masked warp
+    /// operation with `n_active` lanes (no-op for an all-inactive mask).
+    #[inline]
+    fn note_lanes(&mut self, n_active: u64) {
+        if n_active > 0 {
+            self.shard.counters.lane_hist[crate::counters::lane_hist_bin(n_active)] += 1;
+        }
     }
 
     /// Gather `buf[idx[i]]` for every active lane. One warp instruction;
@@ -118,8 +155,9 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
             }
         }
         let txn = self.cfg.dram_transaction_bytes as u64;
+        let ideal = ideal_transactions::<T>(&addrs[..n_active], txn);
         let segs = distinct_segments(&mut addrs[..n_active], txn);
-        self.charge_mem_read(segs, txn);
+        self.charge_mem_read(n_active as u64, segs, ideal, txn);
         out
     }
 
@@ -145,6 +183,8 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         let line = self.cfg.tex_line_bytes as u64;
         let lines = distinct_segments(&mut addrs[..n_active], line);
         self.instr += 1;
+        self.lanes += n_active as u64;
+        self.note_lanes(n_active as u64);
         let mut hits = 0u64;
         let mut misses = 0u64;
         {
@@ -224,8 +264,9 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
             }
         }
         let txn = self.cfg.dram_transaction_bytes as u64;
+        let ideal = ideal_transactions::<T>(&addrs[..n_active], txn);
         let segs = distinct_segments(&mut addrs[..n_active], txn);
-        self.charge_mem_write(segs, txn);
+        self.charge_mem_write(n_active as u64, segs, ideal, txn);
     }
 
     /// Atomic read-modify-write: `buf[idx[i]] = op(buf[idx[i]], vals[i])`.
@@ -271,6 +312,8 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
             .max()
             .unwrap_or(1) as u64;
         self.instr += max_mult;
+        self.lanes += n_active;
+        self.note_lanes(n_active);
         self.shard.counters.atomic_ops += n_active;
         self.shard.counters.atomic_conflicts += (max_mult - 1) * n_distinct as u64;
         // atomics resolve in L2 at 32B granularity
@@ -373,15 +416,25 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         });
     }
 
-    fn charge_mem_read(&mut self, segments: usize, txn_bytes: u64) {
+    fn charge_mem_read(&mut self, n_active: u64, segments: usize, ideal: u64, txn_bytes: u64) {
         self.instr += 1;
+        self.lanes += n_active;
+        self.note_lanes(n_active);
+        self.shard.counters.mem_requests += 1;
+        self.shard.counters.mem_transactions += segments as u64;
+        self.shard.counters.min_transactions += ideal;
         self.shard.counters.transactions += segments as u64;
         self.shard.counters.dram_read_bytes += segments as u64 * txn_bytes;
         self.crit += (self.cfg.mem_latency_cycles as f64 / self.cfg.mlp).ceil() as u64;
     }
 
-    fn charge_mem_write(&mut self, segments: usize, txn_bytes: u64) {
+    fn charge_mem_write(&mut self, n_active: u64, segments: usize, ideal: u64, txn_bytes: u64) {
         self.instr += 1;
+        self.lanes += n_active;
+        self.note_lanes(n_active);
+        self.shard.counters.mem_requests += 1;
+        self.shard.counters.mem_transactions += segments as u64;
+        self.shard.counters.min_transactions += ideal;
         self.shard.counters.transactions += segments as u64;
         self.shard.counters.dram_write_bytes += segments as u64 * txn_bytes;
         // writes retire through the store queue; they cost issue + a small
@@ -397,8 +450,28 @@ impl Drop for WarpCtx<'_, '_, '_> {
             self.shard.sm_crit[self.sm] = self.crit;
         }
         self.shard.counters.warp_instructions += self.instr;
+        self.shard.counters.lane_ops += self.lanes;
         self.shard.counters.warps += 1;
     }
+}
+
+/// Minimum DRAM transactions a request for these element addresses could
+/// have needed: the *distinct* elements (duplicates coalesce for free —
+/// a broadcast is perfectly efficient), densely packed into
+/// `txn_bytes`-sized transactions. Always ≤ the distinct segments the
+/// access actually touched, so coalescing efficiency stays in (0, 1].
+fn ideal_transactions<T: DevCopy>(active_addrs: &[u64], txn_bytes: u64) -> u64 {
+    if active_addrs.is_empty() {
+        return 0;
+    }
+    let elem = std::mem::size_of::<T>() as u64;
+    let mut tmp = [0u64; WARP];
+    tmp[..active_addrs.len()].copy_from_slice(active_addrs);
+    let distinct = distinct_segments(
+        &mut tmp[..active_addrs.len()],
+        elem.next_power_of_two().max(1),
+    ) as u64;
+    (distinct * elem).div_ceil(txn_bytes).max(1)
 }
 
 /// Compact `addrs` to the distinct `granularity`-sized segment ids it

@@ -1,0 +1,158 @@
+//! Profiler accounting properties: for ANY kernel mix, device preset
+//! and host worker width, the per-kernel [`ProfileReport`] must
+//! reconcile *integer-exactly* with the trace ledger's global counters
+//! and launch totals, and the whole report — rows, derived metrics,
+//! floats and all — must be bit-identical across
+//! `ACSR_SIM_THREADS ∈ {1, 2, 4}` (the profiler, like host
+//! parallelism, is pure mechanism).
+
+use gpu_sim::profile::ProfileReport;
+use gpu_sim::{lane_mask, presets, set_sim_threads, Device, DeviceConfig, WARP};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// `set_sim_threads` is process-global; hold this in every test that
+/// flips the width (the harness runs `#[test]` fns concurrently).
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+fn preset(which: u8) -> DeviceConfig {
+    match which % 3 {
+        0 => presets::gtx_titan(),
+        1 => presets::gtx_580(),
+        _ => presets::tesla_k10_single(),
+    }
+}
+
+/// A traced scenario covering every row source: a transfer, a plain
+/// (FMA + gather + atomic) launch, a pooled/serial concurrent group,
+/// dynamic-parallelism child waves where supported, and a readback.
+fn profiled(cfg: DeviceConfig, threads: usize, grid: usize, block_dim: usize) -> ProfileReport {
+    set_sim_threads(threads);
+    let mut dev = Device::new(cfg);
+    let ledger = dev.enable_tracing();
+    let n = grid * block_dim;
+    let src = dev.alloc((0..n).map(|i| (i % 53) as f64).collect::<Vec<_>>());
+    let dst = dev.alloc_zeroed::<f64>(n);
+    let acc = dev.alloc_zeroed::<f64>(4);
+
+    dev.record_htod("upload", (n * 8) as u64);
+
+    dev.launch("fma_mix", grid, block_dim, &|blk| {
+        let bidx = blk.block_idx();
+        blk.for_each_warp(&mut |warp| {
+            let base = warp.first_thread();
+            if base >= n {
+                return;
+            }
+            let mask = lane_mask(n - base);
+            let vals = warp.read_coalesced(&src, base, mask);
+            let idx: [usize; WARP] = std::array::from_fn(|l| (base + l * 17 + bidx) % n);
+            let xs = warp.gather_tex(&src, &idx, mask);
+            let mut out = [0.0f64; WARP];
+            for l in 0..WARP {
+                if mask >> l & 1 == 1 {
+                    out[l] = vals[l].mul_add(xs[l], out[l]);
+                }
+            }
+            warp.charge_fma(mask);
+            warp.write_coalesced(&dst, base, &out, mask);
+            let ones = [1.0f64; WARP];
+            let tgt = [bidx % 4; WARP];
+            warp.atomic_rmw(&acc, &tgt, &ones, mask, |a, b| a + b);
+        });
+    });
+
+    let mut group = dev.launch_group("grp");
+    for (i, g) in [grid, grid.div_ceil(2)].into_iter().enumerate() {
+        group.add(&format!("s{i}"), g, block_dim, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                let base = warp.first_thread() % n;
+                let mask = lane_mask(n - base);
+                warp.read_coalesced(&src, base, mask);
+            });
+        });
+    }
+    group.finish();
+
+    if dev.config().has_dynamic_parallelism() {
+        let out = dev.alloc_zeroed::<f64>(n.max(2 * WARP));
+        let out_ref = &out;
+        dev.launch("dp_parent", grid.min(4), 64, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                if warp.warp_in_block() != 0 {
+                    return;
+                }
+                warp.launch_child(2, 32, move |child| {
+                    let cb = child.block_idx();
+                    child.for_each_warp(&mut |cw| {
+                        let vals = [3.0f64; WARP];
+                        cw.write_coalesced(out_ref, cb * WARP, &vals, u32::MAX);
+                    });
+                });
+            });
+        });
+    }
+
+    dev.record_dtoh("readback", (n * 8) as u64);
+    set_sim_threads(0);
+
+    let total = ledger.reconcile().expect("ledger must reconcile");
+    let configs = [
+        presets::gtx_580(),
+        presets::tesla_k10_single(),
+        presets::gtx_titan(),
+    ];
+    let report = ProfileReport::from_spans(&ledger.spans(), &configs);
+    report.reconcile().expect("profile must reconcile");
+    // The profiler's own fold must agree bit-exactly with the ledger's.
+    assert_eq!(report.total.counters, total.counters);
+    assert_eq!(report.total.launches, total.launches);
+    assert_eq!(report.total.time_s.to_bits(), total.time_s.to_bits());
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The whole profile — row set, integer counters, derived f64
+    /// metrics — is bit-identical at widths 1, 2 and 4, and reconciles
+    /// integer-exactly with the trace ledger at each width.
+    #[test]
+    fn profile_is_bit_identical_across_widths(
+        which in 0u8..3,
+        grid in 1usize..20,
+        block_pow in 0u32..=2,
+    ) {
+        let _guard = WIDTH_LOCK.lock().unwrap();
+        let block_dim = 32usize << block_pow;
+        let seq = profiled(preset(which), 1, grid, block_dim);
+        for threads in [2usize, 4] {
+            let par = profiled(preset(which), threads, grid, block_dim);
+            prop_assert_eq!(&seq, &par, "width {} diverged", threads);
+        }
+    }
+
+    /// Aggregate group rows never break reconciliation: their counters
+    /// are re-sliced into stream rows, and dropping either side is
+    /// detected.
+    #[test]
+    fn counted_rows_partition_the_totals(
+        which in 0u8..3,
+        grid in 1usize..20,
+    ) {
+        let _guard = WIDTH_LOCK.lock().unwrap();
+        let report = profiled(preset(which), 1, grid, 64);
+        let mut counted = gpu_sim::Counters::default();
+        for row in report.rows.iter().filter(|r| r.is_counted()) {
+            counted.merge(&row.counters);
+        }
+        prop_assert_eq!(counted, report.total.counters);
+        // Every span id is referenced by at most one row.
+        let mut seen = std::collections::HashSet::new();
+        for row in &report.rows {
+            for id in &row.span_ids {
+                prop_assert!(seen.insert(*id), "span {} in two rows", id);
+            }
+        }
+    }
+}

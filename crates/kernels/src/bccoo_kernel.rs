@@ -147,7 +147,7 @@ impl<T: Scalar> GpuSpmv<T> for BccooKernel<T> {
                                     acc[i][lane] = vals[lane].mul_add(xs[lane], acc[i][lane]);
                                 }
                             }
-                            warp.charge_alu(1);
+                            warp.charge_fma(jm);
                         }
                     }
                 }

@@ -102,7 +102,7 @@ impl<T: Scalar> GpuSpmv<T> for BrcKernel<T> {
                             acc[lane] = vals[lane].mul_add(xs[lane], acc[lane]);
                         }
                     }
-                    warp.charge_alu(1);
+                    warp.charge_fma(pad_mask);
                 }
                 // accumulate chunk partials into their global rows
                 let list_idx: [usize; WARP] = std::array::from_fn(|i| {

@@ -67,7 +67,7 @@ impl<T: Scalar> CooKernel<T> {
                 for lane in 0..live {
                     prod[lane] = vals_v[lane] * xs[lane];
                 }
-                warp.charge_alu(1);
+                warp.charge_fma(mask);
 
                 // Segmented reduction: log-step shuffle, adding only when
                 // the source lane belongs to the same row.

@@ -99,7 +99,7 @@ impl<T: Scalar> GpuSpmv<T> for CsrScalar<T> {
                             acc[lane] = vals[lane].mul_add(xs[lane], acc[lane]);
                         }
                     }
-                    warp.charge_alu(1); // the FMA issues once per warp
+                    warp.charge_fma(it_mask); // the FMA issues once per warp
                 }
                 warp.write_coalesced(y, base_row, &acc, mask);
             });

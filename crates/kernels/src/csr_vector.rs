@@ -145,7 +145,7 @@ impl<T: Scalar> GpuSpmv<T> for CsrVector<T> {
                             acc[lane] = vals[lane].mul_add(xs[lane], acc[lane]);
                         }
                     }
-                    warp.charge_alu(1);
+                    warp.charge_fma(it_mask);
                 }
 
                 // Intra-group shuffle reduction; group-leader lanes write y.

@@ -105,7 +105,7 @@ impl<T: Scalar> GpuSpmv<T> for EllKernel<T> {
                             acc[lane] = vals[lane].mul_add(xs[lane], acc[lane]);
                         }
                     }
-                    warp.charge_alu(1);
+                    warp.charge_fma(pad_mask);
                 }
                 warp.write_coalesced(y, base_row, &acc, mask);
             });

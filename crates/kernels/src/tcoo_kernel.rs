@@ -84,7 +84,7 @@ impl<T: Scalar> GpuSpmv<T> for TcooKernel<T> {
                     for lane in 0..live {
                         prod[lane] = vals_v[lane] * xs[lane];
                     }
-                    warp.charge_alu(1);
+                    warp.charge_fma(mask);
                     // segmented pre-reduction on sorted rows (as COO)
                     let mut delta = 1usize;
                     while delta < WARP {
@@ -177,7 +177,7 @@ mod tests {
             let xd = dev.alloc(x.clone());
             let yd = dev.alloc_zeroed::<f32>(m.rows());
             let r = eng.spmv(&dev, &xd, &yd);
-            r.counters.tex_hit_rate()
+            r.counters.tex_hit_rate().expect("texture reads occurred")
         };
         let flat = rate(1);
         let tiled = rate(32);

@@ -30,6 +30,21 @@ echo "==> serving smoke (repro serve --trace)"
 test -s results/trace_serve.json
 ./target/release/repro trace-check results/trace_serve.json
 
+echo "==> profiler smoke (repro profile fig5)"
+./target/release/repro profile fig5 --trace --scale 512 --matrices INT > /dev/null
+test -s results/PROFILE_fig5.json
+./target/release/repro check-artifacts results/PROFILE_fig5.json results/trace_fig5.json
+
+echo "==> perf-regression gate (bench-diff vs committed baseline)"
+./target/release/repro bench-diff baselines/PROFILE_fig5_ci.json results/PROFILE_fig5.json
+
+echo "==> perf-regression gate rejects an inflated baseline"
+if ./target/release/repro bench-diff baselines/PROFILE_fig5_ci_inflated.json \
+    results/PROFILE_fig5.json > /dev/null; then
+  echo "bench-diff accepted an inflated baseline; the gate is broken" >&2
+  exit 1
+fi
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 

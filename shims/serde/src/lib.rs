@@ -33,6 +33,12 @@ pub trait Serialize {
 /// Marker: the workspace derives it but never drives a deserializer.
 pub trait Deserialize {}
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

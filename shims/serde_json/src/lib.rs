@@ -102,19 +102,25 @@ fn render(value: &Value, indent: Option<usize>, level: usize, out: &mut String) 
     }
 }
 
-/// Check that `s` is one syntactically valid JSON value (recursive
-/// descent over the full grammar; no value tree is built). Used to
-/// verify emitted artifacts like the chrome-trace export.
-pub fn validate(s: &str) -> Result<(), Error> {
+/// Parse one JSON value into the serde shim's [`Value`] tree.
+/// Integers without fraction/exponent parse as `I64` (or `U64` when
+/// they only fit unsigned); everything else numeric parses as `F64`.
+pub fn from_str(s: &str) -> Result<Value, Error> {
     let bytes = s.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(Error(format!("trailing data at byte {pos}")));
     }
-    Ok(())
+    Ok(value)
+}
+
+/// Check that `s` is one syntactically valid JSON value. Used to
+/// verify emitted artifacts like the chrome-trace export.
+pub fn validate(s: &str) -> Result<(), Error> {
+    from_str(s).map(|_| ())
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -132,29 +138,31 @@ fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), Error> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), Error> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err(Error("unexpected end of input".into())),
         Some(b'{') => {
             *pos += 1;
             skip_ws(b, pos);
+            let mut entries = Vec::new();
             if b.get(*pos) == Some(&b'}') {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Object(entries));
             }
             loop {
                 skip_ws(b, pos);
-                parse_string(b, pos)?;
+                let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, b':')?;
-                parse_value(b, pos)?;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
                     Some(b'}') => {
                         *pos += 1;
-                        return Ok(());
+                        return Ok(Value::Object(entries));
                     }
                     _ => return Err(Error(format!("expected ',' or '}}' at byte {}", *pos))),
                 }
@@ -163,27 +171,28 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), Error> {
         Some(b'[') => {
             *pos += 1;
             skip_ws(b, pos);
+            let mut items = Vec::new();
             if b.get(*pos) == Some(&b']') {
                 *pos += 1;
-                return Ok(());
+                return Ok(Value::Array(items));
             }
             loop {
-                parse_value(b, pos)?;
+                items.push(parse_value(b, pos)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
                     Some(b']') => {
                         *pos += 1;
-                        return Ok(());
+                        return Ok(Value::Array(items));
                     }
                     _ => return Err(Error(format!("expected ',' or ']' at byte {}", *pos))),
                 }
             }
         }
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_literal(b, pos, "true"),
-        Some(b'f') => parse_literal(b, pos, "false"),
-        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null").map(|()| Value::Null),
         Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
         Some(c) => Err(Error(format!(
             "unexpected '{}' at byte {}",
@@ -201,24 +210,53 @@ fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), Error> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
     expect(b, pos, b'"')?;
+    let mut out = String::new();
     while *pos < b.len() {
         match b[*pos] {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(c @ (b'"' | b'\\' | b'/')) => {
+                        out.push(*c as char);
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{8}');
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{c}');
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        *pos += 1;
+                    }
                     Some(b'u') => {
                         if b.len() < *pos + 5
                             || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
                         {
                             return Err(Error(format!("bad \\u escape at byte {}", *pos)));
                         }
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5]).expect("hex ascii");
+                        let code = u32::from_str_radix(hex, 16).expect("validated hex");
+                        // Surrogate halves (the exporter never emits
+                        // them) degrade to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 5;
                     }
                     _ => return Err(Error(format!("bad escape at byte {}", *pos))),
@@ -227,14 +265,27 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), Error> {
             c if c < 0x20 => {
                 return Err(Error(format!("raw control char at byte {}", *pos)));
             }
-            _ => *pos += 1,
+            _ => {
+                // multi-byte UTF-8 sequences pass through untouched
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && b[*pos] & 0xc0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos])
+                        .map_err(|_| Error(format!("invalid utf-8 at byte {start}")))?,
+                );
+            }
         }
     }
     Err(Error("unterminated string".into()))
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), Error> {
-    if b.get(*pos) == Some(&b'-') {
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    let negative = b.get(*pos) == Some(&b'-');
+    if negative {
         *pos += 1;
     }
     let int_start = *pos;
@@ -248,7 +299,9 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), Error> {
     if b[int_start] == b'0' && *pos - int_start > 1 {
         return Err(Error(format!("leading zero at byte {int_start}")));
     }
+    let mut integral = true;
     if b.get(*pos) == Some(&b'.') {
+        integral = false;
         *pos += 1;
         let frac_start = *pos;
         while *pos < b.len() && b[*pos].is_ascii_digit() {
@@ -259,6 +312,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), Error> {
         }
     }
     if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        integral = false;
         *pos += 1;
         if matches!(b.get(*pos), Some(b'+' | b'-')) {
             *pos += 1;
@@ -271,7 +325,18 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), Error> {
             return Err(Error(format!("exponent digit expected at byte {}", *pos)));
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    if integral {
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::I64(v));
+        }
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::U64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| Error(format!("unparseable number at byte {start}")))
 }
 
 fn escape_into(s: &str, out: &mut String) {
@@ -363,6 +428,56 @@ mod tests {
         ] {
             assert!(super::validate(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn from_str_builds_value_trees() {
+        use serde::Value;
+        let v = super::from_str("{\"a\": [1, -2, 2.5, true, null], \"b\": \"x\\ny\"}").unwrap();
+        let Value::Object(entries) = &v else {
+            panic!("expected object, got {v:?}");
+        };
+        assert_eq!(entries[0].0, "a");
+        let Value::Array(items) = &entries[0].1 else {
+            panic!("expected array");
+        };
+        assert_eq!(items[0], Value::I64(1));
+        assert_eq!(items[1], Value::I64(-2));
+        assert_eq!(items[2], Value::F64(2.5));
+        assert_eq!(items[3], Value::Bool(true));
+        assert_eq!(items[4], Value::Null);
+        assert_eq!(entries[1].1, Value::Str("x\ny".into()));
+        // u64 beyond i64 range falls back to U64; exponents to F64.
+        assert_eq!(
+            super::from_str("18446744073709551615").unwrap(),
+            Value::U64(u64::MAX)
+        );
+        assert_eq!(super::from_str("1e3").unwrap(), Value::F64(1000.0));
+        // escapes round-trip through our own renderer
+        let v = super::from_str("\"\\u0041\\\\\\\"\\t\"").unwrap();
+        assert_eq!(v, Value::Str("A\\\"\t".into()));
+    }
+
+    #[test]
+    fn from_str_roundtrips_renderer_output() {
+        use serde::Value;
+        let row = Row {
+            name: "a\"b\\c\nd — π".into(),
+            nnz: u64::MAX,
+            gflops: 1e-9,
+            tags: vec!["x"],
+        };
+        let text = super::to_string_pretty(&vec![row]).unwrap();
+        let v = super::from_str(&text).unwrap();
+        let Value::Array(items) = &v else {
+            panic!("expected array");
+        };
+        let Value::Object(entries) = &items[0] else {
+            panic!("expected object");
+        };
+        assert_eq!(entries[0].1, Value::Str("a\"b\\c\nd — π".into()));
+        assert_eq!(entries[1].1, Value::U64(u64::MAX));
+        assert_eq!(entries[2].1, Value::F64(1e-9));
     }
 
     #[test]
