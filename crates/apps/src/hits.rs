@@ -14,6 +14,7 @@ use crate::{IterParams, SolveResult};
 use gpu_sim::{Device, RunReport};
 use sparse_formats::{CsrMatrix, Scalar};
 use spmv_kernels::GpuSpmv;
+use spmv_pipeline::SpmvPlan;
 
 /// Hub/authority scores extracted from a converged coupling vector.
 #[derive(Clone, Debug)]
@@ -29,12 +30,14 @@ pub fn hits_operator<T: Scalar>(adjacency: &CsrMatrix<T>) -> CsrMatrix<T> {
     adjacency.hits_coupling()
 }
 
-/// Run HITS on a device engine holding the coupling operator (2n x 2n).
+/// Run HITS on a planned coupling operator (2n x 2n, any registry
+/// format).
 pub fn hits_gpu<T: Scalar>(
     dev: &Device,
-    engine: &dyn GpuSpmv<T>,
+    plan: &SpmvPlan<T>,
     params: &IterParams,
 ) -> SolveResult<T> {
+    let engine: &dyn GpuSpmv<T> = plan;
     let n2 = engine.rows();
     assert_eq!(engine.cols(), n2, "coupling operator must be square");
     assert_eq!(n2 % 2, 0, "coupling operator must be 2n x 2n");
@@ -122,9 +125,15 @@ pub fn hits_cpu<T: Scalar>(coupling: &CsrMatrix<T>, params: &IterParams) -> (Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acsr::{AcsrConfig, AcsrEngine};
     use gpu_sim::presets;
     use graphgen::{generate_power_law, PowerLawConfig};
+    use spmv_pipeline::{FormatRegistry, PlanBudget};
+
+    fn plan_for(dev: &Device, m: &CsrMatrix<f64>) -> SpmvPlan<f64> {
+        FormatRegistry::<f64>::with_all()
+            .plan("ACSR", dev, m, &PlanBudget::default())
+            .unwrap()
+    }
 
     fn graph(rows: usize, seed: u64) -> CsrMatrix<f64> {
         generate_power_law(&PowerLawConfig {
@@ -144,7 +153,7 @@ mod tests {
         let g = graph(400, 141);
         let coupling = hits_operator(&g);
         let dev = Device::new(presets::gtx_titan());
-        let engine = AcsrEngine::from_csr(&dev, &coupling, AcsrConfig::for_device(dev.config()));
+        let engine = plan_for(&dev, &coupling);
         let params = IterParams::default();
         let gpu = hits_gpu(&dev, &engine, &params);
         let (cpu, cpu_iters) = hits_cpu(&coupling, &params);
@@ -158,7 +167,7 @@ mod tests {
         let g = graph(300, 142);
         let coupling = hits_operator(&g);
         let dev = Device::new(presets::gtx_titan());
-        let engine = AcsrEngine::from_csr(&dev, &coupling, AcsrConfig::for_device(dev.config()));
+        let engine = plan_for(&dev, &coupling);
         let res = hits_gpu(&dev, &engine, &IterParams::default());
         assert!(res.scores.iter().all(|&s| s >= 0.0));
         let half = res.scores.len() / 2;

@@ -10,6 +10,7 @@ use crate::{IterParams, SolveResult};
 use gpu_sim::{Device, RunReport};
 use sparse_formats::{CsrMatrix, Scalar};
 use spmv_kernels::GpuSpmv;
+use spmv_pipeline::SpmvPlan;
 
 /// Build the PageRank operator `M = (row-normalized A)ᵀ` so that
 /// `M × PR` distributes each page's rank over its out-links.
@@ -24,16 +25,19 @@ pub fn pagerank_operator<T: Scalar>(adjacency: &CsrMatrix<T>) -> CsrMatrix<T> {
     a.transpose()
 }
 
-/// Run PageRank on a device engine holding the operator matrix.
+/// Run PageRank on a planned operator (any registry format).
 ///
 /// `damping` is the paper's d = 0.85; iteration stops when
-/// `‖PR^(k+1) − PR^(k)‖₂ < params.epsilon`.
+/// `‖PR^(k+1) − PR^(k)‖₂ < params.epsilon`. The plan's preprocessing
+/// was paid once at [`spmv_pipeline::SpmvPlanner::plan`] time; the
+/// iterations here add none (pinned by the plan-cache tests).
 pub fn pagerank_gpu<T: Scalar>(
     dev: &Device,
-    engine: &dyn GpuSpmv<T>,
+    plan: &SpmvPlan<T>,
     damping: f64,
     params: &IterParams,
 ) -> SolveResult<T> {
+    let engine: &dyn GpuSpmv<T> = plan;
     let n = engine.rows();
     assert_eq!(engine.cols(), n, "PageRank operator must be square");
     let teleport = T::from_f64((1.0 - damping) / n as f64);
@@ -97,11 +101,15 @@ pub fn pagerank_cpu<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acsr::{AcsrConfig, AcsrEngine};
     use gpu_sim::presets;
     use graphgen::{generate_power_law, PowerLawConfig};
-    use spmv_kernels::csr_vector::CsrVector;
-    use spmv_kernels::DevCsr;
+    use spmv_pipeline::{FormatRegistry, PlanBudget};
+
+    fn plan_for(dev: &Device, m: &CsrMatrix<f64>, format: &str) -> SpmvPlan<f64> {
+        FormatRegistry::<f64>::with_all()
+            .plan(format, dev, m, &PlanBudget::default())
+            .unwrap()
+    }
 
     fn graph(rows: usize, seed: u64) -> CsrMatrix<f64> {
         generate_power_law(&PowerLawConfig {
@@ -136,7 +144,7 @@ mod tests {
         let g = graph(800, 132);
         let m = pagerank_operator(&g);
         let dev = Device::new(presets::gtx_titan());
-        let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
+        let engine = plan_for(&dev, &m, "ACSR");
         let params = IterParams::default();
         let gpu = pagerank_gpu(&dev, &engine, 0.85, &params);
         let (cpu, cpu_iters) = pagerank_cpu(m.rows(), 0.85, &params, |x, y| m.spmv_into(x, y));
@@ -150,7 +158,7 @@ mod tests {
         let g = graph(600, 133);
         let m = pagerank_operator(&g);
         let dev = Device::new(presets::gtx_titan());
-        let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
+        let engine = plan_for(&dev, &m, "ACSR");
         let res = pagerank_gpu(&dev, &engine, 0.85, &IterParams::default());
         let total: f64 = res.scores.iter().sum();
         // dangling rows leak a little mass; bulk must be preserved
@@ -163,10 +171,10 @@ mod tests {
         let m = pagerank_operator(&g);
         let dev = Device::new(presets::gtx_titan());
         let params = IterParams::default();
-        let acsr_eng = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
-        let csr_eng = CsrVector::new(DevCsr::upload(&dev, &m));
-        let a = pagerank_gpu(&dev, &acsr_eng, 0.85, &params);
-        let b = pagerank_gpu(&dev, &csr_eng, 0.85, &params);
+        let acsr_plan = plan_for(&dev, &m, "ACSR");
+        let csr_plan = plan_for(&dev, &m, "CSR-vector");
+        let a = pagerank_gpu(&dev, &acsr_plan, 0.85, &params);
+        let b = pagerank_gpu(&dev, &csr_plan, 0.85, &params);
         assert_eq!(a.iterations, b.iterations);
         let d = sparse_formats::scalar::rel_l2_distance(&a.scores, &b.scores);
         assert!(d < 1e-10);
@@ -177,7 +185,7 @@ mod tests {
         let g = graph(300, 135);
         let m = pagerank_operator(&g);
         let dev = Device::new(presets::gtx_titan());
-        let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
+        let engine = plan_for(&dev, &m, "ACSR");
         let res = pagerank_gpu(
             &dev,
             &engine,

@@ -9,6 +9,7 @@ use crate::{IterParams, SolveResult};
 use gpu_sim::{lane_mask, Device, DeviceBuffer, RunReport, WARP};
 use sparse_formats::{CsrMatrix, Scalar};
 use spmv_kernels::GpuSpmv;
+use spmv_pipeline::SpmvPlan;
 
 /// Build the RWR operator `W` (column-normalized adjacency).
 pub fn rwr_operator<T: Scalar>(adjacency: &CsrMatrix<T>) -> CsrMatrix<T> {
@@ -107,14 +108,15 @@ pub fn rwr_update_multi<T: Scalar>(
     })
 }
 
-/// Run RWR from `seed` on a device engine holding `W`.
+/// Run RWR from `seed` on a planned `W` (any registry format).
 pub fn rwr_gpu<T: Scalar>(
     dev: &Device,
-    engine: &dyn GpuSpmv<T>,
+    plan: &SpmvPlan<T>,
     seed: usize,
     restart_c: f64,
     params: &IterParams,
 ) -> SolveResult<T> {
+    let engine: &dyn GpuSpmv<T> = plan;
     let n = engine.rows();
     assert_eq!(engine.cols(), n, "RWR operator must be square");
     assert!(seed < n, "seed out of range");
@@ -185,9 +187,15 @@ pub fn rwr_cpu<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acsr::{AcsrConfig, AcsrEngine};
     use gpu_sim::presets;
     use graphgen::{generate_power_law, PowerLawConfig};
+    use spmv_pipeline::{FormatRegistry, PlanBudget};
+
+    fn plan_for(dev: &Device, m: &CsrMatrix<f64>) -> SpmvPlan<f64> {
+        FormatRegistry::<f64>::with_all()
+            .plan("ACSR", dev, m, &PlanBudget::default())
+            .unwrap()
+    }
 
     fn graph(rows: usize, seed: u64) -> CsrMatrix<f64> {
         generate_power_law(&PowerLawConfig {
@@ -207,7 +215,7 @@ mod tests {
         let g = graph(500, 151);
         let w = rwr_operator(&g);
         let dev = Device::new(presets::gtx_titan());
-        let engine = AcsrEngine::from_csr(&dev, &w, AcsrConfig::for_device(dev.config()));
+        let engine = plan_for(&dev, &w);
         let params = IterParams::default();
         let gpu = rwr_gpu(&dev, &engine, 3, 0.85, &params);
         let (cpu, cpu_iters) = rwr_cpu(&w, 3, 0.85, &params);
@@ -273,7 +281,7 @@ mod tests {
         let g = graph(100, 154);
         let w = rwr_operator(&g);
         let dev = Device::new(presets::gtx_titan());
-        let engine = AcsrEngine::from_csr(&dev, &w, AcsrConfig::for_device(dev.config()));
+        let engine = plan_for(&dev, &w);
         let _ = rwr_gpu(&dev, &engine, 100, 0.85, &IterParams::default());
     }
 }

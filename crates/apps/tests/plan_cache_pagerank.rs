@@ -1,0 +1,75 @@
+//! Acceptance pin for plan reuse: an iterative app that re-fetches its
+//! plan from the [`PlanCache`] every solve pays the format's
+//! `PreprocessCost` exactly once — iterations 2..n report **zero**
+//! additional preprocessing, and the answers are bit-identical to the
+//! first iteration's.
+
+use gpu_sim::{presets, Device};
+use graph_apps::pagerank::{pagerank_gpu, pagerank_operator};
+use graph_apps::IterParams;
+use graphgen::{generate_power_law, PowerLawConfig};
+use sparse_formats::HostModel;
+use spmv_pipeline::{FormatRegistry, PlanBudget, PlanCache};
+
+#[test]
+fn repeat_iterations_add_zero_preprocess_cost() {
+    let g = generate_power_law(&PowerLawConfig {
+        rows: 700,
+        cols: 700,
+        mean_degree: 6.0,
+        max_degree: 200,
+        pinned_max_rows: 1,
+        col_skew: 0.4,
+        seed: 171,
+        ..Default::default()
+    });
+    let m = pagerank_operator(&g);
+    let dev = Device::new(presets::gtx_titan());
+    let reg = FormatRegistry::<f64>::with_all();
+    let budget = PlanBudget::default();
+    let host = HostModel::default();
+    let params = IterParams::default();
+
+    let mut cache = PlanCache::<f64>::new();
+    let n = 6;
+    let mut first_scores: Option<Vec<f64>> = None;
+    let mut first_preprocess = 0.0;
+    let mut additional_preprocess = 0.0;
+    for i in 0..n {
+        let misses_before = cache.misses();
+        let (res, paid_if_planned) = {
+            let plan = cache.get_or_plan(&reg, "ACSR", &dev, &m, &budget).unwrap();
+            let paid = plan.preprocess_seconds(&host) + plan.upload_seconds(&host);
+            (pagerank_gpu(&dev, plan, 0.85, &params), paid)
+        };
+        let paid = if cache.misses() > misses_before {
+            paid_if_planned
+        } else {
+            0.0
+        };
+        if i == 0 {
+            first_preprocess = paid;
+        } else {
+            additional_preprocess += paid;
+        }
+        match &first_scores {
+            None => first_scores = Some(res.scores),
+            Some(want) => {
+                assert_eq!(res.scores.len(), want.len());
+                for (a, b) in res.scores.iter().zip(want) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "cached plan changed the answer");
+                }
+            }
+        }
+    }
+    assert!(
+        first_preprocess > 0.0,
+        "cold plan must charge preprocessing"
+    );
+    assert_eq!(
+        additional_preprocess, 0.0,
+        "iterations 2..n must pay zero additional preprocessing"
+    );
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.hits(), n - 1);
+}

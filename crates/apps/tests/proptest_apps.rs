@@ -2,15 +2,13 @@
 //! must hold on arbitrary graphs, and the solution must not depend on
 //! which SpMV engine computed it.
 
-use acsr::{AcsrConfig, AcsrEngine};
 use gpu_sim::{presets, Device};
 use graph_apps::pagerank::{pagerank_cpu, pagerank_gpu, pagerank_operator};
 use graph_apps::rwr::{rwr_cpu, rwr_operator};
 use graph_apps::IterParams;
 use proptest::prelude::*;
 use sparse_formats::{CsrMatrix, TripletMatrix};
-use spmv_kernels::csr_vector::CsrVector;
-use spmv_kernels::DevCsr;
+use spmv_pipeline::{FormatRegistry, PlanBudget};
 
 /// Arbitrary directed graph (square adjacency, unit-ish weights).
 fn arb_graph() -> impl Strategy<Value = CsrMatrix<f64>> {
@@ -52,8 +50,10 @@ proptest! {
         let op = pagerank_operator(&g);
         let dev = Device::new(presets::gtx_titan());
         let p = params();
-        let acsr = AcsrEngine::from_csr(&dev, &op, AcsrConfig::for_device(dev.config()));
-        let csr = CsrVector::new(DevCsr::upload(&dev, &op));
+        let reg = FormatRegistry::<f64>::with_all();
+        let budget = PlanBudget::default();
+        let acsr = reg.plan("ACSR", &dev, &op, &budget).unwrap();
+        let csr = reg.plan("CSR-vector", &dev, &op, &budget).unwrap();
         let a = pagerank_gpu(&dev, &acsr, 0.85, &p);
         let b = pagerank_gpu(&dev, &csr, 0.85, &p);
         prop_assert_eq!(a.iterations, b.iterations);

@@ -7,13 +7,11 @@
 //! counter-examples where HYB stays ahead.
 
 use crate::common::{selected_specs, Options, Table};
-use acsr::{AcsrConfig, AcsrEngine};
 use gpu_sim::{presets, Device, DeviceConfig};
 use serde::Serialize;
-use sparse_formats::{CsrMatrix, HybMatrix, Scalar};
-use spmv_kernels::csr_vector::CsrVector;
-use spmv_kernels::hyb_kernel::HybKernel;
-use spmv_kernels::{DevCsr, DevHyb, GpuSpmv};
+use sparse_formats::{CsrMatrix, Scalar};
+use spmv_kernels::GpuSpmv;
+use spmv_pipeline::{FormatRegistry, PlanBudget, SpmvPlan};
 
 /// GFLOP/s of the three engines on one matrix/device/precision.
 #[derive(Clone, Debug, Serialize)]
@@ -42,29 +40,32 @@ fn measure<T: Scalar>(
         .collect();
     let xd = dev.alloc(x);
     let fits = |bytes: u64| bytes.saturating_mul(scale as u64) <= mem;
-    let avg = |engine: &dyn GpuSpmv<T>| -> f64 {
+    let avg = |plan: &SpmvPlan<T>| -> f64 {
         // "each SpMV experiment was repeated 50 times and the average is
         // reported" — the simulator is deterministic, so one rep IS the
         // 50-rep average; `reps` exists for cache-warmup studies.
         let mut total = 0.0;
-        let y = dev.alloc_zeroed::<T>(engine.rows());
+        let y = dev.alloc_zeroed::<T>(plan.rows());
         for _ in 0..reps {
-            total += engine.spmv(&dev, &xd, &y).time_s;
+            total += plan.spmv(&dev, &xd, &y).time_s;
         }
         flops as f64 / (total / reps as f64) / 1e9
     };
 
-    let csr_eng = CsrVector::new(DevCsr::upload(&dev, m));
-    let csr_gflops = fits(csr_eng.device_bytes()).then(|| avg(&csr_eng));
-
-    let hyb_gflops = HybMatrix::from_csr(m, mem as usize)
-        .ok()
-        .map(|(hyb, _)| HybKernel::new(DevHyb::upload(&dev, &hyb)))
-        .filter(|e| fits(e.device_bytes()))
-        .map(|e| avg(&e));
-
-    let acsr_eng = AcsrEngine::from_csr(&dev, m, AcsrConfig::for_device(dev.config()));
-    let acsr_gflops = fits(acsr_eng.device_bytes()).then(|| avg(&acsr_eng));
+    // Full-scale feasibility (the ∅ cells) is the *projected* footprint;
+    // the generated analog always fits, so plan within `mem` and filter
+    // by the scaled device bytes afterwards.
+    let reg = FormatRegistry::<T>::with_all();
+    let budget = PlanBudget::for_device(dev.config());
+    let gflops_of = |name: &str| -> Option<f64> {
+        reg.plan(name, &dev, m, &budget)
+            .ok()
+            .filter(|p| fits(p.device_bytes()))
+            .map(|p| avg(&p))
+    };
+    let csr_gflops = gflops_of("CSR-vector");
+    let hyb_gflops = gflops_of("HYB");
+    let acsr_gflops = gflops_of("ACSR");
 
     Fig5Row {
         device: dev.config().name.clone(),

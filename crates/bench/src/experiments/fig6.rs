@@ -7,17 +7,14 @@
 //! story is Figures 4/7.
 
 use crate::common::{selected_specs, Options, Table};
-use acsr::{AcsrConfig, AcsrEngine};
 use gpu_sim::{presets, Device};
 use graph_apps::hits::{hits_gpu, hits_operator};
 use graph_apps::pagerank::{pagerank_gpu, pagerank_operator};
 use graph_apps::rwr::{rwr_gpu, rwr_operator};
 use graph_apps::IterParams;
 use serde::Serialize;
-use sparse_formats::{CsrMatrix, HybMatrix};
-use spmv_kernels::csr_vector::CsrVector;
-use spmv_kernels::hyb_kernel::HybKernel;
-use spmv_kernels::{DevCsr, DevHyb, GpuSpmv};
+use sparse_formats::CsrMatrix;
+use spmv_pipeline::{FormatRegistry, PlanBudget, SpmvPlan};
 
 /// Per-application speedups on one matrix.
 #[derive(Clone, Debug, Serialize)]
@@ -30,27 +27,23 @@ pub struct Fig6Row {
     pub speedup_vs_hyb: f64,
 }
 
-fn engines_for(
-    dev: &Device,
-    op: &CsrMatrix<f64>,
-) -> (AcsrEngine<f64>, CsrVector<f64>, HybKernel<f64>) {
-    let acsr = AcsrEngine::from_csr(dev, op, AcsrConfig::for_device(dev.config()));
-    let csr = CsrVector::new(DevCsr::upload(dev, op));
-    let (hyb, _) = HybMatrix::from_csr(op, usize::MAX).expect("HYB conversion");
-    let hyb = HybKernel::new(DevHyb::upload(dev, &hyb));
-    (acsr, csr, hyb)
+fn plans_for(dev: &Device, op: &CsrMatrix<f64>) -> (SpmvPlan<f64>, SpmvPlan<f64>, SpmvPlan<f64>) {
+    let reg = FormatRegistry::<f64>::with_all();
+    let budget = PlanBudget::for_device(dev.config());
+    let plan = |name| reg.plan(name, dev, op, &budget).expect(name);
+    (plan("ACSR"), plan("CSR-vector"), plan("HYB"))
 }
 
-/// Run one application over the three engines and record speedups.
+/// Run one application over the three plans and record speedups.
 fn app_rows(
     app: &'static str,
     dev: &Device,
     abbrev: &str,
     op: &CsrMatrix<f64>,
     params: &IterParams,
-    solve: impl Fn(&Device, &dyn GpuSpmv<f64>) -> (usize, f64),
+    solve: impl Fn(&Device, &SpmvPlan<f64>) -> (usize, f64),
 ) -> Fig6Row {
-    let (acsr, csr, hyb) = engines_for(dev, op);
+    let (acsr, csr, hyb) = plans_for(dev, op);
     let (it_a, t_a) = solve(dev, &acsr);
     let (it_c, t_c) = solve(dev, &csr);
     let (it_h, t_h) = solve(dev, &hyb);

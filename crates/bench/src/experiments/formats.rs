@@ -18,16 +18,11 @@
 //! bandwidth-bound quantities that dominate every entry.
 
 use crate::common::{selected_specs, Options};
-use acsr::{AcsrConfig, AcsrEngine};
 use gpu_sim::{presets, Device, DeviceBuffer};
 use serde::Serialize;
-use sparse_formats::{BrcMatrix, CsrMatrix, HostModel, HybMatrix};
-use spmv_kernels::bccoo_kernel::BccooKernel;
-use spmv_kernels::brc_kernel::BrcKernel;
-use spmv_kernels::hyb_kernel::HybKernel;
-use spmv_kernels::tcoo_kernel::TcooKernel;
-use spmv_kernels::tuning::{autotune_bccoo, tune_tcoo};
-use spmv_kernels::{DevBccoo, DevBrc, DevHyb, DevTcoo, GpuSpmv};
+use sparse_formats::{CsrMatrix, HostModel};
+use spmv_kernels::GpuSpmv;
+use spmv_pipeline::{FormatRegistry, PlanBudget};
 
 /// Row cap for the BCCOO tuning sample (cost extrapolated to full size;
 /// DESIGN.md §1).
@@ -110,21 +105,13 @@ fn one_spmv<T: sparse_formats::Scalar>(
     r.breakdown.launch_s + r.breakdown.dynamic_launch_s + work
 }
 
-/// Project a measured preprocessing cost to full matrix scale.
+/// Project a measured preprocessing cost to full matrix scale
+/// ([`sparse_formats::PreprocessCost::scaled`]).
 fn project_cost(
     cost: &sparse_formats::PreprocessCost,
     scale: usize,
 ) -> sparse_formats::PreprocessCost {
-    let s = scale as u64;
-    sparse_formats::PreprocessCost {
-        bytes_read: cost.bytes_read * s,
-        bytes_written: cost.bytes_written * s,
-        sorted_elements: cost.sorted_elements * s,
-        largest_sort: cost.largest_sort * s,
-        autotune_trials: cost.autotune_trials,
-        autotune_device_seconds: cost.autotune_device_seconds * scale as f64,
-        wall: cost.wall,
-    }
+    cost.scaled(scale as u64)
 }
 
 /// `true` when `bytes_at_this_scale * scale` fits the device memory —
@@ -141,77 +128,32 @@ pub fn compare_matrix(
     host: &HostModel,
 ) -> FormatComparison {
     let dev = Device::new(presets::gtx_titan());
-    let mem = dev.config().memory_bytes();
     let x: Vec<f32> = (0..m.cols()).map(|i| 1.0 + (i % 7) as f32 * 0.1).collect();
     let xd = dev.alloc(x);
 
-    // --- ACSR -----------------------------------------------------------
-    let engine = AcsrEngine::from_csr(&dev, m, AcsrConfig::for_device(dev.config()));
-    let acsr = FormatCost {
-        format: "ACSR".into(),
-        preprocess_seconds: project_cost(engine.preprocess_cost(), scale)
-            .modeled_host_seconds(host),
-        spmv_seconds: one_spmv(&dev, &engine, &xd, scale),
-        feasible: fits_full_scale(&dev, engine.device_bytes(), scale),
+    let reg = FormatRegistry::<f32>::with_all();
+    let budget = PlanBudget {
+        bccoo_sample_rows: BCCOO_TUNE_SAMPLE_ROWS,
+        ..PlanBudget::for_device(dev.config())
+    };
+    let cost_of = |name: &'static str| -> FormatCost {
+        match reg.plan(name, &dev, m, &budget) {
+            Ok(plan) => FormatCost {
+                format: name.into(),
+                preprocess_seconds: project_cost(plan.preprocess_cost(), scale)
+                    .modeled_host_seconds(host),
+                spmv_seconds: one_spmv(&dev, &plan, &xd, scale),
+                feasible: fits_full_scale(&dev, plan.device_bytes(), scale),
+            },
+            Err(_) => infeasible(name),
+        }
     };
 
-    let mut others = Vec::new();
-
-    // --- BCCOO (auto-tuned over >300 configurations) --------------------
-    match autotune_bccoo(&dev, m, BCCOO_TUNE_SAMPLE_ROWS, mem) {
-        Ok(tuned) => {
-            let eng = BccooKernel::new(DevBccoo::upload(&dev, &tuned.matrix));
-            others.push(FormatCost {
-                format: "BCCOO".into(),
-                preprocess_seconds: project_cost(&tuned.cost, scale).modeled_host_seconds(host),
-                spmv_seconds: one_spmv(&dev, &eng, &xd, scale),
-                feasible: fits_full_scale(&dev, eng.device_bytes(), scale),
-            });
-        }
-        Err(_) => others.push(infeasible("BCCOO")),
-    }
-
-    // --- BRC -------------------------------------------------------------
-    match BrcMatrix::from_csr(m, mem) {
-        Ok((brc, cost)) => {
-            let eng = BrcKernel::new(DevBrc::upload(&dev, &brc));
-            others.push(FormatCost {
-                format: "BRC".into(),
-                preprocess_seconds: project_cost(&cost, scale).modeled_host_seconds(host),
-                spmv_seconds: one_spmv(&dev, &eng, &xd, scale),
-                feasible: fits_full_scale(&dev, eng.device_bytes(), scale),
-            });
-        }
-        Err(_) => others.push(infeasible("BRC")),
-    }
-
-    // --- TCOO (exhaustive tile search) -----------------------------------
-    match tune_tcoo(&dev, m, mem) {
-        Ok(tuned) => {
-            let eng = TcooKernel::new(DevTcoo::upload(&dev, &tuned.matrix));
-            others.push(FormatCost {
-                format: "TCOO".into(),
-                preprocess_seconds: project_cost(&tuned.cost, scale).modeled_host_seconds(host),
-                spmv_seconds: one_spmv(&dev, &eng, &xd, scale),
-                feasible: fits_full_scale(&dev, eng.device_bytes(), scale),
-            });
-        }
-        Err(_) => others.push(infeasible("TCOO")),
-    }
-
-    // --- HYB --------------------------------------------------------------
-    match HybMatrix::from_csr(m, mem) {
-        Ok((hyb, cost)) => {
-            let eng = HybKernel::new(DevHyb::upload(&dev, &hyb));
-            others.push(FormatCost {
-                format: "HYB".into(),
-                preprocess_seconds: project_cost(&cost, scale).modeled_host_seconds(host),
-                spmv_seconds: one_spmv(&dev, &eng, &xd, scale),
-                feasible: fits_full_scale(&dev, eng.device_bytes(), scale),
-            });
-        }
-        Err(_) => others.push(infeasible("HYB")),
-    }
+    let acsr = cost_of("ACSR");
+    let others: Vec<FormatCost> = ["BCCOO", "BRC", "TCOO", "HYB"]
+        .into_iter()
+        .map(cost_of)
+        .collect();
 
     FormatComparison {
         abbrev: abbrev.to_string(),

@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod formats;
+pub mod selector;
 pub mod serve;
 pub mod table1;
 pub mod table2;

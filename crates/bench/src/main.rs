@@ -8,7 +8,10 @@
 //!   fig3 fig4 fig5 fig6 fig7 fig8
 //!   serve      batched RWR/PPR serving throughput vs batch width
 //!   ablations
-//!   formats    Table III + Figure 4 + Table IV from one computation
+//!   compare    Table III + Figure 4 + Table IV from one computation
+//!   selector   adaptive format selection per matrix and horizon;
+//!              writes results/SELECTOR_report.json
+//!   formats    print the plan/execute pipeline's format registry
 //!   all        every experiment at its default scope
 //!
 //! utilities:
@@ -117,6 +120,7 @@ fn run_experiment(name: &str, opts: &Options) {
             "fig8",
             "serve",
             "ablations",
+            "selector",
         ] {
             eprintln!(">>> {exp}");
             run_experiment(exp, opts);
@@ -170,7 +174,7 @@ fn run_one(name: &str, opts: &Options) {
         "ablations" => emit(opts, ablations::run(opts), ablations::render),
         // Table III, Figure 4 and Table IV share one (expensive) format
         // comparison; this runs it once and prints all three.
-        "formats" => {
+        "compare" => {
             let rows = formats::run(opts);
             if opts.json {
                 println!("{}", serde_json::to_string_pretty(&rows).unwrap());
@@ -179,6 +183,35 @@ fn run_one(name: &str, opts: &Options) {
                 println!("{}", fig4::render(&rows));
                 println!("{}", table4::render(&rows));
             }
+        }
+        // The pipeline's dispatch table: every registered planner.
+        "formats" => {
+            let descriptors = spmv_pipeline::FormatRegistry::<f64>::with_all().descriptors();
+            if opts.json {
+                println!("{}", serde_json::to_string_pretty(&descriptors).unwrap());
+            } else {
+                let mut t = repro_bench::Table::new(&["Format", "preprocessing", "multi-vector"]);
+                for d in &descriptors {
+                    t.row(vec![
+                        d.name.to_string(),
+                        d.class.label().to_string(),
+                        if d.multi_fused { "fused" } else { "sequential" }.to_string(),
+                    ]);
+                }
+                println!("Plan/execute pipeline: registered SpMV formats");
+                print!("{}", t.render());
+            }
+        }
+        "selector" => {
+            let rows = selector::run(opts);
+            let path = selector::write_report(&rows, opts)
+                .unwrap_or_else(|e| die(&format!("write SELECTOR_report.json: {e}")));
+            if opts.json {
+                println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            } else {
+                println!("{}", selector::render(&rows));
+            }
+            eprintln!("wrote {path}");
         }
         other => die(&format!("unknown experiment '{other}'")),
     }
@@ -213,6 +246,25 @@ fn check_artifact(path: &str) {
             match field(&value, "kernels") {
                 Some(serde::Value::Array(rows)) if !rows.is_empty() => {}
                 _ => die(&format!("{path}: profile report has no kernel rows")),
+            }
+        } else if schema == "acsr-selector-v1" {
+            kind = "selector report";
+            for key in ["scale", "device", "rows"] {
+                if field(&value, key).is_none() {
+                    die(&format!("{path}: selector report missing '{key}'"));
+                }
+            }
+            match field(&value, "rows") {
+                Some(serde::Value::Array(rows)) if !rows.is_empty() => {
+                    for row in &rows {
+                        for key in ["matrix", "horizon", "winner", "candidates"] {
+                            if field(row, key).is_none() {
+                                die(&format!("{path}: selector row missing '{key}'"));
+                            }
+                        }
+                    }
+                }
+                _ => die(&format!("{path}: selector report has no decision rows")),
             }
         }
     } else if let Some(serde::Value::Array(events)) = field(&value, "traceEvents") {
@@ -273,7 +325,8 @@ fn print_usage() {
          \x20      repro bench-diff <baseline.json> <new.json> [--tolerance F]\n\
          \x20      repro check-artifacts <file>...\n\
          \x20      repro trace-check <file>\n\n\
-         experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 serve ablations formats all\n\n\
+         experiments: table1 table2 table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 serve ablations compare selector all\n\
+         \x20            formats (print the pipeline's format registry)\n\n\
          defaults: --scale 64 --seed 1 (whole Table I suite)\n\
          --trace records every simulated launch, reconciles the ledger, and writes\n\
          results/trace_<experiment>.json (chrome://tracing) + a phase rollup on stderr\n\

@@ -25,9 +25,44 @@ pub fn generate_uniform<T: Scalar>(
     t.to_csr()
 }
 
+/// Generate a `rows x cols` matrix where *every* row has exactly
+/// `degree` distinct entries — the fully regular, zero-padding-waste
+/// limiting case (ELL's best case, and the selector experiments'
+/// uniform control). Deterministic per seed.
+pub fn generate_regular<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    degree: usize,
+    seed: u64,
+) -> CsrMatrix<T> {
+    assert!(rows > 0 && cols > 0 && degree <= cols);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::with_capacity(rows, cols, rows * degree);
+    let mut seen = std::collections::BTreeSet::new();
+    for r in 0..rows as u32 {
+        seen.clear();
+        while seen.len() < degree {
+            seen.insert(rng.random_range(0..cols as u32));
+        }
+        for &c in &seen {
+            t.push_unchecked(r, c, T::from_f64(0.5 + rng.random::<f64>()));
+        }
+    }
+    t.to_csr()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn regular_rows_all_have_exact_degree() {
+        let m: CsrMatrix<f64> = generate_regular(500, 500, 6, 3);
+        let stats = m.row_stats();
+        assert_eq!(stats.max_row, 6);
+        assert_eq!(m.nnz(), 500 * 6);
+        assert!(!stats.looks_power_law());
+    }
 
     #[test]
     fn density_matches_request() {

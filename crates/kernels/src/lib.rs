@@ -94,10 +94,19 @@ pub trait GpuSpmvMulti<T: Scalar>: GpuSpmv<T> {
     }
 }
 
-// Baseline formats get the unfused fallback (k sequential launches) so
-// benches can contrast batched ACSR against an unbatched engine.
+// Every baseline format gets the unfused fallback (k sequential
+// launches): the plan/execute pipeline hands out `Box<dyn GpuSpmvMulti>`
+// for any registered format, and benches contrast batched ACSR against
+// the unbatched engines. Bit-identity of the fallback against k single
+// `spmv` calls is pinned per format by the pipeline crate's proptests.
 impl<T: Scalar> GpuSpmvMulti<T> for csr_vector::CsrVector<T> {}
 impl<T: Scalar> GpuSpmvMulti<T> for csr_scalar::CsrScalar<T> {}
+impl<T: Scalar> GpuSpmvMulti<T> for coo_kernel::CooKernel<T> {}
+impl<T: Scalar> GpuSpmvMulti<T> for ell_kernel::EllKernel<T> {}
+impl<T: Scalar> GpuSpmvMulti<T> for hyb_kernel::HybKernel<T> {}
+impl<T: Scalar> GpuSpmvMulti<T> for brc_kernel::BrcKernel<T> {}
+impl<T: Scalar> GpuSpmvMulti<T> for bccoo_kernel::BccooKernel<T> {}
+impl<T: Scalar> GpuSpmvMulti<T> for tcoo_kernel::TcooKernel<T> {}
 
 /// Launch a memset-style kernel writing `value` over all of `y`.
 /// Bandwidth-bound, like `cudaMemset`.

@@ -55,12 +55,24 @@ pub fn autotune_bccoo<T: Scalar>(
     sample_rows: usize,
     max_bytes: usize,
 ) -> Result<Tuned<BccooMatrix<T>>, sparse_formats::SparseError> {
-    let sample = if sample_rows < m.rows() {
+    let mut sample = if sample_rows < m.rows() {
         head_rows(m, sample_rows)
     } else {
         m.clone()
     };
-    let scale_up = m.nnz().max(1) as f64 / sample.nnz().max(1) as f64;
+    // A head whose rows are all empty (leading empty rows are common in
+    // crawl graphs) carries zero nnz: the nnz-ratio extrapolation would
+    // then charge `m.nnz()`× the near-free empty-sample trials — a
+    // meaningless, arbitrarily inflated cost. Fall back to full-size
+    // trials; for a genuinely empty matrix the ratio is pinned to 1.
+    if sample.nnz() == 0 && m.nnz() > 0 {
+        sample = m.clone();
+    }
+    let scale_up = if sample.nnz() == 0 {
+        1.0
+    } else {
+        m.nnz() as f64 / sample.nnz() as f64
+    };
     let x: Vec<T> = (0..sample.cols())
         .map(|i| T::from_f64(1.0 + (i % 7) as f64 * 0.1))
         .collect();
@@ -173,6 +185,55 @@ mod tests {
         assert!((0.2..5.0).contains(&ratio), "extrapolation ratio {ratio}");
         // and the final matrix is full size either way
         assert_eq!(sampled.matrix.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn empty_matrix_tunes_with_finite_cost() {
+        // Regression: zero-nnz matrices must not produce NaN/inf charges.
+        let m = CsrMatrix::<f64>::zeros(64, 64);
+        let dev = Device::new(presets::gtx_titan());
+        let tuned = autotune_bccoo(&dev, &m, usize::MAX, usize::MAX).unwrap();
+        assert!(tuned.cost.autotune_device_seconds.is_finite());
+        assert!(tuned.best_spmv_s.is_finite());
+        assert!(tuned
+            .cost
+            .modeled_host_seconds(&Default::default())
+            .is_finite());
+        assert_eq!(tuned.matrix.nnz(), 0);
+        let t = tune_tcoo(&dev, &m, usize::MAX).unwrap();
+        assert!(t.cost.autotune_device_seconds.is_finite());
+        assert_eq!(t.matrix.nnz(), 0);
+    }
+
+    #[test]
+    fn head_truncated_to_empty_sample_is_not_extrapolated() {
+        // Regression: a matrix whose leading rows are all empty used to
+        // tune on a zero-nnz sample and extrapolate the charge by
+        // nnz/max(1) = full nnz — orders of magnitude off. The guard
+        // falls back to full-size trials instead.
+        let dense = test_matrix(400, 74);
+        // 50 leading empty rows, then the dense block (its own offsets
+        // already start at 0): 450 rows, 451 offsets.
+        let mut offsets = vec![0u32; 50];
+        offsets.extend(dense.row_offsets().iter().copied());
+        let m = CsrMatrix::from_raw_parts(
+            450,
+            dense.cols(),
+            offsets,
+            dense.col_indices().to_vec(),
+            dense.values().to_vec(),
+        )
+        .unwrap();
+        let dev = Device::new(presets::gtx_titan());
+        let full = autotune_bccoo(&dev, &m, usize::MAX, usize::MAX).unwrap();
+        // sample of 50 rows: all empty → guard kicks in
+        let sampled = autotune_bccoo(&dev, &m, 50, usize::MAX).unwrap();
+        assert!(sampled.cost.autotune_device_seconds.is_finite());
+        let ratio = sampled.cost.autotune_device_seconds / full.cost.autotune_device_seconds;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "empty-sample fallback must charge ~full-tune cost, ratio {ratio}"
+        );
     }
 
     #[test]

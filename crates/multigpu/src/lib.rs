@@ -19,17 +19,20 @@ mod partition;
 
 pub use partition::{partition_rows_by_bins, BinPartition};
 
-use acsr::{AcsrConfig, AcsrEngine};
+use acsr::AcsrConfig;
 use gpu_sim::trace::TraceLedger;
 use gpu_sim::{Device, DeviceConfig, RunReport};
 use sparse_formats::{CsrMatrix, Scalar};
 use spmv_kernels::GpuSpmv;
+use spmv_pipeline::{AcsrPlanner, PlanBudget, SpmvPlan, SpmvPlanner};
 use std::sync::Arc;
 
-/// A multi-device ACSR SpMV executor.
-pub struct MultiGpuAcsr<T> {
+/// A multi-device SpMV executor: one [`SpmvPlan`] per device, built
+/// from a single row partition by any registry planner (ACSR by
+/// default, per the paper's §VIII setup).
+pub struct MultiGpuAcsr<T: Scalar> {
     devices: Vec<Device>,
-    engines: Vec<AcsrEngine<T>>,
+    plans: Vec<SpmvPlan<T>>,
     /// `row_maps[d][local_row] = global_row`.
     row_maps: Vec<Vec<u32>>,
     rows: usize,
@@ -71,10 +74,27 @@ impl<T: Scalar> MultiGpuAcsr<T> {
         n_devices: usize,
         acsr_cfg: AcsrConfig,
     ) -> Self {
+        Self::with_planner(
+            m,
+            device_cfg,
+            n_devices,
+            &AcsrPlanner::with_config(acsr_cfg),
+        )
+    }
+
+    /// Same partitioning, any registry format: the single analysis pass
+    /// ([`partition_rows_by_bins`]) feeds `planner` once per device, so
+    /// every device gets a plan for exactly the row slice it owns.
+    pub fn with_planner(
+        m: &CsrMatrix<T>,
+        device_cfg: &DeviceConfig,
+        n_devices: usize,
+        planner: &dyn SpmvPlanner<T>,
+    ) -> Self {
         assert!(n_devices >= 1, "need at least one device");
         let parts = partition_rows_by_bins(m, n_devices);
         let mut devices = Vec::with_capacity(n_devices);
-        let mut engines = Vec::with_capacity(n_devices);
+        let mut plans = Vec::with_capacity(n_devices);
         let mut row_maps = Vec::with_capacity(n_devices);
         for part in parts {
             // Tag each device with its index so trace spans (and the
@@ -85,13 +105,18 @@ impl<T: Scalar> MultiGpuAcsr<T> {
             }
             let dev = Device::new(cfg);
             let sub = extract_rows(m, &part.rows);
-            engines.push(AcsrEngine::from_csr(&dev, &sub, acsr_cfg));
+            let budget = PlanBudget::for_device(dev.config());
+            plans.push(
+                planner
+                    .plan(&dev, &sub, &budget)
+                    .expect("per-device plan must fit the device"),
+            );
             devices.push(dev);
             row_maps.push(part.rows);
         }
         MultiGpuAcsr {
             devices,
-            engines,
+            plans,
             row_maps,
             rows: m.rows(),
             cols: m.cols(),
@@ -122,7 +147,7 @@ impl<T: Scalar> MultiGpuAcsr<T> {
 
     /// Per-device nnz share (load-balance diagnostics).
     pub fn device_nnz(&self) -> Vec<usize> {
-        self.engines.iter().map(|e| e.nnz()).collect()
+        self.plans.iter().map(|p| p.nnz()).collect()
     }
 
     /// Device `d`.
@@ -130,9 +155,9 @@ impl<T: Scalar> MultiGpuAcsr<T> {
         &self.devices[d]
     }
 
-    /// The ACSR engine on device `d` (holds that device's row slice).
-    pub fn engine(&self, d: usize) -> &AcsrEngine<T> {
-        &self.engines[d]
+    /// The plan on device `d` (holds that device's row slice).
+    pub fn plan(&self, d: usize) -> &SpmvPlan<T> {
+        &self.plans[d]
     }
 
     /// `row_map(d)[local_row] = global_row` for device `d`.
@@ -156,12 +181,12 @@ impl<T: Scalar> MultiGpuAcsr<T> {
         assert_eq!(x.len(), self.cols, "x length mismatch");
         assert_eq!(y.len(), self.rows, "y length mismatch");
         let mut per_device = Vec::with_capacity(self.devices.len());
-        for (d, engine) in self.engines.iter().enumerate() {
+        for (d, plan) in self.plans.iter().enumerate() {
             let dev = &self.devices[d];
             // each device holds a full copy of x (as on the K10)
             let xd = dev.alloc(x.to_vec());
-            let yd = dev.alloc_zeroed::<T>(engine.rows());
-            per_device.push(engine.spmv(dev, &xd, &yd));
+            let yd = dev.alloc_zeroed::<T>(plan.rows());
+            per_device.push(plan.spmv(dev, &xd, &yd));
             for (local, &global) in self.row_maps[d].iter().enumerate() {
                 y[global as usize] = yd.as_slice()[local];
             }
@@ -280,6 +305,25 @@ mod tests {
             s_small < s_big,
             "small {s_small} should scale worse than big {s_big}"
         );
+    }
+
+    #[test]
+    fn any_planner_splits_and_matches_reference() {
+        let m = matrix(3000, 177);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 + (i % 5) as f64).collect();
+        let want = m.spmv(&x);
+        for planner in [
+            &spmv_pipeline::HybPlanner as &dyn SpmvPlanner<f64>,
+            &spmv_pipeline::CsrVectorPlanner,
+        ] {
+            let mg = MultiGpuAcsr::with_planner(&m, &presets::tesla_k10_single(), 2, planner);
+            let mut y = vec![0.0; m.rows()];
+            let rep = mg.spmv(&x, &mut y);
+            let name = <dyn SpmvPlanner<f64>>::name(planner);
+            let d = sparse_formats::scalar::rel_l2_distance(&y, &want);
+            assert!(d < 1e-12, "{name}: rel distance {d}");
+            assert_eq!(rep.per_device.len(), 2, "{name}");
+        }
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Satellite invariant for the universal multi-vector contract: for
+//! every format the registry can plan, `spmv_multi` over k vectors is
+//! **bit-identical** to k sequential `spmv` calls. The baseline engines
+//! satisfy this by construction (their `GpuSpmvMulti` impl *is* the
+//! sequential loop); ACSR's fused wave kernel must preserve it because
+//! each (vector, row) pair accumulates in the same order either way.
+
+use gpu_sim::{presets, Device};
+use proptest::prelude::*;
+use sparse_formats::{CsrMatrix, TripletMatrix};
+use spmv_kernels::{GpuSpmv, GpuSpmvMulti};
+use spmv_pipeline::{FormatRegistry, PlanBudget};
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (
+        1usize..20,
+        1usize..20,
+        prop::collection::vec((0u32..20, 0u32..20, -4i32..5), 0..120),
+    )
+        .prop_map(|(rows, cols, entries)| {
+            let mut t = TripletMatrix::with_capacity(rows, cols, entries.len());
+            for (r, c, v) in entries {
+                if (r as usize) < rows && (c as usize) < cols {
+                    t.push_unchecked(r, c, v as f64 * 0.5);
+                }
+            }
+            t.to_csr()
+        })
+}
+
+fn arb_vectors() -> impl Strategy<Value = (usize, u64)> {
+    (1usize..4, 0u64..1000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn spmv_multi_is_bit_identical_to_sequential_spmv(
+        m in arb_matrix(),
+        (k, seed) in arb_vectors(),
+    ) {
+        let dev = Device::new(presets::gtx_titan());
+        let reg = FormatRegistry::<f64>::with_all();
+        let budget = PlanBudget::default();
+        let xs: Vec<Vec<f64>> = (0..k)
+            .map(|v| {
+                (0..m.cols())
+                    .map(|i| 0.25 + ((seed as usize + v * 13 + i * 7) % 11) as f64 * 0.125)
+                    .collect()
+            })
+            .collect();
+        for name in reg.names() {
+            let plan = reg.plan(name, &dev, &m, &budget).unwrap();
+            let xds: Vec<_> = xs.iter().map(|x| dev.alloc(x.clone())).collect();
+            let xrefs: Vec<_> = xds.iter().collect();
+
+            let fused: Vec<_> = (0..k).map(|_| dev.alloc_zeroed::<f64>(m.rows())).collect();
+            let frefs: Vec<_> = fused.iter().collect();
+            plan.spmv_multi(&dev, &xrefs, &frefs);
+
+            for (v, fd) in fused.iter().enumerate() {
+                let yd = dev.alloc_zeroed::<f64>(m.rows());
+                plan.spmv(&dev, &xds[v], &yd);
+                let seq = yd.into_vec();
+                let multi = fd.as_slice();
+                for (r, (a, b)) in multi.iter().zip(&seq).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{}: vector {} row {} diverged ({} vs {})",
+                        name, v, r, a, b
+                    );
+                }
+            }
+        }
+    }
+}

@@ -26,7 +26,7 @@ use crate::latency::LatencyStats;
 use crate::loadgen::{generate_queries, ArrivalPattern};
 use crate::query::{Query, QueryOutcome};
 use crate::queue::SubmissionQueue;
-use acsr::{AcsrConfig, AcsrEngine};
+use acsr::AcsrConfig;
 use gpu_sim::trace::TraceLedger;
 use gpu_sim::{presets, Device, DeviceConfig, RunReport};
 use graph_apps::rwr::{rwr_operator, rwr_update_multi};
@@ -34,6 +34,7 @@ use graph_apps::IterParams;
 use multi_gpu::{extract_rows, partition_rows_by_bins};
 use sparse_formats::{CsrMatrix, Scalar};
 use spmv_kernels::GpuSpmvMulti;
+use spmv_pipeline::{AcsrPlanner, FormatRegistry, PlanBudget, SpmvPlan};
 use std::sync::Arc;
 
 /// Serving-engine configuration.
@@ -47,7 +48,13 @@ pub struct ServeConfig {
     pub n_devices: usize,
     /// Per-query RWR iteration limits.
     pub iter: IterParams,
-    /// ACSR configuration for the per-device engines.
+    /// Registry format the per-device plans are built with. ACSR (the
+    /// default) is the only format with a *fused* multi-vector wave;
+    /// every other registry format is servable through the sequential
+    /// [`GpuSpmvMulti`] fallback.
+    pub format: &'static str,
+    /// ACSR configuration for the per-device engines (used when
+    /// `format` is "ACSR").
     pub acsr: AcsrConfig,
     /// Simulated device model.
     pub device: DeviceConfig,
@@ -62,6 +69,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             n_devices: 1,
             iter: IterParams::default(),
+            format: "ACSR",
             acsr: AcsrConfig::static_long_tail(),
             device: presets::gtx_titan(),
             keep_scores: false,
@@ -134,9 +142,9 @@ impl<T> ServeReport<T> {
 }
 
 /// A multi-device RWR/PPR serving engine over one graph.
-pub struct ServeEngine<T> {
+pub struct ServeEngine<T: Scalar> {
     devices: Vec<Device>,
-    engines: Vec<AcsrEngine<T>>,
+    plans: Vec<SpmvPlan<T>>,
     /// `row_maps[d][local] = global`.
     row_maps: Vec<Vec<u32>>,
     /// `local_of[d][global] = local`, `u32::MAX` when `d` does not own
@@ -159,8 +167,10 @@ impl<T: Scalar> ServeEngine<T> {
         assert!(config.n_devices >= 1, "need at least one device");
         let w = rwr_operator(adjacency);
         let parts = partition_rows_by_bins(&w, config.n_devices);
+        let mut reg = FormatRegistry::<T>::with_all();
+        reg.register(Box::new(AcsrPlanner::with_config(config.acsr)));
         let mut devices = Vec::with_capacity(parts.len());
-        let mut engines = Vec::with_capacity(parts.len());
+        let mut plans = Vec::with_capacity(parts.len());
         let mut row_maps = Vec::with_capacity(parts.len());
         let mut local_of = Vec::with_capacity(parts.len());
         for part in parts {
@@ -170,7 +180,11 @@ impl<T: Scalar> ServeEngine<T> {
             }
             let dev = Device::new(cfg);
             let sub = extract_rows(&w, &part.rows);
-            engines.push(AcsrEngine::from_csr(&dev, &sub, config.acsr));
+            let budget = PlanBudget::for_device(dev.config());
+            plans.push(
+                reg.plan(config.format, &dev, &sub, &budget)
+                    .expect("serving plan must fit the device"),
+            );
             devices.push(dev);
             let mut lookup = vec![u32::MAX; w.rows()];
             for (local, &global) in part.rows.iter().enumerate() {
@@ -181,7 +195,7 @@ impl<T: Scalar> ServeEngine<T> {
         }
         ServeEngine {
             devices,
-            engines,
+            plans,
             row_maps,
             local_of,
             rows: w.rows(),
@@ -285,7 +299,7 @@ impl<T: Scalar> ServeEngine<T> {
                 let tmps: Vec<_> = (0..k).map(|_| dev.alloc_zeroed::<T>(local_n)).collect();
                 let xr: Vec<_> = xs.iter().collect();
                 let tr: Vec<_> = tmps.iter().collect();
-                rep = rep.then(&self.engines[d].spmv_multi(dev, &xr, &tr));
+                rep = rep.then(&self.plans[d].spmv_multi(dev, &xr, &tr));
                 let seeds: Vec<Option<usize>> = active
                     .iter()
                     .map(|a| match self.local_of[d][a.q.seed] {
@@ -415,6 +429,36 @@ mod tests {
             let scores = o.scores.as_ref().unwrap();
             let d = sparse_formats::scalar::rel_l2_distance(scores, &cpu);
             assert!(d < 1e-9, "query {} rel distance {d}", o.id);
+        }
+    }
+
+    #[test]
+    fn non_acsr_formats_are_servable() {
+        // Any registry format serves through the sequential
+        // `spmv_multi` fallback; answers must match the CPU reference
+        // (and therefore the default ACSR path) exactly as closely.
+        let g = graph(350, 206);
+        let w = rwr_operator(&g);
+        for format in ["HYB", "CSR-vector"] {
+            let engine = ServeEngine::new(
+                &g,
+                ServeConfig {
+                    max_batch: 4,
+                    format,
+                    keep_scores: true,
+                    ..ServeConfig::default()
+                },
+            );
+            let report = engine.serve_generated(saturated(5), 5, 0.85, 23);
+            assert_eq!(report.outcomes.len(), 5, "{format}");
+            for o in &report.outcomes {
+                assert!(o.converged, "{format}: query {} hit the cap", o.id);
+                let (cpu, cpu_iters) = rwr_cpu(&w, o.seed, 0.85, &IterParams::default());
+                assert_eq!(o.iterations, cpu_iters, "{format}: query {}", o.id);
+                let scores = o.scores.as_ref().unwrap();
+                let d = sparse_formats::scalar::rel_l2_distance(scores, &cpu);
+                assert!(d < 1e-9, "{format}: query {} rel distance {d}", o.id);
+            }
         }
     }
 

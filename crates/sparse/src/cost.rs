@@ -55,6 +55,24 @@ impl PreprocessCost {
         self.bytes_written += n * elem_bytes;
     }
 
+    /// This cost projected to a `scale`-times-larger matrix: streamed
+    /// bytes, sorted elements and tuning-trial device time grow
+    /// linearly (the `log n` sort factor grows via `largest_sort`);
+    /// the trial *count* and measured wall time stay fixed. Used by the
+    /// bench suite and the adaptive selector to reason about full-size
+    /// matrices from downscaled analogs.
+    pub fn scaled(&self, scale: u64) -> PreprocessCost {
+        PreprocessCost {
+            bytes_read: self.bytes_read * scale,
+            bytes_written: self.bytes_written * scale,
+            sorted_elements: self.sorted_elements * scale,
+            largest_sort: self.largest_sort * scale,
+            autotune_trials: self.autotune_trials,
+            autotune_device_seconds: self.autotune_device_seconds * scale as f64,
+            wall: self.wall,
+        }
+    }
+
     /// Modeled host-side seconds under `host`.
     pub fn modeled_host_seconds(&self, host: &HostModel) -> f64 {
         let stream = (self.bytes_read + self.bytes_written) as f64 / host.mem_bandwidth_bytes_s;

@@ -179,6 +179,54 @@ mod tests {
     }
 
     #[test]
+    fn heuristic_k_empty_matrix_is_zero() {
+        let m = TripletMatrix::<f64>::new(0, 0).to_csr();
+        assert_eq!(HybMatrix::heuristic_k(&m), 0);
+        // conversion of the degenerate matrix also succeeds as pure COO
+        let (hyb, _) = HybMatrix::from_csr(&m, usize::MAX).unwrap();
+        assert_eq!(hyb.k(), 0);
+        assert_eq!(hyb.nnz(), 0);
+    }
+
+    #[test]
+    fn heuristic_k_all_equal_rows_takes_the_full_width() {
+        // 6000 rows of exactly 3 entries: every row reaches width 3
+        // (6000 >= max(4096, 2000)), so ELL absorbs everything and the
+        // COO tail is empty.
+        let rows = 6000;
+        let mut t = TripletMatrix::<f64>::new(rows, rows);
+        for r in 0..rows {
+            for j in 0..3 {
+                t.push(r, (r + j * 17) % rows, 1.0 + j as f64).unwrap();
+            }
+        }
+        let m = t.to_csr();
+        assert_eq!(HybMatrix::heuristic_k(&m), 3);
+        let (hyb, _) = HybMatrix::from_csr(&m, usize::MAX).unwrap();
+        assert_eq!(hyb.k(), 3);
+        assert_eq!(hyb.coo().nnz(), 0, "no spill for equal rows");
+        assert_eq!(hyb.ell().nnz(), m.nnz());
+    }
+
+    #[test]
+    fn heuristic_k_single_dense_row_stays_pure_coo() {
+        // One 600-entry row in an otherwise empty 5000-row matrix: no
+        // width is reached by enough rows, so k = 0 and every entry
+        // lands in the COO tail.
+        let rows = 5000;
+        let mut t = TripletMatrix::<f64>::new(rows, rows);
+        for c in 0..600 {
+            t.push(42, c, 1.0 + c as f64).unwrap();
+        }
+        let m = t.to_csr();
+        assert_eq!(HybMatrix::heuristic_k(&m), 0);
+        let (hyb, _) = HybMatrix::from_csr(&m, usize::MAX).unwrap();
+        assert_eq!(hyb.k(), 0);
+        assert_eq!(hyb.ell().nnz(), 0);
+        assert_eq!(hyb.coo().nnz(), m.nnz());
+    }
+
+    #[test]
     fn heuristic_k_zero_for_tiny_matrices() {
         // fewer than 4096 rows total means no width qualifies
         let mut t = TripletMatrix::<f64>::new(10, 10);

@@ -1,24 +1,17 @@
-//! Format shootout: every storage format in the repository on one
-//! power-law matrix — preprocessing cost, single-SpMV time, storage, and
-//! the break-even iteration count of the paper's Eq. 4.
+//! Format shootout: every registry format on one power-law matrix —
+//! preprocessing cost, single-SpMV time, storage, and the break-even
+//! iteration count of the paper's Eq. 4 — followed by the adaptive
+//! selector's own pick at an app-like horizon.
 //!
 //! ```text
 //! cargo run --release --example format_shootout
 //! ```
 
-use acsr_repro::acsr::{AcsrConfig, AcsrEngine};
 use acsr_repro::gpu_sim::{presets, Device};
 use acsr_repro::graphgen::MatrixSpec;
-use acsr_repro::sparse_formats::{BrcMatrix, CooMatrix, DiaMatrix, HostModel, HybMatrix};
-use acsr_repro::spmv_kernels::bccoo_kernel::BccooKernel;
-use acsr_repro::spmv_kernels::brc_kernel::BrcKernel;
-use acsr_repro::spmv_kernels::coo_kernel::CooKernel;
-use acsr_repro::spmv_kernels::csr_scalar::CsrScalar;
-use acsr_repro::spmv_kernels::csr_vector::CsrVector;
-use acsr_repro::spmv_kernels::hyb_kernel::HybKernel;
-use acsr_repro::spmv_kernels::tcoo_kernel::TcooKernel;
-use acsr_repro::spmv_kernels::tuning::{autotune_bccoo, tune_tcoo};
-use acsr_repro::spmv_kernels::{DevBccoo, DevBrc, DevCoo, DevCsr, DevHyb, DevTcoo, GpuSpmv};
+use acsr_repro::sparse_formats::{DiaMatrix, HostModel};
+use acsr_repro::spmv_kernels::GpuSpmv;
+use acsr_repro::spmv_pipeline::{AdaptiveSelector, FormatRegistry, PlanBudget};
 
 fn main() {
     let spec = MatrixSpec::by_abbrev("CNR").unwrap();
@@ -36,10 +29,11 @@ fn main() {
             .map(|i| 1.0f32 + (i % 7) as f32 * 0.1)
             .collect::<Vec<_>>(),
     );
-    let spmv = |e: &dyn GpuSpmv<f32>| {
-        let y = dev.alloc_zeroed::<f32>(e.rows());
-        e.spmv(&dev, &x, &y).time_s
-    };
+
+    // One plan per registered format: the registry folds conversion,
+    // auto-tuning and upload behind a single call each.
+    let reg = FormatRegistry::<f32>::with_all();
+    let budget = PlanBudget::for_device(dev.config());
 
     struct Row {
         name: &'static str,
@@ -48,90 +42,28 @@ fn main() {
         bytes: u64,
     }
     let mut rows: Vec<Row> = Vec::new();
+    for name in reg.names() {
+        let plan = reg.plan(name, &dev, &m, &budget).expect(name);
+        let y = dev.alloc_zeroed::<f32>(plan.rows());
+        rows.push(Row {
+            name,
+            pre_s: plan.preprocess_seconds(&host),
+            spmv_s: plan.spmv(&dev, &x, &y).time_s,
+            bytes: plan.device_bytes(),
+        });
+    }
 
-    // CSR variants: no preprocessing at all.
-    let e = CsrScalar::new(DevCsr::upload(&dev, &m));
-    rows.push(Row {
-        name: "CSR-scalar",
-        pre_s: 0.0,
-        spmv_s: spmv(&e),
-        bytes: e.device_bytes(),
-    });
-    let e = CsrVector::new(DevCsr::upload(&dev, &m));
-    rows.push(Row {
-        name: "CSR-vector",
-        pre_s: 0.0,
-        spmv_s: spmv(&e),
-        bytes: e.device_bytes(),
-    });
-
-    // COO.
-    let (coo, c) = CooMatrix::from_csr(&m);
-    let e = CooKernel::new(DevCoo::upload(&dev, &coo));
-    rows.push(Row {
-        name: "COO",
-        pre_s: c.modeled_host_seconds(&host),
-        spmv_s: spmv(&e),
-        bytes: e.device_bytes(),
-    });
-
-    // HYB.
-    let (hyb, c) = HybMatrix::from_csr(&m, usize::MAX).unwrap();
-    let e = HybKernel::new(DevHyb::upload(&dev, &hyb));
-    rows.push(Row {
-        name: "HYB",
-        pre_s: c.modeled_host_seconds(&host),
-        spmv_s: spmv(&e),
-        bytes: e.device_bytes(),
-    });
-
-    // BRC.
-    let (brc, c) = BrcMatrix::from_csr(&m, usize::MAX).unwrap();
-    let e = BrcKernel::new(DevBrc::upload(&dev, &brc));
-    rows.push(Row {
-        name: "BRC",
-        pre_s: c.modeled_host_seconds(&host),
-        spmv_s: spmv(&e),
-        bytes: e.device_bytes(),
-    });
-
-    // TCOO with its exhaustive tile search.
-    let t = tune_tcoo(&dev, &m, usize::MAX).unwrap();
-    let e = TcooKernel::new(DevTcoo::upload(&dev, &t.matrix));
-    rows.push(Row {
-        name: "TCOO(tuned)",
-        pre_s: t.cost.modeled_host_seconds(&host),
-        spmv_s: spmv(&e),
-        bytes: e.device_bytes(),
-    });
-
-    // BCCOO with its >300-configuration auto-tuner (sampled trials).
-    let t = autotune_bccoo(&dev, &m, 4096, usize::MAX).unwrap();
-    let e = BccooKernel::new(DevBccoo::upload(&dev, &t.matrix));
-    rows.push(Row {
-        name: "BCCOO(tuned)",
-        pre_s: t.cost.modeled_host_seconds(&host),
-        spmv_s: spmv(&e),
-        bytes: e.device_bytes(),
-    });
-
-    // ACSR.
-    let e = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
-    rows.push(Row {
-        name: "ACSR",
-        pre_s: e.preprocess_cost().modeled_host_seconds(&host),
-        spmv_s: spmv(&e),
-        bytes: e.device_bytes(),
-    });
-
-    // DIA: demonstrates why structured formats fail on graphs.
+    // DIA: demonstrates why structured formats fail on graphs (and why
+    // it is not in the registry).
     match DiaMatrix::from_csr(&m, 4096) {
         Ok(_) => println!("DIA unexpectedly feasible?!"),
         Err(e) => println!("DIA: {e} (structured formats don't survive power-law graphs)\n"),
     }
 
-    let acsr_total = rows.last().map(|r| r.pre_s + r.spmv_s).unwrap();
-    let acsr_spmv = rows.last().map(|r| r.spmv_s).unwrap();
+    let acsr = rows.iter().find(|r| r.name == "ACSR").unwrap();
+    let acsr_total = acsr.pre_s + acsr.spmv_s;
+    let acsr_pre = acsr.pre_s;
+    let acsr_spmv = acsr.spmv_s;
     println!(
         "{:<13} {:>12} {:>12} {:>10} {:>11} {:>10}",
         "format", "preproc", "1 SpMV", "pre/spmv", "cold-run", "MB"
@@ -142,7 +74,7 @@ fn main() {
             r.name,
             r.pre_s * 1e6,
             r.spmv_s * 1e6,
-            r.pre_s / r.spmv_s,
+            r.pre_s / r.spmv_s.max(f64::MIN_POSITIVE),
             (r.pre_s + r.spmv_s) / acsr_total,
             r.bytes as f64 / 1e6,
         );
@@ -150,7 +82,7 @@ fn main() {
     println!("\n(cold-run = preprocessing + one SpMV, relative to ACSR; Eq. 4 break-even:");
     for r in &rows {
         if r.spmv_s < acsr_spmv {
-            let n = (r.pre_s - rows.last().unwrap().pre_s) / (acsr_spmv - r.spmv_s);
+            let n = (r.pre_s - acsr_pre) / (acsr_spmv - r.spmv_s);
             println!(
                 "  {} overtakes ACSR after ~{:.0} iterations",
                 r.name,
@@ -159,4 +91,18 @@ fn main() {
         }
     }
     println!(")");
+
+    // The selector runs the same tradeoff automatically: analyze the row
+    // structure, plan the shortlist, probe, and rank at the horizon.
+    let sel = AdaptiveSelector.select(&reg, &dev, &m, &budget.with_iterations(30));
+    println!(
+        "\nAdaptiveSelector @ horizon 30: picks {} (over {})",
+        sel.winner,
+        sel.candidates
+            .iter()
+            .filter(|c| c.feasible && c.format != sel.winner)
+            .map(|c| c.format.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 }

@@ -5,15 +5,12 @@
 //! cargo run --release --example pagerank_web
 //! ```
 
-use acsr_repro::acsr::{AcsrConfig, AcsrEngine};
 use acsr_repro::gpu_sim::{presets, Device};
 use acsr_repro::graph_apps::pagerank::{pagerank_gpu, pagerank_operator};
 use acsr_repro::graph_apps::IterParams;
 use acsr_repro::graphgen::MatrixSpec;
-use acsr_repro::sparse_formats::HybMatrix;
-use acsr_repro::spmv_kernels::csr_vector::CsrVector;
-use acsr_repro::spmv_kernels::hyb_kernel::HybKernel;
-use acsr_repro::spmv_kernels::{DevCsr, DevHyb, GpuSpmv};
+use acsr_repro::sparse_formats::HostModel;
+use acsr_repro::spmv_pipeline::{FormatRegistry, PlanBudget};
 
 fn main() {
     // The youtube social-graph analog at 1/32 scale: tiny mean degree,
@@ -32,21 +29,21 @@ fn main() {
     let dev = Device::new(presets::gtx_titan());
     let params = IterParams::default(); // eps 1e-6, as in the paper
 
-    let acsr = AcsrEngine::from_csr(&dev, &op, AcsrConfig::for_device(dev.config()));
-    let csr = CsrVector::new(DevCsr::upload(&dev, &op));
-    let (hyb_mat, hyb_cost) = HybMatrix::from_csr(&op, usize::MAX).unwrap();
-    let hyb = HybKernel::new(DevHyb::upload(&dev, &hyb_mat));
+    let reg = FormatRegistry::<f64>::with_all();
+    let budget = PlanBudget::for_device(dev.config());
+    let csr = reg.plan("CSR-vector", &dev, &op, &budget).unwrap();
+    let hyb = reg.plan("HYB", &dev, &op, &budget).unwrap();
+    let acsr = reg.plan("ACSR", &dev, &op, &budget).unwrap();
     println!(
         "(HYB conversion alone cost {:.2} ms of host work — ACSR's binning is a scan)",
-        hyb_cost.modeled_host_seconds(&acsr_repro::sparse_formats::HostModel::default()) * 1e3
+        hyb.preprocess_seconds(&HostModel::default()) * 1e3
     );
 
-    let engines: Vec<(&str, &dyn GpuSpmv<f64>)> =
-        vec![("CSR", &csr), ("HYB", &hyb), ("ACSR", &acsr)];
+    let plans = vec![("CSR", &csr), ("HYB", &hyb), ("ACSR", &acsr)];
     let mut acsr_time = 0.0;
     let mut results = Vec::new();
-    for (name, engine) in engines {
-        let res = pagerank_gpu(&dev, engine, 0.85, &params);
+    for (name, plan) in plans {
+        let res = pagerank_gpu(&dev, plan, 0.85, &params);
         println!(
             "{name:>5}: converged in {} iterations, modeled {:.2} ms",
             res.iterations,

@@ -1,15 +1,15 @@
-//! Quickstart: build a power-law matrix, run ACSR SpMV on a simulated
-//! GTX Titan, and compare against the CSR-vector baseline.
+//! Quickstart: build a power-law matrix, plan ACSR SpMV on a simulated
+//! GTX Titan through the pipeline registry, and compare against the
+//! CSR-vector baseline.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use acsr_repro::acsr::{AcsrConfig, AcsrEngine};
 use acsr_repro::gpu_sim::{presets, Device};
 use acsr_repro::graphgen::{generate_power_law, PowerLawConfig};
-use acsr_repro::spmv_kernels::csr_vector::CsrVector;
-use acsr_repro::spmv_kernels::{DevCsr, GpuSpmv};
+use acsr_repro::spmv_kernels::GpuSpmv;
+use acsr_repro::spmv_pipeline::{FormatRegistry, PlanBudget};
 
 fn main() {
     // 1. A power-law matrix like the paper's suite: most rows tiny, a
@@ -35,18 +35,21 @@ fn main() {
     let x = dev.alloc(vec![1.0f64; m.cols()]);
     let flops = 2 * m.nnz() as u64;
 
-    // 3. ACSR: bins + dynamic parallelism, straight on CSR data.
-    let engine = AcsrEngine::from_csr(&dev, &m, AcsrConfig::for_device(dev.config()));
-    let stats = engine.bin_stats();
+    // 3. Plan both formats through the registry: one call folds each
+    //    format's conversion, tuning and upload into an executable plan.
+    let reg = FormatRegistry::<f64>::with_all();
+    let budget = PlanBudget::for_device(dev.config());
+    let acsr = reg.plan("ACSR", &dev, &m, &budget).unwrap();
     println!(
-        "ACSR binning: {} bin-specific grids, {} row-specific (dynamic) grids",
-        stats.bin_grids, stats.row_grids
+        "ACSR plan: {} device bytes, preprocessing class {:?}",
+        acsr.device_bytes(),
+        acsr.class()
     );
     let y = dev.alloc_zeroed::<f64>(m.rows());
-    let r_acsr = engine.spmv(&dev, &x, &y);
+    let r_acsr = acsr.spmv(&dev, &x, &y);
 
     // 4. The cuSPARSE-style CSR-vector baseline on the same matrix.
-    let baseline = CsrVector::new(DevCsr::upload(&dev, &m));
+    let baseline = reg.plan("CSR-vector", &dev, &m, &budget).unwrap();
     let y2 = dev.alloc_zeroed::<f64>(m.rows());
     let r_csr = baseline.spmv(&dev, &x, &y2);
 

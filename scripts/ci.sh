@@ -35,6 +35,12 @@ echo "==> profiler smoke (repro profile fig5)"
 test -s results/PROFILE_fig5.json
 ./target/release/repro check-artifacts results/PROFILE_fig5.json results/trace_fig5.json
 
+echo "==> selector smoke (repro selector + registry print)"
+./target/release/repro formats > /dev/null
+./target/release/repro selector --scale 1024 --matrices ENR > /dev/null
+test -s results/SELECTOR_report.json
+./target/release/repro check-artifacts results/SELECTOR_report.json
+
 echo "==> perf-regression gate (bench-diff vs committed baseline)"
 ./target/release/repro bench-diff baselines/PROFILE_fig5_ci.json results/PROFILE_fig5.json
 

@@ -9,6 +9,8 @@
 //! * [`sparse_formats`] — CSR/COO/ELL/HYB/BRC/BCCOO/TCOO/DIA;
 //! * [`spmv_kernels`] — baseline kernels, CPU backend, auto-tuners;
 //! * [`graphgen`] — Table I analog generators and update streams;
+//! * [`spmv_pipeline`] — the analyze → plan → execute pipeline: format
+//!   registry, adaptive selector, structure-keyed plan cache;
 //! * [`graph_apps`] — PageRank / HITS / RWR, static and dynamic;
 //! * [`multi_gpu`] — §VIII multi-device partitioning;
 //! * [`par_runtime`] — the crossbeam-based parallel runtime.
@@ -24,3 +26,4 @@ pub use multi_gpu;
 pub use par_runtime;
 pub use sparse_formats;
 pub use spmv_kernels;
+pub use spmv_pipeline;

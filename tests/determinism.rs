@@ -9,6 +9,7 @@ use acsr_repro::graph_apps::pagerank::{pagerank_gpu, pagerank_operator};
 use acsr_repro::graph_apps::IterParams;
 use acsr_repro::graphgen::MatrixSpec;
 use acsr_repro::spmv_kernels::GpuSpmv;
+use acsr_repro::spmv_pipeline::{FormatRegistry, PlanBudget};
 
 /// Helper mirroring `MatrixSpec::generate` for two calls.
 fn gen(abbrev: &str, scale: usize, seed: u64) -> acsr_repro::sparse_formats::CsrMatrix<f64> {
@@ -40,10 +41,13 @@ fn simulated_reports_are_bit_identical_across_runs() {
 fn pagerank_solves_are_bit_identical_across_runs() {
     let m = gen("INT", 64, 3);
     let op = pagerank_operator(&m);
+    let reg = FormatRegistry::<f64>::with_all();
     let run = || {
         let dev = Device::new(presets::gtx_titan());
-        let engine = AcsrEngine::from_csr(&dev, &op, AcsrConfig::for_device(dev.config()));
-        pagerank_gpu(&dev, &engine, 0.85, &IterParams::default())
+        let plan = reg
+            .plan("ACSR", &dev, &op, &PlanBudget::for_device(dev.config()))
+            .unwrap();
+        pagerank_gpu(&dev, &plan, 0.85, &IterParams::default())
     };
     let a = run();
     let b = run();

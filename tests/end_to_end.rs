@@ -13,6 +13,7 @@ use acsr_repro::sparse_formats::{CsrMatrix, HybMatrix};
 use acsr_repro::spmv_kernels::csr_vector::CsrVector;
 use acsr_repro::spmv_kernels::hyb_kernel::HybKernel;
 use acsr_repro::spmv_kernels::{DevCsr, DevHyb, GpuSpmv};
+use acsr_repro::spmv_pipeline::{FormatRegistry, PlanBudget, PreprocessClass, SpmvPlan};
 
 fn suite_matrix(abbrev: &str, scale: usize) -> CsrMatrix<f64> {
     MatrixSpec::by_abbrev(abbrev)
@@ -95,9 +96,25 @@ fn dynamic_updates_compose_with_pagerank() {
         epsilon: 1e-6,
         max_iters: 300,
     };
-    let incremental = pagerank_gpu(&dev, &engine, 0.85, &params);
-    let fresh_engine = AcsrEngine::from_csr(&dev, &updated, AcsrConfig::for_device(dev.config()));
-    let fresh = pagerank_gpu(&dev, &fresh_engine, 0.85, &params);
+    // The updated engine keeps serving through a hand-wrapped plan (the
+    // registry would rebuild from scratch); the fresh solve goes through
+    // the normal plan path.
+    let incremental_plan = SpmvPlan::new(
+        "ACSR",
+        PreprocessClass::Scan,
+        Box::new(engine),
+        acsr_repro::sparse_formats::PreprocessCost::default(),
+    );
+    let incremental = pagerank_gpu(&dev, &incremental_plan, 0.85, &params);
+    let fresh_plan = FormatRegistry::<f64>::with_all()
+        .plan(
+            "ACSR",
+            &dev,
+            &updated,
+            &PlanBudget::for_device(dev.config()),
+        )
+        .unwrap();
+    let fresh = pagerank_gpu(&dev, &fresh_plan, 0.85, &params);
     assert_eq!(incremental.iterations, fresh.iterations);
     let d = acsr_repro::sparse_formats::scalar::rel_l2_distance(&incremental.scores, &fresh.scores);
     assert!(d < 1e-12, "rel distance {d}");
