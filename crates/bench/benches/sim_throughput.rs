@@ -1,112 +1,44 @@
 //! Host-side parallel-simulation throughput: simulated kernel launches
 //! per second at 1/2/4/8 worker threads (the `ACSR_SIM_THREADS` knob /
-//! [`gpu_sim::set_sim_threads`]). The workload is a realistic CSR-vector
-//! SpMV launch on a power-law matrix — every width computes bit-identical
-//! reports, so this measures pure host mechanism.
+//! [`gpu_sim::set_sim_threads`]) for each SpMV engine. Every width
+//! computes bit-identical reports, so this measures pure host mechanism.
 //!
-//! Besides the Criterion group, the bench writes
-//! `results/BENCH_sim_throughput.json` with launches/sec per width, the
-//! speedup over sequential, and `host_cores` (speedups are bounded by
-//! the physical cores of the machine that produced the file).
+//! The workload set, sweep, and artifact format live in
+//! [`repro_bench::simbench`] (shared with `repro simbench` and the CI
+//! smoke). Besides the Criterion group, the bench runs the full sweep
+//! and writes `results/BENCH_sim_throughput.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gpu_sim::{presets, set_sim_threads, Device, DeviceBuffer};
-use graphgen::{generate_power_law, PowerLawConfig};
-use spmv_kernels::{csr_vector::CsrVector, DevCsr, GpuSpmv};
-use std::time::Instant;
-
-const WIDTHS: [usize; 4] = [1, 2, 4, 8];
-
-struct Workload {
-    dev: Device,
-    eng: CsrVector<f64>,
-    x: DeviceBuffer<f64>,
-    y: DeviceBuffer<f64>,
-}
-
-fn workload() -> Workload {
-    let m = generate_power_law(&PowerLawConfig {
-        rows: 20_000,
-        cols: 20_000,
-        mean_degree: 12.0,
-        max_degree: 4_000,
-        pinned_max_rows: 2,
-        col_skew: 0.4,
-        seed: 7,
-        ..Default::default()
-    });
-    let dev = Device::new(presets::gtx_titan());
-    let eng = CsrVector::new(DevCsr::upload(&dev, &m));
-    let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
-    let x = dev.alloc(x);
-    let y = dev.alloc_zeroed::<f64>(m.rows());
-    Workload { dev, eng, x, y }
-}
+use gpu_sim::set_sim_threads;
+use repro_bench::simbench;
 
 fn bench_sim_throughput(c: &mut Criterion) {
-    let w = workload();
+    let workloads = simbench::workloads();
     let mut g = c.benchmark_group("sim_throughput");
     g.sample_size(10);
     g.throughput(Throughput::Elements(1)); // elements = simulated launches
-    for threads in WIDTHS {
-        g.bench_with_input(
-            BenchmarkId::new("workers", threads),
-            &threads,
-            |b, &threads| {
-                set_sim_threads(threads);
-                b.iter(|| w.eng.spmv(&w.dev, &w.x, &w.y));
-                set_sim_threads(0);
-            },
-        );
+    for w in &workloads {
+        for threads in simbench::WIDTHS {
+            g.bench_with_input(
+                BenchmarkId::new(w.kernel, threads),
+                &threads,
+                |b, &threads| {
+                    set_sim_threads(threads);
+                    b.iter(|| w.launch());
+                    set_sim_threads(0);
+                },
+            );
+        }
     }
     g.finish();
-    write_results_json(&w);
-}
+    drop(workloads);
 
-/// Direct timing pass (independent of Criterion's reporting) that records
-/// the machine-readable artifact the repo's experiment log keeps.
-fn write_results_json(w: &Workload) {
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let measure = |threads: usize| {
-        set_sim_threads(threads);
-        // warmup
-        for _ in 0..2 {
-            w.eng.spmv(&w.dev, &w.x, &w.y);
-        }
-        let start = Instant::now();
-        let mut launches = 0u32;
-        while launches < 10 || start.elapsed().as_secs_f64() < 0.5 {
-            w.eng.spmv(&w.dev, &w.x, &w.y);
-            launches += 1;
-        }
-        set_sim_threads(0);
-        launches as f64 / start.elapsed().as_secs_f64()
-    };
-    let rates: Vec<f64> = WIDTHS.iter().map(|&t| measure(t)).collect();
-    let mut entries = String::new();
-    for (i, (&threads, rate)) in WIDTHS.iter().zip(&rates).enumerate() {
-        if i > 0 {
-            entries.push_str(",\n");
-        }
-        entries.push_str(&format!(
-            "    {{\"workers\": {threads}, \"launches_per_sec\": {rate:.2}, \"speedup_vs_seq\": {:.3}}}",
-            rate / rates[0]
-        ));
-    }
-    let json = format!(
-        "{{\n  \"bench\": \"sim_throughput\",\n  \"kernel\": \"csr_vector spmv, 20k rows power-law\",\n  \"host_cores\": {host_cores},\n  \"widths\": [\n{entries}\n  ]\n}}\n"
-    );
-    let path = std::path::Path::new("results").join("BENCH_sim_throughput.json");
-    // Bench may run from the crate dir or the workspace root.
-    let path = if std::path::Path::new("results").is_dir() {
-        path
-    } else {
-        std::path::Path::new("../../results").join("BENCH_sim_throughput.json")
-    };
-    if let Err(e) = std::fs::write(&path, json) {
-        eprintln!("could not write {}: {e}", path.display());
-    } else {
-        println!("wrote {}", path.display());
+    // Direct timing pass (independent of Criterion's reporting) that
+    // records the machine-readable artifact the experiment log keeps.
+    let report = simbench::run(false);
+    match simbench::write(&report) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_sim_throughput.json: {e}"),
     }
 }
 

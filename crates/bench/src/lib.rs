@@ -11,6 +11,7 @@ pub mod common;
 pub mod diff;
 pub mod experiments;
 pub mod profile;
+pub mod simbench;
 pub mod tracing;
 
 pub use common::{selected_specs, Options, Table};

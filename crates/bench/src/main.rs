@@ -15,6 +15,9 @@
 //!   all        every experiment at its default scope
 //!
 //! utilities:
+//!   simbench [--quick]            host-simulator launches/sec sweep over
+//!                                 kernels × worker widths; writes
+//!                                 results/BENCH_sim_throughput.json
 //!   profile <experiment> [opts]   run under the per-kernel profiler;
 //!                                 writes results/PROFILE_<experiment>.json
 //!   bench-diff <baseline> <new> [--tolerance F]
@@ -52,6 +55,18 @@ fn main() {
     }
     if experiment == "bench-diff" {
         bench_diff(&args[1..]);
+        return;
+    }
+    if experiment == "simbench" {
+        let quick = args[1..].iter().any(|a| a == "--quick");
+        if let Some(bad) = args[1..].iter().find(|a| *a != "--quick") {
+            die(&format!("simbench: unknown option '{bad}'"));
+        }
+        let report = repro_bench::simbench::run(quick);
+        println!("{}", repro_bench::simbench::render(&report));
+        let path = repro_bench::simbench::write(&report)
+            .unwrap_or_else(|e| die(&format!("write BENCH_sim_throughput.json: {e}")));
+        eprintln!("wrote {path}");
         return;
     }
     let mut opts = Options::default();
@@ -247,6 +262,37 @@ fn check_artifact(path: &str) {
                 Some(serde::Value::Array(rows)) if !rows.is_empty() => {}
                 _ => die(&format!("{path}: profile report has no kernel rows")),
             }
+        } else if schema == "acsr-simbench-v1" {
+            kind = "simbench report";
+            for key in ["host_cores", "kernels"] {
+                if field(&value, key).is_none() {
+                    die(&format!("{path}: simbench report missing '{key}'"));
+                }
+            }
+            match field(&value, "kernels") {
+                Some(serde::Value::Array(kernels)) if !kernels.is_empty() => {
+                    for k in &kernels {
+                        if field(k, "kernel").is_none() {
+                            die(&format!("{path}: simbench kernel row missing 'kernel'"));
+                        }
+                        match field(k, "widths") {
+                            Some(serde::Value::Array(widths)) if !widths.is_empty() => {
+                                for w in &widths {
+                                    for key in ["workers", "launches_per_sec", "speedup_vs_seq"] {
+                                        if field(w, key).is_none() {
+                                            die(&format!(
+                                                "{path}: simbench width row missing '{key}'"
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                            _ => die(&format!("{path}: simbench kernel has no width rows")),
+                        }
+                    }
+                }
+                _ => die(&format!("{path}: simbench report has no kernel rows")),
+            }
         } else if schema == "acsr-selector-v1" {
             kind = "selector report";
             for key in ["scale", "device", "rows"] {
@@ -322,6 +368,7 @@ fn print_usage() {
         "repro — regenerate the paper's tables and figures on the simulated testbed\n\n\
          usage: repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json] [--trace]\n\
          \x20      repro profile <experiment> [same options]\n\
+         \x20      repro simbench [--quick]\n\
          \x20      repro bench-diff <baseline.json> <new.json> [--tolerance F]\n\
          \x20      repro check-artifacts <file>...\n\
          \x20      repro trace-check <file>\n\n\

@@ -131,11 +131,38 @@ impl<T: DevCopy> DeviceBuffer<T> {
         unsafe { *self.data[idx].get() }
     }
 
+    /// Read without a bounds check.
+    ///
+    /// # Safety
+    /// The caller must have established `idx < self.len()` (the warp
+    /// gather paths check the maximum of a sorted index run once and
+    /// then read every smaller index unchecked).
+    #[inline]
+    pub(crate) unsafe fn get_unchecked(&self, idx: usize) -> T {
+        debug_assert!(idx < self.data.len());
+        // SAFETY: `idx` is in bounds per the caller's contract; aliasing
+        // as for `get`.
+        unsafe { *self.data.get_unchecked(idx).get() }
+    }
+
     #[inline]
     pub(crate) fn set(&self, idx: usize, v: T) {
         // SAFETY: as for `get` — the kernel data contract guarantees no
         // other shard touches this element concurrently.
         unsafe { *self.data[idx].get() = v }
+    }
+
+    /// Write without a bounds check.
+    ///
+    /// # Safety
+    /// The caller must have established `idx < self.len()` (the warp
+    /// scatter path checks the maximum of the index run once).
+    #[inline]
+    pub(crate) unsafe fn set_unchecked(&self, idx: usize, v: T) {
+        debug_assert!(idx < self.data.len());
+        // SAFETY: `idx` is in bounds per the caller's contract; aliasing
+        // as for `set`.
+        unsafe { *self.data.get_unchecked(idx).get() = v }
     }
 }
 

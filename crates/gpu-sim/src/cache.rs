@@ -8,10 +8,23 @@
 //! the texture path worthwhile.
 
 /// Set-associative LRU cache over 64-bit byte addresses.
+///
+/// The probe path is the hottest loop of texture-bound kernels (one
+/// probe per distinct line per warp gather), so `access` avoids the two
+/// hardware divisions a naive `addr / line_bytes` + `line % sets` pair
+/// would issue: the line split is a shift (line size is a power of two)
+/// and the set index uses an exact multiply-shift remainder
+/// (`SetAssocCache::set_of`). Both are bit-identical to the plain
+/// arithmetic — only faster.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     line_bytes: u64,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
     sets: usize,
+    /// `floor(2^64 / sets) + 1`: division-free remainder magic, exact
+    /// for every line id below 2^48 (see `SetAssocCache::set_of`).
+    sets_magic: u64,
     ways: usize,
     /// `sets * ways` tags; `u64::MAX` = invalid.
     tags: Vec<u64>,
@@ -31,9 +44,16 @@ impl SetAssocCache {
         // Exact set count with modulo indexing, so capacity is preserved
         // even when (say) 48 KiB / 8-way / 32 B gives 192 sets.
         let sets = (lines / ways).max(1);
+        let sets_magic = if sets > 1 {
+            (((1u128 << 64) / sets as u128) + 1) as u64
+        } else {
+            0
+        };
         SetAssocCache {
             line_bytes: line_bytes as u64,
+            line_shift: line_bytes.trailing_zeros(),
             sets,
+            sets_magic,
             ways,
             tags: vec![u64::MAX; sets * ways],
             stamps: vec![0; sets * ways],
@@ -51,41 +71,141 @@ impl SetAssocCache {
         self.sets * self.ways * self.line_bytes as usize
     }
 
+    /// `line % sets` without a division. With `m = floor(2^64/d) + 1`,
+    /// `q = floor(line * m / 2^64)` equals `floor(line / d)` exactly
+    /// whenever `line < 2^48` and `1 < d < 2^16` (the rounding error is
+    /// below `2^-16` and the fractional part of `line/d` is at most
+    /// `1 - 1/d`, so they can never straddle an integer). Device
+    /// addresses are far below 2^48; anything larger falls back to `%`.
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        let d = self.sets as u64;
+        if d == 1 {
+            return 0;
+        }
+        if line < (1 << 48) && d < (1 << 16) {
+            let q = ((line as u128 * self.sets_magic as u128) >> 64) as u64;
+            (line - q * d) as usize
+        } else {
+            (line % d) as usize
+        }
+    }
+
     /// Access the line containing `addr`; returns `true` on hit. Misses
-    /// fill the line (LRU eviction).
+    /// fill the line (LRU eviction). Dispatches to a fixed-width probe
+    /// for the common associativities so the way loops fully unroll and
+    /// vectorize (this is the innermost loop of texture-bound kernels).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
+        self.access_line(addr >> self.line_shift)
+    }
+
+    /// [`SetAssocCache::access`] by line id (`addr >> log2(line_bytes)`).
+    /// Callers that already track line ids (the index-space texture
+    /// gather) skip materializing a byte address just to shift it back.
+    #[inline]
+    pub fn access_line(&mut self, line: u64) -> bool {
         self.tick += 1;
-        let line = addr / self.line_bytes;
-        let set = (line as usize) % self.sets;
-        let base = set * self.ways;
-        let slots = &mut self.tags[base..base + self.ways];
-        if let Some(w) = slots.iter().position(|&t| t == line) {
-            self.stamps[base + w] = self.tick;
+        let base = self.set_of(line) * self.ways;
+        match self.ways {
+            4 => self.access_set::<4>(line, base),
+            8 => self.access_set::<8>(line, base),
+            w => self.access_set_dyn(line, base, w),
+        }
+    }
+
+    /// Probe one set of `W` ways starting at flat index `base`.
+    #[inline]
+    fn access_set<const W: usize>(&mut self, line: u64, base: usize) -> bool {
+        debug_assert_eq!(W, self.ways);
+        debug_assert!(base + W <= self.tags.len());
+        // SAFETY: `base = set * ways` with `set < sets`, and both vectors
+        // hold exactly `sets * ways` elements, so the `W`-element set
+        // views are in bounds and disjoint from each other.
+        let tags: &mut [u64; W] =
+            unsafe { &mut *(self.tags.as_mut_ptr().add(base) as *mut [u64; W]) };
+        let stamps: &mut [u64; W] =
+            unsafe { &mut *(self.stamps.as_mut_ptr().add(base) as *mut [u64; W]) };
+        // Tags within a set are distinct (a line is only inserted when
+        // absent), so a hit-mask scan finds the unique hit way. The OR
+        // accumulations are independent (no loop-carried compare chain),
+        // so this compiles to a SIMD compare + movemask.
+        let mut hm = 0u32;
+        for (w, &tag) in tags.iter().enumerate() {
+            hm |= u32::from(tag == line) << w;
+        }
+        // Victim on a miss: the first way with the minimum stamp. Valid
+        // stamps are distinct positive ticks and invalid ways carry stamp
+        // 0 (`flush`/`new` zero them; every touch stamps tick ≥ 1), so
+        // this argmin IS "first invalid way, else least recently used".
+        // Pack `(stamp << log2 W) | way` and tournament-reduce: the min
+        // packed value has the min stamp, and among equal stamps (only
+        // the zero-stamped invalid ways) the smallest way index — the
+        // same "first argmin" a sequential scan picks, computed in
+        // log2(W) dependent steps instead of W.
+        let wb = W.trailing_zeros();
+        let mut p = [0u64; W];
+        for w in 0..W {
+            p[w] = (stamps[w] << wb) | w as u64;
+        }
+        let mut stride = W / 2;
+        while stride > 0 {
+            for w in 0..stride {
+                p[w] = p[w].min(p[w + stride]);
+            }
+            stride /= 2;
+        }
+        // Branchless refill (hit/miss outcomes interleave unpredictably,
+        // so a data-dependent branch here mispredicts constantly): on a
+        // hit, "refilling" the hit way stores the tag value it already
+        // holds and the stamp the hit path would store — identical state
+        // to the classic two-branch update.
+        let hit = hm != 0;
+        let way = if hit {
+            hm.trailing_zeros() as usize
+        } else {
+            (p[0] & ((1 << wb) - 1)) as usize
+        };
+        tags[way] = line;
+        stamps[way] = self.tick;
+        hit
+    }
+
+    /// Fallback probe for unusual associativities; same algorithm as
+    /// [`SetAssocCache::access_set`] with a runtime way count.
+    fn access_set_dyn(&mut self, line: u64, base: usize, ways: usize) -> bool {
+        let tags = &mut self.tags[base..base + ways];
+        let stamps = &mut self.stamps[base..base + ways];
+        let mut hit = usize::MAX;
+        for (w, &t) in tags.iter().enumerate() {
+            if t == line {
+                hit = w;
+            }
+        }
+        if hit != usize::MAX {
+            stamps[hit] = self.tick;
             return true;
         }
-        // miss: evict LRU way
         let mut victim = 0;
-        let mut oldest = u64::MAX;
-        for w in 0..self.ways {
-            let s = self.stamps[base + w];
-            if self.tags[base + w] == u64::MAX {
-                victim = w;
-                break;
-            }
+        let mut oldest = stamps[0];
+        for (w, &s) in stamps.iter().enumerate().skip(1) {
             if s < oldest {
                 oldest = s;
                 victim = w;
             }
         }
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = self.tick;
+        tags[victim] = line;
+        stamps[victim] = self.tick;
         false
     }
 
-    /// Drop all contents (kernel boundary).
+    /// Drop all contents (kernel boundary). Keeps the allocation, so a
+    /// flushed cache is observationally identical to a new one — the
+    /// launch arena relies on this to reuse caches across launches.
     pub fn flush(&mut self) {
         self.tags.fill(u64::MAX);
         self.stamps.fill(0);
+        self.tick = 0;
     }
 }
 

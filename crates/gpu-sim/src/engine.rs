@@ -20,7 +20,7 @@
 //!   hardware launch units, plus a stall penalty beyond the pending-launch
 //!   limit (`cudaLimitDevRuntimePendingLaunchCount`, §III-B).
 //!
-//! ## Sharded host execution
+//! ## Discrete-event sharded host execution
 //!
 //! Execution is *always* partitioned into one shard per SM: shard `s`
 //! runs exactly the blocks the round-robin scheduler places on SM `s`,
@@ -33,23 +33,42 @@
 //! SM-ordered merge in `assemble_report` produces a bit-identical
 //! [`RunReport`].
 //!
+//! The launch scheduler is discrete-event (see [`crate::event`]): each
+//! SM is a [`crate::event::Component`] (`SmComponent`) with its own
+//! shard and pending-child queue, driven off a min-heap event queue on
+//! a shared `u64` cycle clock. A launch schedules wave 0 — the parent
+//! grid — at cycle 0 for every SM that owns at least one block; ticking
+//! a frontier executes those SMs' block slices (on up to
+//! [`effective_workers`] host workers), and the children they queue are
+//! merged in SM order into the next wave, scheduled after the frontier's
+//! longest issue-slot tick. The device itself keeps a persistent cycle
+//! timeline whose PCIe copy engine is another component
+//! ([`crate::event::PcieLink`]); kernel launches and transfers advance
+//! it. Per-launch state (shards, queues, wave buffers) lives in a pooled
+//! `LaunchArena` reused across launches, so the hot loop allocates
+//! nothing.
+//!
 //! Dynamic child grids are *queued* at launch and executed as follow-on
 //! waves after the parent grid's blocks drain: the per-shard queues are
-//! merged in SM order (deterministic at any worker count) and each child
-//! block then runs on the shard of the SM it is attributed to,
-//! `(block + seq) % SMs`. Because blocks attributed to SM `s` always
-//! execute on shard `s` — for top-level grids and child grids alike —
-//! shard `s`'s texture cache sees exactly the access stream SM `s`'s
-//! cache sees in a fully sequential walk, so child grids reuse the lines
-//! earlier kernels of the same launch group already pulled.
+//! merged in SM order (deterministic at any worker count and any
+//! event-queue tie-break order) and each child block then runs on the
+//! shard of the SM it is attributed to, `(block + seq) % SMs`. Because
+//! blocks attributed to SM `s` always execute on shard `s` — for
+//! top-level grids and child grids alike — shard `s`'s texture cache
+//! sees exactly the access stream SM `s`'s cache sees in a fully
+//! sequential walk, so child grids reuse the lines earlier kernels of
+//! the same launch group already pulled.
 
+use crate::arena::LaunchArena;
 use crate::buffer::{DevCopy, DeviceBuffer};
 use crate::cache::SetAssocCache;
 use crate::config::DeviceConfig;
 use crate::counters::{Counters, RunReport, TimeBreakdown};
+use crate::event::{CompId, Component, EventQueue, PcieLink};
 use crate::trace::{self, ChildRec, StreamRec, TraceLedger};
 use crate::warp::{WarpCtx, WARP};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Kernel body: called once per thread block. Kernels must be `Fn + Sync`
@@ -112,6 +131,55 @@ fn env_or_auto_threads() -> usize {
         .max(1)
 }
 
+/// Host-core override set by [`override_host_cores`] (0 = no override).
+static HOST_CORES_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the detected host core count (`0` clears the override).
+/// Test/bench knob for exercising the single-core fan-out short-circuit
+/// deterministically on any machine.
+pub fn override_host_cores(n: usize) {
+    HOST_CORES_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Physical cores available to this process (detected once), unless
+/// overridden via [`override_host_cores`].
+pub fn host_cores() -> usize {
+    match HOST_CORES_OVERRIDE.load(Ordering::SeqCst) {
+        0 => {
+            static CORES: OnceLock<usize> = OnceLock::new();
+            *CORES.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        }
+        n => n,
+    }
+}
+
+/// Grids below this many threads run their shards sequentially even when
+/// more workers are requested: the pool round-trip (wake, claim, park)
+/// costs more host time than the work it distributes.
+const PAR_MIN_GRID_THREADS: usize = 16 * 1024;
+
+/// Host workers a wave actually fans out to. Requesting more workers
+/// than can help is where the historical `workers>1` *slowdown* came
+/// from: on a single-core host, or for a small grid, the pool round-trip
+/// is pure overhead, so those cases short-circuit to the sequential
+/// path. Worker count never affects results (see the module docs), so
+/// this is purely a wall-clock policy.
+pub fn effective_workers(requested: usize, active_shards: usize, grid_threads: usize) -> usize {
+    if requested <= 1
+        || active_shards <= 1
+        || grid_threads < PAR_MIN_GRID_THREADS
+        || host_cores() <= 1
+    {
+        1
+    } else {
+        requested.min(active_shards)
+    }
+}
+
 /// Per-SM slice of an in-flight launch: the blocks scheduled on one SM
 /// plus every model structure they touch. Shards are mutated by exactly
 /// one host worker at a time and merged in SM order afterwards.
@@ -141,7 +209,7 @@ pub(crate) struct ShardState {
 }
 
 impl ShardState {
-    fn new(home_sm: usize, sm_count: usize) -> Self {
+    pub(crate) fn new(home_sm: usize, sm_count: usize) -> Self {
         ShardState {
             home_sm,
             counters: Counters::default(),
@@ -153,6 +221,21 @@ impl ShardState {
         }
     }
 
+    /// Restore the logical fresh-launch state without dropping any
+    /// allocation (the arena reuses shards across launches). A flushed
+    /// texture cache is observationally identical to a new one, so a
+    /// reset shard behaves exactly like `ShardState::new`.
+    pub(crate) fn reset(&mut self) {
+        self.counters = Counters::default();
+        self.sm_instr.fill(0);
+        self.sm_crit.fill(0);
+        if let Some(cache) = &mut self.tex_cache {
+            cache.flush();
+        }
+        self.child_seq = 0;
+        self.child_recs.clear();
+    }
+
     /// This shard's texture cache (SM `home_sm`'s cache).
     pub(crate) fn cache_mut(&mut self, cfg: &DeviceConfig) -> &mut SetAssocCache {
         self.tex_cache.get_or_insert_with(|| {
@@ -162,10 +245,11 @@ impl ShardState {
 }
 
 /// Mutable state of one in-flight launch (shared with child grids):
-/// one `ShardState` per SM, in SM order.
+/// a pooled arena holding one `ShardState` per SM, in SM order, plus
+/// the event scheduler's storage.
 pub struct RunState<'d> {
     pub(crate) cfg: &'d DeviceConfig,
-    pub(crate) shards: Vec<ShardState>,
+    pub(crate) arena: LaunchArena,
     /// Whether the owning device has a trace ledger attached (enables
     /// the per-stream / per-child counter snapshots).
     pub(crate) trace: bool,
@@ -209,8 +293,18 @@ impl<'r, 'd, 'k> BlockCtx<'r, 'd, 'k> {
     }
 
     /// Run `f` once for every warp of this block. Warps of one block run
-    /// on one host thread, so `f` may be a stateful `FnMut`.
-    pub fn for_each_warp(&mut self, f: &mut dyn FnMut(&mut WarpCtx<'_, 'd, 'k>)) {
+    /// on one host thread, so `f` may be a stateful `FnMut`. Generic
+    /// (rather than `&mut dyn FnMut`) so the warp loop monomorphizes and
+    /// inlines into the kernel body; `&mut` closures and
+    /// `&mut dyn FnMut` both still work unchanged.
+    pub fn for_each_warp<F>(&mut self, f: &mut F)
+    where
+        F: FnMut(&mut WarpCtx<'_, 'd, 'k>) + ?Sized,
+    {
+        // Config-derived latency charges, hoisted so the per-access charge
+        // paths never divide.
+        let mem_lat = (self.cfg.mem_latency_cycles as f64 / self.cfg.mlp).ceil() as u64;
+        let tex_hit_lat = (self.cfg.tex_hit_latency_cycles as f64 / self.cfg.mlp).ceil() as u64;
         for w in 0..self.warp_count() {
             let mut warp = WarpCtx {
                 block_idx: self.block_idx,
@@ -220,6 +314,8 @@ impl<'r, 'd, 'k> BlockCtx<'r, 'd, 'k> {
                 instr: 0,
                 crit: 0,
                 lanes: 0,
+                mem_lat,
+                tex_hit_lat,
                 shard: &mut *self.shard,
                 pending: &mut *self.pending,
                 cfg: self.cfg,
@@ -307,39 +403,130 @@ fn run_wave_shard<'k>(
     }
 }
 
-/// Run `body(s)` once per shard `s`, on up to `threads` host workers.
-/// `shards` and `extras` hand each invocation exclusive `&mut` access to
-/// their `s`-th elements.
-fn for_each_shard<'k>(
-    threads: usize,
-    shards: &mut [ShardState],
-    extras: &mut [Vec<PendingChild<'k>>],
-    body: impl Fn(usize, &mut ShardState, &mut Vec<PendingChild<'k>>) + Sync,
-) {
-    let n = shards.len();
-    assert_eq!(extras.len(), n);
-    if threads <= 1 {
-        for (s, (shard, extra)) in shards.iter_mut().zip(extras.iter_mut()).enumerate() {
-            body(s, shard, extra);
+/// Smallest block index the round-robin scheduler places on `home_sm`
+/// for a grid whose block 0 lands on SM `offset % sms`.
+#[inline]
+fn first_block(home_sm: usize, offset: usize, sms: usize) -> usize {
+    (home_sm + sms - offset % sms) % sms
+}
+
+/// Work assigned to the SM components for one event frontier.
+enum SmWork<'w, 'k> {
+    /// Wave 0: the parent grid itself.
+    Grid {
+        grid_blocks: usize,
+        block_dim: usize,
+        sm_offset: usize,
+        kernel: KernelFn<'k>,
+    },
+    /// A follow-on wave of queued child grids.
+    Children(&'w [PendingChild<'k>]),
+}
+
+/// Read-only tick context shared by every SM component of one frontier.
+struct SmCtx<'w, 'k> {
+    cfg: &'w DeviceConfig,
+    trace: bool,
+    work: &'w SmWork<'w, 'k>,
+}
+
+impl<'w, 'k> Clone for SmCtx<'w, 'k> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'w, 'k> Copy for SmCtx<'w, 'k> {}
+
+/// One SM as a discrete-event component: its shard plus the child-grid
+/// queue it feeds. Ticking it executes the SM's slice of the frontier's
+/// work (the parent grid or a child wave); the returned duration is the
+/// issue slots the slice consumed, which places the next wave on the
+/// cycle clock.
+struct SmComponent<'r, 'k> {
+    shard: &'r mut ShardState,
+    /// Child grids this SM queued for the next wave.
+    pending: Vec<PendingChild<'k>>,
+    /// Cycle this component is scheduled to tick at (`None` = idle).
+    wake: Option<u64>,
+}
+
+impl<'r, 'k> Component for SmComponent<'r, 'k> {
+    type Ctx<'w>
+        = SmCtx<'w, 'k>
+    where
+        Self: 'w;
+
+    fn next_tick(&self) -> Option<u64> {
+        self.wake
+    }
+
+    fn tick<'w>(&'w mut self, _now: u64, ctx: SmCtx<'w, 'k>) -> u64 {
+        self.wake = None;
+        let before = self.shard.counters.warp_instructions;
+        match ctx.work {
+            SmWork::Grid {
+                grid_blocks,
+                block_dim,
+                sm_offset,
+                kernel,
+            } => run_shard(
+                ctx.cfg,
+                self.shard,
+                &mut self.pending,
+                *grid_blocks,
+                *block_dim,
+                *sm_offset,
+                *kernel,
+            ),
+            SmWork::Children(wave) => {
+                run_wave_shard(ctx.cfg, self.shard, wave, &mut self.pending, ctx.trace)
+            }
         }
+        self.shard.counters.warp_instructions - before
+    }
+}
+
+/// Tick every frontier component, on up to `width` host workers, and
+/// return the longest tick duration. Shards are independent, so the
+/// result is identical at any width and any frontier order.
+fn tick_frontier<'r, 'k>(
+    comps: &mut [SmComponent<'r, 'k>],
+    frontier: &[CompId],
+    width: usize,
+    now: u64,
+    ctx: SmCtx<'_, 'k>,
+) -> u64 {
+    if width <= 1 || frontier.len() <= 1 {
+        let mut dur = 0u64;
+        for &id in frontier {
+            dur = dur.max(comps[id as usize].tick(now, ctx));
+        }
+        dur
     } else {
-        let sbase = shards.as_mut_ptr() as usize;
-        let ebase = extras.as_mut_ptr() as usize;
-        par_runtime::par_shards(threads, n, |s| {
-            // SAFETY: par_shards hands each index to exactly one
-            // invocation, so these &mut are disjoint, and both slices
-            // stay mutably borrowed for the whole call.
-            let shard = unsafe { &mut *(sbase as *mut ShardState).add(s) };
-            let extra = unsafe { &mut *(ebase as *mut Vec<PendingChild<'k>>).add(s) };
-            body(s, shard, extra);
+        let dur = AtomicU64::new(0);
+        let base = comps.as_mut_ptr() as usize;
+        par_runtime::par_shards(width, frontier.len(), |i| {
+            // SAFETY: frontier ids are deduped, so each component is
+            // handed to exactly one invocation, and `comps` stays
+            // mutably borrowed for the whole call.
+            let comp =
+                unsafe { &mut *(base as *mut SmComponent<'r, 'k>).add(frontier[i] as usize) };
+            dur.fetch_max(comp.tick(now, ctx), Ordering::Relaxed);
         });
+        dur.load(Ordering::Relaxed)
     }
 }
 
 /// Execute a grid into `run`. `sm_offset` rotates the block→SM mapping.
-/// Shards run on up to [`sim_threads`] host workers; child grids queued
-/// during the block wave execute in follow-on waves, each block on the
-/// shard of its attributed SM. The result is identical at any width.
+///
+/// Discrete-event core: each SM is an [`SmComponent`]; wave 0 (the
+/// parent grid) is scheduled at cycle 0 for every SM owning at least one
+/// block, and each popped frontier is ticked on up to
+/// [`effective_workers`] host workers. Children queued during a tick are
+/// merged in SM order — deterministic at any worker count and any
+/// tie-break order — into the next wave, scheduled after the frontier's
+/// longest tick. All storage comes from the run's pooled arena. The
+/// result is identical at any width.
 pub(crate) fn execute_grid<'k>(
     run: &mut RunState,
     grid_blocks: usize,
@@ -357,25 +544,132 @@ pub(crate) fn execute_grid<'k>(
     let cfg = run.cfg;
     let trace = run.trace;
     let sms = cfg.sm_count;
-    let threads = sim_threads().min(sms);
-    let mut pending: Vec<Vec<PendingChild<'k>>> = (0..sms).map(|_| Vec::new()).collect();
-    let width = if grid_blocks < 2 { 1 } else { threads };
-    for_each_shard(width, &mut run.shards, &mut pending, |_s, shard, pend| {
-        run_shard(cfg, shard, pend, grid_blocks, block_dim, sm_offset, kernel);
-    });
-    // Follow-on child waves: merge the per-shard queues in SM order
-    // (deterministic at any worker count) and run each wave sharded by
-    // attributed SM, until no launches remain.
-    let mut wave: Vec<PendingChild<'k>> = pending.into_iter().flatten().collect();
-    while !wave.is_empty() {
-        let wave_blocks: usize = wave.iter().map(|c| c.grid_blocks).sum();
-        let width = if wave_blocks < 2 { 1 } else { threads };
-        let mut next: Vec<Vec<PendingChild<'k>>> = (0..sms).map(|_| Vec::new()).collect();
-        let wave_ref = &wave;
-        for_each_shard(width, &mut run.shards, &mut next, |_s, shard, nx| {
-            run_wave_shard(cfg, shard, wave_ref, nx, trace);
-        });
-        wave = next.into_iter().flatten().collect();
+    let requested = sim_threads().min(sms);
+
+    let arena = &mut run.arena;
+    let pending = arena.take_pending(sms);
+    let mut wave: Vec<PendingChild<'k>> = arena.take_wave();
+    let mut next: Vec<PendingChild<'k>> = arena.take_wave();
+    let mut comps: Vec<SmComponent<'_, 'k>> = arena
+        .shards
+        .iter_mut()
+        .zip(pending)
+        .map(|(shard, pending)| SmComponent {
+            shard,
+            pending,
+            wake: None,
+        })
+        .collect();
+    let queue = &mut arena.queue;
+    let frontier = &mut arena.frontier;
+    queue.clear();
+
+    // Wave 0: the parent grid, on every SM that owns at least one block.
+    for (sm, comp) in comps.iter_mut().enumerate() {
+        if first_block(sm, sm_offset, sms) < grid_blocks {
+            comp.wake = Some(0);
+            queue.schedule(0, sm as CompId);
+        }
+    }
+
+    let mut first = true;
+    while let Some(now) = queue.pop_frontier(frontier) {
+        let dur = {
+            let work = if first {
+                SmWork::Grid {
+                    grid_blocks,
+                    block_dim,
+                    sm_offset,
+                    kernel,
+                }
+            } else {
+                SmWork::Children(&wave)
+            };
+            let grid_threads = match &work {
+                SmWork::Grid { .. } => grid_blocks * block_dim,
+                SmWork::Children(w) => w.iter().map(|c| c.grid_blocks * c.block_dim).sum(),
+            };
+            let width = effective_workers(requested, frontier.len(), grid_threads);
+            let ctx = SmCtx {
+                cfg,
+                trace,
+                work: &work,
+            };
+            tick_frontier(&mut comps, frontier, width, now, ctx)
+        };
+        first = false;
+        // Merge queued children in SM order into the next wave and
+        // schedule it after the frontier's longest tick.
+        next.clear();
+        for comp in comps.iter_mut() {
+            next.append(&mut comp.pending);
+        }
+        std::mem::swap(&mut wave, &mut next);
+        if !wave.is_empty() {
+            let at = now.saturating_add(dur.max(1));
+            for (sm, comp) in comps.iter_mut().enumerate() {
+                if wave
+                    .iter()
+                    .any(|c| first_block(sm, c.seq, sms) < c.grid_blocks)
+                {
+                    comp.wake = Some(at);
+                    queue.schedule(at, sm as CompId);
+                }
+            }
+        }
+    }
+
+    // Return pooled storage to the arena.
+    let pending: Vec<Vec<PendingChild<'k>>> = comps.into_iter().map(|c| c.pending).collect();
+    arena.restore_pending(pending);
+    arena.restore_wave(wave);
+    arena.restore_wave(next);
+}
+
+/// The device timeline's PCIe copy-engine component id.
+const PCIE_COMP: CompId = 0;
+
+/// The device-level discrete-event timeline: a persistent `u64` cycle
+/// clock shared by everything the device does, plus the components that
+/// evolve on it (currently the PCIe copy engine). Kernel launches and
+/// transfers advance the clock by their modeled cycles; advancing pops
+/// due events and ticks their components.
+struct DeviceTimeline {
+    now: u64,
+    pcie: PcieLink,
+    queue: EventQueue,
+    frontier: Vec<CompId>,
+}
+
+impl DeviceTimeline {
+    fn new() -> DeviceTimeline {
+        DeviceTimeline {
+            now: 0,
+            pcie: PcieLink::default(),
+            queue: EventQueue::new(),
+            frontier: Vec::new(),
+        }
+    }
+
+    /// Advance the clock by `cycles`, ticking every component whose
+    /// event falls due on the way.
+    fn advance(&mut self, cycles: u64) {
+        let target = self.now.saturating_add(cycles);
+        while let Some(t) = self.queue.peek_cycle() {
+            if t > target {
+                break;
+            }
+            let now = self
+                .queue
+                .pop_frontier(&mut self.frontier)
+                .expect("peeked event must pop");
+            for &comp in self.frontier.iter() {
+                if comp == PCIE_COMP {
+                    self.pcie.tick(now, ());
+                }
+            }
+        }
+        self.now = target;
     }
 }
 
@@ -385,7 +679,17 @@ pub struct Device {
     /// Trace ledger, when attached (see [`crate::trace`]). `None` keeps
     /// launches on the zero-overhead path.
     ledger: Option<Arc<TraceLedger>>,
+    /// Recycled launch arenas (see [`crate::arena`]): launches pop one,
+    /// reports push it back reset, so steady-state launches allocate
+    /// nothing.
+    arenas: Mutex<Vec<LaunchArena>>,
+    /// Persistent device clock + components (see [`DeviceTimeline`]).
+    timeline: Mutex<DeviceTimeline>,
 }
+
+/// Most arenas a device keeps pooled (one is typical; concurrent groups
+/// overlapping plain launches can briefly need a second).
+const ARENA_POOL_CAP: usize = 4;
 
 impl Device {
     /// Create a device from a configuration (see [`crate::presets`]).
@@ -398,7 +702,32 @@ impl Device {
         } else {
             None
         };
-        Device { cfg, ledger }
+        Device {
+            cfg,
+            ledger,
+            arenas: Mutex::new(Vec::new()),
+            timeline: Mutex::new(DeviceTimeline::new()),
+        }
+    }
+
+    /// Current device clock in cycles. Launches and transfers advance it
+    /// by their modeled duration.
+    pub fn clock_cycles(&self) -> u64 {
+        self.timeline.lock().now
+    }
+
+    /// PCIe transfers whose completion events the copy-engine component
+    /// has retired so far (transfers still occupying the link at the
+    /// current clock are not yet counted).
+    pub fn transfers_retired(&self) -> u64 {
+        let mut tl = self.timeline.lock();
+        tl.advance(0);
+        tl.pcie.retired()
+    }
+
+    /// Modeled cycles for a wall-clock duration on this device's clock.
+    fn model_cycles(&self, seconds: f64) -> u64 {
+        (seconds * self.cfg.clock_ghz * 1e9).round() as u64
     }
 
     /// Attach a fresh private trace ledger to this device and return it.
@@ -485,6 +814,16 @@ impl Device {
         if let Some(ledger) = &self.ledger {
             ledger.record_transfer(&self.cfg, &report);
         }
+        // The transfer occupies the PCIe copy-engine component; its
+        // completion event retires when the clock passes it.
+        {
+            let mut tl = self.timeline.lock();
+            let cycles = self.model_cycles(time_s);
+            let t_now = tl.now;
+            let done = tl.pcie.begin_transfer(t_now, cycles);
+            tl.queue.schedule(done, PCIE_COMP);
+            tl.advance(cycles);
+        }
         report
     }
 
@@ -533,11 +872,14 @@ impl Device {
     }
 
     fn fresh_run(&self) -> RunState<'_> {
+        let arena = self
+            .arenas
+            .lock()
+            .pop()
+            .unwrap_or_else(|| LaunchArena::new(self.cfg.sm_count));
         RunState {
             cfg: &self.cfg,
-            shards: (0..self.cfg.sm_count)
-                .map(|s| ShardState::new(s, self.cfg.sm_count))
-                .collect(),
+            arena,
             trace: self.ledger.is_some(),
         }
     }
@@ -557,10 +899,10 @@ impl Device {
         // fields are integers, so the sums are order-independent anyway —
         // the fixed order keeps that true by construction if a float
         // counter is ever added.)
-        let counters = Counters::sum(run.shards.iter().map(|s| &s.counters));
+        let counters = Counters::sum(run.arena.shards.iter().map(|s| &s.counters));
         let mut sm_instr = vec![0u64; sms];
         let mut sm_crit = vec![0u64; sms];
-        for shard in &run.shards {
+        for shard in &run.arena.shards {
             for t in 0..sms {
                 sm_instr[t] += shard.sm_instr[t];
                 sm_crit[t] = sm_crit[t].max(shard.sm_crit[t]);
@@ -604,12 +946,23 @@ impl Device {
             // Drain the per-shard child slices in SM order — the same
             // deterministic order the counter merge uses.
             let mut children = Vec::new();
-            for shard in &mut run.shards {
+            for shard in &mut run.arena.shards {
                 children.append(&mut shard.child_recs);
             }
             ledger.record_launch(
                 &self.cfg, &report, shape.0, shape.1, sm_instr, streams, children,
             );
+        }
+        // The kernel occupied the device: advance the shared clock and
+        // recycle the launch's arena (reset = logically fresh).
+        self.timeline
+            .lock()
+            .advance(self.model_cycles(report.time_s));
+        let mut arena = run.arena;
+        arena.reset();
+        let mut pool = self.arenas.lock();
+        if pool.len() < ARENA_POOL_CAP {
+            pool.push(arena);
         }
         report
     }
@@ -642,13 +995,13 @@ impl ConcurrentGroup<'_> {
                 // the pooled counters around each add attributes every
                 // increment (child waves included) to its stream.
                 let before = if run.trace {
-                    Some(Counters::sum(run.shards.iter().map(|s| &s.counters)))
+                    Some(Counters::sum(run.arena.shards.iter().map(|s| &s.counters)))
                 } else {
                     None
                 };
                 execute_grid(run, grid_blocks, block_dim, self.grid_offset, kernel);
                 if let Some(before) = before {
-                    let after = Counters::sum(run.shards.iter().map(|s| &s.counters));
+                    let after = Counters::sum(run.arena.shards.iter().map(|s| &s.counters));
                     self.streams.push(StreamRec {
                         name: name.to_string(),
                         grid_blocks,

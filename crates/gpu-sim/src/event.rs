@@ -1,0 +1,262 @@
+//! Discrete-event execution core: components, a shared `u64` cycle
+//! clock, and a min-heap event queue.
+//!
+//! Everything that evolves over simulated time is a **component**: the
+//! per-SM execution slices of a launch ([`crate::engine`]'s
+//! `SmComponent`), the PCIe copy engine ([`PcieLink`]), and — one level
+//! up — the device itself, which owns the clock the components share.
+//! A component answers two questions:
+//!
+//! * [`Component::next_tick`] — at which base cycle does it next want to
+//!   run (`None` = idle)?
+//! * [`Component::tick`] — advance internal state to `now`; returns the
+//!   number of cycles the tick consumed (0 for instantaneous events).
+//!
+//! The scheduler is a global min-heap keyed by `(cycle, component)`.
+//! [`EventQueue::pop_frontier`] pops *every* event scheduled at the
+//! minimum cycle at once: components that fire on the same cycle are
+//! logically concurrent, and the engine may tick them on several host
+//! workers. Determinism therefore cannot depend on intra-frontier
+//! order — each component mutates only its own state, and all merges
+//! happen in fixed component order afterwards. The [`set_tie_break`]
+//! knob exists to *prove* that: flipping the frontier order must never
+//! change a single bit of any report, and the cross-scheduler proptests
+//! pin exactly this.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Identifies a component within one scheduler (e.g. an SM index).
+pub type CompId = u32;
+
+/// A participant in discrete-event execution (see module docs).
+pub trait Component {
+    /// Shared, read-only context handed to every [`Component::tick`]
+    /// (the engine passes the current wave's work description).
+    type Ctx<'w>
+    where
+        Self: 'w;
+
+    /// Base cycle at which this component next wants to run.
+    fn next_tick(&self) -> Option<u64>;
+
+    /// Advance internal state to cycle `now`; returns the cycles the
+    /// tick consumed (the scheduler uses the frontier maximum to place
+    /// the next dependent event).
+    fn tick<'w>(&'w mut self, now: u64, ctx: Self::Ctx<'w>) -> u64;
+}
+
+/// Order in which same-cycle events are handed out by
+/// [`EventQueue::pop_frontier`]. Results must never depend on it; the
+/// knob exists so tests can prove that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Ascending component id (the default).
+    Ascending,
+    /// Descending component id (validation only).
+    Descending,
+}
+
+static TIE_BREAK: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide frontier tie-break order (see [`TieBreak`]).
+/// Simulation output is bit-identical either way — the determinism
+/// proptests run both and compare.
+pub fn set_tie_break(order: TieBreak) {
+    TIE_BREAK.store(order as u8, Ordering::SeqCst);
+}
+
+/// The currently configured tie-break order.
+pub fn tie_break() -> TieBreak {
+    match TIE_BREAK.load(Ordering::SeqCst) {
+        0 => TieBreak::Ascending,
+        _ => TieBreak::Descending,
+    }
+}
+
+/// Min-heap event queue over `(cycle, component)` pairs. The backing
+/// storage is reusable across launches (see [`EventQueue::clear`]); an
+/// arena-held queue makes scheduling allocation-free on the hot path.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, CompId)>>,
+}
+
+impl EventQueue {
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `comp` to tick at `cycle`. Scheduling the same component
+    /// twice for one cycle is allowed (the frontier dedups).
+    pub fn schedule(&mut self, cycle: u64, comp: CompId) {
+        self.heap.push(Reverse((cycle, comp)));
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every scheduled event, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Cycle of the earliest scheduled event.
+    pub fn peek_cycle(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _))| *t)
+    }
+
+    /// Pop every event scheduled at the minimum cycle into `frontier`
+    /// (deduped, ordered per [`tie_break`]) and return that cycle.
+    /// Components of one frontier are logically concurrent — callers may
+    /// tick them in any order or in parallel.
+    pub fn pop_frontier(&mut self, frontier: &mut Vec<CompId>) -> Option<u64> {
+        frontier.clear();
+        let Reverse((cycle, first)) = self.heap.pop()?;
+        frontier.push(first);
+        while let Some(&Reverse((t, comp))) = self.heap.peek() {
+            if t != cycle {
+                break;
+            }
+            self.heap.pop();
+            if !frontier.contains(&comp) {
+                frontier.push(comp);
+            }
+        }
+        // The heap yields ascending ids for equal cycles only by heap
+        // accident; normalize, then apply the configured tie-break.
+        frontier.sort_unstable();
+        if tie_break() == TieBreak::Descending {
+            frontier.reverse();
+        }
+        Some(cycle)
+    }
+}
+
+/// The PCIe copy engine as a component: transfers occupy the link for a
+/// modeled number of cycles and retire (in FIFO order) when the device
+/// clock passes their completion cycle. The engine's
+/// [`crate::Device::record_htod`]/[`crate::Device::record_dtoh`] push
+/// completion events onto the device timeline's queue; `tick` retires
+/// them.
+#[derive(Debug, Default)]
+pub struct PcieLink {
+    /// Cycle at which the link finishes its last queued transfer.
+    busy_until: u64,
+    /// Transfers queued but not yet retired by a tick.
+    in_flight: u32,
+    /// Transfers retired so far.
+    retired: u64,
+}
+
+impl PcieLink {
+    /// Occupy the link for `cycles` starting no earlier than `now`;
+    /// returns the completion cycle (the link is FIFO, so a transfer
+    /// issued while busy starts when the previous one finishes).
+    pub fn begin_transfer(&mut self, now: u64, cycles: u64) -> u64 {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + cycles;
+        self.in_flight += 1;
+        self.busy_until
+    }
+
+    /// Transfers begun and not yet retired.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// Transfers retired by past ticks.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+}
+
+impl Component for PcieLink {
+    type Ctx<'w> = ();
+
+    fn next_tick(&self) -> Option<u64> {
+        (self.in_flight > 0).then_some(self.busy_until)
+    }
+
+    fn tick(&mut self, now: u64, _ctx: ()) -> u64 {
+        if now >= self.busy_until && self.in_flight > 0 {
+            self.retired += u64::from(self.in_flight);
+            self.in_flight = 0;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_pops_all_events_at_min_cycle() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 2);
+        q.schedule(3, 7);
+        q.schedule(3, 1);
+        q.schedule(3, 7); // duplicate
+        let mut f = Vec::new();
+        assert_eq!(q.pop_frontier(&mut f), Some(3));
+        assert_eq!(f, vec![1, 7]);
+        assert_eq!(q.pop_frontier(&mut f), Some(5));
+        assert_eq!(f, vec![2]);
+        assert_eq!(q.pop_frontier(&mut f), None);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn tie_break_flips_frontier_order_only() {
+        let mut q = EventQueue::new();
+        for id in [4u32, 0, 9] {
+            q.schedule(1, id);
+        }
+        set_tie_break(TieBreak::Descending);
+        let mut f = Vec::new();
+        q.pop_frontier(&mut f);
+        set_tie_break(TieBreak::Ascending);
+        assert_eq!(f, vec![9, 4, 0]);
+        let mut q = EventQueue::new();
+        for id in [4u32, 0, 9] {
+            q.schedule(1, id);
+        }
+        q.pop_frontier(&mut f);
+        assert_eq!(f, vec![0, 4, 9]);
+    }
+
+    #[test]
+    fn clear_keeps_queue_usable() {
+        let mut q = EventQueue::new();
+        q.schedule(1, 1);
+        q.clear();
+        assert!(q.is_empty());
+        q.schedule(2, 3);
+        assert_eq!(q.peek_cycle(), Some(2));
+    }
+
+    #[test]
+    fn pcie_link_serializes_transfers_and_retires() {
+        let mut link = PcieLink::default();
+        let done_a = link.begin_transfer(100, 50);
+        let done_b = link.begin_transfer(120, 30); // queues behind a
+        assert_eq!(done_a, 150);
+        assert_eq!(done_b, 180);
+        assert_eq!(link.in_flight(), 2);
+        assert_eq!(link.next_tick(), Some(180));
+        link.tick(160, ()); // too early: nothing retires
+        assert_eq!(link.in_flight(), 2);
+        link.tick(180, ());
+        assert_eq!(link.in_flight(), 0);
+        assert_eq!(link.retired(), 2);
+        assert_eq!(link.next_tick(), None);
+    }
+}

@@ -65,11 +65,13 @@
 //! assert!(report.time_s > 0.0);
 //! ```
 
+pub(crate) mod arena;
 pub mod buffer;
 pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod engine;
+pub mod event;
 pub mod profile;
 pub mod trace;
 pub mod warp;
@@ -77,7 +79,11 @@ pub mod warp;
 pub use buffer::{DevCopy, DeviceBuffer};
 pub use config::{presets, DeviceConfig};
 pub use counters::{Counters, RunReport, TimeBreakdown};
-pub use engine::{set_sim_threads, sim_threads, BlockCtx, ConcurrentGroup, Device, KernelFn};
+pub use engine::{
+    effective_workers, host_cores, override_host_cores, set_sim_threads, sim_threads, BlockCtx,
+    ConcurrentGroup, Device, KernelFn,
+};
+pub use event::{set_tie_break, tie_break, TieBreak};
 pub use profile::{KernelMetrics, KernelRow, ProfileReport, Roofline, RowKind, Verdict};
 pub use trace::{Span, SpanKind, TraceLedger};
 pub use warp::{lane_mask, WarpCtx, FULL_MASK, WARP};

@@ -64,6 +64,11 @@ pub struct WarpCtx<'r, 'd, 'k> {
     pub(crate) crit: u64,
     /// Local active-lane count (`lane_ops`), flushed on drop.
     pub(crate) lanes: u64,
+    /// `ceil(mem_latency_cycles / mlp)`, precomputed by the engine so
+    /// per-access charges never divide.
+    pub(crate) mem_lat: u64,
+    /// `ceil(tex_hit_latency_cycles / mlp)`, precomputed likewise.
+    pub(crate) tex_hit_lat: u64,
 }
 
 impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
@@ -138,6 +143,7 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
     /// Gather `buf[idx[i]]` for every active lane. One warp instruction;
     /// DRAM transactions per distinct segment touched. Inactive lanes
     /// return `T::default()` and their `idx` entries are ignored.
+    #[inline]
     pub fn gather<T: DevCopy>(
         &mut self,
         buf: &DeviceBuffer<T>,
@@ -145,25 +151,256 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         mask: u32,
     ) -> [T; WARP] {
         let mut out = [T::default(); WARP];
-        let mut addrs = [u64::MAX; WARP];
-        let mut n_active = 0;
-        for lane in 0..WARP {
-            if mask >> lane & 1 == 1 {
-                out[lane] = buf.get(idx[lane]);
-                addrs[n_active] = buf.addr_of(idx[lane]);
-                n_active += 1;
+        let txn = self.cfg.dram_transaction_bytes as u64;
+        let elem = T::SIZE as u64;
+        // Fast path: scan coalescing structure directly in index space
+        // (see `idx_shift`). For a power-of-two element size the element
+        // granule `elem.next_power_of_two()` IS `elem`, so "distinct
+        // elements" is the shift-0 segment count of the index run.
+        if let Some(sa) = idx_shift(buf.base_addr(), elem, txn) {
+            let full = mask == FULL_MASK;
+            let mut lanes = [0usize; WARP];
+            let n_active = if full {
+                WARP
+            } else {
+                compact_idx(idx, mask, &mut lanes)
+            };
+            let scan = if full {
+                scan_run(idx, sa, 0)
+            } else {
+                scan_run(&lanes[..n_active], sa, 0)
+            };
+            let (segs, distinct_elems) = if scan.sorted {
+                (scan.segs_a, scan.segs_b)
+            } else {
+                if full {
+                    lanes = *idx;
+                }
+                let run = &mut lanes[..n_active];
+                sort_run(run);
+                count_segments2(run, sa, 0)
+            };
+            if n_active > 0 {
+                // One bounds check covers every active lane: the run's
+                // maximum is its last element — of the original run when
+                // it scanned sorted, of the sorted copy otherwise.
+                let max = if scan.sorted && full {
+                    idx[WARP - 1]
+                } else {
+                    lanes[n_active - 1]
+                };
+                assert!(
+                    max < buf.len(),
+                    "gather index {max} out of bounds (len {})",
+                    buf.len()
+                );
+                // SAFETY: every active index is ≤ `max`, checked above;
+                // inactive lanes read index 0 (in bounds: len > max ≥ 0)
+                // and discard it — a branchless select, not a branch per
+                // lane, so the loop vectorizes to a masked gather.
+                unsafe {
+                    if full {
+                        for lane in 0..WARP {
+                            out[lane] = buf.get_unchecked(idx[lane]);
+                        }
+                    } else {
+                        for lane in 0..WARP {
+                            let active = mask >> lane & 1 == 1;
+                            let v = buf.get_unchecked(if active { idx[lane] } else { 0 });
+                            out[lane] = if active { v } else { T::default() };
+                        }
+                    }
+                }
+            }
+            let ideal = ideal_from_distinct(n_active, distinct_elems, elem, txn);
+            self.charge_mem_read(n_active as u64, segs, ideal, txn);
+            return out;
+        }
+        // General path (odd element sizes / unaligned bases): materialize
+        // and scan raw addresses.
+        let mut addrs = [0u64; WARP];
+        let sa = txn.trailing_zeros();
+        let sb = elem.next_power_of_two().max(1).trailing_zeros();
+        let scan = collect_gather(buf, idx, mask, &mut out, &mut addrs, sa, sb);
+        let (segs, distinct_elems) = if scan.sorted {
+            (scan.segs_a, scan.segs_b)
+        } else {
+            let active = &mut addrs[..scan.n_active];
+            sort_run(active);
+            count_segments2(active, sa, sb)
+        };
+        let ideal = ideal_from_distinct(scan.n_active, distinct_elems, elem, txn);
+        self.charge_mem_read(scan.n_active as u64, segs, ideal, txn);
+        out
+    }
+
+    /// Gather where each *group* of `1 << g_shift` consecutive lanes
+    /// reads the same buffer index: lane `l` reads
+    /// `group_idx[l >> g_shift]` (the row-bounds fetch of every
+    /// group-per-row kernel). Values, counters, and timing are
+    /// bit-identical to [`WarpCtx::gather`] with the expanded per-lane
+    /// index array; the grouped form skips the 32-lane coalescing scan —
+    /// duplicating each element of a run `1 << g_shift` times changes
+    /// neither its sortedness nor which granularity boundaries it
+    /// crosses, so the expanded run's segment counts equal the group
+    /// run's, and each buffer element is loaded once and broadcast.
+    #[inline]
+    pub fn gather_grouped<T: DevCopy>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        group_idx: &[usize],
+        g_shift: usize,
+        mask: u32,
+    ) -> [T; WARP] {
+        debug_assert_eq!(group_idx.len() << g_shift, WARP);
+        let txn = self.cfg.dram_transaction_bytes as u64;
+        let elem = T::SIZE as u64;
+        // Fast path needs: index-space scanning available, the active
+        // lanes a prefix of whole groups (so the compacted run is the
+        // first `n_groups` group indices expanded), and that prefix
+        // sorted.
+        let n_active = mask.count_ones() as usize;
+        let n_groups = n_active >> g_shift;
+        if mask == lane_mask(n_active) && n_groups << g_shift == n_active {
+            if let Some(sa) = idx_shift(buf.base_addr(), elem, txn) {
+                let groups = &group_idx[..n_groups];
+                let scan = scan_run(groups, sa, 0);
+                if scan.sorted {
+                    let mut out = [T::default(); WARP];
+                    if n_groups > 0 {
+                        let max = groups[n_groups - 1];
+                        assert!(
+                            max < buf.len(),
+                            "gather index {max} out of bounds (len {})",
+                            buf.len()
+                        );
+                        for (g, &i) in groups.iter().enumerate() {
+                            // SAFETY: `i ≤ max < buf.len()` (sorted run).
+                            let v = unsafe { buf.get_unchecked(i) };
+                            out[g << g_shift..(g + 1) << g_shift].fill(v);
+                        }
+                    }
+                    // Each expanded element duplicates its group's index,
+                    // so boundaries (and the distinct count) are exactly
+                    // the group run's.
+                    let ideal = ideal_from_distinct(n_active, scan.segs_b, elem, txn);
+                    self.charge_mem_read(n_active as u64, scan.segs_a, ideal, txn);
+                    return out;
+                }
             }
         }
+        // General shape: expand and take the ordinary gather path.
+        let mut idx = [0usize; WARP];
+        for (lane, slot) in idx.iter_mut().enumerate() {
+            *slot = group_idx[lane >> g_shift];
+        }
+        self.gather(buf, &idx, mask)
+    }
+
+    /// Fused gather of two buffers at the *same* indices — the common
+    /// "col_indices + values at position k" pattern of every CSR-style
+    /// kernel. Counters and timing are bit-identical to
+    /// `(self.gather(buf_a, idx, mask), self.gather(buf_b, idx, mask))`;
+    /// fusing merely shares the index compaction and coalescing scan
+    /// between the two warp instructions.
+    #[inline]
+    pub fn gather2<A: DevCopy, B: DevCopy>(
+        &mut self,
+        buf_a: &DeviceBuffer<A>,
+        buf_b: &DeviceBuffer<B>,
+        idx: &[usize; WARP],
+        mask: u32,
+    ) -> ([A; WARP], [B; WARP]) {
         let txn = self.cfg.dram_transaction_bytes as u64;
-        let ideal = ideal_transactions::<T>(&addrs[..n_active], txn);
-        let segs = distinct_segments(&mut addrs[..n_active], txn);
-        self.charge_mem_read(n_active as u64, segs, ideal, txn);
-        out
+        let ea = A::SIZE as u64;
+        let eb = B::SIZE as u64;
+        let (Some(sa), Some(sb)) = (
+            idx_shift(buf_a.base_addr(), ea, txn),
+            idx_shift(buf_b.base_addr(), eb, txn),
+        ) else {
+            return (self.gather(buf_a, idx, mask), self.gather(buf_b, idx, mask));
+        };
+        let mut out_a = [A::default(); WARP];
+        let mut out_b = [B::default(); WARP];
+        let full = mask == FULL_MASK;
+        let mut lanes = [0usize; WARP];
+        let n_active = if full {
+            WARP
+        } else {
+            compact_idx(idx, mask, &mut lanes)
+        };
+        let scan = if full {
+            scan_run3(idx, sa, sb)
+        } else {
+            scan_run3(&lanes[..n_active], sa, sb)
+        };
+        let (segs_a, segs_b, distinct) = if scan.sorted {
+            (scan.segs_a, scan.segs_b, scan.distinct)
+        } else {
+            if full {
+                lanes = *idx;
+            }
+            let run = &mut lanes[..n_active];
+            sort_run(run);
+            let (a, b) = count_segments2(run, sa, sb);
+            let (d, _) = count_segments2(run, 0, 0);
+            (a, b, d)
+        };
+        if n_active > 0 {
+            // One bounds check per buffer: the run's maximum is its last
+            // element — of the original run when it scanned sorted, of
+            // the sorted copy otherwise.
+            let max = if scan.sorted && full {
+                idx[WARP - 1]
+            } else {
+                lanes[n_active - 1]
+            };
+            assert!(
+                max < buf_a.len() && max < buf_b.len(),
+                "gather index {max} out of bounds (lens {}, {})",
+                buf_a.len(),
+                buf_b.len()
+            );
+            // SAFETY: every active index is ≤ `max`, checked above;
+            // inactive lanes read index 0 (in bounds) and discard it —
+            // branchless select, as in `gather`.
+            unsafe {
+                if full {
+                    for lane in 0..WARP {
+                        out_a[lane] = buf_a.get_unchecked(idx[lane]);
+                        out_b[lane] = buf_b.get_unchecked(idx[lane]);
+                    }
+                } else {
+                    for lane in 0..WARP {
+                        let active = mask >> lane & 1 == 1;
+                        let j = if active { idx[lane] } else { 0 };
+                        let va = buf_a.get_unchecked(j);
+                        let vb = buf_b.get_unchecked(j);
+                        out_a[lane] = if active { va } else { A::default() };
+                        out_b[lane] = if active { vb } else { B::default() };
+                    }
+                }
+            }
+        }
+        self.charge_mem_read(
+            n_active as u64,
+            segs_a,
+            ideal_from_distinct(n_active, distinct, ea, txn),
+            txn,
+        );
+        self.charge_mem_read(
+            n_active as u64,
+            segs_b,
+            ideal_from_distinct(n_active, distinct, eb, txn),
+            txn,
+        );
+        (out_a, out_b)
     }
 
     /// Gather through the texture / read-only cache path (the paper binds
     /// `x` to texture memory). Hits stay on chip; misses pay DRAM at
     /// cache-line granularity.
+    #[inline]
     pub fn gather_tex<T: DevCopy>(
         &mut self,
         buf: &DeviceBuffer<T>,
@@ -171,44 +408,134 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         mask: u32,
     ) -> [T; WARP] {
         let mut out = [T::default(); WARP];
-        let mut addrs = [u64::MAX; WARP];
-        let mut n_active = 0;
-        for lane in 0..WARP {
-            if mask >> lane & 1 == 1 {
-                out[lane] = buf.get(idx[lane]);
-                addrs[n_active] = buf.addr_of(idx[lane]);
-                n_active += 1;
-            }
-        }
         let line = self.cfg.tex_line_bytes as u64;
-        let lines = distinct_segments(&mut addrs[..n_active], line);
-        self.instr += 1;
-        self.lanes += n_active as u64;
-        self.note_lanes(n_active as u64);
-        let mut hits = 0u64;
-        let mut misses = 0u64;
-        {
+        let shift = line.trailing_zeros();
+        let elem = T::SIZE as u64;
+        let base = buf.base_addr();
+        // Fast path: dedup lines in index space (see `idx_shift`); the
+        // probed byte address of an index-space line id `li` is
+        // `base + (li << shift)` — identical to the address-space
+        // `l << shift` because the base is line-aligned.
+        if let Some(ls) = idx_shift(base, elem, line) {
+            let full = mask == FULL_MASK;
+            let mut lanes = [0usize; WARP];
+            let n_active = if full {
+                WARP
+            } else {
+                compact_idx(idx, mask, &mut lanes)
+            };
+            let sorted = scan_run(if full { idx } else { &lanes[..n_active] }, ls, ls).sorted;
+            if !sorted {
+                if full {
+                    lanes = *idx;
+                }
+                sort_run(&mut lanes[..n_active]);
+            }
+            if n_active > 0 {
+                // One bounds check on the run's maximum — last element of
+                // the original run if sorted, of the sorted copy if not.
+                let max = if sorted && full {
+                    idx[WARP - 1]
+                } else {
+                    lanes[n_active - 1]
+                };
+                assert!(
+                    max < buf.len(),
+                    "gather index {max} out of bounds (len {})",
+                    buf.len()
+                );
+                // SAFETY: every active index is ≤ `max`, checked above;
+                // inactive lanes read index 0 (in bounds) and discard it —
+                // branchless select, as in `gather`.
+                unsafe {
+                    if full {
+                        for lane in 0..WARP {
+                            out[lane] = buf.get_unchecked(idx[lane]);
+                        }
+                    } else {
+                        for lane in 0..WARP {
+                            let active = mask >> lane & 1 == 1;
+                            let v = buf.get_unchecked(if active { idx[lane] } else { 0 });
+                            out[lane] = if active { v } else { T::default() };
+                        }
+                    }
+                }
+            }
+            let run: &[usize] = if sorted && full {
+                &idx[..]
+            } else {
+                &lanes[..n_active]
+            };
+            let (mut hits, mut misses) = (0u64, 0u64);
+            if n_active > 0 {
+                let cache = self.shard.cache_mut(self.cfg);
+                // Probe each distinct line once, in ascending line order —
+                // the same sequence the compacting dedup used to produce,
+                // so the cache state stream is unchanged. The probed byte
+                // address is `base + (li << shift)`, whose line id is
+                // `(base >> shift) + li` (base is line-aligned).
+                let base_line = base >> shift;
+                let mut prev_line = usize::MAX;
+                for &i in run {
+                    let li = i >> ls;
+                    if li == prev_line {
+                        continue;
+                    }
+                    prev_line = li;
+                    if cache.access_line(base_line + li as u64) {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                    }
+                }
+            }
+            self.charge_tex(n_active as u64, hits, misses, line);
+            return out;
+        }
+        // General path: materialize and scan raw addresses.
+        let mut addrs = [0u64; WARP];
+        let scan = collect_gather(buf, idx, mask, &mut out, &mut addrs, shift, shift);
+        let n_active = scan.n_active;
+        let active = &mut addrs[..n_active];
+        if !scan.sorted {
+            sort_run(active);
+        }
+        let (mut hits, mut misses) = (0u64, 0u64);
+        if n_active > 0 {
             let cache = self.shard.cache_mut(self.cfg);
-            // distinct_segments compacts in place
-            for &line_addr in &addrs[..lines] {
-                if cache.access(line_addr * line) {
+            let mut prev_line = u64::MAX;
+            for &a in active.iter() {
+                let l = a >> shift;
+                if l == prev_line {
+                    continue;
+                }
+                prev_line = l;
+                if cache.access(l << shift) {
                     hits += 1;
                 } else {
                     misses += 1;
                 }
             }
         }
+        self.charge_tex(n_active as u64, hits, misses, line);
+        out
+    }
+
+    /// Shared accounting tail of the texture gather paths.
+    #[inline]
+    fn charge_tex(&mut self, n_active: u64, hits: u64, misses: u64, line: u64) {
+        self.instr += 1;
+        self.lanes += n_active;
+        self.note_lanes(n_active);
         self.shard.counters.tex_hits += hits;
         self.shard.counters.tex_misses += misses;
         self.shard.counters.dram_read_bytes += misses * line;
         self.shard.counters.transactions += misses;
-        let lat = if misses > 0 {
-            self.cfg.mem_latency_cycles
+        self.crit += if misses > 0 {
+            self.mem_lat
         } else {
-            self.cfg.tex_hit_latency_cycles
+            self.tex_hit_lat
         };
-        self.crit += (lat as f64 / self.cfg.mlp).ceil() as u64;
-        out
     }
 
     /// Lane `i` reads `buf[base + i]` (the canonical coalesced pattern).
@@ -218,6 +545,34 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         base: usize,
         mask: u32,
     ) -> [T; WARP] {
+        let txn = self.cfg.dram_transaction_bytes as u64;
+        let elem = T::SIZE as u64;
+        // Full-mask fast path: `base..base+32` is a sorted run of 32
+        // distinct consecutive indices, so the coalescing scan a `gather`
+        // would run collapses to closed forms — consecutive indices have
+        // consecutive segment ids, so the segment count is just the id
+        // span, and "distinct elements" is exactly 32.
+        if mask == FULL_MASK {
+            if let Some(sa) = idx_shift(buf.base_addr(), elem, txn) {
+                let max = base + WARP - 1;
+                assert!(
+                    max < buf.len(),
+                    "gather index {max} out of bounds (len {})",
+                    buf.len()
+                );
+                let mut out = [T::default(); WARP];
+                // SAFETY: every index read is ≤ `max`, checked above.
+                unsafe {
+                    for (lane, slot) in out.iter_mut().enumerate() {
+                        *slot = buf.get_unchecked(base + lane);
+                    }
+                }
+                let segs = ((max >> sa) - (base >> sa) + 1) as u64;
+                let ideal = ideal_from_distinct(WARP, WARP as u64, elem, txn);
+                self.charge_mem_read(WARP as u64, segs, ideal, txn);
+                return out;
+            }
+        }
         let mut idx = [0usize; WARP];
         for (lane, slot) in idx.iter_mut().enumerate() {
             if mask >> lane & 1 == 1 {
@@ -247,6 +602,7 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
     /// Scatter `vals[i]` to `buf[idx[i]]` for active lanes. Conflicting
     /// lanes (same index) resolve to the highest active lane, matching
     /// CUDA's undefined-but-last-writer-wins behaviour in practice.
+    #[inline]
     pub fn scatter<T: DevCopy>(
         &mut self,
         buf: &DeviceBuffer<T>,
@@ -254,19 +610,98 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         vals: &[T; WARP],
         mask: u32,
     ) {
-        let mut addrs = [u64::MAX; WARP];
-        let mut n_active = 0;
-        for lane in 0..WARP {
-            if mask >> lane & 1 == 1 {
-                buf.set(idx[lane], vals[lane]);
-                addrs[n_active] = buf.addr_of(idx[lane]);
-                n_active += 1;
-            }
-        }
         let txn = self.cfg.dram_transaction_bytes as u64;
-        let ideal = ideal_transactions::<T>(&addrs[..n_active], txn);
-        let segs = distinct_segments(&mut addrs[..n_active], txn);
-        self.charge_mem_write(n_active as u64, segs, ideal, txn);
+        let elem = T::SIZE as u64;
+        // Fast path: index-space scan, as in `gather`.
+        if let Some(sa) = idx_shift(buf.base_addr(), elem, txn) {
+            let full = mask == FULL_MASK;
+            let mut lanes = [0usize; WARP];
+            let n_active = if full {
+                WARP
+            } else {
+                compact_idx(idx, mask, &mut lanes)
+            };
+            let scan = if full {
+                scan_run(idx, sa, 0)
+            } else {
+                scan_run(&lanes[..n_active], sa, 0)
+            };
+            let (segs, distinct_elems) = if scan.sorted {
+                (scan.segs_a, scan.segs_b)
+            } else {
+                if full {
+                    lanes = *idx;
+                }
+                let run = &mut lanes[..n_active];
+                sort_run(run);
+                count_segments2(run, sa, 0)
+            };
+            if n_active > 0 {
+                // One bounds check on the run's maximum, as in `gather`.
+                let max = if scan.sorted && full {
+                    idx[WARP - 1]
+                } else {
+                    lanes[n_active - 1]
+                };
+                assert!(
+                    max < buf.len(),
+                    "scatter index {max} out of bounds (len {})",
+                    buf.len()
+                );
+                // SAFETY: every active index is ≤ `max`, checked above.
+                // Writes run in ascending lane order, preserving the
+                // last-writer-wins conflict resolution.
+                unsafe {
+                    if full {
+                        for lane in 0..WARP {
+                            buf.set_unchecked(idx[lane], vals[lane]);
+                        }
+                    } else {
+                        let mut m = mask;
+                        while m != 0 {
+                            let lane = m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            buf.set_unchecked(idx[lane], vals[lane]);
+                        }
+                    }
+                }
+            }
+            let ideal = ideal_from_distinct(n_active, distinct_elems, elem, txn);
+            self.charge_mem_write(n_active as u64, segs, ideal, txn);
+            return;
+        }
+        // General path: materialize and scan raw addresses.
+        let mut addrs = [0u64; WARP];
+        let sa = txn.trailing_zeros();
+        let sb = elem.next_power_of_two().max(1).trailing_zeros();
+        let n = if mask == FULL_MASK {
+            for lane in 0..WARP {
+                buf.set(idx[lane], vals[lane]);
+                addrs[lane] = buf.addr_of(idx[lane]);
+            }
+            WARP
+        } else {
+            let mut n = 0usize;
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                m &= m - 1;
+                buf.set(idx[lane], vals[lane]);
+                addrs[n] = buf.addr_of(idx[lane]);
+                n += 1;
+            }
+            n
+        };
+        let scan = scan_run(&addrs[..n], sa, sb);
+        let (segs, distinct_elems) = if scan.sorted {
+            (scan.segs_a, scan.segs_b)
+        } else {
+            let active = &mut addrs[..scan.n_active];
+            sort_run(active);
+            count_segments2(active, sa, sb)
+        };
+        let ideal = ideal_from_distinct(scan.n_active, distinct_elems, elem, txn);
+        self.charge_mem_write(scan.n_active as u64, segs, ideal, txn);
     }
 
     /// Atomic read-modify-write: `buf[idx[i]] = op(buf[idx[i]], vals[i])`.
@@ -320,8 +755,7 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         self.shard.counters.transactions += n_distinct as u64;
         self.shard.counters.dram_read_bytes += n_distinct as u64 * 32;
         self.shard.counters.dram_write_bytes += n_distinct as u64 * 32;
-        self.crit += max_mult * self.cfg.atomic_serialize_cycles
-            + (self.cfg.mem_latency_cycles as f64 / self.cfg.mlp).ceil() as u64;
+        self.crit += max_mult * self.cfg.atomic_serialize_cycles + self.mem_lat;
     }
 
     /// `__shfl_down_sync`: lane `i` receives lane `i + delta`'s value
@@ -353,17 +787,28 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         );
         let mut cur = *vals;
         let mut delta = width / 2;
+        let mut rounds = 0u64;
         while delta > 0 {
-            let shifted = self.shfl_down(&cur, delta);
-            for lane in 0..WARP {
-                // only combine within the same segment
-                if (lane % width) + delta < width {
-                    cur[lane] = cur[lane] + shifted[lane];
+            // Every combining lane reads `lane + delta`, a lane written
+            // *later* in ascending order — so all reads of a round see
+            // the round's input values, and the round is a pure map over
+            // the snapshot `prev`. Working from an explicit snapshot
+            // computes exactly what the shuffle-copy + masked add pair
+            // did, and frees the compiler from the in-place aliasing
+            // (the round vectorizes). The combining lanes of each round
+            // are the first `width - delta` of every segment.
+            let prev = cur;
+            for seg in (0..WARP).step_by(width) {
+                for lane in seg..seg + width - delta {
+                    cur[lane] = prev[lane] + prev[lane + delta];
                 }
             }
-            self.charge_alu(1); // the adds issue as one warp instruction
             delta /= 2;
+            rounds += 1;
         }
+        // One shuffle + one add warp instruction per round, charged in a
+        // single call (charge_alu(2) per round sums to the same counters).
+        self.charge_alu(2 * rounds);
         cur
     }
 
@@ -416,27 +861,27 @@ impl<'r, 'd, 'k> WarpCtx<'r, 'd, 'k> {
         });
     }
 
-    fn charge_mem_read(&mut self, n_active: u64, segments: usize, ideal: u64, txn_bytes: u64) {
+    fn charge_mem_read(&mut self, n_active: u64, segments: u64, ideal: u64, txn_bytes: u64) {
         self.instr += 1;
         self.lanes += n_active;
         self.note_lanes(n_active);
         self.shard.counters.mem_requests += 1;
-        self.shard.counters.mem_transactions += segments as u64;
+        self.shard.counters.mem_transactions += segments;
         self.shard.counters.min_transactions += ideal;
-        self.shard.counters.transactions += segments as u64;
-        self.shard.counters.dram_read_bytes += segments as u64 * txn_bytes;
-        self.crit += (self.cfg.mem_latency_cycles as f64 / self.cfg.mlp).ceil() as u64;
+        self.shard.counters.transactions += segments;
+        self.shard.counters.dram_read_bytes += segments * txn_bytes;
+        self.crit += self.mem_lat;
     }
 
-    fn charge_mem_write(&mut self, n_active: u64, segments: usize, ideal: u64, txn_bytes: u64) {
+    fn charge_mem_write(&mut self, n_active: u64, segments: u64, ideal: u64, txn_bytes: u64) {
         self.instr += 1;
         self.lanes += n_active;
         self.note_lanes(n_active);
         self.shard.counters.mem_requests += 1;
-        self.shard.counters.mem_transactions += segments as u64;
+        self.shard.counters.mem_transactions += segments;
         self.shard.counters.min_transactions += ideal;
-        self.shard.counters.transactions += segments as u64;
-        self.shard.counters.dram_write_bytes += segments as u64 * txn_bytes;
+        self.shard.counters.transactions += segments;
+        self.shard.counters.dram_write_bytes += segments * txn_bytes;
         // writes retire through the store queue; they cost issue + a small
         // fraction of latency on the critical path
         self.crit += 4;
@@ -455,27 +900,227 @@ impl Drop for WarpCtx<'_, '_, '_> {
     }
 }
 
-/// Minimum DRAM transactions a request for these element addresses could
-/// have needed: the *distinct* elements (duplicates coalesce for free —
-/// a broadcast is perfectly efficient), densely packed into
-/// `txn_bytes`-sized transactions. Always ≤ the distinct segments the
-/// access actually touched, so coalescing efficiency stays in (0, 1].
-fn ideal_transactions<T: DevCopy>(active_addrs: &[u64], txn_bytes: u64) -> u64 {
-    if active_addrs.is_empty() {
-        return 0;
-    }
-    let elem = std::mem::size_of::<T>() as u64;
-    let mut tmp = [0u64; WARP];
-    tmp[..active_addrs.len()].copy_from_slice(active_addrs);
-    let distinct = distinct_segments(
-        &mut tmp[..active_addrs.len()],
-        elem.next_power_of_two().max(1),
-    ) as u64;
-    (distinct * elem).div_ceil(txn_bytes).max(1)
+/// Element of a scannable access run: a raw byte address (`u64`) or an
+/// element index (`usize`, for the index-space fast path).
+trait RunElem: Copy + Ord + std::ops::Shr<u32, Output = Self> {}
+impl RunElem for u64 {}
+impl RunElem for usize {}
+
+/// Result of scanning a warp's (lane-ordered, compacted) access run.
+struct LaneScan {
+    n_active: usize,
+    /// Addresses came out non-decreasing (the common coalesced and
+    /// row-major case).
+    sorted: bool,
+    /// Distinct segments at granularity `1 << shift_a` — valid only when
+    /// `sorted`.
+    segs_a: u64,
+    /// Distinct segments at granularity `1 << shift_b` — valid only when
+    /// `sorted`.
+    segs_b: u64,
 }
 
-/// Compact `addrs` to the distinct `granularity`-sized segment ids it
-/// touches; returns the count. `granularity` must be a power of two.
+/// Scan a compacted access run for sortedness and — valid only when it
+/// is sorted — the distinct-segment counts at two granularities.
+/// Counting boundaries between neighbours of a sorted run is exactly
+/// what [`count_segments2`] computes, so sorted runs skip the sort and
+/// the second counting pass entirely. The loop carries only independent
+/// accumulators (no data-dependent control flow), so it vectorizes.
+#[inline]
+fn scan_run<E: RunElem>(run: &[E], shift_a: u32, shift_b: u32) -> LaneScan {
+    let n = run.len();
+    if n == 0 {
+        return LaneScan {
+            n_active: 0,
+            sorted: true,
+            segs_a: 0,
+            segs_b: 0,
+        };
+    }
+    let mut sorted = true;
+    let mut segs_a = 1u64;
+    let mut segs_b = 1u64;
+    for i in 1..n {
+        let p = run[i - 1];
+        let a = run[i];
+        sorted &= a >= p;
+        segs_a += u64::from(a >> shift_a != p >> shift_a);
+        segs_b += u64::from(a >> shift_b != p >> shift_b);
+    }
+    LaneScan {
+        n_active: n,
+        sorted,
+        segs_a,
+        segs_b,
+    }
+}
+
+/// As [`LaneScan`] but with a third count: distinct elements (shift 0),
+/// shared by [`WarpCtx::gather2`]'s two charges. Same single pass, same
+/// boundary-counting argument.
+struct LaneScan3 {
+    sorted: bool,
+    segs_a: u64,
+    segs_b: u64,
+    distinct: u64,
+}
+
+/// Three-granularity variant of [`scan_run`] (see there for why the
+/// boundary counts of a sorted run equal the dedup counts).
+#[inline]
+fn scan_run3<E: RunElem>(run: &[E], shift_a: u32, shift_b: u32) -> LaneScan3 {
+    let n = run.len();
+    if n == 0 {
+        return LaneScan3 {
+            sorted: true,
+            segs_a: 0,
+            segs_b: 0,
+            distinct: 0,
+        };
+    }
+    let mut sorted = true;
+    let mut segs_a = 1u64;
+    let mut segs_b = 1u64;
+    let mut distinct = 1u64;
+    for i in 1..n {
+        let p = run[i - 1];
+        let a = run[i];
+        sorted &= a >= p;
+        segs_a += u64::from(a >> shift_a != p >> shift_a);
+        segs_b += u64::from(a >> shift_b != p >> shift_b);
+        distinct += u64::from(a != p);
+    }
+    LaneScan3 {
+        sorted,
+        segs_a,
+        segs_b,
+        distinct,
+    }
+}
+
+/// Compact the active lanes' indices into the front of `lanes` (lane
+/// order preserved); returns the active count.
+#[inline]
+fn compact_idx(idx: &[usize; WARP], mask: u32, lanes: &mut [usize; WARP]) -> usize {
+    // Unconditional store + masked advance: no data-dependent branches
+    // (active masks are irregular, so a bit-iteration loop mispredicts),
+    // and the fixed 32-iteration shape is the compress-store idiom
+    // vector backends recognize.
+    let mut n = 0usize;
+    for (lane, &i) in idx.iter().enumerate() {
+        lanes[n] = i;
+        n += (mask >> lane & 1) as usize;
+    }
+    n
+}
+
+/// In index space, the shift mapping an element index to its
+/// granularity-`1 << k` segment id — available whenever the element size
+/// is a power of two no larger than the granule and the buffer base is
+/// granule-aligned (always true for the page-aligned allocator). Then
+/// `(base + i*elem) >> k == (base >> k) + (i >> (k - log2 elem))`: the
+/// base contributes a constant, so segment *boundaries* (and sortedness)
+/// of an index run coincide exactly with those of the address run, and
+/// the per-lane address materialization can be skipped entirely.
+#[inline]
+fn idx_shift(base: u64, elem: u64, granule: u64) -> Option<u32> {
+    if elem.is_power_of_two() && elem <= granule && base & (granule - 1) == 0 {
+        Some(granule.trailing_zeros() - elem.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// Collect the active lanes' values and raw byte addresses (lane order,
+/// compacted into the front of `addrs`), then scan the run. The
+/// full-mask case is a straight-line 32-iteration loop — no bit
+/// scanning, no cross-lane dependencies — so the compiler can unroll
+/// and vectorize it.
+#[inline]
+fn collect_gather<T: DevCopy>(
+    buf: &DeviceBuffer<T>,
+    idx: &[usize; WARP],
+    mask: u32,
+    out: &mut [T; WARP],
+    addrs: &mut [u64; WARP],
+    shift_a: u32,
+    shift_b: u32,
+) -> LaneScan {
+    let n = if mask == FULL_MASK {
+        for lane in 0..WARP {
+            out[lane] = buf.get(idx[lane]);
+            addrs[lane] = buf.addr_of(idx[lane]);
+        }
+        WARP
+    } else {
+        let mut n = 0usize;
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            out[lane] = buf.get(idx[lane]);
+            addrs[n] = buf.addr_of(idx[lane]);
+            n += 1;
+        }
+        n
+    };
+    scan_run(&addrs[..n], shift_a, shift_b)
+}
+
+/// Sort up to 32 run elements. Insertion sort: warp-sized inputs are
+/// typically nearly sorted (ascending per-group runs), where it does
+/// O(n + inversions) work.
+#[inline]
+fn sort_run<E: RunElem>(run: &mut [E]) {
+    for i in 1..run.len() {
+        let v = run[i];
+        let mut j = i;
+        while j > 0 && run[j - 1] > v {
+            run[j] = run[j - 1];
+            j -= 1;
+        }
+        run[j] = v;
+    }
+}
+
+/// Count the distinct power-of-two segments a *sorted* run touches, at
+/// two granularities (`1 << shift_a`, `1 << shift_b`) in one pass.
+/// Shifting is monotonic, so segment ids of sorted elements are sorted
+/// too and distinct ids appear as boundaries between neighbours — the
+/// same counts the old sort-per-granularity dedup produced.
+#[inline]
+fn count_segments2<E: RunElem>(sorted: &[E], shift_a: u32, shift_b: u32) -> (u64, u64) {
+    if sorted.is_empty() {
+        return (0, 0);
+    }
+    let mut da = 1u64;
+    let mut db = 1u64;
+    for w in sorted.windows(2) {
+        da += u64::from(w[0] >> shift_a != w[1] >> shift_a);
+        db += u64::from(w[0] >> shift_b != w[1] >> shift_b);
+    }
+    (da, db)
+}
+
+/// Minimum DRAM transactions a request could have needed: the *distinct*
+/// elements (duplicates coalesce for free — a broadcast is perfectly
+/// efficient), densely packed into `txn_bytes`-sized transactions.
+/// Always ≤ the distinct segments the access actually touched, so
+/// coalescing efficiency stays in (0, 1].
+#[inline]
+fn ideal_from_distinct(n_active: usize, distinct_elems: u64, elem: u64, txn_bytes: u64) -> u64 {
+    if n_active == 0 {
+        0
+    } else {
+        (distinct_elems * elem).div_ceil(txn_bytes).max(1)
+    }
+}
+
+/// Reference implementation of segment counting (kept for the
+/// equivalence tests): compact `addrs` to the distinct
+/// `granularity`-sized segment ids it touches; returns the count.
+/// `granularity` must be a power of two.
+#[cfg(test)]
 fn distinct_segments(addrs: &mut [u64], granularity: u64) -> usize {
     debug_assert!(granularity.is_power_of_two());
     if addrs.is_empty() {
@@ -523,5 +1168,63 @@ mod tests {
     fn distinct_segments_fully_scattered() {
         let mut a: Vec<u64> = (0..32).map(|i| i * 1024).collect();
         assert_eq!(distinct_segments(&mut a, 128), 32);
+    }
+
+    #[test]
+    fn count_segments2_matches_reference_dedup() {
+        let cases: &[&[u64]] = &[
+            &[],
+            &[5],
+            &[0, 64, 127, 128, 129, 4096],
+            &[7, 7, 7, 7],
+            &[1024, 0, 4096, 32, 33, 4095],
+            &[8, 16, 24, 32, 40, 48, 56, 64],
+        ];
+        for case in cases {
+            for (ga, gb) in [(32u64, 8u64), (128, 4), (32, 32)] {
+                let mut sorted = case.to_vec();
+                sorted.sort_unstable();
+                let (da, db) = count_segments2(&sorted, ga.trailing_zeros(), gb.trailing_zeros());
+                let mut ra = case.to_vec();
+                let mut rb = case.to_vec();
+                assert_eq!(
+                    da as usize,
+                    distinct_segments(&mut ra, ga),
+                    "{case:?} g={ga}"
+                );
+                assert_eq!(
+                    db as usize,
+                    distinct_segments(&mut rb, gb),
+                    "{case:?} g={gb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sort_run_sorts() {
+        let mut a = [9u64, 3, 7, 3, 1];
+        sort_run(&mut a);
+        assert_eq!(a, [1, 3, 3, 7, 9]);
+    }
+
+    #[test]
+    fn scan_addrs_sorted_counts_match_recount() {
+        // On sorted input the one-pass counts must equal count_segments2.
+        let runs: &[&[u64]] = &[
+            &[],
+            &[5],
+            &[7, 7, 7],
+            &[0, 8, 16, 24, 32, 64, 64, 120],
+            &[0, 31, 32, 33, 4096],
+        ];
+        for run in runs {
+            let scan = scan_run(run, 5, 3);
+            assert!(scan.sorted, "{run:?}");
+            let (da, db) = count_segments2(run, 5, 3);
+            assert_eq!((scan.segs_a, scan.segs_b), (da, db), "{run:?}");
+        }
+        // Unsorted input must be flagged so callers fall back.
+        assert!(!scan_run(&[64u64, 0, 32], 5, 3).sorted);
     }
 }

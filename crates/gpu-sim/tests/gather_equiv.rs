@@ -1,0 +1,217 @@
+//! The fused / specialized warp memory ops are documented as
+//! bit-identical to their expanded forms: [`WarpCtx::gather2`] to two
+//! gathers, [`WarpCtx::gather_grouped`] to a gather of the expanded
+//! per-lane index array, [`WarpCtx::read_coalesced`] to a gather of
+//! `base..base+32`. These properties pin that — values, counters, and
+//! every timing field must agree for arbitrary index patterns and masks
+//! (sorted, unsorted, duplicated, sparse), because kernels choose freely
+//! between the forms and the profile goldens assume the choice is
+//! unobservable.
+
+use gpu_sim::{lane_mask, presets, Device, RunReport, WARP};
+use proptest::prelude::*;
+
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.counters, b.counters, "{what}: counters diverged");
+    assert_eq!(
+        a.time_s.to_bits(),
+        b.time_s.to_bits(),
+        "{what}: time_s bits diverged"
+    );
+}
+
+/// Index strategy: sorted ascending, scattered, or heavily duplicated
+/// runs over a buffer of `n` elements, chosen by a shape selector.
+fn idx_strategy(n: usize) -> impl Strategy<Value = [usize; WARP]> {
+    (
+        0u8..3,
+        0usize..n / 2,
+        proptest::collection::vec(0usize..n, WARP),
+    )
+        .prop_map(move |(shape, b, v)| {
+            let mut idx = [0usize; WARP];
+            match shape {
+                // ascending with small gaps (the sorted fast path)
+                0 => {
+                    let mut cur = b;
+                    for (i, s) in v.iter().enumerate() {
+                        cur = (cur + s % 3).min(n - 1);
+                        idx[i] = cur;
+                    }
+                }
+                // fully scattered (unsorted fallback)
+                1 => idx.copy_from_slice(&v),
+                // few distinct values, duplicated (conflict-heavy)
+                _ => {
+                    for (i, x) in v.iter().enumerate() {
+                        idx[i] = (x % 4) * (n / 4);
+                    }
+                }
+            }
+            idx
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gather2_matches_two_gathers(
+        idx in idx_strategy(1024),
+        mask in any::<u32>(),
+    ) {
+        let dev = Device::new(presets::gtx_titan());
+        let a = dev.alloc((0..1024u32).collect::<Vec<_>>());
+        let b = dev.alloc((0..1024).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
+        // Kernel closures are `Fn` — results come back through device
+        // buffers (written full-mask so both launches charge alike).
+        let out_a = dev.alloc_zeroed::<u32>(WARP);
+        let out_b = dev.alloc_zeroed::<f64>(WARP);
+        let r_fused = dev.launch("fused", 1, 32, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                let (va, vb) = warp.gather2(&a, &b, &idx, mask);
+                warp.write_coalesced(&out_a, 0, &va, u32::MAX);
+                warp.write_coalesced(&out_b, 0, &vb, u32::MAX);
+            });
+        });
+        let fused = (out_a.as_slice().to_vec(), out_b.as_slice().to_vec());
+        let r_split = dev.launch("split", 1, 32, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                let va = warp.gather(&a, &idx, mask);
+                let vb = warp.gather(&b, &idx, mask);
+                warp.write_coalesced(&out_a, 0, &va, u32::MAX);
+                warp.write_coalesced(&out_b, 0, &vb, u32::MAX);
+            });
+        });
+        let split = (out_a.as_slice().to_vec(), out_b.as_slice().to_vec());
+        prop_assert_eq!(fused, split, "values");
+        assert_identical(&r_fused, &r_split, "gather2 vs two gathers");
+    }
+
+    #[test]
+    fn gather_grouped_matches_expanded_gather(
+        g_shift in 0usize..=5,
+        groups in proptest::collection::vec(0usize..512, WARP),
+        live in 0usize..=WARP,
+    ) {
+        let n_groups = WARP >> g_shift;
+        let mut group_idx = vec![0usize; n_groups];
+        group_idx.copy_from_slice(&groups[..n_groups]);
+        // Both the grouped fast-path shape (prefix of whole groups) and
+        // ragged masks that force the expansion fallback.
+        let mask = lane_mask(live);
+        let dev = Device::new(presets::gtx_titan());
+        let buf = dev.alloc((0..512u32).collect::<Vec<_>>());
+        let out = dev.alloc_zeroed::<u32>(WARP);
+        let r_grouped = dev.launch("grouped", 1, 32, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                let v = warp.gather_grouped(&buf, &group_idx, g_shift, mask);
+                warp.write_coalesced(&out, 0, &v, u32::MAX);
+            });
+        });
+        let grouped = out.as_slice().to_vec();
+        let idx: [usize; WARP] = std::array::from_fn(|l| group_idx[l >> g_shift]);
+        let r_plain = dev.launch("plain", 1, 32, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                let v = warp.gather(&buf, &idx, mask);
+                warp.write_coalesced(&out, 0, &v, u32::MAX);
+            });
+        });
+        let plain = out.as_slice().to_vec();
+        // Inactive lanes of the grouped fast path broadcast their group's
+        // value where plain gather leaves T::default(); only active lanes
+        // are contractual.
+        for l in 0..WARP {
+            if mask >> l & 1 == 1 {
+                prop_assert_eq!(grouped[l], plain[l], "lane {}", l);
+            }
+        }
+        assert_identical(&r_grouped, &r_plain, "grouped vs expanded");
+    }
+
+    #[test]
+    fn read_coalesced_matches_gather(
+        base in 0usize..(4096 - WARP),
+        mask in any::<u32>(),
+    ) {
+        let dev = Device::new(presets::gtx_titan());
+        let buf = dev.alloc((0..4096).map(|i| i as f64).collect::<Vec<_>>());
+        let out = dev.alloc_zeroed::<f64>(WARP);
+        let r_fast = dev.launch("coalesced", 1, 32, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                let v = warp.read_coalesced(&buf, base, mask);
+                warp.write_coalesced(&out, 0, &v, u32::MAX);
+            });
+        });
+        let fast = out.as_slice().to_vec();
+        let mut idx = [0usize; WARP];
+        for (l, slot) in idx.iter_mut().enumerate() {
+            if mask >> l & 1 == 1 {
+                *slot = base + l;
+            }
+        }
+        let r_plain = dev.launch("gather", 1, 32, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                let v = warp.gather(&buf, &idx, mask);
+                warp.write_coalesced(&out, 0, &v, u32::MAX);
+            });
+        });
+        let plain = out.as_slice().to_vec();
+        prop_assert_eq!(fast, plain, "values");
+        assert_identical(&r_fast, &r_plain, "read_coalesced vs gather");
+    }
+
+    #[test]
+    fn scatter_matches_scalar_model(
+        idx in idx_strategy(256),
+        mask in any::<u32>(),
+    ) {
+        // Last-writer-wins at conflicting indices, untouched elsewhere.
+        let dev = Device::new(presets::gtx_titan());
+        let dst = dev.alloc_zeroed::<f64>(256);
+        let vals: [f64; WARP] = std::array::from_fn(|l| l as f64 + 1.0);
+        dev.launch("scatter", 1, 32, &|blk| {
+            blk.for_each_warp(&mut |warp| {
+                warp.scatter(&dst, &idx, &vals, mask);
+            });
+        });
+        let mut want = vec![0f64; 256];
+        for l in 0..WARP {
+            if mask >> l & 1 == 1 {
+                want[idx[l]] = vals[l];
+            }
+        }
+        prop_assert_eq!(dst.as_slice(), &want[..]);
+    }
+}
+
+/// Out-of-bounds active indices must still panic (the fast paths hoist
+/// the check to the run maximum — it must not be skipped).
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn gather_oob_panics() {
+    let dev = Device::new(presets::gtx_titan());
+    let buf = dev.alloc(vec![0u32; 8]);
+    let mut idx = [0usize; WARP];
+    idx[17] = 8; // one past the end, unsorted position
+    dev.launch("oob", 1, 32, &|blk| {
+        blk.for_each_warp(&mut |warp| {
+            warp.gather(&buf, &idx, u32::MAX);
+        });
+    });
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn scatter_oob_panics() {
+    let dev = Device::new(presets::gtx_titan());
+    let buf = dev.alloc(vec![0u32; 8]);
+    let mut idx = [0usize; WARP];
+    idx[3] = 1000;
+    let vals = [1u32; WARP];
+    dev.launch("oob", 1, 32, &|blk| {
+        blk.for_each_warp(&mut |warp| {
+            warp.scatter(&buf, &idx, &vals, u32::MAX);
+        });
+    });
+}

@@ -1,0 +1,154 @@
+//! Discrete-event scheduler determinism: the [`gpu_sim::TieBreak`]
+//! order in which same-cycle components leave the event queue, and the
+//! host worker width that ticks each frontier, are both pure scheduling
+//! policy — neither may be observable in a [`RunReport`]. This pins the
+//! full cross product `ACSR_SIM_THREADS ∈ {1,2,4,8} × TieBreak
+//! {Ascending, Descending}` to the bit level, for plain grids and for
+//! dynamic-parallelism cascades (whose child waves are exactly the
+//! multi-component frontiers the tie-break reorders).
+
+use gpu_sim::{
+    lane_mask, presets, set_sim_threads, set_tie_break, Device, RunReport, TieBreak, WARP,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// `set_sim_threads` / `set_tie_break` are process-global; every test
+/// that flips them holds this.
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const ORDERS: [TieBreak; 2] = [TieBreak::Ascending, TieBreak::Descending];
+
+/// A kernel touching every counter source, with enough blocks that
+/// every SM is a same-cycle component in wave 0 (the frontier the
+/// tie-break permutes).
+fn stress_run(dev: &Device, grid: usize, block_dim: usize) -> (RunReport, Vec<f64>) {
+    let n = grid * block_dim;
+    let src = dev.alloc((0..n).map(|i| (i % 89) as f64).collect::<Vec<_>>());
+    let dst = dev.alloc_zeroed::<f64>(n);
+    let report = dev.launch("event_stress", grid, block_dim, &|blk| {
+        let bidx = blk.block_idx();
+        blk.for_each_warp(&mut |warp| {
+            let base = warp.first_thread();
+            if base >= n {
+                return;
+            }
+            let mask = lane_mask(n - base);
+            let vals = warp.read_coalesced(&src, base, mask);
+            let idx: [usize; WARP] = std::array::from_fn(|l| (base * 13 + l * 5 + bidx) % n);
+            let tex = warp.gather_tex(&src, &idx, mask);
+            let mut out = [0.0f64; WARP];
+            for l in 0..WARP {
+                out[l] = vals[l] + tex[l];
+            }
+            let red = warp.segmented_reduce_sum(&out, 8);
+            warp.charge_fma(mask);
+            let _ = red;
+            warp.write_coalesced(&dst, base, &out, mask);
+        });
+    });
+    (report, dst.into_vec())
+}
+
+/// Dynamic-parallelism cascade: parent warps launch child grids, so
+/// later frontiers hold several SMs woken at the same child-wave cycle.
+fn dp_run(dev: &Device, grid: usize, fan: usize) -> (RunReport, Vec<f64>) {
+    let n = (grid * 64 * fan).max(WARP);
+    let out = dev.alloc_zeroed::<f64>(n);
+    let out_ref = &out;
+    let report = dev.launch("event_dp", grid, 64, &|blk| {
+        let bidx = blk.block_idx();
+        blk.for_each_warp(&mut |warp| {
+            if warp.warp_in_block() != 0 {
+                return;
+            }
+            warp.launch_child(fan, 32, move |child| {
+                let cb = child.block_idx();
+                child.for_each_warp(&mut |cw| {
+                    let base = (bidx * 64 * fan + cb * WARP) % n;
+                    let vals = [3.0f64; WARP];
+                    cw.write_coalesced(out_ref, base.min(n - WARP), &vals, u32::MAX);
+                });
+            });
+        });
+    });
+    (report, out.into_vec())
+}
+
+fn assert_identical(a: &RunReport, b: &RunReport, what: &str) {
+    assert_eq!(a.counters, b.counters, "{what}: counters diverged");
+    assert_eq!(a.launches, b.launches, "{what}: launch counts diverged");
+    assert_eq!(
+        a.time_s.to_bits(),
+        b.time_s.to_bits(),
+        "{what}: time_s bits diverged"
+    );
+}
+
+/// Run `f` under every (width, tie-break) pair and require bit-identical
+/// reports and identical kernel-visible buffer contents.
+fn sweep(what: &str, f: impl Fn() -> (RunReport, Vec<f64>)) {
+    set_sim_threads(1);
+    set_tie_break(TieBreak::Ascending);
+    let (ref_report, ref_buf) = f();
+    for &threads in &WIDTHS {
+        for &order in &ORDERS {
+            set_sim_threads(threads);
+            set_tie_break(order);
+            let (report, buf) = f();
+            assert_identical(
+                &ref_report,
+                &report,
+                &format!("{what}, {threads} workers, {order:?}"),
+            );
+            assert_eq!(
+                ref_buf, buf,
+                "{what}, {threads} workers, {order:?}: buffer contents diverged"
+            );
+        }
+    }
+    set_sim_threads(0);
+    set_tie_break(TieBreak::Ascending);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn reports_invariant_under_width_and_tie_break(
+        grid in 1usize..48,
+        block_pow in 0u32..=3,
+    ) {
+        let _guard = KNOB_LOCK.lock().unwrap();
+        let dev = Device::new(presets::gtx_titan());
+        let block_dim = 32usize << block_pow;
+        sweep(
+            &format!("grid {grid}x{block_dim}"),
+            || stress_run(&dev, grid, block_dim),
+        );
+    }
+
+    #[test]
+    fn dp_cascades_invariant_under_width_and_tie_break(
+        grid in 1usize..12,
+        fan in 1usize..5,
+    ) {
+        let _guard = KNOB_LOCK.lock().unwrap();
+        // GTX Titan is the only preset with dynamic parallelism.
+        let dev = Device::new(presets::gtx_titan());
+        sweep(&format!("dp grid {grid} fan {fan}"), || dp_run(&dev, grid, fan));
+    }
+}
+
+/// The tie-break knob itself must round-trip (guards against the knob
+/// silently becoming a no-op, which would turn the sweep above into
+/// 2× redundant coverage).
+#[test]
+fn tie_break_knob_round_trips() {
+    let _guard = KNOB_LOCK.lock().unwrap();
+    set_tie_break(TieBreak::Descending);
+    assert_eq!(gpu_sim::tie_break(), TieBreak::Descending);
+    set_tie_break(TieBreak::Ascending);
+    assert_eq!(gpu_sim::tie_break(), TieBreak::Ascending);
+}

@@ -94,55 +94,73 @@ impl<T: Scalar> GpuSpmv<T> for CsrVector<T> {
                     return;
                 }
                 let live_groups = (rows - base_row).min(groups_per_warp);
-                // lanes belonging to a live group
-                let mut mask = 0u32;
-                for lane in 0..WARP {
-                    if lane / group < live_groups {
-                        mask |= 1 << lane;
-                    }
+                // group is a power of two: shift/mask instead of div/mod
+                // in the per-lane loops below.
+                let g_shift = group.trailing_zeros() as usize;
+                let g_mask = group - 1;
+                // lanes belonging to a live group (groups are contiguous
+                // from lane 0)
+                let mask = gpu_sim::lane_mask(live_groups << g_shift);
+                // Row bounds per lane (lane's group's row), fetched in
+                // grouped form: lanes of one group share the row index.
+                let mut start_gidx = [0usize; WARP];
+                let mut end_gidx = [0usize; WARP];
+                for g in 0..groups_per_warp {
+                    start_gidx[g] = (base_row + g).min(rows);
+                    end_gidx[g] = (base_row + g + 1).min(rows);
                 }
-                // Row bounds per lane (lane's group's row).
-                let row_of = |lane: usize| base_row + lane / group;
-                let off_idx: [usize; WARP] = std::array::from_fn(|l| row_of(l).min(rows));
-                let starts = warp.gather(&mat.row_offsets, &off_idx, mask);
-                let end_idx: [usize; WARP] = std::array::from_fn(|l| (row_of(l) + 1).min(rows));
-                let ends = warp.gather(&mat.row_offsets, &end_idx, mask);
+                let starts = warp.gather_grouped(
+                    &mat.row_offsets,
+                    &start_gidx[..groups_per_warp],
+                    g_shift,
+                    mask,
+                );
+                let ends = warp.gather_grouped(
+                    &mat.row_offsets,
+                    &end_gidx[..groups_per_warp],
+                    g_shift,
+                    mask,
+                );
 
                 let mut iters = 0usize;
                 for g in 0..live_groups {
-                    let lane0 = g * group;
+                    let lane0 = g << g_shift;
                     let len = (ends[lane0] - starts[lane0]) as usize;
                     iters = iters.max(len.div_ceil(group));
                 }
 
+                let live_lanes = live_groups << g_shift;
                 let mut acc = [T::ZERO; WARP];
                 for it in 0..iters {
+                    let base_k = it << g_shift;
                     let mut it_mask = 0u32;
                     let mut idx = [0usize; WARP];
-                    for lane in 0..WARP {
-                        if mask >> lane & 1 == 0 {
-                            continue;
-                        }
-                        let k = starts[lane] as usize + it * group + lane % group;
-                        if k < ends[lane] as usize {
-                            it_mask |= 1 << lane;
-                            idx[lane] = k;
-                        }
+                    // Unconditional k store + predicate mask (no per-lane
+                    // branch, so the loop vectorizes). Inactive lanes'
+                    // idx entries are never read: every gather/scatter
+                    // consumer filters through `it_mask`.
+                    for (lane, slot) in idx.iter_mut().enumerate().take(live_lanes) {
+                        let k = starts[lane] as usize + base_k + (lane & g_mask);
+                        it_mask |= u32::from(k < ends[lane] as usize) << lane;
+                        *slot = k;
                     }
                     if it_mask == 0 {
                         continue;
                     }
-                    let cols = warp.gather(&mat.col_indices, &idx, it_mask);
-                    let vals = warp.gather(&mat.values, &idx, it_mask);
+                    let (cols, vals) = warp.gather2(&mat.col_indices, &mat.values, &idx, it_mask);
                     let xi: [usize; WARP] = std::array::from_fn(|i| cols[i] as usize);
                     let xs = if texture_x {
                         warp.gather_tex(x, &xi, it_mask)
                     } else {
                         warp.gather(x, &xi, it_mask)
                     };
+                    // Branchless select: inactive lanes keep their old
+                    // acc (the fma result for them uses the gathers'
+                    // T::default() lanes — computed, then discarded).
                     for lane in 0..WARP {
+                        let upd = vals[lane].mul_add(xs[lane], acc[lane]);
                         if it_mask >> lane & 1 == 1 {
-                            acc[lane] = vals[lane].mul_add(xs[lane], acc[lane]);
+                            acc[lane] = upd;
                         }
                     }
                     warp.charge_fma(it_mask);
@@ -154,7 +172,7 @@ impl<T: Scalar> GpuSpmv<T> for CsrVector<T> {
                 let mut w_idx = [0usize; WARP];
                 let mut w_vals = [T::ZERO; WARP];
                 for g in 0..live_groups {
-                    let lane0 = g * group;
+                    let lane0 = g << g_shift;
                     w_mask |= 1 << lane0;
                     w_idx[lane0] = base_row + g;
                     w_vals[lane0] = reduced[lane0];

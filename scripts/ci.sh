@@ -41,8 +41,17 @@ echo "==> selector smoke (repro selector + registry print)"
 test -s results/SELECTOR_report.json
 ./target/release/repro check-artifacts results/SELECTOR_report.json
 
+echo "==> sim-throughput smoke (repro simbench --quick)"
+./target/release/repro simbench --quick > /dev/null
+test -s results/BENCH_sim_throughput.json
+./target/release/repro check-artifacts results/BENCH_sim_throughput.json
+
 echo "==> perf-regression gate (bench-diff vs committed baseline)"
 ./target/release/repro bench-diff baselines/PROFILE_fig5_ci.json results/PROFILE_fig5.json
+
+echo "==> host-throughput gate (bench-diff vs committed floor)"
+./target/release/repro bench-diff baselines/BENCH_sim_throughput_ci.json \
+    results/BENCH_sim_throughput.json
 
 echo "==> perf-regression gate rejects an inflated baseline"
 if ./target/release/repro bench-diff baselines/PROFILE_fig5_ci_inflated.json \
