@@ -28,6 +28,8 @@ fn direction(leaf: &str) -> Option<bool> {
         "throughput",
         "bandwidth",
         "dram_gbs",
+        "attainment",
+        "goodput",
     ];
     const LOWER: &[&str] = &[
         "time",
@@ -299,6 +301,9 @@ mod tests {
         assert_eq!(direction("achieved_gflops"), Some(true));
         assert_eq!(direction("warp_execution_efficiency"), Some(true));
         assert_eq!(direction("achieved_occupancy"), Some(true));
+        assert_eq!(direction("attainment"), Some(true));
+        assert_eq!(direction("goodput_qps"), Some(true));
+        assert_eq!(direction("offered_qps"), None, "offered load is an input");
         assert_eq!(direction("time_s"), Some(false));
         assert_eq!(direction("load_imbalance"), Some(false));
         assert_eq!(direction("p99"), Some(false));

@@ -12,6 +12,7 @@ pub mod diff;
 pub mod experiments;
 pub mod profile;
 pub mod simbench;
+pub mod slo;
 pub mod tracing;
 
 pub use common::{selected_specs, Options, Table};

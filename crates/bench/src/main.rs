@@ -18,6 +18,10 @@
 //!   simbench [--quick]            host-simulator launches/sec sweep over
 //!                                 kernels × worker widths; writes
 //!                                 results/BENCH_sim_throughput.json
+//!   slo [--quick]                 open-loop SLO-attainment sweep (offered
+//!                                 qps vs p99-target attainment, plus
+//!                                 diurnal/bursty/hot-key/tenant-mix
+//!                                 traces); writes results/BENCH_slo.json
 //!   profile <experiment> [opts]   run under the per-kernel profiler;
 //!                                 writes results/PROFILE_<experiment>.json
 //!   bench-diff <baseline> <new> [--tolerance F]
@@ -66,6 +70,18 @@ fn main() {
         println!("{}", repro_bench::simbench::render(&report));
         let path = repro_bench::simbench::write(&report)
             .unwrap_or_else(|e| die(&format!("write BENCH_sim_throughput.json: {e}")));
+        eprintln!("wrote {path}");
+        return;
+    }
+    if experiment == "slo" {
+        let quick = args[1..].iter().any(|a| a == "--quick");
+        if let Some(bad) = args[1..].iter().find(|a| *a != "--quick") {
+            die(&format!("slo: unknown option '{bad}'"));
+        }
+        let report = repro_bench::slo::run(quick);
+        println!("{}", repro_bench::slo::render(&report));
+        let path = repro_bench::slo::write(&report)
+            .unwrap_or_else(|e| die(&format!("write BENCH_slo.json: {e}")));
         eprintln!("wrote {path}");
         return;
     }
@@ -293,6 +309,44 @@ fn check_artifact(path: &str) {
                 }
                 _ => die(&format!("{path}: simbench report has no kernel rows")),
             }
+        } else if schema == "acsr-slo-v1" {
+            kind = "slo report";
+            for key in [
+                "capacity_qps",
+                "p99_target_ms",
+                "max_batch",
+                "queue_capacity",
+            ] {
+                if field(&value, key).is_none() {
+                    die(&format!("{path}: slo report missing '{key}'"));
+                }
+            }
+            for section in ["curve", "traces"] {
+                match field(&value, section) {
+                    Some(serde::Value::Array(points)) if !points.is_empty() => {
+                        if section == "curve" && points.len() < 4 {
+                            die(&format!(
+                                "{path}: slo curve needs at least 4 offered-load points"
+                            ));
+                        }
+                        for p in &points {
+                            for key in [
+                                "name",
+                                "offered_qps",
+                                "attainment",
+                                "goodput_qps",
+                                "throughput_qps",
+                                "p99_ms",
+                            ] {
+                                if field(p, key).is_none() {
+                                    die(&format!("{path}: slo {section} row missing '{key}'"));
+                                }
+                            }
+                        }
+                    }
+                    _ => die(&format!("{path}: slo report has no {section} rows")),
+                }
+            }
         } else if schema == "acsr-selector-v1" {
             kind = "selector report";
             for key in ["scale", "device", "rows"] {
@@ -369,6 +423,7 @@ fn print_usage() {
          usage: repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json] [--trace]\n\
          \x20      repro profile <experiment> [same options]\n\
          \x20      repro simbench [--quick]\n\
+         \x20      repro slo [--quick]\n\
          \x20      repro bench-diff <baseline.json> <new.json> [--tolerance F]\n\
          \x20      repro check-artifacts <file>...\n\
          \x20      repro trace-check <file>\n\n\

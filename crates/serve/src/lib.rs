@@ -5,14 +5,24 @@
 //! concurrently against one shared graph. This crate models that
 //! serving path on the simulated SIMT substrate:
 //!
-//! * [`loadgen`] — seeded Poisson / bursty query streams;
-//! * [`queue`] — a bounded submission queue that sheds overload;
+//! * [`loadgen`] — seeded open-loop arrival traces: steady Poisson,
+//!   diurnal rate curves, bursty clumps, and adversarial hot-key
+//!   streams, plus tenant-mix assignment;
+//! * [`queue`] — a bounded submission queue that sheds overload at each
+//!   offer's true arrival-time occupancy;
 //! * [`scheduler`] — a continuous-batching engine: each *wave* runs one
 //!   RWR iteration for every active query as a single multi-vector
 //!   ACSR SpMM (amortizing launch floors and row-structure reads across
-//!   the batch), retires converged queries, and refills their slots;
-//! * [`latency`] — p50/p95/p99 latency accounting over the virtual
-//!   model clock.
+//!   the batch), retires converged queries, and refills their slots.
+//!   Admission is event-driven — arrivals are offered at their true
+//!   arrival times, never batch-admitted at wave boundaries;
+//! * [`slo`] — open-loop serving policy: SLO targets, deadline
+//!   shedding, and queue-depth-adaptive batch sizing
+//!   ([`ServeEngine::serve_slo`](scheduler::ServeEngine::serve_slo));
+//! * [`tenant`] — per-tenant priority classes and exact-integer
+//!   weighted fair-share admission;
+//! * [`latency`] — p50/p95/p99 latency accounting and SLO-attainment
+//!   helpers over the virtual model clock.
 //!
 //! Batching never changes answers: per vector, the batched kernels run
 //! exactly the single-vector float-op sequence, so every query's scores
@@ -25,9 +35,13 @@ pub mod loadgen;
 pub mod query;
 pub mod queue;
 pub mod scheduler;
+pub mod slo;
+pub mod tenant;
 
 pub use latency::LatencyStats;
-pub use loadgen::{generate_queries, ArrivalPattern};
+pub use loadgen::{assign_tenants, generate_queries, ArrivalPattern};
 pub use query::{Query, QueryOutcome};
 pub use queue::SubmissionQueue;
 pub use scheduler::{ServeConfig, ServeEngine, ServeReport};
+pub use slo::{BatchPolicy, SloPolicy};
+pub use tenant::{FairShare, TenantSpec, TenantTable};

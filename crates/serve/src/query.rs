@@ -14,6 +14,9 @@ pub struct Query {
     pub restart_c: f64,
     /// Arrival time on the model clock, seconds.
     pub arrival_s: f64,
+    /// Owning tenant (priority class / fair-share bucket). Tenant 0 is
+    /// the default class; see [`crate::tenant::TenantTable`].
+    pub tenant: u32,
 }
 
 /// A finished query with its full latency accounting. All timestamps are

@@ -1,11 +1,17 @@
 //! Bounded submission queue.
 
 use crate::query::Query;
+use std::cmp::Ordering;
 use std::collections::VecDeque;
 
 /// FIFO admission queue with a hard capacity: arrivals beyond capacity
 /// are rejected (load shedding) rather than buffered without bound, so
 /// tail latency under overload stays interpretable.
+///
+/// Shedding is decided at **offer time against the occupancy at that
+/// instant** — the caller offers each arrival at its true arrival time,
+/// so a query is never rejected against a backlog that had already
+/// drained (or not yet built up) when it actually arrived.
 #[derive(Debug)]
 pub struct SubmissionQueue {
     pending: VecDeque<Query>,
@@ -40,6 +46,19 @@ impl SubmissionQueue {
         self.pending.pop_front()
     }
 
+    /// Pop the waiting query that minimizes `cmp` (the fair-share /
+    /// priority admission hook). Ties resolve to the oldest waiter, so
+    /// a constant comparator degenerates to FIFO [`Self::pop`].
+    pub fn pop_min_by(&mut self, mut cmp: impl FnMut(&Query, &Query) -> Ordering) -> Option<Query> {
+        let mut best = 0usize;
+        for i in 1..self.pending.len() {
+            if cmp(&self.pending[i], &self.pending[best]) == Ordering::Less {
+                best = i;
+            }
+        }
+        self.pending.remove(best)
+    }
+
     /// Queries currently waiting.
     pub fn len(&self) -> usize {
         self.pending.len()
@@ -48,6 +67,11 @@ impl SubmissionQueue {
     /// Whether nothing is waiting.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// Hard capacity the queue sheds beyond.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Ids of queries shed because the queue was full, in arrival order.
@@ -66,6 +90,7 @@ mod tests {
             seed: 0,
             restart_c: 0.85,
             arrival_s: id as f64,
+            tenant: 0,
         }
     }
 
@@ -93,5 +118,57 @@ mod tests {
         sq.pop();
         assert!(sq.offer(q(4)));
         assert_eq!(sq.len(), 2);
+    }
+
+    /// Shed decisions must track the occupancy at each offer, not a
+    /// batch boundary: interleaving offers and pops, every offer
+    /// succeeds exactly when the queue has space *at that instant*.
+    #[test]
+    fn interleaved_offer_pop_sheds_by_instantaneous_occupancy() {
+        let mut sq = SubmissionQueue::new(2);
+        assert!(sq.offer(q(0)));
+        assert!(sq.offer(q(1)));
+        assert!(!sq.offer(q(2))); // full: shed
+        assert_eq!(sq.pop().unwrap().id, 0); // drains one place
+        assert!(sq.offer(q(3))); // space again: admitted
+        assert!(!sq.offer(q(4))); // full again: shed
+        assert_eq!(sq.pop().unwrap().id, 1);
+        assert_eq!(sq.pop().unwrap().id, 3);
+        assert!(sq.offer(q(5))); // empty queue admits
+        assert_eq!(sq.rejected(), &[2, 4]);
+        assert_eq!(sq.len(), 1);
+    }
+
+    #[test]
+    fn pop_min_by_selects_and_breaks_ties_fifo() {
+        let mut sq = SubmissionQueue::new(8);
+        for id in [5u64, 3, 7, 3] {
+            // ids 5,3,7,3 — two waiters share the minimum key
+            sq.offer(Query {
+                id,
+                seed: 0,
+                restart_c: 0.85,
+                arrival_s: 0.0,
+                tenant: 0,
+            });
+        }
+        // min by id: picks 3, and of the two 3s the *older* one
+        let got = sq.pop_min_by(|a, b| a.id.cmp(&b.id)).unwrap();
+        assert_eq!(got.id, 3);
+        assert_eq!(sq.len(), 3);
+        // remaining order preserved for the rest
+        assert_eq!(sq.pop().unwrap().id, 5);
+        assert_eq!(sq.pop_min_by(|a, b| a.id.cmp(&b.id)).unwrap().id, 3);
+        assert_eq!(sq.pop().unwrap().id, 7);
+        // constant comparator == FIFO
+        sq.offer(q(9));
+        sq.offer(q(10));
+        assert_eq!(sq.pop_min_by(|_, _| Ordering::Equal).unwrap().id, 9);
+    }
+
+    #[test]
+    fn pop_min_by_on_empty_is_none() {
+        let mut sq = SubmissionQueue::new(2);
+        assert!(sq.pop_min_by(|a, b| a.id.cmp(&b.id)).is_none());
     }
 }

@@ -7,25 +7,44 @@
 //! wave and their batch slots are refilled from the queue — continuous
 //! batching, not gang scheduling.
 //!
+//! Admission is **event-driven**: every arrival is offered to the queue
+//! at its true arrival time — mid-wave arrivals queue (or shed) against
+//! the occupancy at that instant, and at a wave boundary offers
+//! interleave with eager pops into free batch slots, so a burst flows
+//! through the queue into idle slots instead of being shed against a
+//! backlog that is about to drain. (The original scheduler offered a
+//! boundary's whole arrival batch before refilling, so queries could be
+//! capacity-shed while batch slots sat idle — shed attribution now
+//! always uses arrival-time occupancy.) The open-loop entry point
+//! [`ServeEngine::serve_slo`] adds per-tenant fair-share admission,
+//! deadline shedding, and adaptive batch sizing on the same core; the
+//! closed-loop [`ServeEngine::serve`] is the fixed-width no-deadline
+//! special case.
+//!
 //! Two invariants make the modeled numbers trustworthy:
 //!
 //! 1. **Batch independence** — per vector, the batched kernels execute
 //!    exactly the single-vector float-op sequence, so a query's
 //!    trajectory (scores *and* iteration count) is bit-identical no
-//!    matter which queries it is co-batched with or what `max_batch`
-//!    is. Batching changes *when* a query runs, never *what* it
-//!    computes.
+//!    matter which queries it is co-batched with or what the batch
+//!    policy picks. Batching changes *when* a query runs, never *what*
+//!    it computes.
 //! 2. **Device-count independence** — rows are partitioned with
 //!    [`multi_gpu::partition_rows_by_bins`]; a row keeps its bin (and
 //!    its per-row accumulation order) in the device-local sub-matrix,
 //!    so results are bit-identical across device counts too.
 //!
-//! Both are pinned by proptests in `tests/proptest_serve.rs`.
+//! Both are pinned by proptests in `tests/proptest_serve.rs`; the
+//! open-loop shed/admission decisions are themselves deterministic
+//! functions of modeled time, pinned across host worker widths in
+//! `tests/slo_serving.rs`.
 
-use crate::latency::LatencyStats;
+use crate::latency::{count_within, LatencyStats};
 use crate::loadgen::{generate_queries, ArrivalPattern};
 use crate::query::{Query, QueryOutcome};
 use crate::queue::SubmissionQueue;
+use crate::slo::SloPolicy;
+use crate::tenant::FairShare;
 use acsr::AcsrConfig;
 use gpu_sim::trace::TraceLedger;
 use gpu_sim::{presets, Device, DeviceConfig, RunReport};
@@ -40,7 +59,9 @@ use std::sync::Arc;
 /// Serving-engine configuration.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Maximum queries per wave (the SpMM batch width `k`).
+    /// Maximum queries per wave (the SpMM batch width `k`) for the
+    /// closed-loop [`ServeEngine::serve`] path; [`ServeEngine::serve_slo`]
+    /// takes its width from the policy's [`crate::slo::BatchPolicy`].
     pub max_batch: usize,
     /// Submission-queue capacity; arrivals beyond it are shed.
     pub queue_capacity: usize,
@@ -91,12 +112,22 @@ struct Active<T> {
 pub struct ServeReport<T> {
     /// Completed queries, in retirement order.
     pub outcomes: Vec<QueryOutcome<T>>,
-    /// Ids shed because the submission queue was full.
+    /// Ids shed because the submission queue was full at their arrival
+    /// (capacity shedding), in arrival order.
     pub rejected: Vec<u64>,
+    /// Ids dropped at admission because their queue wait had already
+    /// exceeded their tenant's SLO budget (deadline shedding), in
+    /// admission-attempt order.
+    pub deadline_shed: Vec<u64>,
+    /// Queries in the offered stream (completed + shed).
+    pub offered: usize,
     /// Virtual-clock span from start to the last retirement, seconds.
     pub makespan_s: f64,
     /// Batched iteration waves executed.
     pub waves: usize,
+    /// Batch width of every executed wave, in order (the adaptive
+    /// policy's decisions are observable here).
+    pub wave_widths: Vec<usize>,
     /// Accumulated per-device kernel/transfer accounting.
     pub device_reports: Vec<RunReport>,
     /// Non-zeros of the serving operator (for GFLOPS accounting).
@@ -104,8 +135,13 @@ pub struct ServeReport<T> {
 }
 
 impl<T> ServeReport<T> {
-    /// Completed queries per virtual second.
+    /// Completed queries per virtual second. A stream with nothing
+    /// completed (or an empty makespan — e.g. every query shed) reports
+    /// 0.0, never NaN/∞, so serialized artifacts stay valid.
     pub fn throughput_qps(&self) -> f64 {
+        if self.outcomes.is_empty() || self.makespan_s <= 0.0 {
+            return 0.0;
+        }
         self.outcomes.len() as f64 / self.makespan_s
     }
 
@@ -115,8 +151,11 @@ impl<T> ServeReport<T> {
     }
 
     /// Useful SpMV throughput: 2·nnz flops per query iteration over the
-    /// makespan.
+    /// makespan. 0.0 (not NaN/∞) when nothing completed.
     pub fn gflops(&self) -> f64 {
+        if self.outcomes.is_empty() || self.makespan_s <= 0.0 {
+            return 0.0;
+        }
         (2 * self.nnz * self.total_iterations()) as f64 / self.makespan_s / 1e9
     }
 
@@ -132,12 +171,45 @@ impl<T> ServeReport<T> {
         LatencyStats::from_samples(&samples)
     }
 
-    /// Mean iterations per completed query.
+    /// Mean iterations per completed query (0.0 when none completed).
     pub fn mean_iterations(&self) -> f64 {
         if self.outcomes.is_empty() {
             return 0.0;
         }
         self.total_iterations() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Mean batch width over executed waves (0.0 when no wave ran).
+    pub fn mean_wave_width(&self) -> f64 {
+        if self.wave_widths.is_empty() {
+            return 0.0;
+        }
+        self.wave_widths.iter().sum::<usize>() as f64 / self.wave_widths.len() as f64
+    }
+
+    /// SLO attainment: the fraction of **offered** queries that
+    /// completed within `target_s` — shed queries (capacity or
+    /// deadline) count as misses, so shedding can protect the tail but
+    /// never flatter the curve. An empty stream vacuously attains 1.0.
+    pub fn attainment(&self, target_s: f64) -> f64 {
+        let offered = self.outcomes.len() + self.rejected.len() + self.deadline_shed.len();
+        if offered == 0 {
+            return 1.0;
+        }
+        let samples: Vec<f64> = self.outcomes.iter().map(|o| o.latency_s()).collect();
+        count_within(&samples, target_s) as f64 / offered as f64
+    }
+
+    /// Queries meeting `target_s` per virtual second. Unlike
+    /// [`Self::throughput_qps`] this is *goodput*: shed queries and
+    /// SLO-missing completions never inflate it. 0.0 when nothing met
+    /// the target (or the makespan is empty).
+    pub fn goodput_qps(&self, target_s: f64) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        let samples: Vec<f64> = self.outcomes.iter().map(|o| o.latency_s()).collect();
+        count_within(&samples, target_s) as f64 / self.makespan_s
     }
 }
 
@@ -230,8 +302,25 @@ impl<T: Scalar> ServeEngine<T> {
         ledger
     }
 
-    /// Serve a query stream to completion and account every wave.
+    /// Serve a query stream to completion with the closed-loop policy
+    /// (fixed `max_batch` waves, FIFO admission, no deadlines).
     pub fn serve(&self, queries: &[Query]) -> ServeReport<T> {
+        self.serve_slo(
+            queries,
+            &SloPolicy::closed_loop(self.config.max_batch, self.config.queue_capacity),
+        )
+    }
+
+    /// Serve a query stream under an open-loop [`SloPolicy`]: arrivals
+    /// are offered at their true arrival times, admission applies the
+    /// policy's tenant priorities / fair shares, stale waiters are
+    /// deadline-shed at pop time, and each wave's width follows the
+    /// policy's batch sizing.
+    pub fn serve_slo(&self, queries: &[Query], policy: &SloPolicy) -> ServeReport<T> {
+        assert!(
+            policy.batch.max_width() >= 1,
+            "batch policy must allow at least one query per wave"
+        );
         let mut stream: Vec<Query> = queries.to_vec();
         stream.sort_by(|a, b| {
             a.arrival_s
@@ -243,33 +332,48 @@ impl<T: Scalar> ServeEngine<T> {
             assert!(q.seed < self.rows, "query {} seed out of range", q.id);
         }
 
-        let mut queue = SubmissionQueue::new(self.config.queue_capacity);
+        let mut queue = SubmissionQueue::new(policy.queue_capacity);
+        let mut fair = FairShare::default();
         let mut active: Vec<Active<T>> = Vec::new();
         let mut outcomes: Vec<QueryOutcome<T>> = Vec::new();
+        let mut deadline_shed: Vec<u64> = Vec::new();
         let mut device_reports = vec![RunReport::default(); self.devices.len()];
+        let mut wave_widths: Vec<usize> = Vec::new();
         let mut next_arrival = 0usize;
         let mut clock = 0.0f64;
-        let mut waves = 0usize;
 
         loop {
-            // 1. admit everything that has arrived by now
-            while next_arrival < stream.len() && stream[next_arrival].arrival_s <= clock {
-                queue.offer(stream[next_arrival]);
-                next_arrival += 1;
+            // 1. Event-driven admission at the boundary: offer each due
+            //    arrival against the queue occupancy at its own arrival
+            //    time, interleaved with eager pops into free batch
+            //    slots, so a burst drains through the queue instead of
+            //    shedding while slots sit idle.
+            loop {
+                self.refill(
+                    clock,
+                    policy,
+                    &mut queue,
+                    &mut fair,
+                    &mut active,
+                    &mut deadline_shed,
+                );
+                if next_arrival < stream.len() && stream[next_arrival].arrival_s <= clock {
+                    queue.offer(stream[next_arrival]);
+                    next_arrival += 1;
+                } else {
+                    break;
+                }
             }
-            // 2. refill free batch slots from the queue
-            while active.len() < self.config.max_batch {
-                let Some(q) = queue.pop() else { break };
-                let mut r = vec![T::ZERO; self.rows];
-                r[q.seed] = T::ONE; // r⁰ = e_seed
-                active.push(Active {
-                    q,
-                    admitted_s: clock,
-                    iterations: 0,
-                    r,
-                });
-            }
+            self.refill(
+                clock,
+                policy,
+                &mut queue,
+                &mut fair,
+                &mut active,
+                &mut deadline_shed,
+            );
             if active.is_empty() {
+                debug_assert!(queue.is_empty(), "refill must drain an idle engine's queue");
                 if next_arrival >= stream.len() {
                     break; // drained
                 }
@@ -278,95 +382,167 @@ impl<T: Scalar> ServeEngine<T> {
                 continue;
             }
 
-            // 3. one batched RWR iteration for the whole wave
-            let k = active.len();
-            let c: Vec<T> = active.iter().map(|a| T::from_f64(a.q.restart_c)).collect();
-            let restart: Vec<T> = active
-                .iter()
-                .map(|a| T::from_f64(1.0 - a.q.restart_c))
-                .collect();
-            let mut new_r: Vec<Vec<T>> = vec![vec![T::ZERO; self.rows]; k];
-            let mut wave_time = 0.0f64;
-            for (d, dev) in self.devices.iter().enumerate() {
-                let local_n = self.row_maps[d].len();
-                if local_n == 0 {
-                    continue; // more devices than this graph's bins can feed
-                }
-                let elt = std::mem::size_of::<T>();
-                // each device gets every active iterate in full width
-                let mut rep = dev.record_htod("serve_x_upload", (k * self.rows * elt) as u64);
-                let xs: Vec<_> = active.iter().map(|a| dev.alloc(a.r.clone())).collect();
-                let tmps: Vec<_> = (0..k).map(|_| dev.alloc_zeroed::<T>(local_n)).collect();
-                let xr: Vec<_> = xs.iter().collect();
-                let tr: Vec<_> = tmps.iter().collect();
-                rep = rep.then(&self.plans[d].spmv_multi(dev, &xr, &tr));
-                let seeds: Vec<Option<usize>> = active
-                    .iter()
-                    .map(|a| match self.local_of[d][a.q.seed] {
-                        u32::MAX => None,
-                        local => Some(local as usize),
-                    })
-                    .collect();
-                let nexts: Vec<_> = (0..k).map(|_| dev.alloc_zeroed::<T>(local_n)).collect();
-                let nr: Vec<_> = nexts.iter().collect();
-                rep = rep.then(&rwr_update_multi(dev, &tr, &c, &restart, &seeds, &nr));
-                rep = rep.then(&dev.record_dtoh("serve_y_readback", (k * local_n * elt) as u64));
-                for (v, next) in nexts.iter().enumerate() {
-                    let local = next.as_slice();
-                    for (l, &g) in self.row_maps[d].iter().enumerate() {
-                        new_r[v][g as usize] = local[l];
-                    }
-                }
-                wave_time = wave_time.max(rep.time_s);
-                device_reports[d] = device_reports[d].clone().then(&rep);
+            // 2. one batched RWR iteration for the whole wave
+            wave_widths.push(active.len());
+            let (new_r, wave_time) = self.wave(&active, &mut device_reports);
+            let wave_end = clock + wave_time;
+            // 3. Arrivals landing mid-wave queue (or capacity-shed) at
+            //    their true arrival times. No pops happen while a wave
+            //    is in flight, so offering them in arrival order here
+            //    reproduces each query's arrival-instant occupancy
+            //    exactly — shed attribution never uses boundary state.
+            while next_arrival < stream.len() && stream[next_arrival].arrival_s <= wave_end {
+                queue.offer(stream[next_arrival]);
+                next_arrival += 1;
             }
-            if self.devices.len() > 1 {
-                wave_time += self.sync_overhead_s;
-            }
-            clock += wave_time;
-            waves += 1;
+            clock = wave_end;
 
-            // 4. retire converged queries, keep the rest for the next wave
-            let mut survivors = Vec::with_capacity(active.len());
-            for (v, mut a) in active.into_iter().enumerate() {
-                a.iterations += 1;
-                // Euclidean distance of successive iterates, summed over
-                // global rows in ascending order — identical arithmetic
-                // whatever the batch or device split, so convergence is
-                // a per-query property.
-                let mut dist2 = 0.0f64;
-                for (old, new) in a.r.iter().zip(&new_r[v]) {
-                    let d = new.to_f64() - old.to_f64();
-                    dist2 += d * d;
-                }
-                std::mem::swap(&mut a.r, &mut new_r[v]);
-                let converged = dist2.sqrt() < self.config.iter.epsilon;
-                if converged || a.iterations >= self.config.iter.max_iters {
-                    outcomes.push(QueryOutcome {
-                        id: a.q.id,
-                        seed: a.q.seed,
-                        arrival_s: a.q.arrival_s,
-                        admitted_s: a.admitted_s,
-                        completed_s: clock,
-                        iterations: a.iterations,
-                        converged,
-                        scores: self.config.keep_scores.then_some(a.r),
-                    });
-                } else {
-                    survivors.push(a);
-                }
-            }
-            active = survivors;
+            // 4. retire converged queries, keep the rest
+            active = self.retire(active, new_r, clock, &mut outcomes);
         }
 
         ServeReport {
             outcomes,
             rejected: queue.rejected().to_vec(),
+            deadline_shed,
+            offered: stream.len(),
             makespan_s: clock,
-            waves,
+            waves: wave_widths.len(),
+            wave_widths,
             device_reports,
             nnz: self.nnz,
         }
+    }
+
+    /// Pop waiting queries into free batch slots at virtual time `now`:
+    /// fair-share/priority selection, deadline-shedding waiters whose
+    /// queue wait already exceeds their tenant's SLO budget, up to the
+    /// batch policy's width for the current demand.
+    fn refill(
+        &self,
+        now: f64,
+        policy: &SloPolicy,
+        queue: &mut SubmissionQueue,
+        fair: &mut FairShare,
+        active: &mut Vec<Active<T>>,
+        deadline_shed: &mut Vec<u64>,
+    ) {
+        loop {
+            let cap = policy.batch.cap(active.len() + queue.len());
+            if active.len() >= cap {
+                return;
+            }
+            let Some(q) = queue.pop_min_by(|a, b| fair.order(&policy.tenants, a, b)) else {
+                return;
+            };
+            if policy.deadline_shed && now - q.arrival_s > policy.tenants.spec(q.tenant).slo_s {
+                // The wait alone has consumed the whole budget: this
+                // query cannot meet its SLO any more, so drop it before
+                // it burns a batch slot.
+                deadline_shed.push(q.id);
+                continue;
+            }
+            fair.record(q.tenant);
+            let mut r = vec![T::ZERO; self.rows];
+            r[q.seed] = T::ONE; // r⁰ = e_seed
+            active.push(Active {
+                q,
+                admitted_s: now,
+                iterations: 0,
+                r,
+            });
+        }
+    }
+
+    /// Execute one batched RWR iteration for `active` across all
+    /// devices; returns the next iterates and the wave's modeled time.
+    fn wave(&self, active: &[Active<T>], device_reports: &mut [RunReport]) -> (Vec<Vec<T>>, f64) {
+        let k = active.len();
+        let c: Vec<T> = active.iter().map(|a| T::from_f64(a.q.restart_c)).collect();
+        let restart: Vec<T> = active
+            .iter()
+            .map(|a| T::from_f64(1.0 - a.q.restart_c))
+            .collect();
+        let mut new_r: Vec<Vec<T>> = vec![vec![T::ZERO; self.rows]; k];
+        let mut wave_time = 0.0f64;
+        for (d, dev) in self.devices.iter().enumerate() {
+            let local_n = self.row_maps[d].len();
+            if local_n == 0 {
+                continue; // more devices than this graph's bins can feed
+            }
+            let elt = std::mem::size_of::<T>();
+            // each device gets every active iterate in full width
+            let mut rep = dev.record_htod("serve_x_upload", (k * self.rows * elt) as u64);
+            let xs: Vec<_> = active.iter().map(|a| dev.alloc(a.r.clone())).collect();
+            let tmps: Vec<_> = (0..k).map(|_| dev.alloc_zeroed::<T>(local_n)).collect();
+            let xr: Vec<_> = xs.iter().collect();
+            let tr: Vec<_> = tmps.iter().collect();
+            rep = rep.then(&self.plans[d].spmv_multi(dev, &xr, &tr));
+            let seeds: Vec<Option<usize>> = active
+                .iter()
+                .map(|a| match self.local_of[d][a.q.seed] {
+                    u32::MAX => None,
+                    local => Some(local as usize),
+                })
+                .collect();
+            let nexts: Vec<_> = (0..k).map(|_| dev.alloc_zeroed::<T>(local_n)).collect();
+            let nr: Vec<_> = nexts.iter().collect();
+            rep = rep.then(&rwr_update_multi(dev, &tr, &c, &restart, &seeds, &nr));
+            rep = rep.then(&dev.record_dtoh("serve_y_readback", (k * local_n * elt) as u64));
+            for (v, next) in nexts.iter().enumerate() {
+                let local = next.as_slice();
+                for (l, &g) in self.row_maps[d].iter().enumerate() {
+                    new_r[v][g as usize] = local[l];
+                }
+            }
+            wave_time = wave_time.max(rep.time_s);
+            device_reports[d] = device_reports[d].clone().then(&rep);
+        }
+        if self.devices.len() > 1 {
+            wave_time += self.sync_overhead_s;
+        }
+        (new_r, wave_time)
+    }
+
+    /// Retire converged (or capped) queries at wave end `clock`;
+    /// returns the survivors with their swapped-in iterates.
+    fn retire(
+        &self,
+        active: Vec<Active<T>>,
+        mut new_r: Vec<Vec<T>>,
+        clock: f64,
+        outcomes: &mut Vec<QueryOutcome<T>>,
+    ) -> Vec<Active<T>> {
+        let mut survivors = Vec::with_capacity(active.len());
+        for (v, mut a) in active.into_iter().enumerate() {
+            a.iterations += 1;
+            // Euclidean distance of successive iterates, summed over
+            // global rows in ascending order — identical arithmetic
+            // whatever the batch or device split, so convergence is
+            // a per-query property.
+            let mut dist2 = 0.0f64;
+            for (old, new) in a.r.iter().zip(&new_r[v]) {
+                let d = new.to_f64() - old.to_f64();
+                dist2 += d * d;
+            }
+            std::mem::swap(&mut a.r, &mut new_r[v]);
+            let converged = dist2.sqrt() < self.config.iter.epsilon;
+            if converged || a.iterations >= self.config.iter.max_iters {
+                outcomes.push(QueryOutcome {
+                    id: a.q.id,
+                    seed: a.q.seed,
+                    arrival_s: a.q.arrival_s,
+                    admitted_s: a.admitted_s,
+                    completed_s: clock,
+                    iterations: a.iterations,
+                    converged,
+                    scores: self.config.keep_scores.then_some(a.r),
+                });
+            } else {
+                survivors.push(a);
+            }
+        }
+        survivors
     }
 
     /// Generate a seeded query stream against this engine's graph and
@@ -408,6 +584,16 @@ mod tests {
         ArrivalPattern::Poisson { rate_qps: 1e9 }
     }
 
+    fn query(id: u64, seed: usize, arrival_s: f64) -> Query {
+        Query {
+            id,
+            seed,
+            restart_c: 0.85,
+            arrival_s,
+            tenant: 0,
+        }
+    }
+
     #[test]
     fn served_scores_match_cpu_reference() {
         let g = graph(400, 201);
@@ -423,6 +609,8 @@ mod tests {
         let report = engine.serve_generated(saturated(6), 6, 0.85, 11);
         assert_eq!(report.outcomes.len(), 6);
         assert!(report.rejected.is_empty());
+        assert!(report.deadline_shed.is_empty());
+        assert_eq!(report.offered, 6);
         for o in &report.outcomes {
             assert!(o.converged, "query {} hit the iteration cap", o.id);
             let (cpu, _) = rwr_cpu(&w, o.seed, 0.85, &IterParams::default());
@@ -485,6 +673,8 @@ mod tests {
             "waves {} vs serial {serial}",
             report.waves
         );
+        assert_eq!(report.wave_widths.len(), report.waves);
+        assert!(report.wave_widths.iter().all(|&w| (1..=3).contains(&w)));
         // later queries waited in the queue
         assert!(report.outcomes.iter().any(|o| o.queue_wait_s() > 0.0));
         assert!(report.makespan_s > 0.0);
@@ -505,20 +695,105 @@ mod tests {
         );
         // 8 simultaneous arrivals into 1 slot + 2 queue places
         let queries: Vec<Query> = (0..8)
-            .map(|id| Query {
-                id,
-                seed: (id as usize * 13) % 200,
-                restart_c: 0.85,
-                arrival_s: 0.0,
-            })
+            .map(|id| query(id, (id as usize * 13) % 200, 0.0))
             .collect();
         let report = engine.serve(&queries);
         assert!(!report.rejected.is_empty(), "overload must shed load");
         assert_eq!(report.outcomes.len() + report.rejected.len(), 8);
-        // the 8 queries arrive at the same instant, so only the queue's
-        // two places are admitted; the rest shed in arrival order
-        assert_eq!(report.rejected, vec![2, 3, 4, 5, 6, 7]);
-        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.offered, 8);
+        // Event-driven admission: the first arrival flows through the
+        // queue straight into the free batch slot, the next two take
+        // the queue's places, and the rest shed in arrival order. (The
+        // old boundary-batched admission shed query 2 as well, against
+        // a queue that still held the query the free slot was about to
+        // absorb.)
+        assert_eq!(report.rejected, vec![3, 4, 5, 6, 7]);
+        assert_eq!(report.outcomes.len(), 3);
+    }
+
+    /// The shed-attribution fix: a query arriving *mid-wave*, after the
+    /// queue has drained into slots, sees the drained queue (admitted) —
+    /// and one arriving after the queue refills sees the full queue
+    /// (shed) — regardless of what the occupancy is at the boundary.
+    #[test]
+    fn mid_wave_arrivals_shed_by_arrival_time_occupancy() {
+        let g = graph(250, 207);
+        let engine = ServeEngine::new(
+            &g,
+            ServeConfig {
+                max_batch: 1,
+                queue_capacity: 1,
+                ..ServeConfig::default()
+            },
+        );
+        // q0 at t=0 takes the slot (queue drains); its first wave runs
+        // for some modeled time W > 0. q1 arrives mid-wave at 1 ns:
+        // the queue is empty at that instant, so it must be admitted.
+        // q2 arrives just after q1, sees q1 occupying the single queue
+        // place, and must be the one shed.
+        let queries = vec![
+            query(0, 3, 0.0),
+            query(1, 5, 1e-9),
+            query(2, 7, 2e-9),
+            // q3 arrives much later, long after the backlog drained:
+            // admitted too (a boundary-occupancy scheduler that batched
+            // offers could have shed it against stale state).
+            query(3, 9, 1.0),
+        ];
+        let report = engine.serve(&queries);
+        let completed: Vec<u64> = report.outcomes.iter().map(|o| o.id).collect();
+        assert!(completed.contains(&0), "q0 occupies the free slot");
+        assert!(
+            completed.contains(&1),
+            "q1 arrived at a drained queue mid-wave and must be admitted"
+        );
+        assert!(
+            completed.contains(&3),
+            "q3 arrived after the backlog cleared and must be admitted"
+        );
+        assert_eq!(report.rejected, vec![2], "only q2 saw a full queue");
+    }
+
+    #[test]
+    fn fully_shed_report_has_no_nan_metrics() {
+        // The degenerate shape the guards exist for: every query shed,
+        // nothing completed, zero makespan. All rate/mean metrics must
+        // be exactly 0.0 — NaN/∞ here would corrupt BENCH_serve.json.
+        let report = ServeReport::<f64> {
+            outcomes: Vec::new(),
+            rejected: vec![0, 1, 2],
+            deadline_shed: vec![3, 4],
+            offered: 5,
+            makespan_s: 0.0,
+            waves: 0,
+            wave_widths: Vec::new(),
+            device_reports: Vec::new(),
+            nnz: 1000,
+        };
+        assert_eq!(report.throughput_qps(), 0.0);
+        assert_eq!(report.gflops(), 0.0);
+        assert_eq!(report.mean_iterations(), 0.0);
+        assert_eq!(report.mean_wave_width(), 0.0);
+        assert_eq!(report.goodput_qps(0.1), 0.0);
+        assert_eq!(report.attainment(0.1), 0.0, "5 offered, 0 met");
+        for v in [
+            report.throughput_qps(),
+            report.gflops(),
+            report.mean_iterations(),
+            report.goodput_qps(0.1),
+            report.attainment(0.1),
+        ] {
+            assert!(v.is_finite(), "metric must be finite, got {v}");
+        }
+        // and the empty stream end to end: nothing offered at all
+        let g = graph(120, 208);
+        let engine = ServeEngine::new(&g, ServeConfig::default());
+        let empty = engine.serve(&[]);
+        assert_eq!(empty.offered, 0);
+        assert_eq!(empty.throughput_qps(), 0.0);
+        assert_eq!(empty.gflops(), 0.0);
+        assert_eq!(empty.attainment(1.0), 1.0, "vacuously attained");
+        assert!(empty.makespan_s == 0.0);
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn stream(n_nodes: usize, n: usize) -> Vec<Query> {
             seed: (id as usize * 31 + 7) % n_nodes,
             restart_c: 0.85,
             arrival_s: 0.0,
+            tenant: 0,
         })
         .collect()
 }

@@ -46,12 +46,20 @@ echo "==> sim-throughput smoke (repro simbench --quick)"
 test -s results/BENCH_sim_throughput.json
 ./target/release/repro check-artifacts results/BENCH_sim_throughput.json
 
+echo "==> slo smoke (repro slo --quick)"
+./target/release/repro slo --quick > /dev/null
+test -s results/BENCH_slo.json
+./target/release/repro check-artifacts results/BENCH_slo.json
+
 echo "==> perf-regression gate (bench-diff vs committed baseline)"
 ./target/release/repro bench-diff baselines/PROFILE_fig5_ci.json results/PROFILE_fig5.json
 
 echo "==> host-throughput gate (bench-diff vs committed floor)"
 ./target/release/repro bench-diff baselines/BENCH_sim_throughput_ci.json \
     results/BENCH_sim_throughput.json
+
+echo "==> slo-attainment gate (bench-diff vs committed baseline)"
+./target/release/repro bench-diff baselines/BENCH_slo_ci.json results/BENCH_slo.json
 
 echo "==> perf-regression gate rejects an inflated baseline"
 if ./target/release/repro bench-diff baselines/PROFILE_fig5_ci_inflated.json \
