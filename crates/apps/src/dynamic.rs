@@ -166,6 +166,23 @@ pub fn dynamic_pagerank<T: Scalar>(
     cfg: &DynamicConfig,
     host: &HostModel,
 ) -> Vec<EpochStats> {
+    let mut cache = PlanCache::<T>::new();
+    dynamic_pagerank_cached(dev, operator0, strategy, cfg, host, &mut cache)
+}
+
+/// [`dynamic_pagerank`] with a caller-owned [`PlanCache`] for the
+/// rebuild strategies, so hit/miss/invalidation counters survive the run
+/// (the `AcsrIncremental` strategy never consults the cache — in-place
+/// updates are the point). The bench front-end uses this to surface
+/// cache accounting on stderr.
+pub fn dynamic_pagerank_cached<T: Scalar>(
+    dev: &Device,
+    operator0: &CsrMatrix<T>,
+    strategy: Strategy,
+    cfg: &DynamicConfig,
+    host: &HostModel,
+    cache: &mut PlanCache<T>,
+) -> Vec<EpochStats> {
     let n = operator0.rows();
     let uniform = vec![T::from_f64(1.0 / n as f64); n];
     let mut stats = Vec::with_capacity(cfg.epochs + 1);
@@ -219,7 +236,6 @@ pub fn dynamic_pagerank<T: Scalar>(
             };
             let reg = FormatRegistry::<T>::with_all();
             let budget = PlanBudget::for_device(dev.config());
-            let mut cache = PlanCache::<T>::new();
             let epoch_run =
                 |cache: &mut PlanCache<T>, m: &CsrMatrix<T>, init: &[T], epoch: usize| {
                     let before = cache.misses();
@@ -247,7 +263,7 @@ pub fn dynamic_pagerank<T: Scalar>(
                     };
                     (solve.scores, st)
                 };
-            let (scores, st) = epoch_run(&mut cache, &host_matrix, &uniform, 0);
+            let (scores, st) = epoch_run(cache, &host_matrix, &uniform, 0);
             stats.push(st);
             warm = scores;
             for epoch in 1..=cfg.epochs {
@@ -259,7 +275,7 @@ pub fn dynamic_pagerank<T: Scalar>(
                 host_matrix = batch.apply_to_csr(&host_matrix);
                 // drop the superseded plan's device memory
                 cache.invalidate(&stale);
-                let (scores, mut st) = epoch_run(&mut cache, &host_matrix, &warm, epoch);
+                let (scores, mut st) = epoch_run(cache, &host_matrix, &warm, epoch);
                 st.host_seconds += apply_host;
                 stats.push(st);
                 warm = scores;

@@ -17,7 +17,7 @@ use gpu_sim::Device;
 use graphgen::generate_regular;
 use serde::Serialize;
 use sparse_formats::CsrMatrix;
-use spmv_pipeline::{AdaptiveSelector, CandidateReport, FormatRegistry, PlanBudget};
+use spmv_pipeline::{AdaptiveSelector, CandidateReport, FormatRegistry, PlanBudget, PlanCache};
 
 /// Amortization horizons swept per matrix: one-shot, app-like
 /// (PageRank-scale iteration counts), and long-running.
@@ -61,7 +61,12 @@ pub struct SelectorReport {
     pub rows: Vec<SelectorRow>,
 }
 
-fn decide(abbrev: &str, m: &CsrMatrix<f64>, opts: &Options) -> Vec<SelectorRow> {
+fn decide(
+    abbrev: &str,
+    m: &CsrMatrix<f64>,
+    opts: &Options,
+    cache: &mut PlanCache<f64>,
+) -> Vec<SelectorRow> {
     let dev = Device::new(presets::gtx_titan());
     let stats = m.row_stats();
     HORIZONS
@@ -88,6 +93,11 @@ fn decide(abbrev: &str, m: &CsrMatrix<f64>, opts: &Options) -> Vec<SelectorRow> 
                 };
             }
             let sel = AdaptiveSelector.select(&reg, &dev, m, &budget);
+            // Pin the winner's plan in the shared cache: across the
+            // horizon sweep the structure never changes, so later
+            // horizons that pick the same winner hit instead of
+            // replanning (accounting goes to stderr in `run`).
+            let _ = cache.get_or_plan(&reg, &sel.winner, &dev, m, &budget);
             SelectorRow {
                 matrix: abbrev.to_string(),
                 rows: m.rows(),
@@ -106,14 +116,21 @@ fn decide(abbrev: &str, m: &CsrMatrix<f64>, opts: &Options) -> Vec<SelectorRow> 
 /// zero-padding-waste case where padded formats shine).
 pub fn run(opts: &Options) -> Vec<SelectorRow> {
     let mut rows = Vec::new();
+    let mut cache = PlanCache::<f64>::new();
     for spec in selected_specs(opts) {
         let m = spec.generate::<f64>(opts.scale, opts.seed);
-        rows.extend(decide(spec.abbrev, &m.csr, opts));
+        rows.extend(decide(spec.abbrev, &m.csr, opts, &mut cache));
     }
     if opts.matrices.is_empty() {
         let uni: CsrMatrix<f64> = generate_regular(2000, 2000, 6, opts.seed.wrapping_add(97));
-        rows.extend(decide("UNI", &uni, opts));
+        rows.extend(decide("UNI", &uni, opts, &mut cache));
     }
+    eprintln!(
+        "selector: plan cache across the horizon sweep: {} hits, {} misses, {} invalidations",
+        cache.hits(),
+        cache.misses(),
+        cache.invalidations(),
+    );
     rows
 }
 

@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod profile;
 pub mod simbench;
 pub mod slo;
+pub mod stream;
 pub mod tracing;
 
 pub use common::{selected_specs, Options, Table};

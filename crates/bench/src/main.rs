@@ -22,6 +22,11 @@
 //!                                 qps vs p99-target attainment, plus
 //!                                 diurnal/bursty/hot-key/tenant-mix
 //!                                 traces); writes results/BENCH_slo.json
+//!   stream [--quick]              streaming ACSR maintenance: in-place
+//!                                 edge-update throughput vs full rebuild,
+//!                                 per-batch bit-identity, serving p99
+//!                                 under churn; writes
+//!                                 results/BENCH_stream.json
 //!   profile <experiment> [opts]   run under the per-kernel profiler;
 //!                                 writes results/PROFILE_<experiment>.json
 //!   bench-diff <baseline> <new> [--tolerance F]
@@ -82,6 +87,21 @@ fn main() {
         println!("{}", repro_bench::slo::render(&report));
         let path = repro_bench::slo::write(&report)
             .unwrap_or_else(|e| die(&format!("write BENCH_slo.json: {e}")));
+        eprintln!("wrote {path}");
+        return;
+    }
+    if experiment == "stream" {
+        let quick = args[1..].iter().any(|a| a == "--quick");
+        if let Some(bad) = args[1..].iter().find(|a| *a != "--quick") {
+            die(&format!("stream: unknown option '{bad}'"));
+        }
+        let report = repro_bench::stream::run(quick);
+        println!("{}", repro_bench::stream::render(&report));
+        if !report.identical {
+            die("stream: maintained ACSR diverged from the fresh build");
+        }
+        let path = repro_bench::stream::write(&report)
+            .unwrap_or_else(|e| die(&format!("write BENCH_stream.json: {e}")));
         eprintln!("wrote {path}");
         return;
     }
@@ -347,6 +367,44 @@ fn check_artifact(path: &str) {
                     _ => die(&format!("{path}: slo report has no {section} rows")),
                 }
             }
+        } else if schema == "acsr-stream-v1" {
+            kind = "stream report";
+            for key in [
+                "rows",
+                "batches",
+                "total_ops",
+                "identical",
+                "updates_per_sec",
+                "rebuild_updates_per_sec",
+                "speedup",
+                "p99_churn_ms",
+                "p99_steady_ms",
+                "ledger",
+            ] {
+                if field(&value, key).is_none() {
+                    die(&format!("{path}: stream report missing '{key}'"));
+                }
+            }
+            if field(&value, "identical") != Some(serde::Value::Bool(true)) {
+                die(&format!(
+                    "{path}: stream report lost bit-identity with the fresh build"
+                ));
+            }
+            match field(&value, "batch_rows") {
+                Some(serde::Value::Array(rows)) if !rows.is_empty() => {
+                    for row in &rows {
+                        for key in ["name", "ops", "incremental_s", "rebuild_s", "drift"] {
+                            if field(row, key).is_none() {
+                                die(&format!("{path}: stream batch row missing '{key}'"));
+                            }
+                        }
+                        if field(row, "identical") != Some(serde::Value::Bool(true)) {
+                            die(&format!("{path}: stream batch row failed identity"));
+                        }
+                    }
+                }
+                _ => die(&format!("{path}: stream report has no batch rows")),
+            }
         } else if schema == "acsr-selector-v1" {
             kind = "selector report";
             for key in ["scale", "device", "rows"] {
@@ -424,6 +482,7 @@ fn print_usage() {
          \x20      repro profile <experiment> [same options]\n\
          \x20      repro simbench [--quick]\n\
          \x20      repro slo [--quick]\n\
+         \x20      repro stream [--quick]\n\
          \x20      repro bench-diff <baseline.json> <new.json> [--tolerance F]\n\
          \x20      repro check-artifacts <file>...\n\
          \x20      repro trace-check <file>\n\n\

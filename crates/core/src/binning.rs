@@ -44,6 +44,15 @@ pub struct BinStats {
     pub overflow_rows: usize,
 }
 
+/// One row whose length class changed after an update: it leaves bin
+/// `from` and joins bin `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowMove {
+    pub row: u32,
+    pub from: usize,
+    pub to: usize,
+}
+
 impl Binning {
     /// Bin the rows described by `row_len` under `cfg`. Returns the
     /// binning plus its (tiny) preprocessing cost.
@@ -65,28 +74,7 @@ impl Binning {
                     nonempty_rows += 1;
                 }
             }
-            let bin_max = cfg.effective_bin_max();
-            let mut g1_rows: Vec<u32> = Vec::new();
-            let mut overflow_rows: Vec<u32> = Vec::new();
-            let mut g2_bins: Vec<usize> = Vec::new();
-            for (i, rows) in bins.iter().enumerate() {
-                if rows.is_empty() || i == 0 {
-                    continue;
-                }
-                if i > bin_max {
-                    for &r in rows {
-                        // RowMax bounds the number of dynamically launched
-                        // grids (the pending-launch limit, §III-B)
-                        if g1_rows.len() < cfg.row_max {
-                            g1_rows.push(r);
-                        } else {
-                            overflow_rows.push(r);
-                        }
-                    }
-                } else {
-                    g2_bins.push(i);
-                }
-            }
+            let (g1_rows, g2_bins, overflow_rows) = Self::split_groups(&bins, cfg);
             // scan reads the offsets array; writes one u32 per row —
             // additive, so costs accrued earlier in the closure survive
             cost.bytes_read += (n_rows as u64 + 1) * 4;
@@ -100,6 +88,83 @@ impl Binning {
             }
         });
         (binning, cost)
+    }
+
+    /// The G1/G2 split over a set of bins (shared between the full scan
+    /// and the incremental patch so both produce identical groupings).
+    fn split_groups(bins: &[Vec<u32>], cfg: &AcsrConfig) -> (Vec<u32>, Vec<usize>, Vec<u32>) {
+        let bin_max = cfg.effective_bin_max();
+        let mut g1_rows: Vec<u32> = Vec::new();
+        let mut overflow_rows: Vec<u32> = Vec::new();
+        let mut g2_bins: Vec<usize> = Vec::new();
+        for (i, rows) in bins.iter().enumerate() {
+            if rows.is_empty() || i == 0 {
+                continue;
+            }
+            if i > bin_max {
+                for &r in rows {
+                    // RowMax bounds the number of dynamically launched
+                    // grids (the pending-launch limit, §III-B)
+                    if g1_rows.len() < cfg.row_max {
+                        g1_rows.push(r);
+                    } else {
+                        overflow_rows.push(r);
+                    }
+                }
+            } else {
+                g2_bins.push(i);
+            }
+        }
+        (g1_rows, g2_bins, overflow_rows)
+    }
+
+    /// Patch the binning after a batch of per-row bin changes instead of
+    /// re-scanning every row. Equivalent to a full [`Binning::build`]
+    /// over the post-update lengths (tests pin the equality), but the
+    /// cost is proportional to the moved rows and the dirty bins'
+    /// membership lists, not to the matrix — the amortization that turns
+    /// re-binning from a global scan into per-bin bookkeeping.
+    pub fn apply_moves(&mut self, moves: &[RowMove], cfg: &AcsrConfig) -> PreprocessCost {
+        let ((), cost) = sparse_formats::cost::timed(|cost| {
+            let mut dirty_len = 0u64;
+            for mv in moves {
+                debug_assert_ne!(mv.from, mv.to, "a move must change the bin");
+                if mv.to >= self.bins.len() {
+                    self.bins.resize_with(mv.to + 1, Vec::new);
+                }
+                let from = &mut self.bins[mv.from];
+                let at = from
+                    .binary_search(&mv.row)
+                    .expect("moved row must be in its source bin");
+                from.remove(at);
+                let to = &mut self.bins[mv.to];
+                let at = to
+                    .binary_search(&mv.row)
+                    .expect_err("moved row cannot already be in its target bin");
+                to.insert(at, mv.row);
+                if mv.from == 0 {
+                    self.nonempty_rows += 1;
+                }
+                if mv.to == 0 {
+                    self.nonempty_rows -= 1;
+                }
+                dirty_len += (self.bins[mv.from].len() + self.bins[mv.to].len()) as u64;
+            }
+            // a full build never materializes bins past the largest
+            // occupied one; trim so the patched binning stays canonical
+            while self.bins.last().is_some_and(|b| b.is_empty()) {
+                self.bins.pop();
+            }
+            let (g1_rows, g2_bins, overflow_rows) = Self::split_groups(&self.bins, cfg);
+            self.g1_rows = g1_rows;
+            self.g2_bins = g2_bins;
+            self.overflow_rows = overflow_rows;
+            // reads the moved rows' (old, new) length pair; rewrites the
+            // dirty bins' membership lists
+            cost.bytes_read += moves.len() as u64 * 8;
+            cost.bytes_written += dirty_len * 4;
+        });
+        cost
     }
 
     /// Rows of bin `i`.
@@ -244,6 +309,68 @@ mod tests {
         assert_eq!(cost.sorted_elements, 0);
         assert_eq!(cost.bytes_read, 10_001 * 4);
         assert_eq!(cost.bytes_written, 10_000 * 4);
+    }
+
+    #[test]
+    fn apply_moves_matches_full_rebuild() {
+        let mut lens: Vec<usize> = (0..4000).map(|i| (i * 37) % 1500).collect();
+        let cfg = titan_cfg();
+        let (mut b, _) = Binning::build(lens.iter().copied(), &cfg);
+        let mut moves = Vec::new();
+        for r in (0..lens.len()).step_by(17) {
+            let new_len = (lens[r] * 3 + 5) % 2600;
+            let (from, to) = (bin_index(lens[r]), bin_index(new_len));
+            lens[r] = new_len;
+            if from != to {
+                moves.push(RowMove {
+                    row: r as u32,
+                    from,
+                    to,
+                });
+            }
+        }
+        assert!(!moves.is_empty());
+        let cost = b.apply_moves(&moves, &cfg);
+        let (want, full_cost) = Binning::build(lens.iter().copied(), &cfg);
+        assert_eq!(b, want);
+        // amortized: the patch reads/writes less than the global scan
+        assert!(cost.bytes_read < full_cost.bytes_read);
+    }
+
+    #[test]
+    fn empty_move_set_is_identity() {
+        let lens = [1usize, 3, 9, 40, 2000, 0];
+        let cfg = titan_cfg();
+        let (mut b, _) = Binning::build(lens.iter().copied(), &cfg);
+        let want = b.clone();
+        b.apply_moves(&[], &cfg);
+        assert_eq!(b, want);
+    }
+
+    #[test]
+    fn moves_through_bin_zero_track_nonempty_rows() {
+        let lens = [2usize, 0, 5];
+        let cfg = titan_cfg();
+        let (mut b, _) = Binning::build(lens.iter().copied(), &cfg);
+        assert_eq!(b.nonempty_rows(), 2);
+        b.apply_moves(
+            &[
+                RowMove {
+                    row: 0,
+                    from: 1,
+                    to: 0,
+                },
+                RowMove {
+                    row: 1,
+                    from: 0,
+                    to: 2,
+                },
+            ],
+            &cfg,
+        );
+        assert_eq!(b.nonempty_rows(), 2);
+        let (want, _) = Binning::build([0usize, 3, 5].iter().copied(), &cfg);
+        assert_eq!(b, want);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! scan repeats — the matrix data never moves, which is the paper's whole
 //! argument for dynamic graphs.
 
-use crate::binning::{BinStats, Binning};
+use crate::binning::{BinStats, Binning, RowMove};
 use crate::config::{AcsrConfig, AcsrMode};
 use crate::dynpar::{dp_parent_kernel, dp_parent_kernel_multi};
 use crate::kernels::{
@@ -107,6 +107,66 @@ impl<T: Scalar> AcsrEngine<T> {
         self.binning = binning;
     }
 
+    /// Patch the binning after a batch of per-row bin changes,
+    /// re-uploading only the *dirty* bins' device row lists (plus the
+    /// G1/overflow/zero lists when their membership actually changed).
+    /// Produces launch-for-launch the same SpMV as a full [`Self::rebin`]
+    /// — the bin lists are recomputed through the same split — at a cost
+    /// proportional to the moved rows, not the matrix. Returns the bytes
+    /// of row-list data that had to be re-uploaded (callers charge the
+    /// PCIe transfer).
+    pub fn rebin_incremental(&mut self, dev: &Device, moves: &[RowMove]) -> u64 {
+        if moves.is_empty() {
+            return 0;
+        }
+        let old_g1 = self.binning.g1_rows().to_vec();
+        let old_overflow = self.binning.overflow_rows().to_vec();
+        let old_zero0 = self.binning.bin_rows(0).to_vec();
+        let cost = self.binning.apply_moves(moves, &self.cfg);
+        self.preprocess.merge(&cost);
+
+        let mut uploaded = 0u64;
+        if self.bin_lists.len() < self.binning.n_bins() {
+            self.bin_lists.resize_with(self.binning.n_bins(), || None);
+        }
+        let mut dirty: Vec<usize> = moves.iter().flat_map(|m| [m.from, m.to]).collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for &b in &dirty {
+            self.bin_lists[b] = if b >= 1 && self.binning.g2_bins().contains(&b) {
+                uploaded += self.binning.bin_rows(b).len() as u64 * 4;
+                Some(dev.alloc(self.binning.bin_rows(b).to_vec()))
+            } else {
+                None
+            };
+        }
+        if self.binning.g1_rows() != old_g1 {
+            uploaded += self.binning.g1_rows().len() as u64 * 4;
+            self.g1_list = dev.alloc(self.binning.g1_rows().to_vec());
+        }
+        if self.binning.overflow_rows() != old_overflow {
+            uploaded += self.binning.overflow_rows().len() as u64 * 4;
+            self.overflow_list = if self.binning.overflow_rows().is_empty() {
+                None
+            } else {
+                Some(dev.alloc(self.binning.overflow_rows().to_vec()))
+            };
+        }
+        if self.binning.bin_rows(0) != old_zero0 || self.binning.g1_rows() != old_g1 {
+            let mut zero_rows: Vec<u32> = self.binning.bin_rows(0).to_vec();
+            if self.cfg.mode != AcsrMode::BinningOnly {
+                zero_rows.extend_from_slice(self.binning.g1_rows());
+            }
+            uploaded += zero_rows.len() as u64 * 4;
+            self.zero_list = if zero_rows.is_empty() {
+                None
+            } else {
+                Some(dev.alloc(zero_rows))
+            };
+        }
+        uploaded
+    }
+
     /// The current binning (Table V statistics etc.).
     pub fn binning(&self) -> &Binning {
         &self.binning
@@ -127,8 +187,9 @@ impl<T: Scalar> AcsrEngine<T> {
         &self.mat
     }
 
-    /// Mutable device matrix access (update kernel).
-    pub(crate) fn matrix_mut(&mut self) -> &mut AcsrMatrix<T> {
+    /// Mutable device matrix access (update kernels and external
+    /// maintenance engines such as `acsr-stream`).
+    pub fn matrix_mut(&mut self) -> &mut AcsrMatrix<T> {
         &mut self.mat
     }
 

@@ -62,7 +62,7 @@ pub mod matrix;
 pub mod phases;
 pub mod update;
 
-pub use binning::{BinStats, Binning};
+pub use binning::{BinStats, Binning, RowMove};
 pub use config::{AcsrConfig, AcsrMode};
 pub use engine::AcsrEngine;
 pub use matrix::AcsrMatrix;

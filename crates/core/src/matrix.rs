@@ -67,6 +67,39 @@ impl<T: Scalar> AcsrMatrix<T> {
         }
     }
 
+    /// Assemble a device matrix from an explicit layout (maintenance
+    /// engines that place rows in non-row-order arenas, e.g.
+    /// `acsr-stream`'s canonical bin-arena layout). `col_indices` /
+    /// `values` must already hold each row's live entries at
+    /// `row_start[r] .. row_start[r] + row_len[r]`; slack gaps are never
+    /// read by the kernels and may hold garbage. Panics (via `validate`)
+    /// if the layout breaks a structural invariant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        dev: &Device,
+        rows: usize,
+        cols: usize,
+        row_start: Vec<u32>,
+        row_len: Vec<u32>,
+        row_cap: Vec<u32>,
+        col_indices: Vec<u32>,
+        values: Vec<T>,
+    ) -> Self {
+        let nnz = row_len.iter().map(|&l| l as usize).sum();
+        let mat = AcsrMatrix {
+            rows,
+            cols,
+            nnz,
+            row_start: dev.alloc(row_start),
+            row_len: dev.alloc(row_len),
+            row_cap: dev.alloc(row_cap),
+            col_indices: dev.alloc(col_indices),
+            values: dev.alloc(values),
+        };
+        mat.validate().expect("explicit ACSR layout must be valid");
+        mat
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -82,8 +115,22 @@ impl<T: Scalar> AcsrMatrix<T> {
         self.nnz
     }
 
-    pub(crate) fn set_nnz(&mut self, nnz: usize) {
+    /// Overwrite the live-entry count. Maintenance engines that mutate
+    /// `row_len` directly (e.g. `acsr-stream`) must keep this in sync;
+    /// `validate` cross-checks it against the lengths.
+    pub fn set_nnz(&mut self, nnz: usize) {
         self.nnz = nnz;
+    }
+
+    /// Total reserved-but-unused slots (Σ cap − len) — the slack budget
+    /// incremental updates consume before any row has to move.
+    pub fn slack_elements(&self) -> u64 {
+        self.row_cap
+            .as_slice()
+            .iter()
+            .zip(self.row_len.as_slice())
+            .map(|(&c, &l)| (c - l) as u64)
+            .sum()
     }
 
     /// Total device bytes, including slack.
@@ -132,9 +179,6 @@ impl<T: Scalar> AcsrMatrix<T> {
             if end > self.col_indices.len() {
                 return Err(format!("row {r}: capacity end {end} out of bounds"));
             }
-            if r + 1 < self.rows && starts[r] as usize + caps[r] as usize > starts[r + 1] as usize {
-                return Err(format!("row {r} overlaps row {}", r + 1));
-            }
             let s = starts[r] as usize;
             let l = lens[r] as usize;
             let row_cols = &self.col_indices.as_slice()[s..s + l];
@@ -148,6 +192,20 @@ impl<T: Scalar> AcsrMatrix<T> {
         }
         if live != self.nnz {
             return Err(format!("nnz {} != live entries {live}", self.nnz));
+        }
+        // Capacity spans must be pairwise disjoint. Rows are not required
+        // to sit in row-id order (arena layouts reorder them), so sort
+        // the spans before the adjacency check.
+        let mut spans: Vec<(usize, usize, usize)> = (0..self.rows)
+            .filter(|&r| caps[r] > 0)
+            .map(|r| (starts[r] as usize, caps[r] as usize, r))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            let ((s0, c0, r0), (s1, _, r1)) = (w[0], w[1]);
+            if s0 + c0 > s1 {
+                return Err(format!("row {r0} overlaps row {r1}"));
+            }
         }
         Ok(())
     }

@@ -40,7 +40,7 @@ impl<T: Scalar> AcsrEngine<T> {
     /// Apply a §VII update batch on the device, then re-bin.
     pub fn apply_update(&mut self, dev: &Device, batch: &UpdateBatch<T>) -> UpdateReport {
         batch
-            .validate()
+            .validate_for(self.matrix().rows(), self.matrix().cols())
             .expect("update batch must satisfy its structural invariants");
         // record_htod also emits a transfer span when tracing is on
         let mut copy_seconds = dev

@@ -33,4 +33,6 @@ pub use rmat::{generate_rmat, RmatConfig};
 pub use sampling::{fit_alpha_for_mean, truncated_power_law_pmf, DiscreteAlias};
 pub use suite::{generate_suite, MatrixSpec, SuiteMatrix, TABLE1_SUITE};
 pub use uniform::{generate_regular, generate_uniform};
-pub use updates::{generate_update_batch, UpdateConfig};
+pub use updates::{
+    generate_edge_stream, generate_update_batch, ChurnConfig, TimedBatch, UpdateConfig,
+};

@@ -101,6 +101,216 @@ pub fn generate_update_batch<T: Scalar>(m: &CsrMatrix<T>, cfg: &UpdateConfig) ->
     batch
 }
 
+/// Parameters for [`generate_edge_stream`]: a sustained, rate-pinned
+/// RMAT churn workload for streaming-maintenance experiments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Nominal sustained edge-update rate (inserts + deletes per
+    /// second of virtual time).
+    pub updates_per_sec: f64,
+    /// Batch cadence: updates accumulate for this long, then ship as one
+    /// [`UpdateBatch`] stamped with the window's end time.
+    pub batch_interval_s: f64,
+    /// Stream duration, seconds of virtual time.
+    pub horizon_s: f64,
+    /// Probability an update is an insert (the rest are deletes of live
+    /// edges). 0.5 keeps nnz nearly constant, like §VII.
+    pub insert_fraction: f64,
+    /// R-MAT quadrant probabilities for inserted edges (`d = 1-a-b-c`):
+    /// new edges land with the same skew that built the graph, so churn
+    /// keeps hammering the hot rows.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            updates_per_sec: 100_000.0,
+            batch_interval_s: 0.01,
+            horizon_s: 0.1,
+            insert_fraction: 0.5,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 0x57AE_A414,
+        }
+    }
+}
+
+/// One churn batch with its virtual-time stamp (the end of its
+/// accumulation window).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedBatch<T> {
+    /// When the batch is due to be applied, seconds of virtual time.
+    pub at_s: f64,
+    /// Edge updates recorded for the batch (inserts + deletes, after
+    /// within-batch net-effect folding).
+    pub ops: usize,
+    /// The batch, valid against the matrix state *before* it.
+    pub batch: UpdateBatch<T>,
+}
+
+/// Pending net effect of this batch's updates on one edge.
+enum Pending<T> {
+    Insert(T),
+    Delete,
+}
+
+/// Generate a sustained edge-churn stream against `m`: batches of RMAT
+/// inserts and live-edge deletes, applied consecutively (batch `k` is
+/// valid for the matrix after batches `0..k`). The stream is
+/// *rate-pinned*: the number of updates emitted by the end of window `k`
+/// is `round(rate · t_k)` — an error-free accumulator like the loadgen
+/// mean-rate contract, so the empirical rate matches
+/// `cfg.updates_per_sec` to well under 1% over any horizon. Updates that
+/// cancel within one window (insert then delete of the same new edge)
+/// still count toward the rate but fold out of the shipped batch.
+pub fn generate_edge_stream<T: Scalar>(m: &CsrMatrix<T>, cfg: &ChurnConfig) -> Vec<TimedBatch<T>> {
+    assert!(cfg.updates_per_sec > 0.0, "rate must be positive");
+    assert!(cfg.batch_interval_s > 0.0, "interval must be positive");
+    assert!(
+        (0.0..=1.0).contains(&cfg.insert_fraction),
+        "insert fraction must be a probability"
+    );
+    let (rows, cols) = (m.rows(), m.cols());
+    let levels = usize::max(rows, cols).next_power_of_two().trailing_zeros();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Live-edge state, kept in lockstep with the emitted batches.
+    let mut adj: Vec<Vec<u32>> = (0..rows).map(|r| m.row(r).0.to_vec()).collect();
+    let mut edges: Vec<(u32, u32)> = (0..rows as u32)
+        .flat_map(|r| {
+            m.row(r as usize)
+                .0
+                .iter()
+                .map(move |&c| (r, c))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    let mut emitted = 0u64;
+    let mut k = 0u64;
+    loop {
+        let t = (k + 1) as f64 * cfg.batch_interval_s;
+        if t > cfg.horizon_s + 1e-12 {
+            break;
+        }
+        k += 1;
+        let due = (cfg.updates_per_sec * t).round() as u64;
+        let ops = (due - emitted) as usize;
+        emitted = due;
+
+        // (row, col) -> (existed before this batch, net op)
+        let mut pending: std::collections::BTreeMap<(u32, u32), (bool, Pending<T>)> =
+            std::collections::BTreeMap::new();
+        for _ in 0..ops {
+            let mut insert = rng.random::<f64>() < cfg.insert_fraction || edges.is_empty();
+            if insert {
+                let mut placed = false;
+                for _ in 0..16 {
+                    // R-MAT quadrant descent, same recursion as the
+                    // static generator, rejecting out-of-shape and live
+                    // edges.
+                    let (mut r, mut c) = (0u32, 0u32);
+                    for level in (0..levels).rev() {
+                        let p: f64 = rng.random();
+                        let (dr, dc) = if p < cfg.a {
+                            (0, 0)
+                        } else if p < cfg.a + cfg.b {
+                            (0, 1)
+                        } else if p < cfg.a + cfg.b + cfg.c {
+                            (1, 0)
+                        } else {
+                            (1, 1)
+                        };
+                        r |= dr << level;
+                        c |= dc << level;
+                    }
+                    if r as usize >= rows || c as usize >= cols {
+                        continue;
+                    }
+                    if let Err(pos) = adj[r as usize].binary_search(&c) {
+                        let val = T::from_f64(0.5 + rng.random::<f64>());
+                        adj[r as usize].insert(pos, c);
+                        edges.push((r, c));
+                        // first touch of a currently-dead edge means it
+                        // was dead pre-batch too
+                        let existed = pending.get(&(r, c)).map(|e| e.0).unwrap_or(false);
+                        pending.insert((r, c), (existed, Pending::Insert(val)));
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    insert = false; // graph too dense here: delete instead
+                }
+            }
+            if !insert {
+                if edges.is_empty() {
+                    continue; // nothing left to delete (degenerate)
+                }
+                let i = rng.random_range(0..edges.len());
+                let (r, c) = edges.swap_remove(i);
+                let pos = adj[r as usize]
+                    .binary_search(&c)
+                    .expect("edge list and adjacency must agree");
+                adj[r as usize].remove(pos);
+                match pending.get(&(r, c)).map(|e| e.0) {
+                    Some(false) => {
+                        // inserted earlier this batch: net no-op
+                        pending.remove(&(r, c));
+                    }
+                    Some(true) | None => {
+                        pending.insert((r, c), (true, Pending::Delete));
+                    }
+                }
+            }
+        }
+
+        // Fold the pending map (sorted by row, then col) into the wire
+        // format. An edge that was live pre-batch and is live again after
+        // a delete→reinsert chain is a structural no-op; dropping it keeps
+        // the invariant that every emitted insert targets a dead edge and
+        // every emitted delete targets a live one.
+        pending.retain(|_, entry| !matches!(entry, (true, Pending::Insert(_))));
+        let mut batch = UpdateBatch::<T>::empty();
+        let mut cur_row: Option<u32> = None;
+        for (&(r, c), entry) in &pending {
+            if cur_row != Some(r) {
+                if cur_row.is_some() {
+                    batch.delete_offsets.push(batch.delete_cols.len() as u32);
+                    batch.insert_offsets.push(batch.insert_cols.len() as u32);
+                }
+                batch.rows.push(r);
+                cur_row = Some(r);
+            }
+            match entry {
+                (_, Pending::Insert(v)) => {
+                    batch.insert_cols.push(c);
+                    batch.insert_vals.push(*v);
+                }
+                (_, Pending::Delete) => batch.delete_cols.push(c),
+            }
+        }
+        if cur_row.is_some() {
+            batch.delete_offsets.push(batch.delete_cols.len() as u32);
+            batch.insert_offsets.push(batch.insert_cols.len() as u32);
+        }
+        debug_assert!(batch.validate_for(rows, cols).is_ok());
+        out.push(TimedBatch {
+            at_s: t,
+            ops,
+            batch,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +382,119 @@ mod tests {
             &m,
             &UpdateConfig {
                 seed: 99,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    fn rmat_matrix() -> CsrMatrix<f64> {
+        crate::rmat::generate_rmat(&crate::rmat::RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            seed: 31,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn edge_stream_rate_lands_within_two_percent_of_nominal() {
+        // awkward non-round rate × interval, mirroring the loadgen
+        // mean-rate contract fix
+        let m = rmat_matrix();
+        let cfg = ChurnConfig {
+            updates_per_sec: 3333.3,
+            batch_interval_s: 0.0123,
+            horizon_s: 0.9,
+            ..Default::default()
+        };
+        let stream = generate_edge_stream(&m, &cfg);
+        assert!(stream.len() >= 70, "got {} batches", stream.len());
+        let total_ops: usize = stream.iter().map(|b| b.ops).sum();
+        let span = stream.last().unwrap().at_s;
+        let empirical = total_ops as f64 / span;
+        let err = (empirical - cfg.updates_per_sec).abs() / cfg.updates_per_sec;
+        assert!(
+            err < 0.02,
+            "empirical {empirical:.1} vs nominal {} ({:.2}% off)",
+            cfg.updates_per_sec,
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn edge_stream_batches_apply_consecutively() {
+        let m = rmat_matrix();
+        let stream = generate_edge_stream(
+            &m,
+            &ChurnConfig {
+                updates_per_sec: 20_000.0,
+                batch_interval_s: 0.005,
+                horizon_s: 0.05,
+                ..Default::default()
+            },
+        );
+        let mut cur = m.clone();
+        for tb in &stream {
+            tb.batch.validate_for(cur.rows(), cur.cols()).unwrap();
+            // every delete targets a live edge; every insert a dead one
+            for (i, &r) in tb.batch.rows.iter().enumerate() {
+                let (del, ins, _) = tb.batch.row_ops(i);
+                let (rcols, _) = cur.row(r as usize);
+                for c in del {
+                    assert!(rcols.binary_search(c).is_ok(), "row {r} col {c}");
+                }
+                for c in ins {
+                    assert!(rcols.binary_search(c).is_err(), "row {r} col {c}");
+                }
+            }
+            cur = tb.batch.apply_to_csr(&cur);
+        }
+        // balanced mix keeps nnz nearly constant
+        let drift = (cur.nnz() as f64 - m.nnz() as f64).abs() / m.nnz() as f64;
+        assert!(drift < 0.05, "nnz drifted {:.1}%", drift * 100.0);
+    }
+
+    #[test]
+    fn edge_stream_insert_mix_controls_growth() {
+        let m = rmat_matrix();
+        let grow = generate_edge_stream(
+            &m,
+            &ChurnConfig {
+                insert_fraction: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut cur = m.clone();
+        for tb in &grow {
+            cur = tb.batch.apply_to_csr(&cur);
+        }
+        assert!(cur.nnz() > m.nnz());
+        let shrink = generate_edge_stream(
+            &m,
+            &ChurnConfig {
+                insert_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut cur = m.clone();
+        for tb in &shrink {
+            cur = tb.batch.apply_to_csr(&cur);
+        }
+        assert!(cur.nnz() < m.nnz());
+    }
+
+    #[test]
+    fn edge_stream_is_deterministic_per_seed() {
+        let m = rmat_matrix();
+        let cfg = ChurnConfig::default();
+        let a = generate_edge_stream(&m, &cfg);
+        let b = generate_edge_stream(&m, &cfg);
+        assert_eq!(a, b);
+        let c = generate_edge_stream(
+            &m,
+            &ChurnConfig {
+                seed: 9,
                 ..Default::default()
             },
         );

@@ -78,14 +78,85 @@ pub struct PlanKey {
     pub structure: StructureKey,
 }
 
+/// Identity of a *streamed* operator: structural epoch plus the per-bin
+/// row census. Unlike [`StructureKey`], a drift key is cheap to produce
+/// (no index-array scan — `acsr-stream` maintains both fields anyway)
+/// and deliberately lossy: two epochs whose occupancy vectors are close
+/// describe matrices whose binning — and therefore whose plan — is
+/// still essentially the same.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriftKey {
+    /// Rows of the operator.
+    pub rows: usize,
+    /// Columns of the operator.
+    pub cols: usize,
+    /// Structural epoch (batches applied since build).
+    pub epoch: u64,
+    /// Rows per bin (index 0 = empty rows).
+    pub occupancy: Vec<u32>,
+}
+
+/// How much drift a cached plan is allowed to survive.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DriftTolerance {
+    /// Maximum fraction of rows that may have changed length class since
+    /// the plan was anchored.
+    pub max_row_churn: f64,
+    /// Maximum bins populated now that were empty at the anchor.
+    pub max_new_bins: usize,
+}
+
+impl Default for DriftTolerance {
+    fn default() -> Self {
+        DriftTolerance {
+            max_row_churn: 0.25,
+            max_new_bins: 2,
+        }
+    }
+}
+
+/// What [`PlanCache::probe_drift`] decided.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DriftOutcome {
+    /// Same epoch as the anchor — nothing moved.
+    Hit,
+    /// The structure drifted, but within tolerance: keep the plan.
+    Survived {
+        /// Batches applied since the plan was anchored.
+        epochs_behind: u64,
+        /// Fraction of rows that changed length class since the anchor.
+        row_churn: f64,
+    },
+    /// Drift exceeded tolerance (or no anchor yet): replan required. The
+    /// anchor has been reset to the probed key.
+    Replan {
+        /// Human-readable cause, for bench stderr.
+        reason: String,
+    },
+}
+
+/// Rows that changed bins between two occupancy vectors: half the L1
+/// distance (every mover leaves one bin and joins another).
+fn churn_rows(a: &[u32], b: &[u32]) -> u64 {
+    let n = a.len().max(b.len());
+    let at = |v: &[u32], i: usize| v.get(i).copied().unwrap_or(0) as i64;
+    (0..n)
+        .map(|i| (at(a, i) - at(b, i)).unsigned_abs())
+        .sum::<u64>()
+        / 2
+}
+
 /// A `(format, structure) → SpmvPlan` cache with hit/miss accounting.
 ///
 /// Plans are device-resident; the cache owns them, so its lifetime
 /// bounds how long the device memory stays allocated.
 pub struct PlanCache<T: Scalar> {
     plans: HashMap<PlanKey, SpmvPlan<T>>,
+    /// Per-stream drift anchors: the key each live plan was built at.
+    anchors: HashMap<String, DriftKey>,
     hits: u64,
     misses: u64,
+    invalidations: u64,
 }
 
 impl<T: Scalar> Default for PlanCache<T> {
@@ -99,8 +170,10 @@ impl<T: Scalar> PlanCache<T> {
     pub fn new() -> Self {
         PlanCache {
             plans: HashMap::new(),
+            anchors: HashMap::new(),
             hits: 0,
             misses: 0,
+            invalidations: 0,
         }
     }
 
@@ -135,10 +208,86 @@ impl<T: Scalar> PlanCache<T> {
     /// hook for callers that mutate a matrix in place and know its old
     /// key.
     pub fn invalidate(&mut self, structure: &StructureKey) {
+        let before = self.plans.len();
         self.plans.retain(|k, _| k.structure != *structure);
+        self.invalidations += (before - self.plans.len()) as u64;
     }
 
-    /// Cache hits so far.
+    /// Probe whether the plan anchored for `stream_id` survives the
+    /// operator's current drift key. An exact epoch match is a [`Hit`];
+    /// drift within `tol` is [`Survived`] (the anchor is kept, so drift
+    /// accumulates against the *planning-time* structure, not the last
+    /// probe); anything else — including the first probe — resets the
+    /// anchor and demands a [`Replan`].
+    ///
+    /// [`Hit`]: DriftOutcome::Hit
+    /// [`Survived`]: DriftOutcome::Survived
+    /// [`Replan`]: DriftOutcome::Replan
+    pub fn probe_drift(
+        &mut self,
+        stream_id: &str,
+        current: &DriftKey,
+        tol: &DriftTolerance,
+    ) -> DriftOutcome {
+        let outcome = match self.anchors.get(stream_id) {
+            None => DriftOutcome::Replan {
+                reason: "no anchored plan".to_string(),
+            },
+            Some(anchor) if anchor == current => DriftOutcome::Hit,
+            Some(anchor) if anchor.rows != current.rows || anchor.cols != current.cols => {
+                DriftOutcome::Replan {
+                    reason: format!(
+                        "shape changed {}x{} -> {}x{}",
+                        anchor.rows, anchor.cols, current.rows, current.cols
+                    ),
+                }
+            }
+            Some(anchor) => {
+                let moved = churn_rows(&anchor.occupancy, &current.occupancy);
+                let row_churn = moved as f64 / current.rows.max(1) as f64;
+                let new_bins = current
+                    .occupancy
+                    .iter()
+                    .enumerate()
+                    .filter(|&(b, &occ)| {
+                        occ > 0 && anchor.occupancy.get(b).copied().unwrap_or(0) == 0
+                    })
+                    .count();
+                if row_churn <= tol.max_row_churn && new_bins <= tol.max_new_bins {
+                    DriftOutcome::Survived {
+                        epochs_behind: current.epoch.saturating_sub(anchor.epoch),
+                        row_churn,
+                    }
+                } else {
+                    DriftOutcome::Replan {
+                        reason: format!(
+                            "row churn {:.1}% (cap {:.1}%), {} new bins (cap {})",
+                            row_churn * 100.0,
+                            tol.max_row_churn * 100.0,
+                            new_bins,
+                            tol.max_new_bins
+                        ),
+                    }
+                }
+            }
+        };
+        match &outcome {
+            DriftOutcome::Hit | DriftOutcome::Survived { .. } => self.hits += 1,
+            DriftOutcome::Replan { .. } => {
+                if self
+                    .anchors
+                    .insert(stream_id.to_string(), current.clone())
+                    .is_some()
+                {
+                    self.invalidations += 1;
+                }
+                self.misses += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Cache hits so far (exact and drift-survived).
     pub fn hits(&self) -> u64 {
         self.hits
     }
@@ -146,6 +295,12 @@ impl<T: Scalar> PlanCache<T> {
     /// Cache misses (= plans actually built).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Plans dropped by [`invalidate`](Self::invalidate) plus drift
+    /// anchors displaced by an over-tolerance replan.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
     }
 
     /// Number of resident plans.
@@ -233,6 +388,113 @@ mod tests {
             StructureKey::of(&b),
             "an inserted edge must invalidate the structure key"
         );
+    }
+
+    #[test]
+    fn drift_probe_survives_bounded_churn_and_replans_past_it() {
+        let mut cache = PlanCache::<f64>::new();
+        let tol = DriftTolerance::default();
+        let base = DriftKey {
+            rows: 100,
+            cols: 100,
+            epoch: 0,
+            occupancy: vec![10, 40, 30, 20],
+        };
+        // first probe: no anchor yet
+        assert!(matches!(
+            cache.probe_drift("s", &base, &tol),
+            DriftOutcome::Replan { .. }
+        ));
+        // unchanged epoch: exact hit
+        assert_eq!(cache.probe_drift("s", &base, &tol), DriftOutcome::Hit);
+        // 10 rows moved bins (churn 10%) over 3 epochs: survives
+        let drifted = DriftKey {
+            epoch: 3,
+            occupancy: vec![10, 30, 40, 20],
+            ..base.clone()
+        };
+        match cache.probe_drift("s", &drifted, &tol) {
+            DriftOutcome::Survived {
+                epochs_behind,
+                row_churn,
+            } => {
+                assert_eq!(epochs_behind, 3);
+                assert!((row_churn - 0.10).abs() < 1e-12);
+            }
+            other => panic!("expected Survived, got {other:?}"),
+        }
+        // drift is measured against the ANCHOR, not the last probe: 30
+        // rows from the anchor (churn 30%) exceeds the 25% cap
+        let too_far = DriftKey {
+            epoch: 9,
+            occupancy: vec![10, 10, 50, 30],
+            ..base.clone()
+        };
+        assert!(matches!(
+            cache.probe_drift("s", &too_far, &tol),
+            DriftOutcome::Replan { .. }
+        ));
+        assert_eq!(cache.invalidations(), 1, "replan displaced the anchor");
+        // the replan re-anchored at `too_far`
+        assert_eq!(cache.probe_drift("s", &too_far, &tol), DriftOutcome::Hit);
+        assert_eq!((cache.hits(), cache.misses()), (3, 2));
+    }
+
+    #[test]
+    fn drift_probe_replans_on_new_bins_and_shape_change() {
+        let mut cache = PlanCache::<f64>::new();
+        let tol = DriftTolerance {
+            max_row_churn: 1.0,
+            max_new_bins: 1,
+        };
+        let base = DriftKey {
+            rows: 50,
+            cols: 50,
+            epoch: 0,
+            occupancy: vec![5, 45],
+        };
+        cache.probe_drift("s", &base, &tol);
+        // two newly populated bins with a cap of one: replan even though
+        // the churn tolerance would allow it
+        let widened = DriftKey {
+            epoch: 1,
+            occupancy: vec![5, 41, 2, 2],
+            ..base.clone()
+        };
+        assert!(matches!(
+            cache.probe_drift("s", &widened, &tol),
+            DriftOutcome::Replan { .. }
+        ));
+        let reshaped = DriftKey {
+            rows: 60,
+            ..widened.clone()
+        };
+        assert!(matches!(
+            cache.probe_drift("s", &reshaped, &tol),
+            DriftOutcome::Replan { .. }
+        ));
+        // independent streams keep independent anchors
+        assert!(matches!(
+            cache.probe_drift("other", &base, &tol),
+            DriftOutcome::Replan { .. }
+        ));
+        assert_eq!(cache.probe_drift("other", &base, &tol), DriftOutcome::Hit);
+    }
+
+    #[test]
+    fn invalidate_counts_dropped_plans() {
+        let dev = Device::new(presets::gtx_titan());
+        let reg = FormatRegistry::<f64>::with_all();
+        let budget = PlanBudget::default();
+        let mut cache = PlanCache::new();
+        let a = m(6);
+        cache.get_or_plan(&reg, "ACSR", &dev, &a, &budget).unwrap();
+        cache.get_or_plan(&reg, "HYB", &dev, &a, &budget).unwrap();
+        assert_eq!(cache.invalidations(), 0);
+        cache.invalidate(&StructureKey::of(&a));
+        assert_eq!(cache.invalidations(), 2, "both formats dropped");
+        cache.invalidate(&StructureKey::of(&a));
+        assert_eq!(cache.invalidations(), 2, "idempotent on an empty set");
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod cache;
 pub mod planners;
 pub mod selector;
 
-pub use cache::{PlanCache, PlanKey, StructureKey};
+pub use cache::{DriftKey, DriftOutcome, DriftTolerance, PlanCache, PlanKey, StructureKey};
 pub use planners::{
     AcsrPlanner, BccooPlanner, BrcPlanner, CooPlanner, CsrScalarPlanner, CsrVectorPlanner,
     EllPlanner, HybPlanner, TcooPlanner,

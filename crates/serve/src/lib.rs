@@ -22,7 +22,11 @@
 //! * [`tenant`] — per-tenant priority classes and exact-integer
 //!   weighted fair-share admission;
 //! * [`latency`] — p50/p95/p99 latency accounting and SLO-attainment
-//!   helpers over the virtual model clock.
+//!   helpers over the virtual model clock;
+//! * [`churn`] — serving concurrent with operator maintenance on one
+//!   clock: a [`churn::ChurnSource`] (e.g. `acsr-stream`'s maintained
+//!   engine) preempts wave formation with due maintenance events, so
+//!   query latency includes streaming-update contention.
 //!
 //! Batching never changes answers: per vector, the batched kernels run
 //! exactly the single-vector float-op sequence, so every query's scores
@@ -30,6 +34,7 @@
 //! run — whatever the batch width or device count. See
 //! [`scheduler::ServeEngine`].
 
+pub mod churn;
 pub mod latency;
 pub mod loadgen;
 pub mod query;
@@ -38,6 +43,9 @@ pub mod scheduler;
 pub mod slo;
 pub mod tenant;
 
+pub use churn::{
+    serve_with_churn, ChurnServeConfig, ChurnServeReport, ChurnSource, SteadyOperator,
+};
 pub use latency::LatencyStats;
 pub use loadgen::{assign_tenants, generate_queries, ArrivalPattern};
 pub use query::{Query, QueryOutcome};

@@ -122,12 +122,51 @@ impl<T: Scalar> UpdateBatch<T> {
         Ok(())
     }
 
+    /// [`Self::validate`] plus shape bounds against a target matrix:
+    /// every touched row must exist and every delete/insert column must
+    /// be in range. Without this check an out-of-range insert would slip
+    /// through `apply_to_csr`'s unchecked pushes and corrupt the CSR
+    /// (columns ≥ `cols`), and a batch row ≥ `rows` would be silently
+    /// dropped — both violations the device update kernel can never
+    /// repair.
+    pub fn validate_for(&self, rows: usize, cols: usize) -> Result<(), SparseError> {
+        self.validate()?;
+        for (i, &r) in self.rows.iter().enumerate() {
+            if r as usize >= rows {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r as usize,
+                    col: 0,
+                    rows,
+                    cols,
+                });
+            }
+            let (del, ins, _) = self.row_ops(i);
+            for &c in del.iter().chain(ins) {
+                if c as usize >= cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: r as usize,
+                        col: c as usize,
+                        rows,
+                        cols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Sequential reference: apply this batch to `m`, returning the updated
     /// matrix. Deletes are applied before inserts, per the paper's kernel
     /// ("first deletes columns of the delete list..., then extends the row
     /// by adding columns from the insert list"). Deleting an absent column
     /// is a no-op; inserting an existing column overwrites its value.
+    ///
+    /// Panics if the batch is malformed or out of shape for `m` — the
+    /// unchecked triplet pushes below are only sound under
+    /// [`Self::validate_for`].
     pub fn apply_to_csr(&self, m: &CsrMatrix<T>) -> CsrMatrix<T> {
+        self.validate_for(m.rows(), m.cols())
+            .expect("update batch must be valid for the target matrix");
         let mut t =
             TripletMatrix::with_capacity(m.rows(), m.cols(), m.nnz() + self.total_inserts());
         let mut batch_pos = 0usize;
@@ -250,5 +289,137 @@ mod tests {
         let b = batch();
         let small = UpdateBatch::<f64>::empty();
         assert!(b.wire_bytes() > small.wire_bytes());
+    }
+
+    /// The CSR structural invariants of `error.rs`: strictly increasing
+    /// in-range columns per row, consistent entry count.
+    fn assert_csr_invariants(m: &CsrMatrix<f64>) {
+        let mut live = 0usize;
+        for r in 0..m.rows() {
+            let (cols, vals) = m.row(r);
+            assert_eq!(cols.len(), vals.len());
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r} unsorted");
+            assert!(
+                cols.iter().all(|&c| (c as usize) < m.cols()),
+                "row {r} col out of range"
+            );
+            live += cols.len();
+        }
+        assert_eq!(live, m.nnz());
+    }
+
+    #[test]
+    fn duplicate_edge_insert_keeps_invariants() {
+        // inserting a column the row already has must overwrite, not
+        // duplicate, the entry
+        let m = base();
+        let b = UpdateBatch::<f64> {
+            rows: vec![0],
+            delete_offsets: vec![0, 0],
+            delete_cols: vec![],
+            insert_offsets: vec![0, 2],
+            insert_cols: vec![0, 2], // both already present in row 0
+            insert_vals: vec![10.0, 20.0],
+        };
+        let u = b.apply_to_csr(&m);
+        assert_csr_invariants(&u);
+        assert_eq!(u.nnz(), m.nnz());
+        assert_eq!(u.get(0, 0), 10.0);
+        assert_eq!(u.get(0, 2), 20.0);
+    }
+
+    #[test]
+    fn nonexistent_delete_keeps_invariants() {
+        let m = base();
+        let b = UpdateBatch::<f64> {
+            rows: vec![0, 2],
+            delete_offsets: vec![0, 2, 3],
+            delete_cols: vec![1, 3, 0], // none of these edges exist
+            insert_offsets: vec![0, 0, 0],
+            insert_cols: vec![],
+            insert_vals: vec![],
+        };
+        let u = b.apply_to_csr(&m);
+        assert_csr_invariants(&u);
+        assert_eq!(u, m);
+    }
+
+    #[test]
+    fn row_emptying_delta_keeps_invariants() {
+        let m = base();
+        let b = UpdateBatch::<f64> {
+            rows: vec![0],
+            delete_offsets: vec![0, 2],
+            delete_cols: vec![0, 2], // delete everything in row 0
+            insert_offsets: vec![0, 0],
+            insert_cols: vec![],
+            insert_vals: vec![],
+        };
+        let u = b.apply_to_csr(&m);
+        assert_csr_invariants(&u);
+        assert_eq!(u.row_nnz(0), 0);
+        assert_eq!(u.nnz(), m.nnz() - 2);
+        // a later batch can refill the emptied row
+        let refill = UpdateBatch::<f64> {
+            rows: vec![0],
+            delete_offsets: vec![0, 0],
+            delete_cols: vec![],
+            insert_offsets: vec![0, 1],
+            insert_cols: vec![4],
+            insert_vals: vec![5.0],
+        };
+        let v = refill.apply_to_csr(&u);
+        assert_csr_invariants(&v);
+        assert_eq!(v.get(0, 4), 5.0);
+    }
+
+    #[test]
+    fn validate_for_rejects_out_of_shape_batches() {
+        // row index beyond the matrix: previously silently dropped by
+        // apply_to_csr
+        let b = UpdateBatch::<f64> {
+            rows: vec![7],
+            delete_offsets: vec![0, 0],
+            delete_cols: vec![],
+            insert_offsets: vec![0, 1],
+            insert_cols: vec![1],
+            insert_vals: vec![1.0],
+        };
+        assert!(b.validate().is_ok(), "shape-free validation cannot see it");
+        assert!(matches!(
+            b.validate_for(3, 5),
+            Err(SparseError::IndexOutOfBounds { row: 7, .. })
+        ));
+        // column index beyond the matrix: previously corrupted the CSR
+        // through push_unchecked
+        let b = UpdateBatch::<f64> {
+            rows: vec![1],
+            delete_offsets: vec![0, 0],
+            delete_cols: vec![],
+            insert_offsets: vec![0, 1],
+            insert_cols: vec![99],
+            insert_vals: vec![1.0],
+        };
+        assert!(matches!(
+            b.validate_for(3, 5),
+            Err(SparseError::IndexOutOfBounds { col: 99, .. })
+        ));
+        // in-shape batch passes
+        batch().validate_for(3, 5).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "valid for the target matrix")]
+    fn apply_to_csr_rejects_out_of_shape_batches() {
+        let m = base();
+        let b = UpdateBatch::<f64> {
+            rows: vec![0],
+            delete_offsets: vec![0, 0],
+            delete_cols: vec![],
+            insert_offsets: vec![0, 1],
+            insert_cols: vec![99],
+            insert_vals: vec![1.0],
+        };
+        let _ = b.apply_to_csr(&m);
     }
 }

@@ -1,0 +1,334 @@
+//! Device kernels for streaming maintenance.
+//!
+//! Three shapes, all one-warp-per-item:
+//!
+//! * [`plan_kernel`] — counts each touched row's post-batch length
+//!   without reading the row: lanes cooperatively binary-search the
+//!   delta's columns against the row's sorted column stream, so a hub
+//!   row costs `O((d+i)/32 · log len)` probe rounds, not `O(len)`.
+//! * [`merge_rows_kernel`] — the actual sorted merge (delete + compress,
+//!   then insert with overwrite-on-equal — identical semantics to
+//!   `acsr::update`), reading the source row and writing the merged row
+//!   in coalesced `WARP`-wide strides with merge-path-style lane
+//!   cooperation. The destination buffer is a parameter so the same
+//!   kernel serves in-place updates, staging into scratch, and
+//!   rebuild-into-grown-buffer.
+//! * [`copy_rows_kernel`] — full-warp strided copy of whole rows between
+//!   (buffer, offset) pairs; used to relocate untouched rows and to
+//!   scatter staged rows into their final slots.
+
+use gpu_sim::{lane_mask, ConcurrentGroup, DeviceBuffer, WarpCtx, WARP};
+use sparse_formats::Scalar;
+
+/// Mask for lane-0-only scalar loads (row descriptors).
+const L0: u32 = 1;
+
+/// Wire view of an uploaded [`sparse_formats::UpdateBatch`].
+pub struct DeltaBuffers<T> {
+    pub rows: DeviceBuffer<u32>,
+    pub delete_offsets: DeviceBuffer<u32>,
+    pub delete_cols: DeviceBuffer<u32>,
+    pub insert_offsets: DeviceBuffer<u32>,
+    pub insert_cols: DeviceBuffer<u32>,
+    pub insert_vals: DeviceBuffer<T>,
+}
+
+/// Gather one lane-0 scalar.
+fn ld<T: gpu_sim::DevCopy>(warp: &mut WarpCtx, buf: &DeviceBuffer<T>, i: usize) -> T {
+    warp.gather(buf, &[i; WARP], L0)[0]
+}
+
+/// Read `buf[base..base + len]` in coalesced `WARP`-wide strides.
+fn read_row<T: gpu_sim::DevCopy>(
+    warp: &mut WarpCtx,
+    buf: &DeviceBuffer<T>,
+    base: usize,
+    len: usize,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(len);
+    let mut off = 0usize;
+    while off < len {
+        let lanes = (len - off).min(WARP);
+        let chunk = warp.read_coalesced(buf, base + off, lane_mask(lanes));
+        out.extend_from_slice(&chunk[..lanes]);
+        off += lanes;
+    }
+    out
+}
+
+/// Write `vals` to `buf[base..]` in coalesced `WARP`-wide strides.
+fn write_row<T: gpu_sim::DevCopy>(
+    warp: &mut WarpCtx,
+    buf: &DeviceBuffer<T>,
+    base: usize,
+    vals: &[T],
+) {
+    let mut off = 0usize;
+    while off < vals.len() {
+        let lanes = (vals.len() - off).min(WARP);
+        let mut chunk = [T::default(); WARP];
+        chunk[..lanes].copy_from_slice(&vals[off..off + lanes]);
+        warp.write_coalesced(buf, base + off, &chunk, lane_mask(lanes));
+        off += lanes;
+    }
+}
+
+/// One lane per key: binary-search sorted `buf[base..base + len]` for up
+/// to `WARP` keys at once. Returns a membership flag per key. Each probe
+/// round is one gather (every active lane reads its own midpoint) plus
+/// one ALU step — `O(log len)` rounds total.
+fn warp_bsearch(
+    warp: &mut WarpCtx,
+    buf: &DeviceBuffer<u32>,
+    base: usize,
+    len: usize,
+    keys: &[u32],
+) -> Vec<bool> {
+    let k = keys.len();
+    debug_assert!(k <= WARP);
+    let mut found = vec![false; k];
+    if len == 0 || k == 0 {
+        return found;
+    }
+    let mask = lane_mask(k);
+    let mut lo = vec![0usize; k];
+    let mut hi = vec![len; k];
+    while (0..k).any(|l| lo[l] < hi[l]) {
+        let mut idx = [base; WARP];
+        for l in 0..k {
+            if lo[l] < hi[l] {
+                idx[l] = base + (lo[l] + hi[l]) / 2;
+            }
+        }
+        let probes = warp.gather(buf, &idx, mask);
+        warp.charge_alu(1);
+        for l in 0..k {
+            if lo[l] >= hi[l] {
+                continue;
+            }
+            let mid = (lo[l] + hi[l]) / 2;
+            if probes[l] == keys[l] {
+                found[l] = true;
+                lo[l] = hi[l];
+            } else if probes[l] < keys[l] {
+                lo[l] = mid + 1;
+            } else {
+                hi[l] = mid;
+            }
+        }
+    }
+    found
+}
+
+/// Load a touched row's descriptor (lane-0 scalars).
+struct RowDesc {
+    start: usize,
+    old_len: usize,
+    dlo: usize,
+    dhi: usize,
+    ilo: usize,
+    ihi: usize,
+}
+
+fn load_desc<T: Scalar>(
+    warp: &mut WarpCtx,
+    delta: &DeltaBuffers<T>,
+    row_start: &DeviceBuffer<u32>,
+    row_len: &DeviceBuffer<u32>,
+    pos: usize,
+) -> RowDesc {
+    let row = ld(warp, &delta.rows, pos) as usize;
+    RowDesc {
+        start: ld(warp, row_start, row) as usize,
+        old_len: ld(warp, row_len, row) as usize,
+        dlo: ld(warp, &delta.delete_offsets, pos) as usize,
+        dhi: ld(warp, &delta.delete_offsets, pos + 1) as usize,
+        ilo: ld(warp, &delta.insert_offsets, pos) as usize,
+        ihi: ld(warp, &delta.insert_offsets, pos + 1) as usize,
+    }
+}
+
+/// Compute every touched row's post-merge length into `new_lens`
+/// (indexed by batch position). Pure counting — the row itself is only
+/// *probed* (lane-parallel binary search), never streamed:
+/// `new_len = old − |D ∩ row| + |I| − |I ∩ (row ∖ D)|`.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_kernel<T: Scalar>(
+    group: &mut ConcurrentGroup,
+    delta: &DeltaBuffers<T>,
+    row_start: &DeviceBuffer<u32>,
+    row_len: &DeviceBuffer<u32>,
+    col_indices: &DeviceBuffer<u32>,
+    new_lens: &DeviceBuffer<u32>,
+) {
+    let n = delta.rows.len();
+    if n == 0 {
+        return;
+    }
+    let block = 256;
+    let grid = n.div_ceil(block / WARP).max(1);
+    group.add("stream_plan", grid, block, &|blk| {
+        blk.for_each_warp(&mut |warp| {
+            let pos = warp.global_warp_id();
+            if pos >= n {
+                return;
+            }
+            let d = load_desc(warp, delta, row_start, row_len, pos);
+            let dels = read_row(warp, &delta.delete_cols, d.dlo, d.dhi - d.dlo);
+            let ins = read_row(warp, &delta.insert_cols, d.ilo, d.ihi - d.ilo);
+
+            let mut matched_dels = 0usize;
+            for chunk in dels.chunks(WARP) {
+                let found = warp_bsearch(warp, col_indices, d.start, d.old_len, chunk);
+                warp.charge_alu(1); // warp reduction of the found ballot
+                matched_dels += found.iter().filter(|&&f| f).count();
+            }
+            let mut overwrites = 0usize;
+            for chunk in ins.chunks(WARP) {
+                let in_row = warp_bsearch(warp, col_indices, d.start, d.old_len, chunk);
+                // an insert whose column is also deleted re-adds, not
+                // overwrites: check the (tiny, register-resident) D list
+                warp.charge_alu(1);
+                for (l, &c) in chunk.iter().enumerate() {
+                    if in_row[l] && dels.binary_search(&c).is_err() {
+                        overwrites += 1;
+                    }
+                }
+            }
+            let count = (d.old_len - matched_dels + ins.len() - overwrites) as u32;
+            warp.scatter(new_lens, &[pos; WARP], &[count; WARP], L0);
+        });
+    });
+}
+
+/// Merge `positions.len()` touched rows into per-item destinations.
+/// `positions[i]` is the batch position of the i-th item and
+/// `dst_offsets[i]` the element offset in `dst_cols`/`dst_vals` where its
+/// merged row lands. The source row is streamed in coalesced strides and
+/// the merged row written the same way; the merge bookkeeping is charged
+/// one merge-path partition step (log-cost) per `WARP`-wide output chunk.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_rows_kernel<T: Scalar>(
+    group: &mut ConcurrentGroup,
+    name: &str,
+    delta: &DeltaBuffers<T>,
+    row_start: &DeviceBuffer<u32>,
+    row_len: &DeviceBuffer<u32>,
+    src_cols: &DeviceBuffer<u32>,
+    src_vals: &DeviceBuffer<T>,
+    positions: &DeviceBuffer<u32>,
+    dst_offsets: &DeviceBuffer<u32>,
+    dst_cols: &DeviceBuffer<u32>,
+    dst_vals: &DeviceBuffer<T>,
+) {
+    let n = positions.len();
+    if n == 0 {
+        return;
+    }
+    let block = 256;
+    let grid = n.div_ceil(block / WARP).max(1);
+    group.add(name, grid, block, &|blk| {
+        blk.for_each_warp(&mut |warp| {
+            let i = warp.global_warp_id();
+            if i >= n {
+                return;
+            }
+            let pos = ld(warp, positions, i) as usize;
+            let dst = ld(warp, dst_offsets, i) as usize;
+            let d = load_desc(warp, delta, row_start, row_len, pos);
+            let dels = read_row(warp, &delta.delete_cols, d.dlo, d.dhi - d.dlo);
+            let ins_c = read_row(warp, &delta.insert_cols, d.ilo, d.ihi - d.ilo);
+            let ins_v = read_row(warp, &delta.insert_vals, d.ilo, d.ihi - d.ilo);
+            let cols = read_row(warp, src_cols, d.start, d.old_len);
+            let vals = read_row(warp, src_vals, d.start, d.old_len);
+
+            // Pass 1: delete + compress.
+            let mut surv_c: Vec<u32> = Vec::with_capacity(d.old_len);
+            let mut surv_v: Vec<T> = Vec::with_capacity(d.old_len);
+            let mut dd = 0usize;
+            for (k, &c) in cols.iter().enumerate() {
+                while dd < dels.len() && dels[dd] < c {
+                    dd += 1;
+                }
+                if dd < dels.len() && dels[dd] == c {
+                    continue;
+                }
+                surv_c.push(c);
+                surv_v.push(vals[k]);
+            }
+            // Pass 2: sorted insert merge, overwrite on equal columns.
+            let mut mrg_c: Vec<u32> = Vec::with_capacity(surv_c.len() + ins_c.len());
+            let mut mrg_v: Vec<T> = Vec::with_capacity(surv_c.len() + ins_c.len());
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < surv_c.len() || b < ins_c.len() {
+                if b >= ins_c.len() || (a < surv_c.len() && surv_c[a] < ins_c[b]) {
+                    mrg_c.push(surv_c[a]);
+                    mrg_v.push(surv_v[a]);
+                    a += 1;
+                } else if a >= surv_c.len() || surv_c[a] > ins_c[b] {
+                    mrg_c.push(ins_c[b]);
+                    mrg_v.push(ins_v[b]);
+                    b += 1;
+                } else {
+                    mrg_c.push(ins_c[b]);
+                    mrg_v.push(ins_v[b]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+            // Each WARP-wide output chunk costs one merge-path partition
+            // (binary search of the lane's diagonal) for every lane.
+            let logn = usize::BITS - (mrg_c.len().max(2) - 1).leading_zeros();
+            for _ in 0..mrg_c.len().div_ceil(WARP) {
+                warp.charge_alu(logn as u64);
+            }
+            write_row(warp, dst_cols, dst, &mrg_c);
+            write_row(warp, dst_vals, dst, &mrg_v);
+        });
+    });
+}
+
+/// Copy `lens[i]` elements from `src_*[src_offsets[i]..]` to
+/// `dst_*[dst_offsets[i]..]`, one warp per row, coalesced `WARP`-wide
+/// strides. Source and destination buffers must be distinct (the engine
+/// stages moved rows through scratch precisely to guarantee this).
+#[allow(clippy::too_many_arguments)]
+pub fn copy_rows_kernel<T: Scalar>(
+    group: &mut ConcurrentGroup,
+    name: &str,
+    src_cols: &DeviceBuffer<u32>,
+    src_vals: &DeviceBuffer<T>,
+    dst_cols: &DeviceBuffer<u32>,
+    dst_vals: &DeviceBuffer<T>,
+    src_offsets: &DeviceBuffer<u32>,
+    dst_offsets: &DeviceBuffer<u32>,
+    lens: &DeviceBuffer<u32>,
+) {
+    let n = lens.len();
+    if n == 0 {
+        return;
+    }
+    let block = 256;
+    let grid = n.div_ceil(block / WARP).max(1);
+    group.add(name, grid, block, &|blk| {
+        blk.for_each_warp(&mut |warp| {
+            let i = warp.global_warp_id();
+            if i >= n {
+                return;
+            }
+            let src = ld(warp, src_offsets, i) as usize;
+            let dst = ld(warp, dst_offsets, i) as usize;
+            let len = ld(warp, lens, i) as usize;
+            let mut off = 0usize;
+            while off < len {
+                let lanes = (len - off).min(WARP);
+                let mask = lane_mask(lanes);
+                let cols = warp.read_coalesced(src_cols, src + off, mask);
+                warp.write_coalesced(dst_cols, dst + off, &cols, mask);
+                let vals = warp.read_coalesced(src_vals, src + off, mask);
+                warp.write_coalesced(dst_vals, dst + off, &vals, mask);
+                off += lanes;
+            }
+        });
+    });
+}

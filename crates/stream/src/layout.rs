@@ -1,0 +1,233 @@
+//! Canonical bin-arena layout for the streaming ACSR.
+//!
+//! The stream engine needs a device layout that is a **pure function of
+//! the logical matrix**: after any sequence of update batches the
+//! maintained matrix must be bit-identical (metadata, live elements, and
+//! hence SpMV timing) to one built from scratch off the same host CSR.
+//! Row-order slack layouts (`AcsrMatrix::from_csr`) cannot offer that —
+//! slack erodes as rows grow, so the layout depends on history.
+//!
+//! Instead the element buffers are partitioned into one *arena per bin*,
+//! in ascending bin order. Every row of bin `b` occupies a fixed-width
+//! slot of `2^b` elements — the bin's maximum row length — so a row can
+//! grow in place until it leaves its length class, which is exactly when
+//! ACSR has to re-bin it anyway. Rows fill their bin's slots in row-id
+//! order (rank). Arena capacities are a step function of the bin's row
+//! count (next power of two, doubled, with a small floor), so small
+//! membership drift leaves every arena base — and therefore every
+//! untouched row — exactly where it was.
+
+use sparse_formats::stats::bin_index;
+
+/// Element width of one slot in bin `b` (the bin's maximum row length;
+/// bin 0 holds empty rows and stores nothing).
+pub fn slot_width(b: usize) -> usize {
+    if b == 0 {
+        0
+    } else {
+        1usize << b
+    }
+}
+
+/// Slot capacity reserved for an arena holding `n` rows: the next power
+/// of two, doubled, floored at 8 — a step function, so an arena's
+/// capacity (and every downstream arena base) only changes when the bin's
+/// population crosses a power-of-two boundary.
+pub fn arena_slots(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        n.next_power_of_two().saturating_mul(2).max(8)
+    }
+}
+
+/// The arena geometry for a given per-bin row census.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotLayout {
+    /// Reserved slots per bin arena.
+    slots: Vec<usize>,
+    /// Element offset of each bin arena (prefix sums of `slots * width`).
+    bases: Vec<usize>,
+    /// Total elements spanned by all arenas.
+    total: usize,
+}
+
+impl SlotLayout {
+    /// Geometry for `counts[b]` rows in bin `b`.
+    pub fn for_bins(counts: &[usize]) -> SlotLayout {
+        let slots: Vec<usize> = counts.iter().map(|&n| arena_slots(n)).collect();
+        let mut bases = Vec::with_capacity(slots.len());
+        let mut pos = 0usize;
+        for (b, &s) in slots.iter().enumerate() {
+            bases.push(pos);
+            pos += s * slot_width(b);
+        }
+        SlotLayout {
+            slots,
+            bases,
+            total: pos,
+        }
+    }
+
+    /// Geometry for a matrix given by its row lengths.
+    pub fn for_lengths(lengths: impl Iterator<Item = usize>) -> SlotLayout {
+        let mut counts: Vec<usize> = Vec::new();
+        for len in lengths {
+            let b = bin_index(len);
+            if b >= counts.len() {
+                counts.resize(b + 1, 0);
+            }
+            counts[b] += 1;
+        }
+        SlotLayout::for_bins(&counts)
+    }
+
+    /// Number of bins the layout spans.
+    pub fn n_bins(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Reserved slots of bin `b`'s arena (0 for bins past the end).
+    pub fn slots(&self, b: usize) -> usize {
+        self.slots.get(b).copied().unwrap_or(0)
+    }
+
+    /// Element base of bin `b`'s arena.
+    pub fn base(&self, b: usize) -> usize {
+        self.bases.get(b).copied().unwrap_or(self.total)
+    }
+
+    /// Total elements spanned.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Element offset of slot `slot` in bin `b`'s arena.
+    pub fn row_start(&self, b: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.slots(b) || slot_width(b) == 0);
+        self.base(b) + slot * slot_width(b)
+    }
+}
+
+/// Assign each row of a bin a slot in its arena: Fibonacci-hash the row
+/// id, then linear-probe for a free slot, processing rows in ascending
+/// id order. A pure function of `(slots, membership)` — a maintained
+/// engine and a fresh build land every row on the same slot — yet
+/// *stable*: adding or removing one row perturbs only that row's probe
+/// cluster (expected O(1) at the ≤½ load factor [`arena_slots`]
+/// guarantees), not every higher-id row the way dense rank-packing
+/// would.
+///
+/// `rows` must be sorted ascending; `slots` must be a power of two with
+/// `rows.len() <= slots`. Returns the slot of each row, aligned with the
+/// input order.
+pub fn assign_slots(slots: usize, rows: &[u32]) -> Vec<u32> {
+    assert!(
+        slots.is_power_of_two(),
+        "arena slots must be a power of two"
+    );
+    assert!(rows.len() <= slots, "bin over arena capacity");
+    debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+    let shift = 64 - slots.trailing_zeros();
+    let mask = slots - 1;
+    let mut taken = vec![false; slots];
+    rows.iter()
+        .map(|&r| {
+            let mut s = ((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize;
+            while taken[s & mask] {
+                s += 1;
+            }
+            taken[s & mask] = true;
+            (s & mask) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_width_covers_bin_range() {
+        use sparse_formats::stats::bin_range;
+        for b in 1..20 {
+            let (_, hi) = bin_range(b);
+            assert_eq!(slot_width(b), hi, "bin {b}");
+        }
+        assert_eq!(slot_width(0), 0);
+    }
+
+    #[test]
+    fn arena_slots_is_a_plateau_function() {
+        assert_eq!(arena_slots(0), 0);
+        assert_eq!(arena_slots(1), 8);
+        assert_eq!(arena_slots(4), 8);
+        assert_eq!(arena_slots(5), 16);
+        assert_eq!(arena_slots(8), 16);
+        assert_eq!(arena_slots(9), 32);
+        // stable across a plateau: drift within a power-of-two band does
+        // not move any arena base
+        for n in 9..16 {
+            assert_eq!(arena_slots(n), 32);
+        }
+    }
+
+    #[test]
+    fn layout_is_pure_in_the_census() {
+        let a = SlotLayout::for_bins(&[3, 10, 0, 7]);
+        let b = SlotLayout::for_bins(&[3, 10, 0, 7]);
+        assert_eq!(a, b);
+        // bin 0 stores nothing
+        assert_eq!(a.base(0), 0);
+        assert_eq!(a.base(1), 0);
+        // bin 2 is empty: zero slots, base shared with bin 3
+        assert_eq!(a.slots(2), 0);
+        assert_eq!(a.base(2), a.base(3));
+        // bin 1: arena_slots(10) = 32 slots × width 2; bin 3:
+        // arena_slots(7) = 16 slots × width 8
+        assert_eq!(a.total(), 32 * 2 + 16 * 8);
+    }
+
+    #[test]
+    fn assigned_slots_are_unique_pure_and_stable() {
+        let rows: Vec<u32> = (0..50).map(|i| i * 7 + 3).collect();
+        let slots = arena_slots(rows.len());
+        let a = assign_slots(slots, &rows);
+        let b = assign_slots(slots, &rows);
+        assert_eq!(a, b, "pure function of the membership");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), rows.len(), "slots are unique");
+        assert!(a.iter().all(|&s| (s as usize) < slots));
+
+        // dropping one row moves only its probe cluster, never the bulk
+        let mut fewer = rows.clone();
+        fewer.remove(20);
+        let c = assign_slots(slots, &fewer);
+        let moved = fewer
+            .iter()
+            .zip(&c)
+            .filter(|&(r, &s)| {
+                let i = rows.iter().position(|x| x == r).unwrap();
+                a[i] != s
+            })
+            .count();
+        assert!(moved <= 5, "removal moved {moved} of {} rows", fewer.len());
+    }
+
+    #[test]
+    fn row_starts_are_disjoint_and_in_arena() {
+        let l = SlotLayout::for_bins(&[0, 5, 3]);
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for b in 1..l.n_bins() {
+            for rank in 0..l.slots(b) {
+                let s = l.row_start(b, rank);
+                spans.push((s, s + slot_width(b)));
+            }
+        }
+        spans.sort_unstable();
+        assert!(spans.windows(2).all(|w| w[0].1 <= w[1].0));
+        assert_eq!(spans.last().unwrap().1, l.total());
+    }
+}

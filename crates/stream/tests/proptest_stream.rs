@@ -1,0 +1,255 @@
+//! Property tests for the streaming maintenance engine (the ISSUE's
+//! correctness bar): for ANY matrix, ANY batch sequence, ANY
+//! `ACSR_SIM_THREADS` worker width, and ANY way of splitting a batch
+//! into sub-batches, the maintained engine must be **bit-identical** —
+//! metadata, live elements, binning, SpMV values/counters/modeled time —
+//! to a from-scratch [`StreamEngine::build`] of the same logical matrix.
+//!
+//! Width coverage follows the simulator's determinism envelope (see
+//! `acsr/tests/proptest_multi.rs`): `StaticLongTail` is bit-stable at
+//! every worker width, so the maintained-vs-fresh comparison runs at
+//! widths 1, 2 and 4.
+
+use acsr::AcsrConfig;
+use acsr_stream::StreamEngine;
+use gpu_sim::{presets, set_sim_threads, Device, DeviceBuffer};
+use graphgen::{generate_power_law, generate_update_batch, PowerLawConfig, UpdateConfig};
+use proptest::prelude::*;
+use sparse_formats::{CsrMatrix, UpdateBatch};
+use spmv_kernels::GpuSpmv;
+use std::sync::Mutex;
+
+/// `set_sim_threads` is process-global; hold this across width changes.
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (20usize..140, 4u64..2000, any::<bool>()).prop_map(|(rows, seed, wide)| {
+        generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 5.0,
+            max_degree: if wide { rows } else { rows / 3 + 2 },
+            col_skew: 0.4,
+            seed,
+            ..Default::default()
+        })
+    })
+}
+
+/// Apply `batches` in order to a maintained engine; return it plus the
+/// host-side reference state.
+fn maintain(
+    dev: &Device,
+    m: &CsrMatrix<f64>,
+    batches: &[UpdateBatch<f64>],
+    cfg: AcsrConfig,
+) -> (StreamEngine<f64>, CsrMatrix<f64>) {
+    let mut eng = StreamEngine::build(dev, m, cfg);
+    let mut host = m.clone();
+    for b in batches {
+        host = b.apply_to_csr(&host);
+        eng.apply_batch(dev, b);
+    }
+    (eng, host)
+}
+
+/// Maintained ≡ fresh, down to SpMV bits and the modeled report.
+fn assert_identical(dev: &Device, a: &StreamEngine<f64>, b: &StreamEngine<f64>) {
+    let (ma, mb) = (a.acsr().matrix(), b.acsr().matrix());
+    assert_eq!(
+        ma.row_start.as_slice(),
+        mb.row_start.as_slice(),
+        "row_start"
+    );
+    assert_eq!(ma.row_len.as_slice(), mb.row_len.as_slice(), "row_len");
+    assert_eq!(ma.row_cap.as_slice(), mb.row_cap.as_slice(), "row_cap");
+    assert_eq!(a.to_csr(), b.to_csr(), "live elements");
+    assert_eq!(a.acsr().binning(), b.acsr().binning(), "binning");
+
+    let x: Vec<f64> = (0..ma.cols())
+        .map(|i| 0.25 + (i % 13) as f64 * 0.375)
+        .collect();
+    let xd = dev.alloc(x);
+    let ya: DeviceBuffer<f64> = dev.alloc(vec![-7.0; ma.rows()]);
+    let yb: DeviceBuffer<f64> = dev.alloc(vec![-9.0; mb.rows()]);
+    let ra = a.spmv(dev, &xd, &ya);
+    let rb = b.spmv(dev, &xd, &yb);
+    for (r, (va, vb)) in ya.as_slice().iter().zip(yb.as_slice()).enumerate() {
+        assert_eq!(va.to_bits(), vb.to_bits(), "y[{r}]");
+    }
+    assert_eq!(ra.counters, rb.counters, "SpMV counters");
+    assert_eq!(ra.time_s.to_bits(), rb.time_s.to_bits(), "SpMV time");
+}
+
+/// Split one batch into a deletes-only batch followed by an inserts-only
+/// batch (delete→insert is exactly the merge's two passes, so the final
+/// logical state is the same).
+fn split_ops(b: &UpdateBatch<f64>) -> [UpdateBatch<f64>; 2] {
+    let n = b.rows.len() as u32;
+    [
+        UpdateBatch {
+            rows: b.rows.clone(),
+            delete_offsets: b.delete_offsets.clone(),
+            delete_cols: b.delete_cols.clone(),
+            insert_offsets: vec![0; n as usize + 1],
+            insert_cols: Vec::new(),
+            insert_vals: Vec::new(),
+        },
+        UpdateBatch {
+            rows: b.rows.clone(),
+            delete_offsets: vec![0; n as usize + 1],
+            delete_cols: Vec::new(),
+            insert_offsets: b.insert_offsets.clone(),
+            insert_cols: b.insert_cols.clone(),
+            insert_vals: b.insert_vals.clone(),
+        },
+    ]
+}
+
+/// Split one batch by row: the first `k` touched rows, then the rest.
+fn split_rows(b: &UpdateBatch<f64>, k: usize) -> [UpdateBatch<f64>; 2] {
+    let cut = |rows: std::ops::Range<usize>| {
+        let dlo = b.delete_offsets[rows.start] as usize;
+        let dhi = b.delete_offsets[rows.end] as usize;
+        let ilo = b.insert_offsets[rows.start] as usize;
+        let ihi = b.insert_offsets[rows.end] as usize;
+        UpdateBatch {
+            rows: b.rows[rows.clone()].to_vec(),
+            delete_offsets: b.delete_offsets[rows.start..=rows.end]
+                .iter()
+                .map(|&o| o - dlo as u32)
+                .collect(),
+            delete_cols: b.delete_cols[dlo..dhi].to_vec(),
+            insert_offsets: b.insert_offsets[rows.start..=rows.end]
+                .iter()
+                .map(|&o| o - ilo as u32)
+                .collect(),
+            insert_cols: b.insert_cols[ilo..ihi].to_vec(),
+            insert_vals: b.insert_vals[ilo..ihi].to_vec(),
+        }
+    };
+    [cut(0..k), cut(k..b.rows.len())]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Maintained vs fresh, across a multi-batch churn sequence and every
+    /// deterministic worker width.
+    #[test]
+    fn maintained_engine_is_bit_identical_across_widths(
+        m in arb_matrix(),
+        n_batches in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let _g = WIDTH_LOCK.lock().unwrap();
+        let cfg = AcsrConfig::static_long_tail();
+        for width in [1usize, 2, 4] {
+            set_sim_threads(width);
+            let dev = Device::new(presets::gtx_titan());
+            let mut host = m.clone();
+            let mut batches = Vec::new();
+            for k in 0..n_batches {
+                let b = generate_update_batch(&host, &UpdateConfig {
+                    row_fraction: 0.3,
+                    seed: seed.wrapping_add(k as u64),
+                    ..Default::default()
+                });
+                host = b.apply_to_csr(&host);
+                batches.push(b);
+            }
+            let (eng, reached) = maintain(&dev, &m, &batches, cfg);
+            prop_assert_eq!(&reached, &host);
+            let fresh = StreamEngine::build(&dev, &host, cfg);
+            assert_identical(&dev, &eng, &fresh);
+        }
+        set_sim_threads(0);
+    }
+
+    /// Applying a batch whole, as deletes-then-inserts, or split by row
+    /// partition must all converge to the same bit-identical engine.
+    #[test]
+    fn batch_splits_converge_to_the_same_state(
+        m in arb_matrix(),
+        seed in 0u64..10_000,
+        frac in 1usize..7,
+    ) {
+        let _g = WIDTH_LOCK.lock().unwrap();
+        set_sim_threads(1);
+        let cfg = AcsrConfig::static_long_tail();
+        let dev = Device::new(presets::gtx_titan());
+        let b = generate_update_batch(&m, &UpdateConfig {
+            row_fraction: 0.4,
+            seed,
+            ..Default::default()
+        });
+        prop_assume!(!b.rows.is_empty());
+        let (whole, host) = maintain(&dev, &m, std::slice::from_ref(&b), cfg);
+
+        let (by_ops, host_ops) = maintain(&dev, &m, &split_ops(&b), cfg);
+        prop_assert_eq!(&host_ops, &host, "delete-then-insert split state");
+        assert_identical(&dev, &by_ops, &whole);
+
+        let k = b.rows.len() * frac / 7;
+        let (by_rows, host_rows) = maintain(&dev, &m, &split_rows(&b, k), cfg);
+        prop_assert_eq!(&host_rows, &host, "row-partition split state");
+        assert_identical(&dev, &by_rows, &whole);
+        set_sim_threads(0);
+    }
+
+    /// Delete-everything-then-reinsert: the maintained engine must come
+    /// back bit-identical to a fresh build of the reinserted matrix even
+    /// through total structural turnover.
+    #[test]
+    fn full_turnover_converges(m in arb_matrix(), seed in 0u64..10_000) {
+        let _g = WIDTH_LOCK.lock().unwrap();
+        set_sim_threads(1);
+        let cfg = AcsrConfig::static_long_tail();
+        let dev = Device::new(presets::gtx_titan());
+        let rows: Vec<u32> = (0..m.rows() as u32).filter(|&r| m.row_nnz(r as usize) > 0).collect();
+        prop_assume!(!rows.is_empty());
+        let mut delete_offsets = vec![0u32];
+        let mut delete_cols = Vec::new();
+        for &r in &rows {
+            delete_cols.extend_from_slice(m.row(r as usize).0);
+            delete_offsets.push(delete_cols.len() as u32);
+        }
+        let wipe = UpdateBatch::<f64> {
+            rows: rows.clone(),
+            delete_offsets,
+            delete_cols,
+            insert_offsets: vec![0; rows.len() + 1],
+            insert_cols: Vec::new(),
+            insert_vals: Vec::new(),
+        };
+        let mut eng = StreamEngine::build(&dev, &m, cfg);
+        eng.apply_batch(&dev, &wipe);
+        prop_assert_eq!(eng.to_csr().nnz(), 0);
+
+        // refill with a perturbed copy (every value rescaled, one extra
+        // diagonal entry per formerly-empty touched row)
+        let mut insert_offsets = vec![0u32];
+        let mut insert_cols = Vec::new();
+        let mut insert_vals = Vec::new();
+        for &r in &rows {
+            let (cols, vals) = m.row(r as usize);
+            insert_cols.extend_from_slice(cols);
+            insert_vals.extend(vals.iter().map(|v| v * 1.5 + seed as f64));
+            insert_offsets.push(insert_cols.len() as u32);
+        }
+        let refill = UpdateBatch::<f64> {
+            rows,
+            delete_offsets: vec![0; wipe.rows.len() + 1],
+            delete_cols: Vec::new(),
+            insert_offsets,
+            insert_cols,
+            insert_vals,
+        };
+        let host = refill.apply_to_csr(&eng.to_csr());
+        eng.apply_batch(&dev, &refill);
+        prop_assert_eq!(&eng.to_csr(), &host);
+        let fresh = StreamEngine::build(&dev, &host, cfg);
+        assert_identical(&dev, &eng, &fresh);
+        set_sim_threads(0);
+    }
+}

@@ -51,6 +51,11 @@ echo "==> slo smoke (repro slo --quick)"
 test -s results/BENCH_slo.json
 ./target/release/repro check-artifacts results/BENCH_slo.json
 
+echo "==> streaming-maintenance smoke (repro stream --quick)"
+./target/release/repro stream --quick > /dev/null
+test -s results/BENCH_stream.json
+./target/release/repro check-artifacts results/BENCH_stream.json
+
 echo "==> perf-regression gate (bench-diff vs committed baseline)"
 ./target/release/repro bench-diff baselines/PROFILE_fig5_ci.json results/PROFILE_fig5.json
 
@@ -60,6 +65,9 @@ echo "==> host-throughput gate (bench-diff vs committed floor)"
 
 echo "==> slo-attainment gate (bench-diff vs committed baseline)"
 ./target/release/repro bench-diff baselines/BENCH_slo_ci.json results/BENCH_slo.json
+
+echo "==> streaming-maintenance gate (bench-diff vs committed baseline)"
+./target/release/repro bench-diff baselines/BENCH_stream_ci.json results/BENCH_stream.json
 
 echo "==> perf-regression gate rejects an inflated baseline"
 if ./target/release/repro bench-diff baselines/PROFILE_fig5_ci_inflated.json \
