@@ -21,6 +21,12 @@ pub struct Options {
     /// trace ledger and write `results/PROFILE_<name>.json` (see
     /// [`crate::profile`]).
     pub profile: bool,
+    /// Capture the telemetry registry + request trace and write
+    /// `results/METRICS_<name>.json` (see [`crate::metrics`]).
+    pub metrics: bool,
+    /// With `metrics`: also export the correlated request/kernel
+    /// timeline as `results/TIMELINE_<name>.json`.
+    pub timeline: bool,
 }
 
 impl Default for Options {
@@ -32,6 +38,8 @@ impl Default for Options {
             json: false,
             trace: false,
             profile: false,
+            metrics: false,
+            timeline: false,
         }
     }
 }

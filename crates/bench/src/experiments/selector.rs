@@ -12,12 +12,15 @@
 //! long horizons can flip to a faster-per-SpMV conversion.
 
 use crate::common::{selected_specs, Options, Table};
+use acsr_telemetry::Telemetry;
 use gpu_sim::presets;
 use gpu_sim::Device;
 use graphgen::generate_regular;
 use serde::Serialize;
 use sparse_formats::CsrMatrix;
-use spmv_pipeline::{AdaptiveSelector, CandidateReport, FormatRegistry, PlanBudget, PlanCache};
+use spmv_pipeline::{
+    record_selection, AdaptiveSelector, CandidateReport, FormatRegistry, PlanBudget, PlanCache,
+};
 
 /// Amortization horizons swept per matrix: one-shot, app-like
 /// (PageRank-scale iteration counts), and long-running.
@@ -66,6 +69,7 @@ fn decide(
     m: &CsrMatrix<f64>,
     opts: &Options,
     cache: &mut PlanCache<f64>,
+    tel: &Telemetry,
 ) -> Vec<SelectorRow> {
     let dev = Device::new(presets::gtx_titan());
     let stats = m.row_stats();
@@ -93,6 +97,7 @@ fn decide(
                 };
             }
             let sel = AdaptiveSelector.select(&reg, &dev, m, &budget);
+            record_selection(tel, &sel.winner, &sel.candidates);
             // Pin the winner's plan in the shared cache: across the
             // horizon sweep the structure never changes, so later
             // horizons that pick the same winner hit instead of
@@ -116,21 +121,26 @@ fn decide(
 /// zero-padding-waste case where padded formats shine).
 pub fn run(opts: &Options) -> Vec<SelectorRow> {
     let mut rows = Vec::new();
+    // Registry-backed accounting: the global telemetry when `repro
+    // metrics selector` armed it, else a run-local registry dumped
+    // through the shared stderr formatter.
+    let (tel, local_tel) = match acsr_telemetry::active() {
+        Some(t) => (t, false),
+        None => (std::sync::Arc::new(Telemetry::new()), true),
+    };
     let mut cache = PlanCache::<f64>::new();
+    cache.attach_telemetry(tel.clone());
     for spec in selected_specs(opts) {
         let m = spec.generate::<f64>(opts.scale, opts.seed);
-        rows.extend(decide(spec.abbrev, &m.csr, opts, &mut cache));
+        rows.extend(decide(spec.abbrev, &m.csr, opts, &mut cache, &tel));
     }
     if opts.matrices.is_empty() {
         let uni: CsrMatrix<f64> = generate_regular(2000, 2000, 6, opts.seed.wrapping_add(97));
-        rows.extend(decide("UNI", &uni, opts, &mut cache));
+        rows.extend(decide("UNI", &uni, opts, &mut cache, &tel));
     }
-    eprintln!(
-        "selector: plan cache across the horizon sweep: {} hits, {} misses, {} invalidations",
-        cache.hits(),
-        cache.misses(),
-        cache.invalidations(),
-    );
+    if local_tel {
+        crate::metrics::print_metrics("selector", &tel.metrics.snapshot());
+    }
     rows
 }
 

@@ -29,6 +29,13 @@
 //!                                 results/BENCH_stream.json
 //!   profile <experiment> [opts]   run under the per-kernel profiler;
 //!                                 writes results/PROFILE_<experiment>.json
+//!   metrics <experiment> [opts]   run with the telemetry registry armed;
+//!                                 writes results/METRICS_<experiment>.json
+//!                                 (byte-stable acsr-metrics-v1 snapshot,
+//!                                 reconciled against the run's reports)
+//!   timeline <experiment> [opts]  metrics plus the correlated
+//!                                 request/kernel chrome-trace export
+//!                                 results/TIMELINE_<experiment>.json
 //!   bench-diff <baseline> <new> [--tolerance F]
 //!                                 perf-regression gate over two JSON
 //!                                 reports; exit 1 on regression
@@ -114,6 +121,15 @@ fn main() {
             .unwrap_or_else(|| die("profile needs an experiment name"))
             .clone();
         i = 2;
+    } else if experiment == "metrics" || experiment == "timeline" {
+        opts.metrics = true;
+        opts.timeline = experiment == "timeline";
+        let mode = experiment.clone();
+        experiment = args
+            .get(1)
+            .unwrap_or_else(|| die(&format!("{mode} needs an experiment name")))
+            .clone();
+        i = 2;
     }
     while i < args.len() {
         match args[i].as_str() {
@@ -181,13 +197,17 @@ fn run_experiment(name: &str, opts: &Options) {
     // Arm the global trace ledger per experiment so each gets its own
     // `results/trace_<name>.json` (Devices attach at construction time).
     // The profiler shares the same ledger, so it subsumes `--trace`.
-    if opts.profile {
+    if opts.metrics {
+        repro_bench::metrics::begin();
+    } else if opts.profile {
         repro_bench::profile::begin();
     } else if opts.trace {
         repro_bench::tracing::begin();
     }
     run_one(name, opts);
-    if opts.profile {
+    if opts.metrics {
+        repro_bench::metrics::finish(name, opts.timeline);
+    } else if opts.profile {
         repro_bench::profile::finish(name, opts.trace);
     } else if opts.trace {
         repro_bench::tracing::finish(name);
@@ -405,6 +425,93 @@ fn check_artifact(path: &str) {
                 }
                 _ => die(&format!("{path}: stream report has no batch rows")),
             }
+        } else if schema == "acsr-metrics-v1" {
+            kind = "metrics snapshot";
+            match field(&value, "metrics") {
+                Some(serde::Value::Array(metrics)) if !metrics.is_empty() => {
+                    for m in &metrics {
+                        let name = match field(m, "name") {
+                            Some(serde::Value::Str(n)) => n,
+                            _ => die(&format!("{path}: metric entry missing 'name'")),
+                        };
+                        match field(m, "type") {
+                            Some(serde::Value::Str(t)) => match t.as_str() {
+                                "counter" => match field(m, "value") {
+                                    Some(serde::Value::I64(v)) if v >= 0 => {}
+                                    Some(serde::Value::U64(_)) => {}
+                                    _ => die(&format!(
+                                        "{path}: counter '{name}' must be a non-negative integer"
+                                    )),
+                                },
+                                "gauge" => {
+                                    if field(m, "value").is_none() {
+                                        die(&format!("{path}: gauge '{name}' missing 'value'"));
+                                    }
+                                }
+                                "histogram" => {
+                                    for key in ["count", "sum", "p50", "p99", "buckets"] {
+                                        if field(m, key).is_none() {
+                                            die(&format!(
+                                                "{path}: histogram '{name}' missing '{key}'"
+                                            ));
+                                        }
+                                    }
+                                }
+                                other => die(&format!(
+                                    "{path}: metric '{name}' has unknown type '{other}'"
+                                )),
+                            },
+                            _ => die(&format!("{path}: metric '{name}' missing 'type'")),
+                        }
+                    }
+                }
+                _ => die(&format!("{path}: metrics snapshot has no metrics")),
+            }
+        } else if schema == "acsr-timeline-v1" {
+            kind = "timeline export";
+            for key in ["request_events", "wave_spans", "kernel_spans"] {
+                if field(&value, key).is_none() {
+                    die(&format!("{path}: timeline export missing '{key}'"));
+                }
+            }
+            let as_u64 = |v: &serde::Value| -> Option<u64> {
+                match v {
+                    serde::Value::I64(n) if *n >= 0 => Some(*n as u64),
+                    serde::Value::U64(n) => Some(*n),
+                    _ => None,
+                }
+            };
+            match field(&value, "traceEvents") {
+                Some(serde::Value::Array(events)) if !events.is_empty() => {
+                    // Structural wave correlation: every event claiming a
+                    // wave id must reference a wave the serving track
+                    // announced.
+                    let announced: Vec<u64> = events
+                        .iter()
+                        .filter(|e| {
+                            matches!(field(e, "cat"), Some(serde::Value::Str(c)) if c == "wave")
+                        })
+                        .filter_map(|e| field(e, "args").and_then(|a| field(&a, "wave")))
+                        .filter_map(|v| as_u64(&v))
+                        .collect();
+                    for e in &events {
+                        if matches!(field(e, "cat"), Some(serde::Value::Str(c)) if c == "wave") {
+                            continue;
+                        }
+                        if let Some(w) = field(e, "args")
+                            .and_then(|a| field(&a, "wave"))
+                            .and_then(|v| as_u64(&v))
+                        {
+                            if !announced.contains(&w) {
+                                die(&format!(
+                                    "{path}: timeline event references unannounced wave {w}"
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => die(&format!("{path}: timeline export has no trace events")),
+            }
         } else if schema == "acsr-selector-v1" {
             kind = "selector report";
             for key in ["scale", "device", "rows"] {
@@ -480,6 +587,8 @@ fn print_usage() {
         "repro — regenerate the paper's tables and figures on the simulated testbed\n\n\
          usage: repro <experiment> [--scale N] [--seed N] [--matrices A,B,C] [--json] [--trace]\n\
          \x20      repro profile <experiment> [same options]\n\
+         \x20      repro metrics <experiment> [same options]\n\
+         \x20      repro timeline <experiment> [same options]\n\
          \x20      repro simbench [--quick]\n\
          \x20      repro slo [--quick]\n\
          \x20      repro stream [--quick]\n\
@@ -493,6 +602,10 @@ fn print_usage() {
          results/trace_<experiment>.json (chrome://tracing) + a phase rollup on stderr\n\
          profile derives per-kernel SIMT metrics (warp efficiency, coalescing,\n\
          occupancy, roofline verdicts) and writes results/PROFILE_<experiment>.json\n\
+         metrics captures the telemetry registry (counters/gauges/histograms,\n\
+         reconciled integer-exactly against the run's own reports) as\n\
+         results/METRICS_<experiment>.json; timeline additionally joins serve\n\
+         request spans to kernel spans by wave id in results/TIMELINE_<experiment>.json\n\
          bench-diff compares two JSON reports; exit 1 if any metric regressed\n\
          tip: fig6/fig7 are iterative solvers — use --scale 256 for quick runs"
     );

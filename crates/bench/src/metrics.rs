@@ -1,0 +1,135 @@
+//! `repro metrics <experiment>` / `repro timeline <experiment>` plumbing.
+//!
+//! `metrics` arms both capture planes — the kernel-plane
+//! [`gpu_sim::trace::TraceLedger`] and the serving-plane
+//! [`acsr_telemetry::Telemetry`] — runs the experiment, folds the
+//! ledger's reconciled totals into `sim.*` registry metrics
+//! (integer-exactly, asserted), and writes the byte-stable
+//! `results/METRICS_<name>.json` snapshot (`acsr-metrics-v1`).
+//!
+//! `timeline` additionally exports `results/TIMELINE_<name>.json`
+//! (`acsr-timeline-v1`): the chrome-trace join of kernel spans and
+//! request spans, correlated by the wave ids the serving scheduler
+//! stamps into both planes. The export is validated — a kernel span
+//! claiming an unannounced wave, or a query admitted into an unknown
+//! wave, is a hard failure, not a cosmetic gap.
+//!
+//! Every instrumented subsystem reconciles its own counters against its
+//! existing report before they reach the shared registry (serve panics
+//! in `ServeScope::finish`, `repro stream` against the maintenance
+//! ledger), so a written snapshot is always an *accounting mirror* of
+//! the reports, never a drifting second source of truth.
+
+use acsr_telemetry::{MetricValue, MetricsSnapshot};
+use gpu_sim::trace;
+use std::path::PathBuf;
+
+/// Arm both capture planes for one experiment (clearing prior state, so
+/// back-to-back runs produce identical artifacts).
+pub fn begin() {
+    trace::enable_global_capture();
+    trace::global_ledger().clear();
+    acsr_telemetry::enable_global_capture();
+    acsr_telemetry::global().reset();
+}
+
+/// Disarm capture, reconcile, fold the kernel plane into `sim.*`,
+/// write `results/METRICS_<name>.json` (and `TIMELINE_<name>.json` when
+/// `timeline`), and dump the registry through [`print_metrics`].
+pub fn finish(name: &str, timeline: bool) -> PathBuf {
+    trace::disable_global_capture();
+    acsr_telemetry::disable_global_capture();
+    let ledger = trace::global_ledger();
+    let total = ledger
+        .reconcile()
+        .unwrap_or_else(|e| panic!("trace reconciliation failed for '{name}': {e}"));
+    let tel = acsr_telemetry::global();
+
+    // Fold the kernel plane into the registry, then prove the fold is
+    // integer-exact against the ledger's own merged total.
+    let m = &tel.metrics;
+    m.add("sim.spans", ledger.spans().len() as u64);
+    m.add("sim.launches", u64::from(total.launches));
+    m.add("sim.warp_instructions", total.counters.warp_instructions);
+    m.add("sim.flops", total.counters.flops);
+    m.add("sim.dram_read_bytes", total.counters.dram_read_bytes);
+    m.add("sim.dram_write_bytes", total.counters.dram_write_bytes);
+    m.add("sim.htod_bytes", total.counters.htod_bytes);
+    m.add("sim.dtoh_bytes", total.counters.dtoh_bytes);
+    m.set_gauge("sim.time_s", total.time_s);
+    for (metric, want) in [
+        ("sim.spans", ledger.spans().len() as u64),
+        ("sim.launches", u64::from(total.launches)),
+        ("sim.warp_instructions", total.counters.warp_instructions),
+        ("sim.flops", total.counters.flops),
+        ("sim.dram_read_bytes", total.counters.dram_read_bytes),
+        ("sim.dram_write_bytes", total.counters.dram_write_bytes),
+        ("sim.htod_bytes", total.counters.htod_bytes),
+        ("sim.dtoh_bytes", total.counters.dtoh_bytes),
+    ] {
+        assert_eq!(
+            m.counter(metric),
+            want,
+            "{metric} drifted from the trace ledger for '{name}'"
+        );
+    }
+
+    let snap = tel.metrics.snapshot();
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = PathBuf::from(format!("results/METRICS_{name}.json"));
+    std::fs::write(&path, snap.to_json())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    print_metrics(&format!("metrics[{name}]"), &snap);
+    eprintln!(
+        "metrics[{name}]: {} metrics, {} request events, {} waves -> {}",
+        snap.entries.len(),
+        tel.requests.events().len(),
+        tel.requests.waves().len(),
+        path.display()
+    );
+
+    if timeline {
+        let json = acsr_telemetry::timeline_json(&ledger, &tel)
+            .unwrap_or_else(|e| panic!("timeline export failed for '{name}': {e}"));
+        let tpath = PathBuf::from(format!("results/TIMELINE_{name}.json"));
+        std::fs::write(&tpath, json).unwrap_or_else(|e| panic!("write {}: {e}", tpath.display()));
+        eprintln!(
+            "metrics[{name}]: timeline ({} kernel spans + request lanes) -> {}",
+            ledger.spans().len(),
+            tpath.display()
+        );
+    }
+
+    ledger.clear();
+    tel.reset();
+    path
+}
+
+/// The one shared stderr formatter for registry dumps: one line per
+/// metric in snapshot (= name-sorted) order, histograms summarized by
+/// count and nearest-rank quantiles. stdout stays clean for `--json`.
+pub fn print_metrics(tag: &str, snap: &MetricsSnapshot) {
+    for (name, value) in &snap.entries {
+        match value {
+            MetricValue::Counter(v) => eprintln!("{tag}: {name} = {v}"),
+            MetricValue::Gauge(v) => eprintln!("{tag}: {name} = {v:.6}"),
+            MetricValue::Histogram(h) => {
+                // The `_s` naming convention marks seconds-valued series;
+                // everything else (queue depths, wave widths) is a count.
+                let fmt: fn(f64) -> String = if name.ends_with("_s") {
+                    crate::common::fmt_secs
+                } else {
+                    |v: f64| format!("{v:.1}")
+                };
+                eprintln!(
+                    "{tag}: {name} count={} p50={} p95={} p99={} max={}",
+                    h.count(),
+                    fmt(h.quantile(0.50)),
+                    fmt(h.quantile(0.95)),
+                    fmt(h.quantile(0.99)),
+                    fmt(h.max()),
+                );
+            }
+        }
+    }
+}

@@ -18,8 +18,11 @@
 //!    steady operator.
 //!
 //! The drift-tolerant [`PlanCache::probe_drift`] is exercised per batch
-//! (anchored at build time) and its hit/survived/replan accounting goes
-//! to stderr together with the maintenance ledger totals.
+//! (anchored at build time). Its hit/survived/replan accounting and the
+//! maintenance-ledger totals are recorded through the telemetry
+//! registry (`plan_cache.*` / `stream.*`), reconciled integer-exactly
+//! against [`acsr_stream::LedgerTotals`], and dumped through the shared
+//! [`crate::metrics::print_metrics`] stderr formatter.
 //!
 //! Results go to `results/BENCH_stream.json` (`acsr-stream-v1` schema),
 //! validated by `repro check-artifacts` and gated by `repro bench-diff`
@@ -30,6 +33,7 @@ use acsr_serve::{
     generate_queries, serve_with_churn, ArrivalPattern, ChurnServeConfig, SteadyOperator,
 };
 use acsr_stream::{ChurnedStream, LedgerTotals, StreamEngine};
+use acsr_telemetry::Telemetry;
 use gpu_sim::{presets, Device};
 use graphgen::{generate_edge_stream, generate_rmat, ChurnConfig, RmatConfig};
 use sparse_formats::{CsrMatrix, HostModel};
@@ -169,8 +173,18 @@ pub fn run(quick: bool) -> Report {
     let reg = FormatRegistry::<f64>::with_all();
     let budget = PlanBudget::for_device(dev.config());
     let tol = DriftTolerance::default();
+    // Registry-backed accounting: the global telemetry when `repro
+    // metrics stream` armed it, else a run-local registry — either way
+    // the `stream.*` counters are reconciled against the maintenance
+    // ledger below, every run.
+    let (tel, local_tel) = match acsr_telemetry::active() {
+        Some(t) => (t, false),
+        None => (std::sync::Arc::new(Telemetry::new()), true),
+    };
     let mut cache = PlanCache::<f64>::new();
+    cache.attach_telemetry(tel.clone());
     let mut engine = StreamEngine::build(&dev, &m0, cfg);
+    engine.attach_telemetry(tel.clone());
     let mut mirror = m0.clone();
     // anchor the planning-time structure (the build's plan)
     let drift_key = |e: &StreamEngine<f64>, m: &CsrMatrix<f64>| DriftKey {
@@ -210,6 +224,7 @@ pub fn run(quick: bool) -> Report {
             DriftOutcome::Hit => "hit",
             DriftOutcome::Survived { .. } => {
                 survived += 1;
+                tel.metrics.add("plan_cache.drift_survived", 1);
                 "survived"
             }
             DriftOutcome::Replan { reason } => {
@@ -235,23 +250,14 @@ pub fn run(quick: bool) -> Report {
     }
     let ledger = engine.ledger().totals();
 
-    eprintln!(
-        "stream: plan cache over {} batches: {} hits ({} survived drift), {} misses, {} invalidations",
-        stream.len(),
-        cache.hits(),
-        survived,
-        cache.misses(),
-        cache.invalidations(),
-    );
-    eprintln!(
-        "stream: ledger: {} batches, {} in-place rows, {} migrated, {} capacity-shifted, {} buffer grows, {} bytes rewritten",
-        ledger.batches,
-        ledger.in_place_rows,
-        ledger.migrated_rows,
-        ledger.capacity_shift_rows,
-        ledger.buffer_grows,
-        ledger.bytes_rewritten,
-    );
+    // Hard gate: the registry's `stream.*` counters must equal the
+    // maintenance ledger's totals integer-exactly. (Only `engine` has
+    // applied batches into `tel` at this point.)
+    acsr_stream::reconcile_stream(&tel.metrics, &ledger)
+        .unwrap_or_else(|e| panic!("stream: metrics/ledger reconciliation failed: {e}"));
+    if local_tel {
+        crate::metrics::print_metrics("stream", &tel.metrics.snapshot());
+    }
 
     // --- serving impact: same queries, with and without churn ---------
     // The serving study runs on its own fixed-size graph (the

@@ -497,6 +497,7 @@ mod tests {
             breakdown: None,
             launches: 0,
             sm_issue_cycles: None,
+            wave: None,
         }
     }
 

@@ -94,6 +94,11 @@ pub struct Span {
     /// Issue slots attributed per SM (`Launch` spans only) — the
     /// profiler's load-imbalance input.
     pub sm_issue_cycles: Option<Vec<u64>>,
+    /// Serving-plane correlation id: the wave that issued this span, set
+    /// via [`TraceLedger::set_wave`] while the wave executes. `None`
+    /// outside the serving path — and then absent from the JSON export,
+    /// so kernel-plane traces are unchanged.
+    pub wave: Option<u64>,
 }
 
 impl Span {
@@ -132,6 +137,8 @@ struct Inner {
     total: RunReport,
     /// Virtual clock: sum of recorded top-level durations so far.
     clock_s: f64,
+    /// Wave id stamped onto every span recorded while set.
+    wave: Option<u64>,
 }
 
 /// Append-only ledger of launch spans (see module docs). Thread-safe;
@@ -171,6 +178,7 @@ impl TraceLedger {
         let mut inner = self.inner.lock();
         let parent = inner.spans.len();
         let t0 = inner.clock_s;
+        let wave = inner.wave;
         inner.spans.push(Span {
             kind: SpanKind::Launch,
             name: report.name.clone(),
@@ -186,6 +194,7 @@ impl TraceLedger {
             breakdown: Some(report.breakdown),
             launches: report.launches,
             sm_issue_cycles: Some(sm_issue),
+            wave,
         });
         // Sub-spans start after the parent's launch overhead.
         let t_body = t0 + report.breakdown.launch_s;
@@ -206,6 +215,7 @@ impl TraceLedger {
                 breakdown: None,
                 launches: 1,
                 sm_issue_cycles: None,
+                wave,
             });
         }
         for c in children {
@@ -226,6 +236,7 @@ impl TraceLedger {
                 breakdown: None,
                 launches: 0,
                 sm_issue_cycles: None,
+                wave,
             });
         }
         inner.total = std::mem::take(&mut inner.total).then(report);
@@ -237,6 +248,7 @@ impl TraceLedger {
     pub(crate) fn record_transfer(&self, cfg: &DeviceConfig, report: &RunReport) {
         let mut inner = self.inner.lock();
         let t0 = inner.clock_s;
+        let wave = inner.wave;
         inner.spans.push(Span {
             kind: SpanKind::Transfer,
             name: report.name.clone(),
@@ -252,6 +264,7 @@ impl TraceLedger {
             breakdown: Some(report.breakdown),
             launches: report.launches,
             sm_issue_cycles: None,
+            wave,
         });
         inner.total = std::mem::take(&mut inner.total).then(report);
         inner.clock_s += report.time_s;
@@ -283,6 +296,16 @@ impl TraceLedger {
         inner.spans.clear();
         inner.total = RunReport::default();
         inner.clock_s = 0.0;
+        inner.wave = None;
+    }
+
+    /// Set (or clear) the serving-plane wave id stamped onto every span
+    /// recorded from now on. The serving scheduler wraps each wave's
+    /// device dispatch in `set_wave(Some(id))` / `set_wave(None)`, which
+    /// is what joins a query's request span to its kernel launches in
+    /// the correlated timeline export.
+    pub fn set_wave(&self, wave: Option<u64>) {
+        self.inner.lock().wave = wave;
     }
 
     /// Verify the ledger's accounting invariants and return the merged
@@ -355,6 +378,21 @@ impl TraceLedger {
     /// holds top-level launches/transfers, tracks `1+i` the group
     /// streams, tracks `64+sm` the child waves.
     pub fn chrome_trace_json(&self) -> String {
+        let (events, _) = self.chrome_trace_events();
+        let mut out = String::new();
+        out.push_str("{\"traceEvents\":[\n");
+        out.push_str(&events);
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// The chrome trace-event records for every span *without* the
+    /// enclosing `traceEvents` wrapper: the events joined by `",\n"`,
+    /// plus the number of distinct device processes emitted.
+    /// [`chrome_trace_json`](TraceLedger::chrome_trace_json) wraps this
+    /// verbatim; the serving timeline exporter (`acsr-telemetry`) appends
+    /// its own request/wave events under `pid = device count` instead.
+    pub fn chrome_trace_events(&self) -> (String, usize) {
         let inner = self.inner.lock();
         let mut devices: Vec<&str> = Vec::new();
         for span in &inner.spans {
@@ -363,7 +401,6 @@ impl TraceLedger {
             }
         }
         let mut out = String::new();
-        out.push_str("{\"traceEvents\":[\n");
         let mut first = true;
         for (pid, dev) in devices.iter().enumerate() {
             sep(&mut out, &mut first);
@@ -410,14 +447,16 @@ impl TraceLedger {
             if let Some(seq) = span.seq {
                 let _ = write!(out, ",\"seq\":{seq}");
             }
+            if let Some(wave) = span.wave {
+                let _ = write!(out, ",\"wave\":{wave}");
+            }
             write_counters(&mut out, &span.counters);
             if let Some(b) = &span.breakdown {
                 write_breakdown(&mut out, b);
             }
             out.push_str("}}");
         }
-        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-        out
+        (out, devices.len())
     }
 }
 
@@ -588,6 +627,27 @@ mod tests {
         assert!(a.contains("weird\\\"name\\\\"));
         assert!(a.contains("\"traceEvents\""));
         assert!(a.contains("\"displayTimeUnit\":\"ms\""));
+    }
+
+    #[test]
+    fn set_wave_stamps_spans_and_exports_in_args() {
+        let mut dev = Device::new(presets::gtx_titan());
+        let ledger = dev.enable_tracing();
+        dev.launch("before", 2, 32, &|_b| {});
+        ledger.set_wave(Some(42));
+        dev.launch("during", 2, 32, &|_b| {});
+        ledger.set_wave(None);
+        dev.launch("after", 2, 32, &|_b| {});
+        let spans = ledger.spans();
+        assert_eq!(spans[0].wave, None);
+        assert_eq!(spans[1].wave, Some(42));
+        assert_eq!(spans[2].wave, None);
+        let json = ledger.chrome_trace_json();
+        assert!(json.contains("\"wave\":42"));
+        assert_eq!(json.matches("\"wave\":").count(), 1);
+        ledger
+            .reconcile()
+            .expect("wave stamps do not disturb accounting");
     }
 
     #[test]

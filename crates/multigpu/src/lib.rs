@@ -202,6 +202,28 @@ impl<T: Scalar> MultiGpuAcsr<T> {
     }
 }
 
+/// Record per-device utilization gauges into `metrics` from a set of
+/// accumulated device reports and the run's wall time (the makespan or
+/// [`MultiReport::seconds`]): `<prefix>.<d>.busy_s` (modeled device
+/// time), `<prefix>.<d>.idle_s` (wall minus busy, clamped at 0), and
+/// `<prefix>.<d>.utilization` (busy over wall; 0 when the wall is
+/// empty). One shared helper so serve and the multi-GPU experiments
+/// publish identical device gauges.
+pub fn record_device_gauges(
+    metrics: &acsr_telemetry::MetricsRegistry,
+    prefix: &str,
+    reports: &[RunReport],
+    wall_s: f64,
+) {
+    for (d, rep) in reports.iter().enumerate() {
+        let busy = rep.time_s;
+        metrics.set_gauge(&format!("{prefix}.{d}.busy_s"), busy);
+        metrics.set_gauge(&format!("{prefix}.{d}.idle_s"), (wall_s - busy).max(0.0));
+        let util = if wall_s > 0.0 { busy / wall_s } else { 0.0 };
+        metrics.set_gauge(&format!("{prefix}.{d}.utilization"), util);
+    }
+}
+
 /// Extract the listed rows of `m` into a compact sub-matrix (row order
 /// preserved; columns untouched). Public so other multi-device executors
 /// (the serving scheduler) can build per-device sub-matrices from a
@@ -341,6 +363,32 @@ mod tests {
         mg.spmv(&x, &mut y);
         let d = sparse_formats::scalar::rel_l2_distance(&y, &m.spmv(&x));
         assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn device_gauges_report_busy_idle_utilization() {
+        let metrics = acsr_telemetry::MetricsRegistry::new();
+        let fast = RunReport {
+            time_s: 0.25,
+            ..Default::default()
+        };
+        let slow = RunReport {
+            time_s: 1.0,
+            ..Default::default()
+        };
+        record_device_gauges(&metrics, "mg.device", &[fast, slow], 1.0);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("mg.device.0.busy_s"), Some(0.25));
+        assert_eq!(snap.gauge("mg.device.0.idle_s"), Some(0.75));
+        assert_eq!(snap.gauge("mg.device.0.utilization"), Some(0.25));
+        assert_eq!(snap.gauge("mg.device.1.utilization"), Some(1.0));
+        assert_eq!(snap.gauge("mg.device.1.idle_s"), Some(0.0));
+        // degenerate wall never divides by zero
+        record_device_gauges(&metrics, "mg.device", &[RunReport::default()], 0.0);
+        assert_eq!(
+            metrics.snapshot().gauge("mg.device.0.utilization"),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use planners::{
     AcsrPlanner, BccooPlanner, BrcPlanner, CooPlanner, CsrScalarPlanner, CsrVectorPlanner,
     EllPlanner, HybPlanner, TcooPlanner,
 };
-pub use selector::{AdaptiveSelector, CandidateReport, Selection};
+pub use selector::{record_selection, AdaptiveSelector, CandidateReport, Selection};
 
 use gpu_sim::{Device, DeviceBuffer, DeviceConfig, RunReport};
 use serde::{Deserialize, Serialize};

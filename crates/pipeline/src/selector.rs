@@ -23,6 +23,7 @@
 //! across `ACSR_SIM_THREADS` widths (pinned by a test).
 
 use crate::{break_even_iterations, FormatRegistry, PlanBudget, SpmvPlan};
+use acsr_telemetry::Telemetry;
 use gpu_sim::{Device, RunReport};
 use serde::{Deserialize, Serialize};
 use sparse_formats::{CsrMatrix, RowLengthStats, Scalar};
@@ -84,6 +85,26 @@ pub struct Selection<T: Scalar> {
     pub stats: RowLengthStats,
     /// The amortization horizon used for ranking.
     pub horizon: u64,
+}
+
+/// Record one ranked selection into `tel`: the decision itself
+/// (`selector.decisions`, `selector.winner.<format>`), the candidate
+/// census (`selector.candidates_ranked`, `selector.infeasible`), and
+/// every feasible candidate's ranking key as a
+/// `selector.ranked_total_s` histogram sample. Callers that own a
+/// [`Selection`] pass `(&sel.winner, &sel.candidates)`.
+pub fn record_selection(tel: &Telemetry, winner: &str, candidates: &[CandidateReport]) {
+    let m = &tel.metrics;
+    m.add("selector.decisions", 1);
+    m.add(&format!("selector.winner.{winner}"), 1);
+    m.add("selector.candidates_ranked", candidates.len() as u64);
+    for c in candidates {
+        if c.feasible {
+            m.observe("selector.ranked_total_s", c.total_s);
+        } else {
+            m.add("selector.infeasible", 1);
+        }
+    }
 }
 
 /// Cost-model-driven format selection over a [`FormatRegistry`].
@@ -447,6 +468,45 @@ mod tests {
         for o in &outcomes[1..] {
             assert_eq!(o, &outcomes[0], "selection drifted across sim widths");
         }
+    }
+
+    #[test]
+    fn record_selection_counts_decisions_and_feasibility() {
+        let _guard = lock();
+        let m = power_law(400, 11);
+        let dev = Device::new(presets::gtx_titan());
+        let reg = FormatRegistry::<f64>::with_all();
+        let budget = PlanBudget::for_device(dev.config())
+            .with_iterations(30)
+            .with_probe_scale(8);
+        let sel = AdaptiveSelector.select(&reg, &dev, &m, &budget);
+        let tel = Telemetry::new();
+        record_selection(&tel, &sel.winner, &sel.candidates);
+        record_selection(&tel, &sel.winner, &sel.candidates);
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("selector.decisions"), Some(2));
+        assert_eq!(
+            snap.counter(&format!("selector.winner.{}", sel.winner)),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("selector.candidates_ranked"),
+            Some(2 * sel.candidates.len() as u64)
+        );
+        let feasible = sel.candidates.iter().filter(|c| c.feasible).count() as u64;
+        let infeasible = sel.candidates.len() as u64 - feasible;
+        assert_eq!(
+            snap.counter("selector.infeasible"),
+            if infeasible > 0 {
+                Some(2 * infeasible)
+            } else {
+                None
+            }
+        );
+        assert_eq!(
+            snap.histogram("selector.ranked_total_s").unwrap().count(),
+            2 * feasible
+        );
     }
 
     #[test]

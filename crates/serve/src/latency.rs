@@ -1,5 +1,11 @@
 //! Latency accounting: percentile summaries of completed queries.
+//!
+//! The nearest-rank quantile itself lives in
+//! [`acsr_telemetry::nearest_rank`] — one implementation shared with the
+//! telemetry histograms, so the report path and the metrics path cannot
+//! drift apart.
 
+use acsr_telemetry::nearest_rank;
 use serde::{Deserialize, Serialize};
 
 /// Percentile/mean summary of a set of latencies (seconds).
@@ -29,9 +35,7 @@ impl LatencyStats {
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies must not be NaN"));
         let n = sorted.len();
-        // nearest-rank: the smallest sample with at least p% of the mass
-        // at or below it
-        let rank = |p: f64| sorted[((p * n as f64).ceil() as usize).clamp(1, n) - 1];
+        let rank = |p: f64| nearest_rank(&sorted, p);
         LatencyStats {
             count: n,
             p50_s: rank(0.50),

@@ -44,8 +44,10 @@ use crate::loadgen::{generate_queries, ArrivalPattern};
 use crate::query::{Query, QueryOutcome};
 use crate::queue::SubmissionQueue;
 use crate::slo::SloPolicy;
+use crate::telemetry::ServeScope;
 use crate::tenant::FairShare;
 use acsr::AcsrConfig;
+use acsr_telemetry::{Telemetry, WaveRecord};
 use gpu_sim::trace::TraceLedger;
 use gpu_sim::{presets, Device, DeviceConfig, RunReport};
 use graph_apps::rwr::{rwr_operator, rwr_update_multi};
@@ -225,6 +227,9 @@ pub struct ServeEngine<T: Scalar> {
     rows: usize,
     nnz: usize,
     config: ServeConfig,
+    /// Serving-plane telemetry (metrics + request tracing); `None`
+    /// means every record site is a single skipped branch.
+    telemetry: Option<Arc<Telemetry>>,
     /// Device barrier + hand-off cost charged once per multi-device
     /// wave, seconds.
     pub sync_overhead_s: f64,
@@ -273,6 +278,7 @@ impl<T: Scalar> ServeEngine<T> {
             rows: w.rows(),
             nnz: w.nnz(),
             config,
+            telemetry: acsr_telemetry::active(),
             sync_overhead_s: 20e-6,
         }
     }
@@ -300,6 +306,20 @@ impl<T: Scalar> ServeEngine<T> {
             dev.attach_ledger(ledger.clone());
         }
         ledger
+    }
+
+    /// Attach serving-plane telemetry: subsequent serve runs record
+    /// metrics and per-query request spans into `tel` (and reconcile
+    /// them against their [`ServeReport`] before publishing).
+    /// [`Self::new`] picks up [`acsr_telemetry::global`] automatically
+    /// while [`acsr_telemetry::enable_global_capture`] is armed.
+    pub fn attach_telemetry(&mut self, tel: Arc<Telemetry>) {
+        self.telemetry = Some(tel);
+    }
+
+    /// The attached telemetry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Serve a query stream to completion with the closed-loop policy
@@ -341,6 +361,10 @@ impl<T: Scalar> ServeEngine<T> {
         let mut wave_widths: Vec<usize> = Vec::new();
         let mut next_arrival = 0usize;
         let mut clock = 0.0f64;
+        let mut scope: Option<ServeScope> = self
+            .telemetry
+            .as_ref()
+            .map(|tel| ServeScope::new(tel.clone()));
 
         loop {
             // 1. Event-driven admission at the boundary: offer each due
@@ -356,9 +380,15 @@ impl<T: Scalar> ServeEngine<T> {
                     &mut fair,
                     &mut active,
                     &mut deadline_shed,
+                    &mut scope,
                 );
                 if next_arrival < stream.len() && stream[next_arrival].arrival_s <= clock {
-                    queue.offer(stream[next_arrival]);
+                    let q = stream[next_arrival];
+                    let depth = queue.len();
+                    let admitted = queue.offer(q);
+                    if let Some(s) = scope.as_mut() {
+                        s.on_offer(&q, depth, admitted);
+                    }
                     next_arrival += 1;
                 } else {
                     break;
@@ -371,6 +401,7 @@ impl<T: Scalar> ServeEngine<T> {
                 &mut fair,
                 &mut active,
                 &mut deadline_shed,
+                &mut scope,
             );
             if active.is_empty() {
                 debug_assert!(queue.is_empty(), "refill must drain an idle engine's queue");
@@ -384,24 +415,49 @@ impl<T: Scalar> ServeEngine<T> {
 
             // 2. one batched RWR iteration for the whole wave
             wave_widths.push(active.len());
+            // Stamp the wave's correlation id onto every kernel span it
+            // launches, so the timeline export can join request spans
+            // to device work.
+            let wave_id = scope.as_mut().map(|s| s.take_wave_id());
+            if wave_id.is_some() {
+                self.set_wave_context(wave_id);
+            }
             let (new_r, wave_time) = self.wave(&active, &mut device_reports);
+            if wave_id.is_some() {
+                self.set_wave_context(None);
+            }
             let wave_end = clock + wave_time;
+            if let (Some(s), Some(wave)) = (scope.as_mut(), wave_id) {
+                s.on_wave(WaveRecord {
+                    wave,
+                    t_start_s: clock,
+                    dur_s: wave_time,
+                    width: active.len(),
+                    devices: self.devices.len(),
+                    queries: active.iter().map(|a| a.q.id).collect(),
+                });
+            }
             // 3. Arrivals landing mid-wave queue (or capacity-shed) at
             //    their true arrival times. No pops happen while a wave
             //    is in flight, so offering them in arrival order here
             //    reproduces each query's arrival-instant occupancy
             //    exactly — shed attribution never uses boundary state.
             while next_arrival < stream.len() && stream[next_arrival].arrival_s <= wave_end {
-                queue.offer(stream[next_arrival]);
+                let q = stream[next_arrival];
+                let depth = queue.len();
+                let admitted = queue.offer(q);
+                if let Some(s) = scope.as_mut() {
+                    s.on_offer(&q, depth, admitted);
+                }
                 next_arrival += 1;
             }
             clock = wave_end;
 
             // 4. retire converged queries, keep the rest
-            active = self.retire(active, new_r, clock, &mut outcomes);
+            active = self.retire(active, new_r, clock, &mut outcomes, policy, &mut scope);
         }
 
-        ServeReport {
+        let report = ServeReport {
             outcomes,
             rejected: queue.rejected().to_vec(),
             deadline_shed,
@@ -411,6 +467,21 @@ impl<T: Scalar> ServeEngine<T> {
             wave_widths,
             device_reports,
             nnz: self.nnz,
+        };
+        if let Some(s) = scope {
+            // Hard accounting check, then publish into the shared
+            // telemetry — a snapshot can never disagree with the report.
+            s.finish(&report);
+        }
+        report
+    }
+
+    /// Set (or clear) the wave correlation id on every traced device.
+    fn set_wave_context(&self, wave: Option<u64>) {
+        for dev in &self.devices {
+            if let Some(ledger) = dev.ledger() {
+                ledger.set_wave(wave);
+            }
         }
     }
 
@@ -418,6 +489,7 @@ impl<T: Scalar> ServeEngine<T> {
     /// fair-share/priority selection, deadline-shedding waiters whose
     /// queue wait already exceeds their tenant's SLO budget, up to the
     /// batch policy's width for the current demand.
+    #[allow(clippy::too_many_arguments)]
     fn refill(
         &self,
         now: f64,
@@ -426,6 +498,7 @@ impl<T: Scalar> ServeEngine<T> {
         fair: &mut FairShare,
         active: &mut Vec<Active<T>>,
         deadline_shed: &mut Vec<u64>,
+        scope: &mut Option<ServeScope>,
     ) {
         loop {
             let cap = policy.batch.cap(active.len() + queue.len());
@@ -440,9 +513,15 @@ impl<T: Scalar> ServeEngine<T> {
                 // query cannot meet its SLO any more, so drop it before
                 // it burns a batch slot.
                 deadline_shed.push(q.id);
+                if let Some(s) = scope.as_mut() {
+                    s.on_deadline_shed(now, &q);
+                }
                 continue;
             }
             fair.record(q.tenant);
+            if let Some(s) = scope.as_mut() {
+                s.on_admitted(now, &q);
+            }
             let mut r = vec![T::ZERO; self.rows];
             r[q.seed] = T::ONE; // r⁰ = e_seed
             active.push(Active {
@@ -512,6 +591,8 @@ impl<T: Scalar> ServeEngine<T> {
         mut new_r: Vec<Vec<T>>,
         clock: f64,
         outcomes: &mut Vec<QueryOutcome<T>>,
+        policy: &SloPolicy,
+        scope: &mut Option<ServeScope>,
     ) -> Vec<Active<T>> {
         let mut survivors = Vec::with_capacity(active.len());
         for (v, mut a) in active.into_iter().enumerate() {
@@ -528,6 +609,15 @@ impl<T: Scalar> ServeEngine<T> {
             std::mem::swap(&mut a.r, &mut new_r[v]);
             let converged = dist2.sqrt() < self.config.iter.epsilon;
             if converged || a.iterations >= self.config.iter.max_iters {
+                if let Some(s) = scope.as_mut() {
+                    s.on_completed(
+                        clock,
+                        &a.q,
+                        a.iterations,
+                        converged,
+                        policy.tenants.spec(a.q.tenant).slo_s,
+                    );
+                }
                 outcomes.push(QueryOutcome {
                     id: a.q.id,
                     seed: a.q.seed,
@@ -817,6 +907,112 @@ mod tests {
         let json = ledger.chrome_trace_json();
         assert!(json.contains("#0") && json.contains("#1"));
         assert!(json.contains("serve_x_upload"));
+    }
+
+    #[test]
+    fn telemetry_reconciles_and_correlates_waves() {
+        let g = graph(300, 209);
+        let mut engine = ServeEngine::new(
+            &g,
+            ServeConfig {
+                max_batch: 2,
+                queue_capacity: 2,
+                n_devices: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let ledger = engine.enable_tracing();
+        let tel = Arc::new(acsr_telemetry::Telemetry::new());
+        engine.attach_telemetry(tel.clone());
+        // 6 simultaneous arrivals into 2 slots + 2 queue places: some
+        // capacity shed, everything else completes. serve_slo panics if
+        // the scoped registry disagrees with the report.
+        let queries: Vec<Query> = (0..6)
+            .map(|id| query(id, (id as usize * 17) % 300, 0.0))
+            .collect();
+        let report = engine.serve(&queries);
+        assert!(!report.rejected.is_empty());
+        let snap = tel.metrics.snapshot();
+        assert_eq!(snap.counter("serve.offered"), Some(6));
+        assert_eq!(
+            snap.counter("serve.completed"),
+            Some(report.outcomes.len() as u64)
+        );
+        assert_eq!(
+            snap.counter("serve.shed.capacity"),
+            Some(report.rejected.len() as u64)
+        );
+        assert_eq!(snap.counter("serve.waves"), Some(report.waves as u64));
+        assert_eq!(
+            snap.counter("serve.iterations"),
+            Some(report.total_iterations() as u64)
+        );
+        assert!(snap.gauge("serve.tenant.0.attainment").is_some());
+        assert!(snap.gauge("serve.device.1.busy_s").is_some());
+        // every wave record joins to at least one kernel span, and the
+        // timeline export validates the correlation end to end
+        let waves = tel.requests.waves();
+        assert_eq!(waves.len(), report.waves);
+        let spans = ledger.spans();
+        for w in &waves {
+            assert!(
+                spans.iter().any(|s| s.wave == Some(w.wave)),
+                "wave {} has no kernel span",
+                w.wave
+            );
+        }
+        let json = acsr_telemetry::timeline_json(&ledger, &tel).expect("timeline validates");
+        assert!(json.contains("\"name\":\"serving\""));
+        assert!(json.contains("\"name\":\"wave1\""));
+        // a second run keeps allocating fresh wave ids — no collisions
+        let before = waves.len();
+        engine.serve(&queries);
+        let after = tel.requests.waves();
+        assert!(after.len() > before);
+        let mut seen = std::collections::BTreeSet::new();
+        assert!(after.iter().all(|w| seen.insert(w.wave)), "wave ids unique");
+    }
+
+    #[test]
+    fn telemetry_counts_deadline_sheds() {
+        let g = graph(200, 210);
+        let mut engine = ServeEngine::new(
+            &g,
+            ServeConfig {
+                max_batch: 1,
+                queue_capacity: 32,
+                ..ServeConfig::default()
+            },
+        );
+        let tel = Arc::new(acsr_telemetry::Telemetry::new());
+        engine.attach_telemetry(tel.clone());
+        // Tight SLO + deep backlog: late waiters deadline-shed at pop
+        // time. The scoped registry must agree with the report exactly.
+        let queries: Vec<Query> = (0..12)
+            .map(|id| query(id, (id as usize * 11) % 200, 0.0))
+            .collect();
+        let policy = SloPolicy::open_loop(1e-4, 1, 32);
+        let report = engine.serve_slo(&queries, &policy);
+        assert!(!report.deadline_shed.is_empty(), "backlog must shed");
+        let snap = tel.metrics.snapshot();
+        assert_eq!(
+            snap.counter("serve.shed.deadline"),
+            Some(report.deadline_shed.len() as u64)
+        );
+        let events = tel.requests.events();
+        let deadline_events = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    acsr_telemetry::RequestEvent::Shed {
+                        kind: acsr_telemetry::ShedKind::Deadline,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(deadline_events, report.deadline_shed.len());
     }
 
     #[test]

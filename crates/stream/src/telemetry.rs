@@ -1,0 +1,128 @@
+//! Telemetry bridge: `stream.*` counters mirroring the maintenance
+//! ledger, integer-exactly.
+//!
+//! Every counter here is defined as the same fold the ledger's own
+//! [`LedgerTotals`] performs over [`BatchEntry`] events — `BufferGrow`
+//! counts *events*, everything else counts *rows*, and every event's
+//! bytes land in `stream.bytes_rewritten`. [`reconcile_stream`] pins the
+//! two bookkeepers to each other: any drift between what the registry
+//! accumulated batch-by-batch and what the ledger says in total is a
+//! bug, not noise.
+
+use crate::ledger::{BatchEntry, LedgerTotals, MaintainReason};
+use acsr_telemetry::{MetricsRegistry, Telemetry};
+
+/// Record one applied batch into the registry. Mirrors
+/// [`crate::ledger::MaintenanceLedger::push`] accumulation exactly.
+pub(crate) fn record_batch(tel: &Telemetry, entry: &BatchEntry) {
+    let m = &tel.metrics;
+    m.add("stream.batches", 1);
+    for ev in &entry.events {
+        m.add("stream.bytes_rewritten", ev.bytes);
+        match ev.reason {
+            MaintainReason::InPlace => m.add("stream.in_place_rows", ev.rows as u64),
+            MaintainReason::Migration => m.add("stream.migrated_rows", ev.rows as u64),
+            MaintainReason::CapacityShift => m.add("stream.capacity_shift_rows", ev.rows as u64),
+            MaintainReason::BufferGrow => m.add("stream.buffer_grows", 1),
+        }
+    }
+    m.set_gauge("stream.slack_elems", entry.slack_after as f64);
+}
+
+/// Check that the registry's `stream.*` counters equal `totals`
+/// integer-exactly. `Err` carries the first mismatch.
+pub fn reconcile_stream(metrics: &MetricsRegistry, totals: &LedgerTotals) -> Result<(), String> {
+    let check = |name: &str, want: u64| -> Result<(), String> {
+        let got = metrics.counter(name);
+        if got != want {
+            return Err(format!("{name}: registry says {got}, ledger says {want}"));
+        }
+        Ok(())
+    };
+    check("stream.batches", totals.batches)?;
+    check("stream.in_place_rows", totals.in_place_rows)?;
+    check("stream.migrated_rows", totals.migrated_rows)?;
+    check("stream.capacity_shift_rows", totals.capacity_shift_rows)?;
+    check("stream.buffer_grows", totals.buffer_grows)?;
+    check("stream.bytes_rewritten", totals.bytes_rewritten)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{BinEvent, MaintenanceLedger};
+    use std::sync::Arc;
+
+    #[test]
+    fn batch_recording_matches_ledger_totals() {
+        let tel = Arc::new(Telemetry::new());
+        let mut ledger = MaintenanceLedger::default();
+        let entries = [
+            BatchEntry {
+                epoch: 1,
+                events: vec![
+                    BinEvent {
+                        bin: 2,
+                        rows: 5,
+                        bytes: 120,
+                        reason: MaintainReason::InPlace,
+                    },
+                    BinEvent {
+                        bin: 3,
+                        rows: 2,
+                        bytes: 64,
+                        reason: MaintainReason::Migration,
+                    },
+                ],
+                slack_after: 17,
+            },
+            BatchEntry {
+                epoch: 2,
+                events: vec![
+                    BinEvent {
+                        bin: 4,
+                        rows: 9,
+                        bytes: 288,
+                        reason: MaintainReason::CapacityShift,
+                    },
+                    BinEvent {
+                        bin: 0,
+                        rows: 9,
+                        bytes: 1024,
+                        reason: MaintainReason::BufferGrow,
+                    },
+                ],
+                slack_after: 23,
+            },
+        ];
+        for e in &entries {
+            record_batch(&tel, e);
+            ledger.push(e.clone());
+        }
+        reconcile_stream(&tel.metrics, &ledger.totals()).expect("mirrored counters reconcile");
+        let snap = tel.metrics.snapshot();
+        assert_eq!(
+            snap.counter("stream.buffer_grows"),
+            Some(1),
+            "events, not rows"
+        );
+        assert_eq!(
+            snap.gauge("stream.slack_elems"),
+            Some(23.0),
+            "last batch wins"
+        );
+    }
+
+    #[test]
+    fn reconcile_reports_first_mismatch() {
+        let tel = Telemetry::new();
+        tel.metrics.add("stream.batches", 2);
+        let totals = LedgerTotals {
+            batches: 3,
+            ..LedgerTotals::default()
+        };
+        let err = reconcile_stream(&tel.metrics, &totals).unwrap_err();
+        assert!(err.contains("stream.batches"), "got: {err}");
+    }
+}

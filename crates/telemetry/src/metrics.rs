@@ -1,0 +1,310 @@
+//! The named-metric registry: counters, gauges, and log-bucketed
+//! histograms behind one mutex, snapshotting to a byte-stable
+//! `acsr-metrics-v1` JSON document.
+//!
+//! Counters are `u64` and integer-exact — they are what the
+//! reconciliation checks compare against `ServeReport` / maintenance
+//! -ledger fields. Gauges are last-write-wins `f64`. Histograms are
+//! [`LogHistogram`]s. Names sort the snapshot (`BTreeMap`), and every
+//! float serializes with `{:?}`, so the same run produces byte-identical
+//! output on every `ACSR_SIM_THREADS` width — the golden and proptests
+//! rely on this.
+
+use crate::hist::LogHistogram;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One metric's current value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(LogHistogram),
+}
+
+/// A thread-safe registry of named metrics. Recording takes one short
+/// mutex hold; consumers that hold no registry (`Option` = `None`) pay
+/// a single branch — telemetry is zero-cost when disabled.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to the counter `name` (created at 0).
+    /// Panics if `name` is already a gauge or histogram.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(v) => *v += delta,
+            other => panic!("metric '{name}' is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set the gauge `name` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert(MetricValue::Gauge(0.0))
+        {
+            MetricValue::Gauge(v) => *v = value,
+            other => panic!("metric '{name}' is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Record one sample into the histogram `name`.
+    pub fn observe(&self, name: &str, sample: f64) {
+        let mut inner = self.inner.lock();
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(LogHistogram::new()))
+        {
+            MetricValue::Histogram(h) => h.observe(sample),
+            other => panic!("metric '{name}' is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Current value of the counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.inner.lock().get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Fold a snapshot into this registry: counters add, gauges take the
+    /// snapshot's value, histograms merge. This is how a scoped per-run
+    /// registry (already reconciled against its run's report) folds into
+    /// the shared process registry.
+    pub fn merge_snapshot(&self, snap: &MetricsSnapshot) {
+        let mut inner = self.inner.lock();
+        for (name, value) in &snap.entries {
+            match value {
+                MetricValue::Counter(d) => {
+                    match inner.entry(name.clone()).or_insert(MetricValue::Counter(0)) {
+                        MetricValue::Counter(v) => *v += d,
+                        other => panic!("metric '{name}' is not a counter: {other:?}"),
+                    }
+                }
+                MetricValue::Gauge(g) => {
+                    inner.insert(name.clone(), MetricValue::Gauge(*g));
+                }
+                MetricValue::Histogram(h) => {
+                    match inner
+                        .entry(name.clone())
+                        .or_insert_with(|| MetricValue::Histogram(LogHistogram::new()))
+                    {
+                        MetricValue::Histogram(v) => v.merge(h),
+                        other => panic!("metric '{name}' is not a histogram: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Name-sorted snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self
+                .inner
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Drop every metric.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// An immutable, name-sorted copy of a registry's metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, ascending by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value (`None` when absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value (`None` when absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram (`None` when absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Serialize under the `acsr-metrics-v1` schema. Hand-rolled with a
+    /// fixed field order and `{:?}` float formatting — same snapshot,
+    /// same bytes (the golden test and cross-width proptests pin this).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"acsr-metrics-v1\",\"metrics\":[\n");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"type\":\"counter\",\"value\":{v}}}",
+                        escape(name)
+                    );
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"type\":\"gauge\",\"value\":{v:?}}}",
+                        escape(name)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"type\":\"histogram\",\"count\":{},\
+                         \"sum\":{:?},\"min\":{:?},\"max\":{:?},\
+                         \"p50\":{:?},\"p95\":{:?},\"p99\":{:?},\"buckets\":[",
+                        escape(name),
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                    );
+                    for (j, (k, c)) in h.bucket_counts().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{k},{c}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.add("a.count", 3);
+        reg.add("a.count", 2);
+        reg.set_gauge("b.gauge", 1.5);
+        reg.set_gauge("b.gauge", 2.5);
+        reg.observe("c.hist", 0.1);
+        reg.observe("c.hist", 0.2);
+        assert_eq!(reg.counter("a.count"), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(5));
+        assert_eq!(snap.gauge("b.gauge"), Some(2.5));
+        assert_eq!(snap.histogram("c.hist").unwrap().count(), 2);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_schema_tagged_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.set_gauge("z.last", 0.25);
+        reg.add("a.first", 1);
+        reg.observe("m.mid", 3.0);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert_eq!(json, snap.to_json(), "same snapshot, same bytes");
+        assert!(json.starts_with("{\"schema\":\"acsr-metrics-v1\""));
+        let a = json.find("a.first").unwrap();
+        let m = json.find("m.mid").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < m && m < z, "entries must be name-sorted");
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"buckets\":[["));
+    }
+
+    #[test]
+    fn merge_snapshot_adds_counters_and_merges_histograms() {
+        let a = MetricsRegistry::new();
+        a.add("n", 2);
+        a.observe("h", 1.0);
+        a.set_gauge("g", 1.0);
+        let b = MetricsRegistry::new();
+        b.add("n", 3);
+        b.observe("h", 2.0);
+        b.set_gauge("g", 9.0);
+        a.merge_snapshot(&b.snapshot());
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("n"), Some(5));
+        assert_eq!(snap.histogram("h").unwrap().count(), 2);
+        assert_eq!(snap.gauge("g"), Some(9.0), "gauges take the merged value");
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_confusion_panics() {
+        let reg = MetricsRegistry::new();
+        reg.set_gauge("x", 1.0);
+        reg.add("x", 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Correlated timeline export: kernel spans + request spans, one file.
+//!
+//! [`timeline_json`] lays the trace ledger's chrome events (devices as
+//! processes, exactly as [`gpu_sim::trace::TraceLedger::chrome_trace_json`]
+//! emits them) next to a synthetic "serving" process holding one track of
+//! wave spans and one track per query's lifecycle. The *authoritative
+//! join key* is the `wave` id in each event's `args`: a kernel span's
+//! `args.wave` names the [`crate::WaveRecord`] whose `queries` list (and
+//! whose riding queries' `active` spans) it executed for. Times inside
+//! the serving process run on the serving clock; device tracks keep the
+//! ledger's own virtual clock (launches laid end to end) — the two axes
+//! are schematic side by side, the wave ids are exact.
+//!
+//! The export validates the correlation before serializing: a kernel
+//! span stamped with a wave id that no wave record announced, an
+//! admission pointing at an unknown wave, or a duplicated wave record is
+//! an `Err`, not a malformed file.
+
+use crate::request::{RequestEvent, ShedKind};
+use crate::Telemetry;
+use gpu_sim::trace::TraceLedger;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Serialize the correlated timeline under the `acsr-timeline-v1`
+/// schema. Byte-stable: fixed field order, `{:?}` floats, deterministic
+/// track assignment (queries take lanes in first-appearance order).
+pub fn timeline_json(ledger: &TraceLedger, tel: &Telemetry) -> Result<String, String> {
+    let (kernel_events, device_count) = ledger.chrome_trace_events();
+    let waves = tel.requests.waves();
+    let events = tel.requests.events();
+
+    let mut wave_ids = BTreeSet::new();
+    for w in &waves {
+        if !wave_ids.insert(w.wave) {
+            return Err(format!("wave id {} recorded twice", w.wave));
+        }
+    }
+    let mut kernel_spans = 0usize;
+    for (i, span) in ledger.spans().iter().enumerate() {
+        if let Some(w) = span.wave {
+            kernel_spans += 1;
+            if !wave_ids.contains(&w) {
+                return Err(format!(
+                    "kernel span {i} ('{}') is stamped with wave {w}, but no wave record announced it",
+                    span.name
+                ));
+            }
+        }
+    }
+    for e in &events {
+        if let RequestEvent::Admitted { wave, query, .. } = e {
+            if !wave_ids.contains(wave) {
+                return Err(format!(
+                    "query {query} was admitted into unknown wave {wave}"
+                ));
+            }
+        }
+    }
+
+    // The serving plane gets its own chrome process after the devices.
+    let pid = device_count;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"schema\":\"acsr-timeline-v1\",\"request_events\":{},\"wave_spans\":{},\
+         \"kernel_spans\":{kernel_spans},\"traceEvents\":[",
+        events.len(),
+        waves.len(),
+    );
+    out.push_str(&kernel_events);
+    let mut first = kernel_events.is_empty();
+    sep(&mut out, &mut first);
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"serving\"}}}}"
+    );
+    sep(&mut out, &mut first);
+    let _ = write!(
+        out,
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"waves\"}}}}"
+    );
+    for w in &waves {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"wave{}\",\"cat\":\"wave\",\"ph\":\"X\",\"ts\":{:?},\"dur\":{:?},\
+             \"pid\":{pid},\"tid\":0,\"args\":{{\"wave\":{},\"width\":{},\"devices\":{},\
+             \"queries\":[",
+            w.wave,
+            w.t_start_s * 1e6,
+            w.dur_s * 1e6,
+            w.wave,
+            w.width,
+            w.devices,
+        );
+        for (i, q) in w.queries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{q}");
+        }
+        out.push_str("]}}");
+    }
+
+    // One lane per query, in first-appearance order of the event stream.
+    let mut lane_of: Vec<u64> = Vec::new();
+    for e in &events {
+        if !lane_of.contains(&e.query()) {
+            lane_of.push(e.query());
+        }
+    }
+    for (lane, &query) in lane_of.iter().enumerate() {
+        let tid = 1 + lane;
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"query{query}\"}}}}"
+        );
+        let mut arrival: Option<(f64, u32)> = None;
+        let mut admitted: Option<(f64, u64)> = None;
+        for e in events.iter().filter(|e| e.query() == query) {
+            match *e {
+                RequestEvent::Arrival { t_s, tenant, .. } => arrival = Some((t_s, tenant)),
+                RequestEvent::Admitted {
+                    t_s,
+                    tenant,
+                    wave,
+                    queue_wait_s,
+                    ..
+                } => {
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"queued\",\"cat\":\"request\",\"ph\":\"X\",\
+                         \"ts\":{:?},\"dur\":{:?},\"pid\":{pid},\"tid\":{tid},\
+                         \"args\":{{\"query\":{query},\"tenant\":{tenant}}}}}",
+                        (t_s - queue_wait_s) * 1e6,
+                        queue_wait_s * 1e6,
+                    );
+                    admitted = Some((t_s, wave));
+                }
+                RequestEvent::Completed {
+                    t_s,
+                    tenant,
+                    iterations,
+                    converged,
+                    latency_s,
+                    ..
+                } => {
+                    let (adm_t, wave) = admitted.unwrap_or((t_s - latency_s, 0));
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"active\",\"cat\":\"request\",\"ph\":\"X\",\
+                         \"ts\":{:?},\"dur\":{:?},\"pid\":{pid},\"tid\":{tid},\
+                         \"args\":{{\"query\":{query},\"tenant\":{tenant},\"wave\":{wave},\
+                         \"iterations\":{iterations},\"converged\":{converged}}}}}",
+                        adm_t * 1e6,
+                        (t_s - adm_t) * 1e6,
+                    );
+                }
+                RequestEvent::Shed {
+                    t_s, tenant, kind, ..
+                } => {
+                    if let Some((arr_t, _)) = arrival {
+                        if kind == ShedKind::Deadline {
+                            sep(&mut out, &mut first);
+                            let _ = write!(
+                                out,
+                                "{{\"name\":\"queued\",\"cat\":\"request\",\"ph\":\"X\",\
+                                 \"ts\":{:?},\"dur\":{:?},\"pid\":{pid},\"tid\":{tid},\
+                                 \"args\":{{\"query\":{query},\"tenant\":{tenant}}}}}",
+                                arr_t * 1e6,
+                                (t_s - arr_t) * 1e6,
+                            );
+                        }
+                    }
+                    let name = match kind {
+                        ShedKind::Capacity => "shed.capacity",
+                        ShedKind::Deadline => "shed.deadline",
+                    };
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{name}\",\"cat\":\"request\",\"ph\":\"i\",\"ts\":{:?},\
+                         \"pid\":{pid},\"tid\":{tid},\"s\":\"t\",\
+                         \"args\":{{\"query\":{query},\"tenant\":{tenant}}}}}",
+                        t_s * 1e6,
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    Ok(out)
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WaveRecord;
+    use gpu_sim::config::presets;
+    use gpu_sim::Device;
+
+    fn serve_like_fixture() -> (Device, std::sync::Arc<TraceLedger>, Telemetry) {
+        let mut dev = Device::new(presets::gtx_titan());
+        let ledger = dev.enable_tracing();
+        let tel = Telemetry::new();
+        let wave = tel.next_wave_id();
+        tel.requests.record(RequestEvent::Arrival {
+            t_s: 0.0,
+            query: 11,
+            tenant: 0,
+        });
+        tel.requests.record(RequestEvent::Admitted {
+            t_s: 0.25,
+            query: 11,
+            tenant: 0,
+            wave,
+            queue_wait_s: 0.25,
+        });
+        ledger.set_wave(Some(wave));
+        dev.launch("spmv", 2, 32, &|_b| {});
+        ledger.set_wave(None);
+        tel.requests.record_wave(WaveRecord {
+            wave,
+            t_start_s: 0.25,
+            dur_s: 0.5,
+            width: 1,
+            devices: 1,
+            queries: vec![11],
+        });
+        tel.requests.record(RequestEvent::Completed {
+            t_s: 0.75,
+            query: 11,
+            tenant: 0,
+            iterations: 3,
+            converged: true,
+            latency_s: 0.75,
+        });
+        (dev, ledger, tel)
+    }
+
+    #[test]
+    fn timeline_joins_kernel_spans_to_request_spans() {
+        let (_dev, ledger, tel) = serve_like_fixture();
+        let json = timeline_json(&ledger, &tel).expect("correlation validates");
+        assert_eq!(json, timeline_json(&ledger, &tel).unwrap(), "byte-stable");
+        assert!(json.starts_with("{\"schema\":\"acsr-timeline-v1\""));
+        assert!(json.contains("\"request_events\":3"));
+        assert!(json.contains("\"wave_spans\":1"));
+        // Launch span of `spmv` carries the wave id in its args...
+        assert!(json.contains("\"name\":\"spmv\""));
+        assert!(json.contains("\"wave\":1"));
+        // ...and the serving process has the wave track + query lane.
+        assert!(json.contains("\"name\":\"serving\""));
+        assert!(json.contains("\"name\":\"wave1\""));
+        assert!(json.contains("\"name\":\"query11\""));
+        assert!(json.contains("\"name\":\"queued\""));
+        assert!(json.contains("\"name\":\"active\""));
+    }
+
+    #[test]
+    fn orphan_kernel_wave_is_an_error() {
+        let (dev, ledger, tel) = serve_like_fixture();
+        ledger.set_wave(Some(999));
+        dev.launch("stray", 2, 32, &|_b| {});
+        ledger.set_wave(None);
+        let err = timeline_json(&ledger, &tel).unwrap_err();
+        assert!(err.contains("wave 999"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn unknown_admission_wave_is_an_error() {
+        let tel = Telemetry::new();
+        tel.requests.record(RequestEvent::Admitted {
+            t_s: 0.0,
+            query: 5,
+            tenant: 0,
+            wave: 7,
+            queue_wait_s: 0.0,
+        });
+        let ledger = TraceLedger::new();
+        let err = timeline_json(&ledger, &tel).unwrap_err();
+        assert!(err.contains("unknown wave 7"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn shed_queries_emit_instants() {
+        let tel = Telemetry::new();
+        tel.requests.record(RequestEvent::Arrival {
+            t_s: 0.0,
+            query: 3,
+            tenant: 1,
+        });
+        tel.requests.record(RequestEvent::Shed {
+            t_s: 0.0,
+            query: 3,
+            tenant: 1,
+            kind: ShedKind::Capacity,
+        });
+        tel.requests.record(RequestEvent::Arrival {
+            t_s: 0.1,
+            query: 4,
+            tenant: 1,
+        });
+        tel.requests.record(RequestEvent::Shed {
+            t_s: 0.9,
+            query: 4,
+            tenant: 1,
+            kind: ShedKind::Deadline,
+        });
+        let ledger = TraceLedger::new();
+        let json = timeline_json(&ledger, &tel).expect("no waves needed");
+        assert!(json.contains("\"name\":\"shed.capacity\""));
+        assert!(json.contains("\"name\":\"shed.deadline\""));
+        // The deadline-shed query shows its wasted queue time.
+        assert!(json.contains("\"name\":\"queued\""));
+        assert!(json.contains("\"kernel_spans\":0"));
+    }
+}

@@ -56,6 +56,17 @@ echo "==> streaming-maintenance smoke (repro stream --quick)"
 test -s results/BENCH_stream.json
 ./target/release/repro check-artifacts results/BENCH_stream.json
 
+echo "==> metrics smoke (repro metrics fig5, reconciliation enforced)"
+./target/release/repro metrics fig5 --scale 512 --matrices INT > /dev/null
+test -s results/METRICS_fig5.json
+./target/release/repro check-artifacts results/METRICS_fig5.json
+
+echo "==> timeline smoke (repro timeline serve, wave correlation enforced)"
+./target/release/repro timeline serve --scale 512 --matrices INT > /dev/null
+test -s results/METRICS_serve.json
+test -s results/TIMELINE_serve.json
+./target/release/repro check-artifacts results/METRICS_serve.json results/TIMELINE_serve.json
+
 echo "==> perf-regression gate (bench-diff vs committed baseline)"
 ./target/release/repro bench-diff baselines/PROFILE_fig5_ci.json results/PROFILE_fig5.json
 
