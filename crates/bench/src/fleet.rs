@@ -1,0 +1,556 @@
+//! `repro fleet` — N-device sharded-fleet scaling, per-shard format
+//! selection, and wave work-stealing.
+//!
+//! Three sections, one artifact:
+//!
+//! 1. **Scaling**: a power-law subset of the Table I suite sharded
+//!    across D ∈ {1, 2, 4, 8, 16} simulated devices ([`multi_gpu::Fleet`])
+//!    on the NVLink-class interconnect (the resident-fleet machine the
+//!    subsystem models; PCIe-class links leave small matrices
+//!    exchange-bound at every D). Each row records the modeled wall
+//!    time, the speedup and parallel efficiency against the D = 1
+//!    baseline, and the halo exchange
+//!    (payload bytes, schedule end, tail past compute). Every run
+//!    traces into a [`gpu_sim::trace::TraceLedger`] and the per-edge
+//!    halo transfers are reconciled **integer-exactly** (bytes) and
+//!    **bit-exactly** (durations) against the exchange report — the run
+//!    dies on any mismatch, so a committed artifact is self-consistent
+//!    by construction.
+//! 2. **Formats**: the same fleet at D = 8 with
+//!    [`multi_gpu::ShardFormat::Adaptive`] — binned sharding reshapes
+//!    every shard's row-length distribution, so shards may plan
+//!    different formats; the section records what each shard chose.
+//! 3. **Stealing**: the serving engine's per-wave dispatch choice
+//!    ([`acsr_serve::DispatchPolicy::Auto`]) against always-row-split
+//!    on two traces — sparse arrivals (width-1 waves, where
+//!    query-splitting onto replicated devices wins) and a saturated
+//!    burst (full waves, where the probe-calibrated cost model decides
+//!    per wave). Attainment with Auto must be no worse on both and
+//!    strictly better on the sparse trace; the run dies otherwise.
+//!
+//! Results go to `results/BENCH_fleet.json` (`acsr-fleet-v1` schema),
+//! validated by `repro check-artifacts` and gated by `repro bench-diff`
+//! against `baselines/BENCH_fleet_ci.json`.
+
+use acsr_serve::{DispatchPolicy, Query, ServeConfig, ServeEngine, ServeReport, SloPolicy};
+use gpu_sim::presets;
+use graphgen::{generate_power_law, MatrixSpec, PowerLawConfig};
+use multi_gpu::{Fleet, FleetConfig, FleetReport, ShardFormat};
+
+/// Schema tag of the emitted artifact.
+pub const SCHEMA: &str = "acsr-fleet-v1";
+
+/// Device counts of the scaling sweep (1 is the speedup baseline).
+pub const DEVICE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One (matrix, device-count) scaling measurement.
+pub struct ScalingRow {
+    /// Stable row key (`LJ2_d4`; `bench-diff` keys array rows by this).
+    pub name: String,
+    pub matrix: String,
+    pub devices: usize,
+    pub rows: usize,
+    pub nnz: usize,
+    /// Modeled wall time (compute makespan or exchange end, whichever
+    /// lands later).
+    pub seconds: f64,
+    /// D = 1 wall time over this wall time.
+    pub speedup: f64,
+    /// Speedup over device count.
+    pub efficiency: f64,
+    pub gflops: f64,
+    /// Halo payload this SpMV moved, from the exchange report.
+    pub halo_bytes: u64,
+    /// The same payload re-summed from the trace ledger's `halo_*`
+    /// transfer spans (asserted equal before the row is emitted).
+    pub ledger_halo_bytes: u64,
+    /// Completion of the last halo transfer, milliseconds.
+    pub exchange_ms: f64,
+    /// Milliseconds the exchange extended past compute (0 when hidden).
+    pub exchange_tail_ms: f64,
+    pub replicated_rows: usize,
+}
+
+/// The per-shard format choices at D = 8 under the adaptive selector.
+pub struct FormatsSection {
+    pub matrix: String,
+    pub devices: usize,
+    /// Amortization horizon handed to the selector.
+    pub horizon: u64,
+    /// Format each shard planned ("-" for an empty shard).
+    pub shards: Vec<String>,
+    /// Distinct formats across non-empty shards.
+    pub distinct: usize,
+}
+
+/// One serving trace under one dispatch policy.
+pub struct StealRow {
+    /// `narrow_rowsplit`, `narrow_auto`, `wide_rowsplit`, `wide_auto`.
+    pub name: String,
+    pub queries: usize,
+    pub waves: usize,
+    /// Waves executed query-split (stolen onto replicated devices).
+    pub stolen_waves: usize,
+    /// Fraction of offered queries completing within the p99 target.
+    pub attainment: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub mean_wave_width: f64,
+}
+
+/// Full report of one fleet run.
+pub struct Report {
+    /// Suite scale divisor the scaling matrices were generated at.
+    pub scale: usize,
+    pub scaling: Vec<ScalingRow>,
+    pub formats: FormatsSection,
+    /// The latency target the stealing attainment column is scored
+    /// against (midpoint of the two narrow-trace p99s), milliseconds.
+    pub p99_target_ms: f64,
+    pub stealing: Vec<StealRow>,
+}
+
+/// Run one traced fleet SpMV and reconcile its halo ledger: the
+/// `halo_*` transfer spans must carry exactly the exchange report's
+/// bytes and durations, edge for edge.
+fn traced_fleet_spmv(m: &sparse_formats::CsrMatrix<f64>, cfg: &FleetConfig) -> (FleetReport, u64) {
+    let mut fleet = Fleet::new(m, &presets::tesla_k10_single(), cfg);
+    let ledger = fleet.enable_tracing();
+    let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    let mut y = vec![0.0f64; m.rows()];
+    let rep = fleet.spmv(&x, &mut y);
+    ledger
+        .reconcile()
+        .unwrap_or_else(|e| panic!("fleet trace ledger failed reconciliation: {e}"));
+    // Per-edge reconciliation, bytes integer-exact and durations
+    // bit-exact: the ledger's halo transfer spans against the schedule.
+    let mut from_ledger: Vec<(String, u64, u64)> = ledger
+        .spans()
+        .iter()
+        .filter(|s| s.name.starts_with("halo_"))
+        .map(|s| (s.name.clone(), s.counters.htod_bytes, s.dur_s.to_bits()))
+        .collect();
+    let mut from_report: Vec<(String, u64, u64)> = rep
+        .exchange
+        .transfers
+        .iter()
+        .map(|t| {
+            (
+                format!("halo_{}to{}", t.src, t.dst),
+                t.bytes,
+                t.dur_s().to_bits(),
+            )
+        })
+        .collect();
+    from_ledger.sort();
+    from_report.sort();
+    assert_eq!(
+        from_ledger, from_report,
+        "halo transfer spans drifted from the exchange schedule"
+    );
+    let ledger_halo_bytes: u64 = from_ledger.iter().map(|(_, b, _)| b).sum();
+    assert_eq!(
+        ledger_halo_bytes,
+        rep.halo_bytes(),
+        "ledger halo bytes must equal the exchange report's"
+    );
+    (rep, ledger_halo_bytes)
+}
+
+fn scaling_rows(specs: &[&'static MatrixSpec], scale: usize, seed: u64) -> Vec<ScalingRow> {
+    let mut out = Vec::new();
+    for spec in specs {
+        let m = spec.generate::<f64>(scale, seed).csr;
+        let flops = 2 * m.nnz() as u64;
+        let mut base_seconds = 0.0f64;
+        for d in DEVICE_COUNTS {
+            let (rep, ledger_halo_bytes) = traced_fleet_spmv(&m, &FleetConfig::nvlink(d));
+            let seconds = rep.seconds();
+            if d == 1 {
+                base_seconds = seconds;
+            }
+            let speedup = base_seconds / seconds;
+            out.push(ScalingRow {
+                name: format!("{}_d{d}", spec.abbrev),
+                matrix: spec.abbrev.to_string(),
+                devices: d,
+                rows: m.rows(),
+                nnz: m.nnz(),
+                seconds,
+                speedup,
+                efficiency: speedup / d as f64,
+                gflops: rep.gflops(flops),
+                halo_bytes: rep.halo_bytes(),
+                ledger_halo_bytes,
+                exchange_ms: rep.exchange.end_s() * 1e3,
+                exchange_tail_ms: rep.exchange_tail_s() * 1e3,
+                replicated_rows: rep.replicated_rows,
+            });
+        }
+    }
+    out
+}
+
+fn formats_section(spec: &'static MatrixSpec, scale: usize, seed: u64) -> FormatsSection {
+    const DEVICES: usize = 8;
+    const HORIZON: u64 = 1000;
+    let m = spec.generate::<f64>(scale, seed).csr;
+    let mut cfg = FleetConfig::new(DEVICES);
+    cfg.format = ShardFormat::Adaptive { horizon: HORIZON };
+    let fleet = Fleet::new(&m, &presets::tesla_k10_single(), &cfg);
+    let shards: Vec<String> = fleet.formats().to_vec();
+    let mut distinct: Vec<&String> = shards.iter().filter(|f| *f != "-").collect();
+    distinct.sort();
+    distinct.dedup();
+    FormatsSection {
+        matrix: spec.abbrev.to_string(),
+        devices: DEVICES,
+        horizon: HORIZON,
+        distinct: distinct.len(),
+        shards,
+    }
+}
+
+fn steal_row(name: &str, report: &ServeReport<f64>, target_s: f64) -> StealRow {
+    let lat = report.latency_stats();
+    StealRow {
+        name: name.to_string(),
+        queries: report.offered,
+        waves: report.waves,
+        stolen_waves: report.stolen_waves(),
+        attainment: report.attainment(target_s),
+        p50_ms: lat.p50_s * 1e3,
+        p99_ms: lat.p99_s * 1e3,
+        mean_wave_width: report.mean_wave_width(),
+    }
+}
+
+/// RowSplit vs Auto on a sparse (width-1 waves) and a saturated
+/// (full-width waves) trace; asserts Auto is never worse and strictly
+/// faster on the sparse trace.
+fn stealing_section(quick: bool) -> (f64, Vec<StealRow>) {
+    let rows = if quick { 400 } else { 800 };
+    let g = generate_power_law::<f64>(&PowerLawConfig {
+        rows,
+        cols: rows,
+        mean_degree: 6.0,
+        max_degree: 120,
+        pinned_max_rows: 1,
+        col_skew: 0.4,
+        seed: 213,
+        ..Default::default()
+    });
+    let config = ServeConfig {
+        max_batch: 8,
+        queue_capacity: 64,
+        n_devices: 4,
+        ..ServeConfig::default()
+    };
+    // Sparse: arrivals a full second apart against a microsecond-scale
+    // service time — every wave is width 1, the exact shape where
+    // row-splitting underfeeds all four devices and pays the sync.
+    let narrow: Vec<Query> = (0..8)
+        .map(|id| Query {
+            id,
+            seed: (id as usize * 31) % rows,
+            restart_c: 0.85,
+            arrival_s: id as f64,
+            tenant: 0,
+        })
+        .collect();
+    // Saturated: one burst fills every wave to the cap, where
+    // row-splitting is the right call and Auto must not steal.
+    let wide: Vec<Query> = (0..32)
+        .map(|id| Query {
+            id,
+            seed: (id as usize * 13 + 5) % rows,
+            restart_c: 0.85,
+            arrival_s: 0.0,
+            tenant: 0,
+        })
+        .collect();
+    let run = |queries: &[Query], dispatch| {
+        let engine = ServeEngine::<f64>::new(&g, config.clone());
+        engine.serve_slo(
+            queries,
+            &SloPolicy::open_loop(f64::INFINITY, 8, 64).with_dispatch(dispatch),
+        )
+    };
+    let narrow_rs = run(&narrow, DispatchPolicy::RowSplit);
+    let narrow_auto = run(&narrow, DispatchPolicy::Auto);
+    let wide_rs = run(&wide, DispatchPolicy::RowSplit);
+    let wide_auto = run(&wide, DispatchPolicy::Auto);
+
+    // Score attainment against the midpoint of the two narrow p99s: a
+    // target the stolen trace meets and the row-split trace misses.
+    let p99 = |r: &ServeReport<f64>| r.latency_stats().p99_s;
+    let target_s = 0.5 * (p99(&narrow_rs) + p99(&narrow_auto));
+    assert!(
+        p99(&narrow_auto) < p99(&narrow_rs),
+        "stealing must cut the narrow trace's p99: auto {} vs row-split {}",
+        p99(&narrow_auto),
+        p99(&narrow_rs)
+    );
+    assert_eq!(
+        narrow_auto.stolen_waves(),
+        narrow_auto.waves,
+        "every narrow wave must steal"
+    );
+    assert!(
+        narrow_auto.attainment(target_s) > narrow_rs.attainment(target_s),
+        "stealing must strictly improve narrow-trace attainment"
+    );
+    assert!(
+        wide_auto.attainment(target_s) >= wide_rs.attainment(target_s),
+        "Auto must never lose attainment on the saturated trace"
+    );
+    let rows = vec![
+        steal_row("narrow_rowsplit", &narrow_rs, target_s),
+        steal_row("narrow_auto", &narrow_auto, target_s),
+        steal_row("wide_rowsplit", &wide_rs, target_s),
+        steal_row("wide_auto", &wide_auto, target_s),
+    ];
+    (target_s * 1e3, rows)
+}
+
+/// Run the full fleet bench. `quick` shrinks the matrix subset and
+/// scale for CI smoke runs — same schema, same reconciliation, still
+/// fully deterministic.
+pub fn run(quick: bool) -> Report {
+    let (abbrevs, scale): (&[&str], usize) = if quick {
+        (&["ENR", "LJ2"], 512)
+    } else {
+        (&["ENR", "CNR", "EU2", "LJ2"], 64)
+    };
+    let seed = 1u64;
+    let specs: Vec<&'static MatrixSpec> = abbrevs
+        .iter()
+        .map(|a| MatrixSpec::by_abbrev(a).expect("known abbreviation"))
+        .collect();
+    let scaling = scaling_rows(&specs, scale, seed);
+    let formats = formats_section(specs[specs.len() - 1], scale, seed);
+    let (p99_target_ms, stealing) = stealing_section(quick);
+    Report {
+        scale,
+        scaling,
+        formats,
+        p99_target_ms,
+        stealing,
+    }
+}
+
+fn scaling_json(rows: &[ScalingRow]) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"matrix\": \"{}\", \"devices\": {}, \"rows\": {}, \
+             \"nnz\": {}, \"seconds\": {:.9}, \"speedup\": {:.4}, \"efficiency\": {:.4}, \
+             \"gflops\": {:.4}, \"halo_bytes\": {}, \"ledger_halo_bytes\": {}, \
+             \"exchange_ms\": {:.6}, \"exchange_tail_ms\": {:.6}, \"replicated_rows\": {}}}",
+            r.name,
+            r.matrix,
+            r.devices,
+            r.rows,
+            r.nnz,
+            r.seconds,
+            r.speedup,
+            r.efficiency,
+            r.gflops,
+            r.halo_bytes,
+            r.ledger_halo_bytes,
+            r.exchange_ms,
+            r.exchange_tail_ms,
+            r.replicated_rows,
+        ));
+    }
+    out
+}
+
+fn stealing_json(rows: &[StealRow]) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queries\": {}, \"waves\": {}, \"stolen_waves\": {}, \
+             \"attainment\": {:.4}, \"p50_ms\": {:.6}, \"p99_ms\": {:.6}, \
+             \"mean_wave_width\": {:.3}}}",
+            r.name,
+            r.queries,
+            r.waves,
+            r.stolen_waves,
+            r.attainment,
+            r.p50_ms,
+            r.p99_ms,
+            r.mean_wave_width,
+        ));
+    }
+    out
+}
+
+/// Serialize under the `acsr-fleet-v1` schema.
+pub fn to_json(report: &Report) -> String {
+    let shards = report
+        .formats
+        .shards
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let counts = DEVICE_COUNTS
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"bench\": \"fleet_scaling\",\n  \
+         \"scale\": {},\n  \"link\": \"nvlink\",\n  \"device_counts\": [{counts}],\n  \
+         \"scaling\": [\n{}\n  ],\n  \
+         \"formats\": {{\"matrix\": \"{}\", \"devices\": {}, \"horizon\": {}, \
+         \"distinct\": {}, \"shards\": [{shards}]}},\n  \
+         \"p99_target_ms\": {:.6},\n  \"stealing\": [\n{}\n  ]\n}}\n",
+        report.scale,
+        scaling_json(&report.scaling),
+        report.formats.matrix,
+        report.formats.devices,
+        report.formats.horizon,
+        report.formats.distinct,
+        report.p99_target_ms,
+        stealing_json(&report.stealing),
+    )
+}
+
+/// Write the artifact to `results/BENCH_fleet.json` (resolved from the
+/// workspace root or a crate dir) and return the path written.
+pub fn write(report: &Report) -> std::io::Result<String> {
+    let dir = if std::path::Path::new("results").is_dir() {
+        std::path::PathBuf::from("results")
+    } else {
+        std::path::PathBuf::from("../../results")
+    };
+    let path = dir.join("BENCH_fleet.json");
+    std::fs::write(&path, to_json(report))?;
+    Ok(path.display().to_string())
+}
+
+/// Human-readable tables.
+pub fn render(report: &Report) -> String {
+    let mut scaling = crate::Table::new(&[
+        "matrix", "D", "wall", "speedup", "eff", "GFLOP/s", "halo KiB", "exch ms", "tail ms",
+        "repl",
+    ]);
+    for r in &report.scaling {
+        scaling.row(vec![
+            r.matrix.clone(),
+            r.devices.to_string(),
+            crate::common::fmt_secs(r.seconds),
+            format!("{:.2}x", r.speedup),
+            format!("{:.2}", r.efficiency),
+            format!("{:.2}", r.gflops),
+            format!("{:.1}", r.halo_bytes as f64 / 1024.0),
+            format!("{:.4}", r.exchange_ms),
+            format!("{:.4}", r.exchange_tail_ms),
+            r.replicated_rows.to_string(),
+        ]);
+    }
+    let mut stealing = crate::Table::new(&[
+        "trace", "queries", "waves", "stolen", "att", "p50 ms", "p99 ms", "width",
+    ]);
+    for r in &report.stealing {
+        stealing.row(vec![
+            r.name.clone(),
+            r.queries.to_string(),
+            r.waves.to_string(),
+            r.stolen_waves.to_string(),
+            format!("{:.3}", r.attainment),
+            format!("{:.4}", r.p50_ms),
+            format!("{:.4}", r.p99_ms),
+            format!("{:.1}", r.mean_wave_width),
+        ]);
+    }
+    format!(
+        "Fleet scaling (scale {}, NVLink-class links, halo ledger reconciled)\n{}\n\
+         per-shard formats ({} at D = {}, horizon {}): {:?} ({} distinct)\n\n\
+         wave dispatch: row-split vs auto stealing (p99 target {:.4} ms)\n{}",
+        report.scale,
+        scaling.render(),
+        report.formats.matrix,
+        report.formats.devices,
+        report.formats.horizon,
+        report.formats.shards,
+        report.formats.distinct,
+        report.p99_target_ms,
+        stealing.render(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The quick run is what CI smokes and gates; pin its acceptance
+    /// shape here so a drive-by change can't silently produce a
+    /// degenerate artifact. (The section-level invariants — ledger
+    /// reconciliation, stealing superiority — are asserted inside
+    /// `run` itself and die on violation.)
+    #[test]
+    fn quick_run_produces_scaling_and_stealing_sections() {
+        let report = run(true);
+        assert_eq!(report.scaling.len(), 2 * DEVICE_COUNTS.len());
+        for r in &report.scaling {
+            assert!(r.seconds > 0.0, "{}: degenerate wall time", r.name);
+            assert_eq!(
+                r.halo_bytes, r.ledger_halo_bytes,
+                "{}: ledger drifted",
+                r.name
+            );
+            if r.devices == 1 {
+                assert_eq!(r.halo_bytes, 0, "{}: single device has no halo", r.name);
+                assert!((r.speedup - 1.0).abs() < 1e-12);
+            } else {
+                assert!(r.halo_bytes > 0, "{}: sharding must exchange", r.name);
+            }
+            for v in [r.seconds, r.speedup, r.efficiency, r.gflops, r.exchange_ms] {
+                assert!(v.is_finite(), "{}: non-finite metric {v}", r.name);
+            }
+        }
+        // The largest matrix must actually scale at D = 2: its compute
+        // dominates the microsecond-class halo exchange.
+        let lj2_d2 = report.scaling.iter().find(|r| r.name == "LJ2_d2").unwrap();
+        assert!(
+            lj2_d2.speedup > 1.0,
+            "LJ2 at D=2 must beat one device, got {:.3}x",
+            lj2_d2.speedup
+        );
+        // Format section covers all 8 shards.
+        assert_eq!(report.formats.shards.len(), 8);
+        assert!(report.formats.distinct >= 1);
+        // Stealing: the narrow auto trace steals every wave and wins.
+        let get = |n: &str| report.stealing.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(get("narrow_auto").stolen_waves, get("narrow_auto").waves);
+        assert_eq!(get("narrow_rowsplit").stolen_waves, 0);
+        assert!(get("narrow_auto").attainment > get("narrow_rowsplit").attainment);
+        assert!(get("wide_auto").attainment >= get("wide_rowsplit").attainment);
+        assert!(
+            get("wide_auto").p99_ms <= get("wide_rowsplit").p99_ms,
+            "Auto's per-wave choice must not regress the saturated p99"
+        );
+
+        // JSON round-trips under the shim parser.
+        let json = to_json(&report);
+        let v: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let serde::Value::Object(entries) = &v else {
+            panic!("not an object")
+        };
+        let get = |k: &str| entries.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        assert!(matches!(get("schema"), Some(serde::Value::Str(s)) if s == SCHEMA));
+        assert!(matches!(get("scaling"), Some(serde::Value::Array(a))
+            if a.len() == report.scaling.len()));
+        assert!(matches!(get("stealing"), Some(serde::Value::Array(a)) if a.len() == 4));
+        assert!(matches!(get("formats"), Some(serde::Value::Object(_))));
+    }
+}

@@ -10,6 +10,7 @@
 pub mod common;
 pub mod diff;
 pub mod experiments;
+pub mod fleet;
 pub mod metrics;
 pub mod profile;
 pub mod simbench;

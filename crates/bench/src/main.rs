@@ -22,6 +22,11 @@
 //!                                 qps vs p99-target attainment, plus
 //!                                 diurnal/bursty/hot-key/tenant-mix
 //!                                 traces); writes results/BENCH_slo.json
+//!   fleet [--quick]               N-device sharded-fleet scaling (halo
+//!                                 exchange reconciled against the trace
+//!                                 ledger), per-shard format selection,
+//!                                 and row-split vs query-split wave
+//!                                 stealing; writes results/BENCH_fleet.json
 //!   stream [--quick]              streaming ACSR maintenance: in-place
 //!                                 edge-update throughput vs full rebuild,
 //!                                 per-batch bit-identity, serving p99
@@ -94,6 +99,18 @@ fn main() {
         println!("{}", repro_bench::slo::render(&report));
         let path = repro_bench::slo::write(&report)
             .unwrap_or_else(|e| die(&format!("write BENCH_slo.json: {e}")));
+        eprintln!("wrote {path}");
+        return;
+    }
+    if experiment == "fleet" {
+        let quick = args[1..].iter().any(|a| a == "--quick");
+        if let Some(bad) = args[1..].iter().find(|a| *a != "--quick") {
+            die(&format!("fleet: unknown option '{bad}'"));
+        }
+        let report = repro_bench::fleet::run(quick);
+        println!("{}", repro_bench::fleet::render(&report));
+        let path = repro_bench::fleet::write(&report)
+            .unwrap_or_else(|e| die(&format!("write BENCH_fleet.json: {e}")));
         eprintln!("wrote {path}");
         return;
     }
@@ -387,6 +404,68 @@ fn check_artifact(path: &str) {
                     _ => die(&format!("{path}: slo report has no {section} rows")),
                 }
             }
+        } else if schema == "acsr-fleet-v1" {
+            kind = "fleet report";
+            for key in ["scale", "device_counts", "formats", "p99_target_ms"] {
+                if field(&value, key).is_none() {
+                    die(&format!("{path}: fleet report missing '{key}'"));
+                }
+            }
+            let as_u64 = |v: &serde::Value| -> Option<u64> {
+                match v {
+                    serde::Value::I64(n) if *n >= 0 => Some(*n as u64),
+                    serde::Value::U64(n) => Some(*n),
+                    _ => None,
+                }
+            };
+            match field(&value, "scaling") {
+                Some(serde::Value::Array(rows)) if !rows.is_empty() => {
+                    for row in &rows {
+                        for key in [
+                            "name",
+                            "devices",
+                            "seconds",
+                            "speedup",
+                            "efficiency",
+                            "halo_bytes",
+                            "ledger_halo_bytes",
+                            "exchange_ms",
+                            "replicated_rows",
+                        ] {
+                            if field(row, key).is_none() {
+                                die(&format!("{path}: fleet scaling row missing '{key}'"));
+                            }
+                        }
+                        // The ledger reconciliation is part of the
+                        // artifact contract: integer-exact, per row.
+                        let halo = field(row, "halo_bytes").and_then(|v| as_u64(&v));
+                        let ledger = field(row, "ledger_halo_bytes").and_then(|v| as_u64(&v));
+                        if halo.is_none() || halo != ledger {
+                            die(&format!(
+                                "{path}: fleet scaling row has halo_bytes {halo:?} but \
+                                 ledger_halo_bytes {ledger:?} (must be integer-equal)"
+                            ));
+                        }
+                    }
+                }
+                _ => die(&format!("{path}: fleet report has no scaling rows")),
+            }
+            match field(&value, "formats").and_then(|f| field(&f, "shards")) {
+                Some(serde::Value::Array(shards)) if !shards.is_empty() => {}
+                _ => die(&format!("{path}: fleet formats section has no shards")),
+            }
+            match field(&value, "stealing") {
+                Some(serde::Value::Array(rows)) if !rows.is_empty() => {
+                    for row in &rows {
+                        for key in ["name", "waves", "stolen_waves", "attainment", "p99_ms"] {
+                            if field(row, key).is_none() {
+                                die(&format!("{path}: fleet stealing row missing '{key}'"));
+                            }
+                        }
+                    }
+                }
+                _ => die(&format!("{path}: fleet report has no stealing rows")),
+            }
         } else if schema == "acsr-stream-v1" {
             kind = "stream report";
             for key in [
@@ -591,6 +670,7 @@ fn print_usage() {
          \x20      repro timeline <experiment> [same options]\n\
          \x20      repro simbench [--quick]\n\
          \x20      repro slo [--quick]\n\
+         \x20      repro fleet [--quick]\n\
          \x20      repro stream [--quick]\n\
          \x20      repro bench-diff <baseline.json> <new.json> [--tolerance F]\n\
          \x20      repro check-artifacts <file>...\n\

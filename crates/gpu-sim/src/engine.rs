@@ -789,6 +789,17 @@ impl Device {
         self.transfer_report(name, self.dtoh_seconds(bytes), bytes, 1)
     }
 
+    /// Charge an inbound peer-to-peer copy whose duration was modeled
+    /// externally (interconnect links are scheduled by the multi-device
+    /// exchange planner, not by this device's host-PCIe model). The
+    /// bytes land on this device, so they count as `htod_bytes`, occupy
+    /// the copy-engine component, and record a transfer span when
+    /// tracing — exactly like [`Self::record_htod`] with a caller-set
+    /// time.
+    pub fn record_peer_recv(&self, name: &str, bytes: u64, seconds: f64) -> RunReport {
+        self.transfer_report(name, seconds, bytes, 0)
+    }
+
     fn transfer_report(&self, name: &str, time_s: f64, bytes: u64, dtoh: u32) -> RunReport {
         let counters = if dtoh != 0 {
             Counters {

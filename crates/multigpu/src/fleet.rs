@@ -1,0 +1,538 @@
+//! The N-device sharded fleet executor.
+//!
+//! Where [`crate::MultiGpuAcsr`] mirrors the paper's §VIII setup — every
+//! device holds a full copy of `x` — a [`Fleet`] models the resident
+//! configuration a larger machine actually runs: each device holds only
+//! its shard (owned rows plus replicated hot rows), and between
+//! iterations the shards exchange exactly the remote `x` entries their
+//! peers computed. The exchange is explicit and event-scheduled
+//! ([`crate::halo`]): each `(owner → shard)` halo edge becomes one
+//! interconnect transfer, ready the instant its producer's compute
+//! finishes, FIFO per egress/ingress engine — so transfers from
+//! early-finishing devices hide under the slowest device's compute.
+//!
+//! Each shard plans its own format: binned sharding reshapes every
+//! shard's row-length distribution, so a dense shard may plan ELL/HYB
+//! while a skewed shard keeps ACSR ([`ShardFormat::Adaptive`]).
+//!
+//! Values stay bit-identical to the single-device reference: a row is
+//! computed from the full-precision `x` with its in-row accumulation
+//! order unchanged by sharding, and only the *owner's* computation
+//! writes the global result (replicas feed local reuse only).
+
+use crate::halo::{ns, schedule_exchange, EdgeSpec, ExchangeReport, LinkModel};
+use crate::partition::{partition_fleet, FleetPartition, ReplicationPolicy};
+use crate::record_device_gauges;
+use acsr::AcsrConfig;
+use acsr_telemetry::MetricsRegistry;
+use gpu_sim::trace::TraceLedger;
+use gpu_sim::{Device, DeviceConfig, RunReport};
+use sparse_formats::{CsrMatrix, Scalar};
+use spmv_kernels::GpuSpmv;
+use spmv_pipeline::{
+    AcsrPlanner, AdaptiveSelector, FormatRegistry, PlanBudget, SpmvPlan, SpmvPlanner,
+};
+use std::sync::Arc;
+
+/// How each shard's executable format is chosen.
+#[derive(Clone, Debug)]
+pub enum ShardFormat {
+    /// Every shard runs ACSR with this configuration (the §VIII
+    /// static long-tail setup scaled out).
+    Acsr(AcsrConfig),
+    /// Every shard runs one fixed registry format ("HYB", "ELL", ...).
+    Fixed(&'static str),
+    /// Run the [`AdaptiveSelector`] per shard with this amortization
+    /// horizon: shards pick the format their own row-length
+    /// distribution favors.
+    Adaptive {
+        /// Expected SpMV applications the plan amortizes over.
+        horizon: u64,
+    },
+}
+
+/// Fleet construction knobs.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Simulated devices.
+    pub n_devices: usize,
+    /// Interconnect class the halo exchange rides.
+    pub link: LinkModel,
+    /// Hot-row replication policy.
+    pub replication: ReplicationPolicy,
+    /// Per-shard format choice.
+    pub format: ShardFormat,
+}
+
+impl FleetConfig {
+    /// ACSR on every shard, PCIe-class links, default replication.
+    pub fn new(n_devices: usize) -> FleetConfig {
+        FleetConfig {
+            n_devices,
+            link: LinkModel::pcie(),
+            replication: ReplicationPolicy::default(),
+            format: ShardFormat::Acsr(AcsrConfig::static_long_tail()),
+        }
+    }
+
+    /// Same, with the NVLink-class interconnect.
+    pub fn nvlink(n_devices: usize) -> FleetConfig {
+        FleetConfig {
+            link: LinkModel::nvlink(),
+            ..FleetConfig::new(n_devices)
+        }
+    }
+}
+
+/// One fleet SpMV's timing: per-device accounting, the compute phase,
+/// and the scheduled exchange.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Per-device kernel + halo-ingress accounting (busy time).
+    pub per_device: Vec<RunReport>,
+    /// Per-device compute seconds (before any exchange transfer).
+    pub compute: Vec<f64>,
+    /// The scheduled halo exchange.
+    pub exchange: ExchangeReport,
+    /// Format each shard executed ("-" for an empty shard).
+    pub formats: Vec<String>,
+    /// Hot rows computed redundantly somewhere in the fleet.
+    pub replicated_rows: usize,
+}
+
+impl FleetReport {
+    /// Compute-phase makespan: the slowest device's kernel time.
+    pub fn compute_s(&self) -> f64 {
+        self.compute.iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Modeled wall time: the compute makespan or the last exchange
+    /// transfer's completion, whichever lands later. Transfers that
+    /// finished while a slower device still computed cost nothing.
+    pub fn seconds(&self) -> f64 {
+        self.compute_s().max(self.exchange.end_s())
+    }
+
+    /// Seconds the exchange extends past compute (0.0 when it hid).
+    pub fn exchange_tail_s(&self) -> f64 {
+        self.exchange.tail_s(self.compute_s())
+    }
+
+    /// Total halo payload bytes this SpMV moved.
+    pub fn halo_bytes(&self) -> u64 {
+        self.exchange.total_bytes()
+    }
+
+    /// GFLOP/s for `flops` useful operations.
+    pub fn gflops(&self, flops: u64) -> f64 {
+        flops as f64 / self.seconds() / 1e9
+    }
+}
+
+/// An N-device sharded SpMV executor with event-scheduled halo
+/// exchange (see the module docs).
+pub struct Fleet<T: Scalar> {
+    devices: Vec<Device>,
+    /// `None` for empty shards (more devices than rows can feed).
+    plans: Vec<Option<SpmvPlan<T>>>,
+    partition: FleetPartition,
+    /// `compute_rows[d][local] = global` for every computed row.
+    compute_rows: Vec<Vec<u32>>,
+    formats: Vec<String>,
+    link: LinkModel,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+}
+
+impl<T: Scalar> Fleet<T> {
+    /// Shard `m` across `cfg.n_devices` copies of `device_cfg` and plan
+    /// every shard per `cfg.format`.
+    pub fn new(m: &CsrMatrix<T>, device_cfg: &DeviceConfig, cfg: &FleetConfig) -> Fleet<T> {
+        assert!(cfg.n_devices >= 1, "need at least one device");
+        let partition = partition_fleet(m, cfg.n_devices, &cfg.replication);
+        let mut devices = Vec::with_capacity(cfg.n_devices);
+        let mut plans = Vec::with_capacity(cfg.n_devices);
+        let mut compute_rows = Vec::with_capacity(cfg.n_devices);
+        let mut formats = Vec::with_capacity(cfg.n_devices);
+        for shard in &partition.shards {
+            let mut dc = device_cfg.clone();
+            if cfg.n_devices > 1 {
+                dc.name = format!("{} #{}", dc.name, shard.device);
+            }
+            let dev = Device::new(dc);
+            let rows = shard.compute_rows();
+            if rows.is_empty() {
+                plans.push(None);
+                formats.push("-".to_string());
+            } else {
+                let sub = crate::extract_rows(m, &rows);
+                let budget = PlanBudget::for_device(dev.config());
+                let (plan, format) = match &cfg.format {
+                    ShardFormat::Acsr(acsr_cfg) => {
+                        let planner = AcsrPlanner::with_config(*acsr_cfg);
+                        let plan = planner
+                            .plan(&dev, &sub, &budget)
+                            .expect("shard ACSR plan must fit the device");
+                        (plan, "ACSR".to_string())
+                    }
+                    ShardFormat::Fixed(name) => {
+                        let reg = FormatRegistry::<T>::with_all();
+                        let plan = reg
+                            .plan(name, &dev, &sub, &budget)
+                            .expect("shard plan must fit the device");
+                        (plan, name.to_string())
+                    }
+                    ShardFormat::Adaptive { horizon } => {
+                        let mut reg = FormatRegistry::<T>::with_all();
+                        reg.register(Box::new(AcsrPlanner::with_config(
+                            AcsrConfig::static_long_tail(),
+                        )));
+                        let budget = budget.with_iterations(*horizon);
+                        let sel = AdaptiveSelector.select(&reg, &dev, &sub, &budget);
+                        let winner = sel.winner.clone();
+                        (sel.plan, winner)
+                    }
+                };
+                plans.push(Some(plan));
+                formats.push(format);
+            }
+            compute_rows.push(rows);
+            devices.push(dev);
+        }
+        Fleet {
+            devices,
+            plans,
+            partition,
+            compute_rows,
+            formats,
+            link: cfg.link,
+            rows: m.rows(),
+            cols: m.cols(),
+            nnz: m.nnz(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Global rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Global columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-zeros (owned, without replication redundancy).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The sharding (owned rows, replicas, halo edges).
+    pub fn partition(&self) -> &FleetPartition {
+        &self.partition
+    }
+
+    /// Format each shard executes ("-" for an empty shard).
+    pub fn formats(&self) -> &[String] {
+        &self.formats
+    }
+
+    /// Per-device computed nnz (owned + replicas; load diagnostics).
+    pub fn device_nnz(&self) -> Vec<usize> {
+        self.partition.shards.iter().map(|s| s.nnz).collect()
+    }
+
+    /// Device `d`.
+    pub fn device(&self, d: usize) -> &Device {
+        &self.devices[d]
+    }
+
+    /// Attach one shared trace ledger to every device and return it:
+    /// subsequent [`Self::spmv`] calls record per-device kernel spans
+    /// *and* per-edge halo transfer spans (on the receiving device's
+    /// lane), so the chrome-trace export shows the exchange.
+    pub fn enable_tracing(&mut self) -> Arc<TraceLedger> {
+        let ledger = Arc::new(TraceLedger::new());
+        for dev in &mut self.devices {
+            dev.attach_ledger(ledger.clone());
+        }
+        ledger
+    }
+
+    /// Run `y = A * x` across the fleet; `y` must have `rows` slots.
+    ///
+    /// Phase 1 (compute): every shard runs its plan over the full-value
+    /// `x`; the owner's result is written to `y` bit-identically to the
+    /// single-device plan. Phase 2 (exchange): each halo edge ships the
+    /// next iterate's remote entries, ready at its producer's finish,
+    /// scheduled on the interconnect ([`crate::halo`]).
+    pub fn spmv(&self, x: &[T], y: &mut [T]) -> FleetReport {
+        assert_eq!(x.len(), self.cols, "x length mismatch");
+        assert_eq!(y.len(), self.rows, "y length mismatch");
+        let n = self.devices.len();
+        let mut per_device = vec![RunReport::default(); n];
+        let mut compute = vec![0.0f64; n];
+        for d in 0..n {
+            let Some(plan) = &self.plans[d] else { continue };
+            let dev = &self.devices[d];
+            let xd = dev.alloc(x.to_vec());
+            let yd = dev.alloc_zeroed::<T>(plan.rows());
+            let rep = plan.spmv(dev, &xd, &yd);
+            let shard = &self.partition.shards[d];
+            let local = yd.as_slice();
+            for (l, &g) in self.compute_rows[d].iter().enumerate() {
+                if self.partition.owner[g as usize] as usize == d {
+                    y[g as usize] = local[l];
+                }
+            }
+            debug_assert_eq!(shard.device, d);
+            compute[d] = rep.time_s;
+            per_device[d] = rep;
+        }
+
+        // Halo edges: owner → shard, ready at the owner's finish.
+        let elt = std::mem::size_of::<T>() as u64;
+        let mut edges = Vec::new();
+        for shard in &self.partition.shards {
+            for (src, rows) in &shard.halo_in {
+                edges.push(EdgeSpec {
+                    src: *src,
+                    dst: shard.device,
+                    entries: rows.len(),
+                    bytes: rows.len() as u64 * elt,
+                    ready_ns: ns(compute[*src]),
+                });
+            }
+        }
+        let exchange = schedule_exchange(n, &edges, &self.link);
+        for t in &exchange.transfers {
+            let rep = self.devices[t.dst].record_peer_recv(
+                &format!("halo_{}to{}", t.src, t.dst),
+                t.bytes,
+                t.dur_s(),
+            );
+            per_device[t.dst] = per_device[t.dst].clone().then(&rep);
+        }
+        FleetReport {
+            per_device,
+            compute,
+            exchange,
+            formats: self.formats.clone(),
+            replicated_rows: self.partition.hot_rows.len(),
+        }
+    }
+}
+
+/// Fold one fleet SpMV into `metrics` under `prefix`: the shared
+/// per-device busy/idle/utilization gauges
+/// ([`record_device_gauges`]), per-device halo traffic counters
+/// (`<prefix>.<d>.halo_send_bytes` / `halo_recv_bytes`), and the
+/// exchange phase gauges (`<prefix>.exchange_s`,
+/// `<prefix>.exchange_tail_s`, `<prefix>.replicated_rows`).
+pub fn record_fleet_metrics(metrics: &MetricsRegistry, prefix: &str, report: &FleetReport) {
+    record_device_gauges(metrics, prefix, &report.per_device, report.seconds());
+    for d in 0..report.per_device.len() {
+        metrics.add(
+            &format!("{prefix}.{d}.halo_send_bytes"),
+            report.exchange.send_bytes[d],
+        );
+        metrics.add(
+            &format!("{prefix}.{d}.halo_recv_bytes"),
+            report.exchange.recv_bytes[d],
+        );
+    }
+    metrics.set_gauge(&format!("{prefix}.exchange_s"), report.exchange.end_s());
+    metrics.set_gauge(
+        &format!("{prefix}.exchange_tail_s"),
+        report.exchange_tail_s(),
+    );
+    metrics.set_gauge(
+        &format!("{prefix}.replicated_rows"),
+        report.replicated_rows as f64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::presets;
+    use graphgen::{generate_power_law, PowerLawConfig};
+
+    fn matrix(rows: usize, seed: u64) -> CsrMatrix<f64> {
+        generate_power_law(&PowerLawConfig {
+            rows,
+            cols: rows,
+            mean_degree: 10.0,
+            max_degree: 1200,
+            pinned_max_rows: 2,
+            col_skew: 0.4,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn fleet_matches_reference_at_many_widths() {
+        let m = matrix(4000, 301);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+        let want = m.spmv(&x);
+        for n in [1usize, 2, 3, 5, 8] {
+            let fleet = Fleet::new(&m, &presets::tesla_k10_single(), &FleetConfig::new(n));
+            let mut y = vec![0.0; m.rows()];
+            let rep = fleet.spmv(&x, &mut y);
+            let d = sparse_formats::scalar::rel_l2_distance(&y, &want);
+            assert!(d < 1e-12, "{n} devices: rel distance {d}");
+            assert_eq!(rep.per_device.len(), n);
+            assert!(rep.seconds() > 0.0);
+            if n == 1 {
+                assert!(rep.exchange.transfers.is_empty(), "no self-halo");
+                assert_eq!(rep.halo_bytes(), 0);
+            } else {
+                assert!(rep.halo_bytes() > 0, "{n} devices must exchange");
+            }
+        }
+    }
+
+    #[test]
+    fn halo_bytes_match_partition_bookkeeping() {
+        let m = matrix(3000, 302);
+        let cfg = FleetConfig::new(4);
+        let fleet = Fleet::new(&m, &presets::tesla_k10_single(), &cfg);
+        let x = vec![1.0f64; m.cols()];
+        let mut y = vec![0.0; m.rows()];
+        let rep = fleet.spmv(&x, &mut y);
+        let expect: u64 = fleet
+            .partition()
+            .shards
+            .iter()
+            .map(|s| s.halo_entries() as u64 * 8)
+            .sum();
+        assert_eq!(rep.halo_bytes(), expect);
+        let send: u64 = rep.exchange.send_bytes.iter().sum();
+        let recv: u64 = rep.exchange.recv_bytes.iter().sum();
+        assert_eq!(send, expect);
+        assert_eq!(recv, expect, "no halo edge targets the host sink");
+        // Per-device ingress accounting mirrors the exchange exactly.
+        for d in 0..4 {
+            assert_eq!(
+                rep.per_device[d].counters.htod_bytes,
+                rep.exchange.recv_bytes[d]
+            );
+        }
+    }
+
+    #[test]
+    fn replication_reduces_halo_traffic() {
+        let m = matrix(6000, 303);
+        let dev = presets::tesla_k10_single();
+        let mut with = FleetConfig::new(4);
+        with.replication = ReplicationPolicy {
+            min_referencing_shards: 2,
+            max_row_len: 64,
+            max_fraction: 0.10,
+        };
+        let mut without = FleetConfig::new(4);
+        without.replication = ReplicationPolicy::disabled();
+        let x = vec![1.0f64; m.cols()];
+        let mut y = vec![0.0; m.rows()];
+        let rep_with = Fleet::new(&m, &dev, &with).spmv(&x, &mut y);
+        let ya = y.clone();
+        let rep_without = Fleet::new(&m, &dev, &without).spmv(&x, &mut y);
+        assert_eq!(ya, y, "replication must not change values");
+        assert!(rep_with.replicated_rows > 0, "power-law graph has hot rows");
+        assert_eq!(rep_without.replicated_rows, 0);
+        assert!(
+            rep_with.halo_bytes() < rep_without.halo_bytes(),
+            "replication {} vs {} halo bytes",
+            rep_with.halo_bytes(),
+            rep_without.halo_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_shards_are_tolerated() {
+        // 3 rows over 8 devices: five shards compute nothing.
+        let mut t = sparse_formats::TripletMatrix::<f64>::new(3, 3);
+        t.push(0, 1, 1.0).unwrap();
+        t.push(1, 2, 2.0).unwrap();
+        t.push(2, 0, 3.0).unwrap();
+        let m = t.to_csr();
+        let fleet = Fleet::new(&m, &presets::tesla_k10_single(), &FleetConfig::new(8));
+        let x = vec![2.0f64; 3];
+        let mut y = vec![0.0; 3];
+        let rep = fleet.spmv(&x, &mut y);
+        assert_eq!(y, vec![2.0, 4.0, 6.0]);
+        assert_eq!(rep.formats.iter().filter(|f| *f == "-").count(), 5);
+        assert_eq!(rep.per_device.len(), 8);
+    }
+
+    #[test]
+    fn fleet_metrics_fold_halo_and_utilization() {
+        let m = matrix(2000, 304);
+        let fleet = Fleet::new(&m, &presets::tesla_k10_single(), &FleetConfig::new(2));
+        let x = vec![1.0f64; m.cols()];
+        let mut y = vec![0.0; m.rows()];
+        let rep = fleet.spmv(&x, &mut y);
+        let metrics = MetricsRegistry::new();
+        record_fleet_metrics(&metrics, "fleet.device", &rep);
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counter("fleet.device.0.halo_send_bytes"),
+            Some(rep.exchange.send_bytes[0])
+        );
+        assert_eq!(
+            snap.counter("fleet.device.1.halo_recv_bytes"),
+            Some(rep.exchange.recv_bytes[1])
+        );
+        assert!(snap.gauge("fleet.device.0.utilization").is_some());
+        assert_eq!(
+            snap.gauge("fleet.device.exchange_s"),
+            Some(rep.exchange.end_s())
+        );
+    }
+
+    #[test]
+    fn adaptive_shards_may_choose_different_formats() {
+        // 3 huge rows + thousands of uniform short rows at 4 devices:
+        // the huge rows land in a tail bin with < 4 rows, so some
+        // shards see only the uniform body (ELL/HYB territory) while
+        // others carry the skewed tail.
+        let rows = 4003usize;
+        let mut t = sparse_formats::TripletMatrix::<f64>::new(rows, rows);
+        for r in 0..3usize {
+            for c in 0..1500usize {
+                t.push(r, (r * 7 + c * 2) % rows, 1.0 + c as f64 * 0.01)
+                    .unwrap();
+            }
+        }
+        for r in 3..rows {
+            for j in 0..8usize {
+                t.push(r, (r * 13 + j * 97) % rows, 0.5 + j as f64).unwrap();
+            }
+        }
+        let m = t.to_csr();
+        let mut cfg = FleetConfig::new(4);
+        cfg.format = ShardFormat::Adaptive { horizon: 1000 };
+        let fleet = Fleet::new(&m, &presets::gtx_titan(), &cfg);
+        let mut distinct: Vec<&String> = fleet.formats().iter().filter(|f| *f != "-").collect();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 2,
+            "shards should diverge, got {:?}",
+            fleet.formats()
+        );
+        // and the mixed-format fleet still answers correctly
+        let x: Vec<f64> = (0..rows).map(|i| 1.0 + (i % 5) as f64 * 0.2).collect();
+        let mut y = vec![0.0; rows];
+        fleet.spmv(&x, &mut y);
+        let d = sparse_formats::scalar::rel_l2_distance(&y, &m.spmv(&x));
+        assert!(d < 1e-12, "rel distance {d}");
+    }
+}

@@ -14,10 +14,23 @@
 //!
 //! The K10 lacks dynamic parallelism, so (as in the paper) the per-device
 //! engines run ACSR's §VIII static long-tail configuration.
+//!
+//! Beyond the paper's replicated-`x` setup, [`Fleet`] scales the same
+//! sharding to N devices with resident shards: explicit event-scheduled
+//! halo exchange over modeled interconnect links ([`halo`]), hot-row
+//! replication ([`ReplicationPolicy`]), and per-shard format selection
+//! ([`ShardFormat::Adaptive`]).
 
+pub mod fleet;
+pub mod halo;
 mod partition;
 
-pub use partition::{partition_rows_by_bins, BinPartition};
+pub use fleet::{record_fleet_metrics, Fleet, FleetConfig, FleetReport, ShardFormat};
+pub use halo::{schedule_exchange, EdgeSpec, EdgeTransfer, ExchangeReport, LinkModel};
+pub use partition::{
+    partition_fleet, partition_rows_by_bins, BinPartition, FleetPartition, ReplicationPolicy,
+    ShardPlan,
+};
 
 use acsr::AcsrConfig;
 use gpu_sim::trace::TraceLedger;
@@ -38,24 +51,44 @@ pub struct MultiGpuAcsr<T: Scalar> {
     rows: usize,
     cols: usize,
     nnz: usize,
-    /// Fixed synchronization cost charged once per SpMV (device barrier +
-    /// result hand-off), seconds.
-    pub sync_overhead_s: f64,
+    /// Per-device completion hand-off cost (the device's end-of-SpMV
+    /// barrier signal, processed serially by the host), seconds. The
+    /// old model charged one flat `sync_overhead_s = 20 µs` after the
+    /// slowest device; two balanced devices at 10 µs each reproduce it,
+    /// but an early finisher's hand-off now *overlaps* the slow
+    /// device's compute instead of being re-charged after it.
+    pub handshake_s: f64,
 }
 
-/// Per-device and combined timing of one multi-GPU SpMV.
+/// Per-device and combined timing of one multi-GPU SpMV: the concurrent
+/// compute phase plus the event-scheduled sync/hand-off exchange.
 #[derive(Clone, Debug)]
 pub struct MultiReport {
     /// One report per device (they run concurrently).
     pub per_device: Vec<RunReport>,
-    /// Synchronization cost charged on top of the slowest device.
-    pub sync_seconds: f64,
+    /// The scheduled end-of-SpMV hand-off phase: one zero-byte signal
+    /// per device to the host sink, ready at that device's own finish,
+    /// serialized on the host ingress engine ([`halo`]).
+    pub exchange: ExchangeReport,
 }
 
 impl MultiReport {
-    /// Modeled wall time: slowest device + sync.
+    /// Compute-phase makespan (slowest device, no sync).
+    pub fn compute_s(&self) -> f64 {
+        self.per_device.iter().map(|r| r.time_s).fold(0.0, f64::max)
+    }
+
+    /// Modeled wall time: the compute makespan or the last hand-off's
+    /// completion, whichever lands later. A device that finished early
+    /// completes its hand-off under the slowest device's compute — the
+    /// overlap the old flat `max + sync` model double-charged.
     pub fn seconds(&self) -> f64 {
-        self.per_device.iter().map(|r| r.time_s).fold(0.0, f64::max) + self.sync_seconds
+        self.compute_s().max(self.exchange.end_s())
+    }
+
+    /// Seconds of sync/hand-off exposed past compute (0.0 when hidden).
+    pub fn sync_tail_s(&self) -> f64 {
+        self.exchange.tail_s(self.compute_s())
     }
 
     /// GFLOP/s for `flops` useful operations.
@@ -121,7 +154,7 @@ impl<T: Scalar> MultiGpuAcsr<T> {
             rows: m.rows(),
             cols: m.cols(),
             nnz: m.nnz(),
-            sync_overhead_s: 20e-6,
+            handshake_s: 10e-6,
         }
     }
 
@@ -180,7 +213,8 @@ impl<T: Scalar> MultiGpuAcsr<T> {
     pub fn spmv(&self, x: &[T], y: &mut [T]) -> MultiReport {
         assert_eq!(x.len(), self.cols, "x length mismatch");
         assert_eq!(y.len(), self.rows, "y length mismatch");
-        let mut per_device = Vec::with_capacity(self.devices.len());
+        let n = self.devices.len();
+        let mut per_device = Vec::with_capacity(n);
         for (d, plan) in self.plans.iter().enumerate() {
             let dev = &self.devices[d];
             // each device holds a full copy of x (as on the K10)
@@ -191,13 +225,29 @@ impl<T: Scalar> MultiGpuAcsr<T> {
                 y[global as usize] = yd.as_slice()[local];
             }
         }
+        // End-of-SpMV synchronization as an exchange: each device's
+        // zero-byte completion signal, ready at its own finish, lands on
+        // the host sink (node `n`) whose ingress serializes them. A
+        // single device needs no barrier at all.
+        let exchange = if n > 1 {
+            let edges: Vec<halo::EdgeSpec> = per_device
+                .iter()
+                .enumerate()
+                .map(|(d, rep)| halo::EdgeSpec {
+                    src: d,
+                    dst: n,
+                    entries: 0,
+                    bytes: 0,
+                    ready_ns: halo::ns(rep.time_s),
+                })
+                .collect();
+            schedule_exchange(n, &edges, &LinkModel::signal(self.handshake_s))
+        } else {
+            ExchangeReport::empty(n)
+        };
         MultiReport {
             per_device,
-            sync_seconds: if self.devices.len() > 1 {
-                self.sync_overhead_s
-            } else {
-                0.0
-            },
+            exchange,
         }
     }
 }
@@ -403,6 +453,88 @@ mod tests {
         let x = vec![1.0f64; m.cols()];
         let mut y = vec![0.0; m.rows()];
         let rep = mg.spmv(&x, &mut y);
-        assert_eq!(rep.sync_seconds, 0.0);
+        assert!(rep.exchange.transfers.is_empty());
+        assert_eq!(rep.sync_tail_s(), 0.0);
+        assert_eq!(rep.seconds(), rep.compute_s());
+    }
+
+    /// The satellite regression: the per-phase breakdown of
+    /// [`MultiReport::seconds`]. The old model charged the full sync
+    /// after the *slowest* device even when a device had finished long
+    /// before; now an early finisher's hand-off overlaps the slow
+    /// device's compute.
+    #[test]
+    fn handoff_overlaps_slow_device_compute() {
+        let handshake = 10e-6;
+        let report = |t0: f64, t1: f64| {
+            let per_device = vec![
+                RunReport {
+                    time_s: t0,
+                    ..Default::default()
+                },
+                RunReport {
+                    time_s: t1,
+                    ..Default::default()
+                },
+            ];
+            let edges: Vec<halo::EdgeSpec> = per_device
+                .iter()
+                .enumerate()
+                .map(|(d, r)| halo::EdgeSpec {
+                    src: d,
+                    dst: 2,
+                    entries: 0,
+                    bytes: 0,
+                    ready_ns: halo::ns(r.time_s),
+                })
+                .collect();
+            MultiReport {
+                per_device,
+                exchange: schedule_exchange(2, &edges, &LinkModel::signal(handshake)),
+            }
+        };
+        // Skewed finishes: device 1 (40 µs) hands off at 40→50 µs,
+        // entirely under device 0's 100 µs of compute. Only device 0's
+        // own hand-off extends the run: 110 µs, not the old 120 µs.
+        let skewed = report(100e-6, 40e-6);
+        assert_eq!(skewed.compute_s(), 100e-6);
+        assert!(
+            (skewed.seconds() - 110e-6).abs() < 1e-12,
+            "{}",
+            skewed.seconds()
+        );
+        assert!((skewed.sync_tail_s() - handshake).abs() < 1e-12);
+        // Balanced finishes serialize both hand-offs on the host: the
+        // old flat 20 µs charge is reproduced exactly.
+        let balanced = report(100e-6, 100e-6);
+        assert!(
+            (balanced.seconds() - 120e-6).abs() < 1e-12,
+            "{}",
+            balanced.seconds()
+        );
+        assert!((balanced.sync_tail_s() - 2.0 * handshake).abs() < 1e-12);
+        // And end to end: a dual-device run ships exactly one hand-off
+        // per device to the host sink.
+        let m = matrix(2048, 178);
+        let mg = MultiGpuAcsr::new(
+            &m,
+            &presets::tesla_k10_single(),
+            2,
+            AcsrConfig::static_long_tail(),
+        );
+        let x = vec![1.0f64; m.cols()];
+        let mut y = vec![0.0; m.rows()];
+        let rep = mg.spmv(&x, &mut y);
+        assert_eq!(rep.exchange.transfers.len(), 2);
+        assert!(rep
+            .exchange
+            .transfers
+            .iter()
+            .all(|t| t.dst == 2 && t.bytes == 0));
+        assert!(rep.seconds() >= rep.compute_s());
+        assert!(
+            rep.sync_tail_s() > 0.0,
+            "hand-offs ready at finish always expose a tail"
+        );
     }
 }

@@ -8,6 +8,7 @@
 
 use sparse_formats::stats::bin_index;
 use sparse_formats::{CsrMatrix, Scalar};
+use std::collections::BTreeMap;
 
 /// The rows assigned to one device, in ascending global order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +51,228 @@ pub fn partition_rows_by_bins<T: Scalar>(m: &CsrMatrix<T>, n_devices: usize) -> 
         p.rows.sort_unstable();
     }
     parts
+}
+
+/// When (and how much) to replicate hot rows across shards.
+///
+/// A *hot row* is a row whose output value is referenced by several
+/// shards' input columns in the next iterate. If its producer row is
+/// short, recomputing it on every referencing shard is cheaper than
+/// shipping its value over the interconnect each iteration — the
+/// mirroring idea of vertex-cut graph partitioners, applied to the
+/// iterated-SpMV halo.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplicationPolicy {
+    /// Replicate a row only when at least this many non-owner shards
+    /// reference its value (≥ 1; 0 disables replication entirely).
+    pub min_referencing_shards: usize,
+    /// Replicate only rows whose own length (input count) is at most
+    /// this — recomputing a 10 000-wide row everywhere is worse than
+    /// shipping 8 bytes.
+    pub max_row_len: usize,
+    /// Cap on replicated rows as a fraction of all rows (replication
+    /// multiplies compute; this bounds the redundancy).
+    pub max_fraction: f64,
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        ReplicationPolicy {
+            min_referencing_shards: 2,
+            max_row_len: 32,
+            max_fraction: 0.05,
+        }
+    }
+}
+
+impl ReplicationPolicy {
+    /// No replication: every remote reference rides the halo exchange.
+    pub fn disabled() -> ReplicationPolicy {
+        ReplicationPolicy {
+            min_referencing_shards: 0,
+            max_row_len: 0,
+            max_fraction: 0.0,
+        }
+    }
+}
+
+/// One shard of a [`FleetPartition`]: the rows a device computes and
+/// the remote values it must import each iteration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Device index.
+    pub device: usize,
+    /// Global rows this shard *owns* (writes to the global result),
+    /// ascending.
+    pub owned: Vec<u32>,
+    /// Hot rows computed redundantly here (owned elsewhere), ascending.
+    /// Their locally computed values feed this shard's next iterate
+    /// without a transfer; the owner still writes the global result.
+    pub replicas: Vec<u32>,
+    /// Remote values imported each iteration, grouped by owning shard:
+    /// `(owner, ascending global rows)`. Disjoint from `owned` and
+    /// `replicas`.
+    pub halo_in: Vec<(usize, Vec<u32>)>,
+    /// Non-zeros computed on this device (owned + replica rows).
+    pub nnz: usize,
+}
+
+impl ShardPlan {
+    /// All rows computed on this device (`owned` ∪ `replicas`),
+    /// ascending.
+    pub fn compute_rows(&self) -> Vec<u32> {
+        let mut rows: Vec<u32> = self
+            .owned
+            .iter()
+            .chain(self.replicas.iter())
+            .copied()
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Values imported per iteration.
+    pub fn halo_entries(&self) -> usize {
+        self.halo_in.iter().map(|(_, rows)| rows.len()).sum()
+    }
+}
+
+/// A bin-aware N-device sharding with hot-row replication bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetPartition {
+    /// One plan per device.
+    pub shards: Vec<ShardPlan>,
+    /// Rows replicated on at least one non-owner shard, ascending.
+    pub hot_rows: Vec<u32>,
+    /// `owner[row]` = owning device.
+    pub owner: Vec<u32>,
+}
+
+/// Shard `m`'s rows across `n_devices` by bins (via
+/// [`partition_rows_by_bins`]), then derive each shard's halo needs for
+/// the iterated-SpMV dataflow `x ← y` — shard `d` needs row `c`'s value
+/// whenever a row it computes has a non-zero in column `c` — and
+/// replicate hot rows per `policy`. Columns `≥ m.rows()` (rectangular
+/// operators) have no producer and are treated as host-resident input.
+pub fn partition_fleet<T: Scalar>(
+    m: &CsrMatrix<T>,
+    n_devices: usize,
+    policy: &ReplicationPolicy,
+) -> FleetPartition {
+    let parts = partition_rows_by_bins(m, n_devices);
+    let rows = m.rows();
+    let mut owner = vec![0u32; rows];
+    for p in &parts {
+        for &r in &p.rows {
+            owner[r as usize] = p.device as u32;
+        }
+    }
+    // Per shard: the set of remote producer rows its owned rows read.
+    let refs: Vec<Vec<u32>> = parts
+        .iter()
+        .map(|p| {
+            let mut cols: Vec<u32> = p
+                .rows
+                .iter()
+                .flat_map(|&r| m.row(r as usize).0.iter().copied())
+                .filter(|&c| (c as usize) < rows && owner[c as usize] != p.device as u32)
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+            cols
+        })
+        .collect();
+    // Hot-row census: how many non-owner shards read each row's value.
+    let mut ref_shards: BTreeMap<u32, usize> = BTreeMap::new();
+    for shard_refs in &refs {
+        for &c in shard_refs {
+            *ref_shards.entry(c).or_insert(0) += 1;
+        }
+    }
+    let mut hot: Vec<u32> = if policy.min_referencing_shards == 0 {
+        Vec::new()
+    } else {
+        ref_shards
+            .iter()
+            .filter(|&(&c, &n)| {
+                n >= policy.min_referencing_shards && m.row_nnz(c as usize) <= policy.max_row_len
+            })
+            .map(|(&c, _)| c)
+            .collect()
+    };
+    // Most-referenced first under the redundancy cap, then ascending.
+    hot.sort_by_key(|&c| (std::cmp::Reverse(ref_shards[&c]), c));
+    let cap = (policy.max_fraction * rows as f64).floor() as usize;
+    hot.truncate(cap);
+    hot.sort_unstable();
+    let is_hot = {
+        let mut flags = vec![false; rows];
+        for &c in &hot {
+            flags[c as usize] = true;
+        }
+        flags
+    };
+
+    let shards = parts
+        .iter()
+        .zip(&refs)
+        .map(|(p, shard_refs)| {
+            // First-level replication: hot rows this shard reads are
+            // computed locally instead of imported.
+            let replicas: Vec<u32> = shard_refs
+                .iter()
+                .copied()
+                .filter(|&c| is_hot[c as usize])
+                .collect();
+            let replica_set: Vec<bool> = {
+                let mut flags = vec![false; rows];
+                for &c in &replicas {
+                    flags[c as usize] = true;
+                }
+                flags
+            };
+            // The halo covers everything the computed rows read that is
+            // neither owned nor replicated here — including the inputs
+            // the replicas themselves consume.
+            let mut halo: Vec<u32> = p
+                .rows
+                .iter()
+                .chain(replicas.iter())
+                .flat_map(|&r| m.row(r as usize).0.iter().copied())
+                .filter(|&c| {
+                    (c as usize) < rows
+                        && owner[c as usize] != p.device as u32
+                        && !replica_set[c as usize]
+                })
+                .collect();
+            halo.sort_unstable();
+            halo.dedup();
+            let mut by_owner: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+            for c in halo {
+                by_owner
+                    .entry(owner[c as usize] as usize)
+                    .or_default()
+                    .push(c);
+            }
+            let nnz = p.nnz
+                + replicas
+                    .iter()
+                    .map(|&r| m.row_nnz(r as usize))
+                    .sum::<usize>();
+            ShardPlan {
+                device: p.device,
+                owned: p.rows.clone(),
+                replicas,
+                halo_in: by_owner.into_iter().collect(),
+                nnz,
+            }
+        })
+        .collect();
+    FleetPartition {
+        shards,
+        hot_rows: hot,
+        owner,
+    }
 }
 
 #[cfg(test)]

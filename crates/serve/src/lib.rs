@@ -17,8 +17,10 @@
 //!   Admission is event-driven — arrivals are offered at their true
 //!   arrival times, never batch-admitted at wave boundaries;
 //! * [`slo`] — open-loop serving policy: SLO targets, deadline
-//!   shedding, and queue-depth-adaptive batch sizing
-//!   ([`ServeEngine::serve_slo`](scheduler::ServeEngine::serve_slo));
+//!   shedding, queue-depth-adaptive batch sizing, and per-wave device
+//!   dispatch ([`slo::DispatchPolicy`]: row-split vs whole-query
+//!   stealing onto replicated devices, or a probe-calibrated automatic
+//!   choice) ([`ServeEngine::serve_slo`](scheduler::ServeEngine::serve_slo));
 //! * [`tenant`] — per-tenant priority classes and exact-integer
 //!   weighted fair-share admission;
 //! * [`latency`] — p50/p95/p99 latency accounting and SLO-attainment
@@ -51,7 +53,7 @@ pub use latency::LatencyStats;
 pub use loadgen::{assign_tenants, generate_queries, ArrivalPattern};
 pub use query::{Query, QueryOutcome};
 pub use queue::SubmissionQueue;
-pub use scheduler::{ServeConfig, ServeEngine, ServeReport};
-pub use slo::{BatchPolicy, SloPolicy};
+pub use scheduler::{DispatchMode, ServeConfig, ServeEngine, ServeReport};
+pub use slo::{BatchPolicy, DispatchPolicy, SloPolicy};
 pub use telemetry::reconcile_serve;
 pub use tenant::{FairShare, TenantSpec, TenantTable};

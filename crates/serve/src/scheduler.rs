@@ -43,7 +43,7 @@ use crate::latency::{count_within, LatencyStats};
 use crate::loadgen::{generate_queries, ArrivalPattern};
 use crate::query::{Query, QueryOutcome};
 use crate::queue::SubmissionQueue;
-use crate::slo::SloPolicy;
+use crate::slo::{DispatchPolicy, SloPolicy};
 use crate::telemetry::ServeScope;
 use crate::tenant::FairShare;
 use acsr::AcsrConfig;
@@ -56,7 +56,7 @@ use multi_gpu::{extract_rows, partition_rows_by_bins};
 use sparse_formats::{CsrMatrix, Scalar};
 use spmv_kernels::GpuSpmvMulti;
 use spmv_pipeline::{AcsrPlanner, FormatRegistry, PlanBudget, SpmvPlan};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Serving-engine configuration.
 #[derive(Clone, Debug)]
@@ -109,6 +109,44 @@ struct Active<T> {
     r: Vec<T>,
 }
 
+/// How one executed wave was actually dispatched (the resolution of the
+/// policy's [`DispatchPolicy`], observable per wave in
+/// [`ServeReport::wave_modes`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Every query ran on every device over that device's row shard.
+    RowSplit,
+    /// Whole queries were stolen onto replicated devices.
+    QuerySplit,
+}
+
+/// Probe-calibrated linear wave-cost model: `rs1 + rs_marg·(k-1)` for a
+/// row-split wave of width `k`, and per-device `qs1 + qs_marg·(w-1)`
+/// for a device running `w` whole queries on its replicated full plan.
+/// Calibrated once per engine from four probe waves (widths 1 and 2,
+/// both modes) on the real simulator — every term is a modeled time, so
+/// the choice is deterministic across host worker widths.
+#[derive(Clone, Copy, Debug)]
+struct DispatchCost {
+    rs1: f64,
+    rs_marg: f64,
+    qs1: f64,
+    qs_marg: f64,
+}
+
+impl DispatchCost {
+    fn row_split_s(&self, k: usize) -> f64 {
+        self.rs1 + self.rs_marg * (k.saturating_sub(1)) as f64
+    }
+
+    fn query_split_s(&self, k: usize, devices: usize, sync_s: f64) -> f64 {
+        let d_active = k.min(devices).max(1);
+        let widest = k.div_ceil(d_active);
+        let sync = if d_active > 1 { sync_s } else { 0.0 };
+        self.qs1 + self.qs_marg * (widest - 1) as f64 + sync
+    }
+}
+
 /// Result of serving one query stream.
 #[derive(Clone, Debug)]
 pub struct ServeReport<T> {
@@ -130,6 +168,9 @@ pub struct ServeReport<T> {
     /// Batch width of every executed wave, in order (the adaptive
     /// policy's decisions are observable here).
     pub wave_widths: Vec<usize>,
+    /// How each wave was dispatched, in order (the [`DispatchPolicy`]'s
+    /// per-wave resolutions; parallel to `wave_widths`).
+    pub wave_modes: Vec<DispatchMode>,
     /// Accumulated per-device kernel/transfer accounting.
     pub device_reports: Vec<RunReport>,
     /// Non-zeros of the serving operator (for GFLOPS accounting).
@@ -181,6 +222,14 @@ impl<T> ServeReport<T> {
         self.total_iterations() as f64 / self.outcomes.len() as f64
     }
 
+    /// Waves dispatched by whole-query stealing.
+    pub fn stolen_waves(&self) -> usize {
+        self.wave_modes
+            .iter()
+            .filter(|m| **m == DispatchMode::QuerySplit)
+            .count()
+    }
+
     /// Mean batch width over executed waves (0.0 when no wave ran).
     pub fn mean_wave_width(&self) -> f64 {
         if self.wave_widths.is_empty() {
@@ -227,6 +276,15 @@ pub struct ServeEngine<T: Scalar> {
     rows: usize,
     nnz: usize,
     config: ServeConfig,
+    /// The full serving operator, kept for building replicated
+    /// whole-graph plans when a wave steals queries.
+    operator: CsrMatrix<T>,
+    /// Replicated full-graph plans (one per device), built lazily the
+    /// first time a wave dispatches by query-split.
+    full_plans: OnceLock<Vec<SpmvPlan<T>>>,
+    /// Probe-calibrated wave-cost model, built lazily on the first
+    /// [`DispatchPolicy::Auto`] wave.
+    dispatch_cost: OnceLock<DispatchCost>,
     /// Serving-plane telemetry (metrics + request tracing); `None`
     /// means every record site is a single skipped branch.
     telemetry: Option<Arc<Telemetry>>,
@@ -278,6 +336,9 @@ impl<T: Scalar> ServeEngine<T> {
             rows: w.rows(),
             nnz: w.nnz(),
             config,
+            operator: w,
+            full_plans: OnceLock::new(),
+            dispatch_cost: OnceLock::new(),
             telemetry: acsr_telemetry::active(),
             sync_overhead_s: 20e-6,
         }
@@ -359,6 +420,7 @@ impl<T: Scalar> ServeEngine<T> {
         let mut deadline_shed: Vec<u64> = Vec::new();
         let mut device_reports = vec![RunReport::default(); self.devices.len()];
         let mut wave_widths: Vec<usize> = Vec::new();
+        let mut wave_modes: Vec<DispatchMode> = Vec::new();
         let mut next_arrival = 0usize;
         let mut clock = 0.0f64;
         let mut scope: Option<ServeScope> = self
@@ -413,8 +475,11 @@ impl<T: Scalar> ServeEngine<T> {
                 continue;
             }
 
-            // 2. one batched RWR iteration for the whole wave
+            // 2. one batched RWR iteration for the whole wave, over
+            //    whichever dispatch the policy resolves for this width
+            let mode = self.choose_mode(policy.dispatch, active.len());
             wave_widths.push(active.len());
+            wave_modes.push(mode);
             // Stamp the wave's correlation id onto every kernel span it
             // launches, so the timeline export can join request spans
             // to device work.
@@ -422,20 +487,26 @@ impl<T: Scalar> ServeEngine<T> {
             if wave_id.is_some() {
                 self.set_wave_context(wave_id);
             }
-            let (new_r, wave_time) = self.wave(&active, &mut device_reports);
+            let (new_r, wave_time) = match mode {
+                DispatchMode::RowSplit => self.wave(&active, &mut device_reports),
+                DispatchMode::QuerySplit => self.wave_steal(&active, &mut device_reports),
+            };
             if wave_id.is_some() {
                 self.set_wave_context(None);
             }
             let wave_end = clock + wave_time;
             if let (Some(s), Some(wave)) = (scope.as_mut(), wave_id) {
-                s.on_wave(WaveRecord {
-                    wave,
-                    t_start_s: clock,
-                    dur_s: wave_time,
-                    width: active.len(),
-                    devices: self.devices.len(),
-                    queries: active.iter().map(|a| a.q.id).collect(),
-                });
+                s.on_wave(
+                    WaveRecord {
+                        wave,
+                        t_start_s: clock,
+                        dur_s: wave_time,
+                        width: active.len(),
+                        devices: self.devices.len(),
+                        queries: active.iter().map(|a| a.q.id).collect(),
+                    },
+                    mode == DispatchMode::QuerySplit,
+                );
             }
             // 3. Arrivals landing mid-wave queue (or capacity-shed) at
             //    their true arrival times. No pops happen while a wave
@@ -465,6 +536,7 @@ impl<T: Scalar> ServeEngine<T> {
             makespan_s: clock,
             waves: wave_widths.len(),
             wave_widths,
+            wave_modes,
             device_reports,
             nnz: self.nnz,
         };
@@ -578,6 +650,164 @@ impl<T: Scalar> ServeEngine<T> {
             device_reports[d] = device_reports[d].clone().then(&rep);
         }
         if self.devices.len() > 1 {
+            wave_time += self.sync_overhead_s;
+        }
+        (new_r, wave_time)
+    }
+
+    /// Resolve the policy's dispatch for a wave of `k` queries.
+    fn choose_mode(&self, policy: DispatchPolicy, k: usize) -> DispatchMode {
+        if self.devices.len() <= 1 {
+            // One device: stealing degenerates to the same single-plan
+            // wave; keep the row-split path and build nothing extra.
+            return DispatchMode::RowSplit;
+        }
+        match policy {
+            DispatchPolicy::RowSplit => DispatchMode::RowSplit,
+            DispatchPolicy::QuerySplit => DispatchMode::QuerySplit,
+            DispatchPolicy::Auto => {
+                let cost = self.dispatch_cost();
+                let qs = cost.query_split_s(k, self.devices.len(), self.sync_overhead_s);
+                if qs < cost.row_split_s(k) {
+                    DispatchMode::QuerySplit
+                } else {
+                    DispatchMode::RowSplit
+                }
+            }
+        }
+    }
+
+    /// The probe-calibrated [`DispatchCost`], built on the first
+    /// [`DispatchPolicy::Auto`] wave: row-split waves of widths 1 and 2
+    /// give that mode's intercept and slope, and whole-query runs of 1
+    /// and 2 queries on device 0's replicated plan give the per-device
+    /// query-split terms. Probe accounting goes to a scratch accumulator
+    /// (and probes run before any wave id is staged), so serving
+    /// reports, metrics, and wave correlation never see them.
+    fn dispatch_cost(&self) -> DispatchCost {
+        *self.dispatch_cost.get_or_init(|| {
+            let mut scratch = vec![RunReport::default(); self.devices.len()];
+            let (_, rs1) = self.wave(&self.probe_wave(1), &mut scratch);
+            let (_, rs2) = self.wave(&self.probe_wave(2), &mut scratch);
+            let probes = self.probe_wave(2);
+            let one: Vec<&Active<T>> = probes[..1].iter().collect();
+            let two: Vec<&Active<T>> = probes.iter().collect();
+            let qs1 = self.steal_on_device(0, &one, &mut scratch).1;
+            let qs2 = self.steal_on_device(0, &two, &mut scratch).1;
+            DispatchCost {
+                rs1,
+                rs_marg: (rs2 - rs1).max(0.0),
+                qs1,
+                qs_marg: (qs2 - qs1).max(0.0),
+            }
+        })
+    }
+
+    /// A synthetic wave of `k` fresh unit-seed queries, used only for
+    /// cost probing.
+    fn probe_wave(&self, k: usize) -> Vec<Active<T>> {
+        (0..k)
+            .map(|i| {
+                let seed = i % self.rows;
+                let mut r = vec![T::ZERO; self.rows];
+                r[seed] = T::ONE;
+                Active {
+                    q: Query {
+                        id: u64::MAX - i as u64,
+                        seed,
+                        restart_c: 0.85,
+                        arrival_s: 0.0,
+                        tenant: 0,
+                    },
+                    admitted_s: 0.0,
+                    iterations: 0,
+                    r,
+                }
+            })
+            .collect()
+    }
+
+    /// Replicated whole-graph plans, one per device, built on the first
+    /// query-split wave (a row-split-only engine never pays for them).
+    fn full_plans(&self) -> &[SpmvPlan<T>] {
+        self.full_plans.get_or_init(|| {
+            let mut reg = FormatRegistry::<T>::with_all();
+            reg.register(Box::new(AcsrPlanner::with_config(self.config.acsr)));
+            self.devices
+                .iter()
+                .map(|dev| {
+                    let budget = PlanBudget::for_device(dev.config());
+                    reg.plan(self.config.format, dev, &self.operator, &budget)
+                        .expect("replicated serving plan must fit the device")
+                })
+                .collect()
+        })
+    }
+
+    /// Run `mine` whole queries end to end on device `d`'s replicated
+    /// full-graph plan; returns their next iterates (parallel to `mine`)
+    /// and the device's modeled time, merging the kernel/transfer
+    /// accounting into `device_reports[d]`.
+    fn steal_on_device(
+        &self,
+        d: usize,
+        mine: &[&Active<T>],
+        device_reports: &mut [RunReport],
+    ) -> (Vec<Vec<T>>, f64) {
+        let dev = &self.devices[d];
+        let plan = &self.full_plans()[d];
+        let kd = mine.len();
+        let elt = std::mem::size_of::<T>();
+        let c: Vec<T> = mine.iter().map(|a| T::from_f64(a.q.restart_c)).collect();
+        let restart: Vec<T> = mine
+            .iter()
+            .map(|a| T::from_f64(1.0 - a.q.restart_c))
+            .collect();
+        let mut rep = dev.record_htod("serve_x_upload", (kd * self.rows * elt) as u64);
+        let xs: Vec<_> = mine.iter().map(|a| dev.alloc(a.r.clone())).collect();
+        let tmps: Vec<_> = (0..kd).map(|_| dev.alloc_zeroed::<T>(self.rows)).collect();
+        let xr: Vec<_> = xs.iter().collect();
+        let tr: Vec<_> = tmps.iter().collect();
+        rep = rep.then(&plan.spmv_multi(dev, &xr, &tr));
+        // The replicated plan covers every row, so seeds stay global.
+        let seeds: Vec<Option<usize>> = mine.iter().map(|a| Some(a.q.seed)).collect();
+        let nexts: Vec<_> = (0..kd).map(|_| dev.alloc_zeroed::<T>(self.rows)).collect();
+        let nr: Vec<_> = nexts.iter().collect();
+        rep = rep.then(&rwr_update_multi(dev, &tr, &c, &restart, &seeds, &nr));
+        rep = rep.then(&dev.record_dtoh("serve_y_readback", (kd * self.rows * elt) as u64));
+        let out: Vec<Vec<T>> = nexts.iter().map(|n| n.as_slice().to_vec()).collect();
+        let time = rep.time_s;
+        device_reports[d] = device_reports[d].clone().then(&rep);
+        (out, time)
+    }
+
+    /// Execute one wave by whole-query stealing: query `i` runs end to
+    /// end on device `i % d_active`'s replicated full-graph plan, so a
+    /// wave narrower than the fleet leaves the surplus devices untouched
+    /// instead of underfeeding all of them — and a single active device
+    /// skips the multi-device sync entirely. Per query the batched
+    /// kernels execute the exact single-vector float-op sequence (the
+    /// batch- and device-count-independence invariants), so the iterates
+    /// are bit-identical to a row-split wave's.
+    fn wave_steal(
+        &self,
+        active: &[Active<T>],
+        device_reports: &mut [RunReport],
+    ) -> (Vec<Vec<T>>, f64) {
+        let k = active.len();
+        let d_active = k.min(self.devices.len()).max(1);
+        let mut new_r: Vec<Vec<T>> = vec![Vec::new(); k];
+        let mut wave_time = 0.0f64;
+        for d in 0..d_active {
+            let idxs: Vec<usize> = (d..k).step_by(d_active).collect();
+            let mine: Vec<&Active<T>> = idxs.iter().map(|&i| &active[i]).collect();
+            let (outs, t) = self.steal_on_device(d, &mine, device_reports);
+            for (out, &i) in outs.into_iter().zip(&idxs) {
+                new_r[i] = out;
+            }
+            wave_time = wave_time.max(t);
+        }
+        if d_active > 1 {
             wave_time += self.sync_overhead_s;
         }
         (new_r, wave_time)
@@ -857,6 +1087,7 @@ mod tests {
             makespan_s: 0.0,
             waves: 0,
             wave_widths: Vec::new(),
+            wave_modes: Vec::new(),
             device_reports: Vec::new(),
             nnz: 1000,
         };
@@ -1013,6 +1244,146 @@ mod tests {
             })
             .count();
         assert_eq!(deadline_events, report.deadline_shed.len());
+    }
+
+    #[test]
+    fn query_split_matches_row_split_bitwise() {
+        // The dispatch mode changes *when* work runs and on which
+        // device, never *what* is computed: scores and iteration counts
+        // must be bit-identical between the two dispatches.
+        let g = graph(400, 211);
+        let run = |dispatch| {
+            let engine = ServeEngine::new(
+                &g,
+                ServeConfig {
+                    max_batch: 4,
+                    n_devices: 3,
+                    keep_scores: true,
+                    ..ServeConfig::default()
+                },
+            );
+            let queries: Vec<Query> = (0..6)
+                .map(|id| query(id, (id as usize * 29) % 400, 0.0))
+                .collect();
+            engine.serve_slo(
+                &queries,
+                &SloPolicy::closed_loop(4, 64).with_dispatch(dispatch),
+            )
+        };
+        let rs = run(DispatchPolicy::RowSplit);
+        let qs = run(DispatchPolicy::QuerySplit);
+        assert_eq!(rs.outcomes.len(), 6);
+        assert_eq!(qs.outcomes.len(), 6);
+        assert_eq!(rs.stolen_waves(), 0);
+        assert_eq!(qs.stolen_waves(), qs.waves, "every wave stolen");
+        assert!(qs.waves > 0);
+        for (a, b) in rs.outcomes.iter().zip(&qs.outcomes) {
+            assert_eq!(a.id, b.id, "retirement order must match");
+            assert_eq!(a.iterations, b.iterations, "query {}", a.id);
+            let sa = a.scores.as_ref().unwrap();
+            let sb = b.scores.as_ref().unwrap();
+            assert!(
+                sa.iter()
+                    .zip(sb)
+                    .all(|(x, y)| x.to_f64().to_bits() == y.to_f64().to_bits()),
+                "query {} scores must be bit-identical across dispatches",
+                a.id
+            );
+        }
+    }
+
+    #[test]
+    fn single_device_never_steals() {
+        let g = graph(200, 212);
+        let engine = ServeEngine::new(
+            &g,
+            ServeConfig {
+                max_batch: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let queries: Vec<Query> = (0..4)
+            .map(|id| query(id, (id as usize * 7) % 200, 0.0))
+            .collect();
+        let report = engine.serve_slo(
+            &queries,
+            &SloPolicy::closed_loop(2, 64).with_dispatch(DispatchPolicy::QuerySplit),
+        );
+        assert_eq!(report.outcomes.len(), 4);
+        assert_eq!(report.stolen_waves(), 0, "one device: nothing to steal");
+        assert!(report
+            .wave_modes
+            .iter()
+            .all(|m| *m == DispatchMode::RowSplit));
+    }
+
+    #[test]
+    fn auto_dispatch_steals_narrow_waves_and_cuts_their_latency() {
+        let g = graph(500, 213);
+        let config = ServeConfig {
+            max_batch: 8,
+            n_devices: 4,
+            ..ServeConfig::default()
+        };
+        // Arrivals a full second apart against a microsecond-scale
+        // service time: every wave is width 1, the exact shape where
+        // row-splitting underfeeds all four devices and pays the sync.
+        let queries: Vec<Query> = (0..5)
+            .map(|id| query(id, (id as usize * 31) % 500, id as f64))
+            .collect();
+        let run = |dispatch| {
+            let engine = ServeEngine::new(&g, config.clone());
+            engine.serve_slo(
+                &queries,
+                &SloPolicy::open_loop(0.05, 8, 64).with_dispatch(dispatch),
+            )
+        };
+        let rs = run(DispatchPolicy::RowSplit);
+        let auto = run(DispatchPolicy::Auto);
+        assert!(rs.wave_widths.iter().all(|&w| w == 1));
+        assert!(auto.wave_widths.iter().all(|&w| w == 1));
+        assert_eq!(auto.outcomes.len(), rs.outcomes.len());
+        // Width-1 probes measure exactly the wave the run executes, so
+        // the model's choice is ground truth here: stealing must be
+        // picked, and picked because it is genuinely faster.
+        assert_eq!(auto.stolen_waves(), auto.waves, "narrow waves steal");
+        let lat = |r: &ServeReport<f64>| r.latency_stats().p99_s;
+        assert!(
+            lat(&auto) < lat(&rs),
+            "stolen narrow waves must cut latency: auto {} vs row-split {}",
+            lat(&auto),
+            lat(&rs)
+        );
+    }
+
+    #[test]
+    fn stolen_waves_reconcile_with_telemetry() {
+        let g = graph(300, 214);
+        let mut engine = ServeEngine::new(
+            &g,
+            ServeConfig {
+                max_batch: 2,
+                n_devices: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let tel = Arc::new(acsr_telemetry::Telemetry::new());
+        engine.attach_telemetry(tel.clone());
+        let queries: Vec<Query> = (0..4)
+            .map(|id| query(id, (id as usize * 13) % 300, 0.0))
+            .collect();
+        // serve_slo panics internally if the scoped registry disagrees
+        // with the report (including the stolen-wave count).
+        let report = engine.serve_slo(
+            &queries,
+            &SloPolicy::closed_loop(2, 64).with_dispatch(DispatchPolicy::QuerySplit),
+        );
+        assert!(report.stolen_waves() > 0);
+        let snap = tel.metrics.snapshot();
+        assert_eq!(
+            snap.counter("serve.waves.stolen"),
+            Some(report.stolen_waves() as u64)
+        );
     }
 
     #[test]

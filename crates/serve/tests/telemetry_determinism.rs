@@ -10,7 +10,8 @@
 //! `set_sim_threads` is process-global.
 
 use acsr_serve::{
-    BatchPolicy, Query, ServeConfig, ServeEngine, SloPolicy, TenantSpec, TenantTable,
+    BatchPolicy, DispatchPolicy, Query, ServeConfig, ServeEngine, SloPolicy, TenantSpec,
+    TenantTable,
 };
 use acsr_telemetry::{RequestEvent, ShedKind, Telemetry};
 use gpu_sim::set_sim_threads;
@@ -70,6 +71,7 @@ fn policy() -> SloPolicy {
         ]),
         deadline_shed: true,
         p99_target_s: 0.05,
+        dispatch: DispatchPolicy::RowSplit,
     }
 }
 

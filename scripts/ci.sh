@@ -51,6 +51,11 @@ echo "==> slo smoke (repro slo --quick)"
 test -s results/BENCH_slo.json
 ./target/release/repro check-artifacts results/BENCH_slo.json
 
+echo "==> fleet smoke (repro fleet --quick)"
+./target/release/repro fleet --quick > /dev/null
+test -s results/BENCH_fleet.json
+./target/release/repro check-artifacts results/BENCH_fleet.json
+
 echo "==> streaming-maintenance smoke (repro stream --quick)"
 ./target/release/repro stream --quick > /dev/null
 test -s results/BENCH_stream.json
@@ -79,6 +84,9 @@ echo "==> slo-attainment gate (bench-diff vs committed baseline)"
 
 echo "==> streaming-maintenance gate (bench-diff vs committed baseline)"
 ./target/release/repro bench-diff baselines/BENCH_stream_ci.json results/BENCH_stream.json
+
+echo "==> fleet-scaling gate (bench-diff vs committed baseline)"
+./target/release/repro bench-diff baselines/BENCH_fleet_ci.json results/BENCH_fleet.json
 
 echo "==> perf-regression gate rejects an inflated baseline"
 if ./target/release/repro bench-diff baselines/PROFILE_fig5_ci_inflated.json \
